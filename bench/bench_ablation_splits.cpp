@@ -1,0 +1,57 @@
+// Ablation A3: profiling granularity — how many candidate split points M
+// the profiler exposes (paper SecIII-B "Consider M split models") vs the
+// resulting balanced round time and scheduling cost.
+#include <chrono>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace comdml;
+  using namespace comdml::bench;
+  print_header("Ablation: split-profiling granularity M",
+               "paper SecIII-B / SecIV-B profiling");
+
+  const auto spec = nn::resnet56_spec();
+  std::printf("%6s %16s %18s\n", "M", "mean round(s)", "schedule time(us)");
+  double coarse = 0, fine = 0;
+  for (const size_t m : {2, 4, 8, 16, 32, 55}) {
+    double total = 0;
+    double sched_us = 0;
+    const int kSeeds = 8;
+    for (uint64_t seed = 0; seed < kSeeds; ++seed) {
+      Scenario s;
+      s.dataset = "cifar10";
+      s.agents = 10;
+      s.seed = kBenchSeed + seed;
+      Rng rng(s.seed);
+      auto topo = make_topology(s, rng);
+      auto sizes = core::shard_sizes_for(dataset_spec("cifar10"), 10,
+                                         PartitionKind::kIID, rng);
+      auto cfg = make_config(s);
+      cfg.max_split_points = m;
+      core::SimulatedFleet fleet(spec, cfg, std::move(topo),
+                                 std::move(sizes));
+      const auto infos = fleet.agent_infos();
+      std::vector<int64_t> parts(10);
+      std::iota(parts.begin(), parts.end(), 0);
+      const auto t0 = std::chrono::steady_clock::now();
+      (void)core::pair_agents(fleet.profile(), infos, fleet.topology(), 100,
+                              parts);
+      const auto t1 = std::chrono::steady_clock::now();
+      sched_us +=
+          std::chrono::duration<double, std::micro>(t1 - t0).count();
+      total += fleet.step().round_time;
+    }
+    std::printf("%6zu %16.1f %18.1f\n", m, total / kSeeds,
+                sched_us / kSeeds);
+    if (m == 2) coarse = total / kSeeds;
+    if (m == 55) fine = total / kSeeds;
+  }
+  const bool ok = fine <= coarse * 1.001;
+  std::printf(
+      "\nshape checks: a modest M already captures the balancing benefit "
+      "(diminishing, slightly noisy returns beyond M~8 as the estimate/"
+      "execution gap dominates); M=2 is clearly worse -> %s\n",
+      ok ? "OK" : "VIOLATED");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,62 @@
+// Fig. 3 reproduction: total training time under a 20%-connectivity random
+// topology with 50 agents, on the three IID datasets, five methods.
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace comdml;
+using namespace comdml::bench;
+
+struct Row {
+  const char* label;
+  const char* dataset;
+  double target;
+};
+
+// Fig. 3 mirrors the 50-agent IID settings; the paper reports the bars
+// graphically, so we reproduce ordering and rough magnitudes.
+constexpr Row kRows[] = {
+    {"CIFAR-10  (80%)", "cifar10", 0.80},
+    {"CIFAR-100 (65%)", "cifar100", 0.65},
+    {"CINIC-10  (75%)", "cinic10", 0.75},
+};
+
+constexpr Method kMethods[] = {Method::kComDML, Method::kGossip,
+                               Method::kBrainTorrent, Method::kAllReduceDML,
+                               Method::kFedAvg};
+
+}  // namespace
+
+int main() {
+  print_header(
+      "Fig. 3: 50 agents, random topology with 20% link connectivity",
+      "ICDCS'24 ComDML, Fig. 3");
+  std::printf("%-18s %10s %10s %10s %10s %10s\n", "", "ComDML", "Gossip",
+              "BrainT.", "AllRed.", "FedAvg");
+  bool comdml_wins_everywhere = true;
+  for (const Row& row : kRows) {
+    Scenario s;
+    s.dataset = row.dataset;
+    s.partition = PartitionKind::kIID;
+    s.agents = 50;
+    s.participation = 0.2;
+    s.target_accuracy = row.target;
+    s.link_probability = 0.2;
+    s.fixed_shard_size = 0;  // dataset split across the fleet
+
+    double measured[5];
+    for (int m = 0; m < 5; ++m)
+      measured[m] = time_to_accuracy(kMethods[m], s, /*horizon=*/160);
+
+    std::printf("%-18s", row.label);
+    for (int m = 0; m < 5; ++m) std::printf(" %10.0f", measured[m]);
+    std::printf("\n");
+    for (int m = 1; m < 5; ++m)
+      if (measured[0] >= measured[m]) comdml_wins_everywhere = false;
+  }
+  std::printf(
+      "\nshape checks: ComDML remains fastest under sparse connectivity "
+      "(paper Fig. 3) -> %s\n",
+      comdml_wins_everywhere ? "OK" : "VIOLATED");
+  return comdml_wins_everywhere ? 0 : 1;
+}

@@ -1,0 +1,132 @@
+// Micro-benchmarks (google-benchmark): hot kernels of every substrate —
+// tensor math, conv forward/backward, the pairing scheduler, the AllReduce
+// executor, pair execution and the dCor estimator.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "comm/allreduce.hpp"
+#include "core/execution.hpp"
+#include "core/trainer.hpp"
+#include "nn/conv.hpp"
+#include "privacy/dcor.hpp"
+
+namespace {
+
+using namespace comdml;
+using tensor::Rng;
+using tensor::Tensor;
+
+void BM_Matmul(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(1);
+  const Tensor a = rng.normal_tensor({n, n}, 0, 1);
+  const Tensor b = rng.normal_tensor({n, n}, 0, 1);
+  for (auto _ : state) benchmark::DoNotOptimize(tensor::matmul(a, b));
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_ConvForward(benchmark::State& state) {
+  Rng rng(2);
+  nn::Conv2d conv(8, 8, 3, 1, 1, rng);
+  const Tensor x = rng.normal_tensor({4, 8, 16, 16}, 0, 1);
+  for (auto _ : state) benchmark::DoNotOptimize(conv.forward(x, true));
+}
+BENCHMARK(BM_ConvForward);
+
+void BM_ConvBackward(benchmark::State& state) {
+  Rng rng(3);
+  nn::Conv2d conv(8, 8, 3, 1, 1, rng);
+  const Tensor x = rng.normal_tensor({4, 8, 16, 16}, 0, 1);
+  const Tensor g = rng.normal_tensor({4, 8, 16, 16}, 0, 1);
+  (void)conv.forward(x, true);
+  for (auto _ : state) benchmark::DoNotOptimize(conv.backward(g));
+}
+BENCHMARK(BM_ConvBackward);
+
+void BM_PairingScheduler(benchmark::State& state) {
+  const auto agents = state.range(0);
+  const auto spec = nn::resnet56_spec();
+  const auto profile = core::SplitProfile::from_spec(spec, 16);
+  Rng rng(4);
+  const auto topo =
+      sim::Topology::full_mesh(sim::assign_profiles(agents, rng));
+  std::vector<core::AgentInfo> infos;
+  for (int64_t i = 0; i < agents; ++i) {
+    core::AgentInfo a;
+    a.id = i;
+    a.proc_speed = sim::samples_per_sec(topo.profile(i),
+                                        profile.full_flops_per_sample()) /
+                   100.0;
+    a.num_batches = 50;
+    a.tau_solo = 50.0 / a.proc_speed;
+    infos.push_back(a);
+  }
+  std::vector<int64_t> parts(static_cast<size_t>(agents));
+  std::iota(parts.begin(), parts.end(), 0);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        core::pair_agents(profile, infos, topo, 100, parts));
+}
+BENCHMARK(BM_PairingScheduler)->Arg(10)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_AllReduceExec(benchmark::State& state) {
+  const auto agents = state.range(0);
+  Rng rng(5);
+  std::vector<std::vector<Tensor>> base;
+  for (int64_t a = 0; a < agents; ++a)
+    base.push_back({rng.normal_tensor({64, 64}, 0, 1)});
+  for (auto _ : state) {
+    auto states = base;
+    benchmark::DoNotOptimize(comm::allreduce_average(states));
+  }
+}
+BENCHMARK(BM_AllReduceExec)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_ExecutePair(benchmark::State& state) {
+  const auto spec = nn::resnet56_spec();
+  const auto profile = core::SplitProfile::from_spec(spec);
+  core::AgentInfo slow, fast;
+  slow.id = 0;
+  slow.proc_speed = 0.4;
+  slow.num_batches = 250;
+  slow.tau_solo = 250 / 0.4;
+  fast.id = 1;
+  fast.proc_speed = 8.0;
+  fast.num_batches = 250;
+  fast.tau_solo = 250 / 8.0;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        core::execute_pair(profile, slow, fast, 28, 50.0, 100));
+}
+BENCHMARK(BM_ExecutePair);
+
+void BM_DistanceCorrelation(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(6);
+  const Tensor x = rng.normal_tensor({n, 32}, 0, 1);
+  const Tensor z = rng.normal_tensor({n, 16}, 0, 1);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(privacy::distance_correlation(x, z));
+}
+BENCHMARK(BM_DistanceCorrelation)->Arg(32)->Arg(128);
+
+void BM_SimulatedRound(benchmark::State& state) {
+  const auto agents = state.range(0);
+  core::FleetConfig cfg;
+  cfg.agents = agents;
+  cfg.max_split_points = 16;
+  cfg.reshuffle_period = 0;
+  Rng rng(7);
+  auto topo = sim::Topology::full_mesh(sim::assign_profiles(agents, rng));
+  std::vector<int64_t> sizes(static_cast<size_t>(agents), 5000);
+  core::SimulatedFleet fleet(nn::resnet56_spec(), cfg, std::move(topo),
+                             std::move(sizes));
+  for (auto _ : state) benchmark::DoNotOptimize(fleet.step());
+}
+BENCHMARK(BM_SimulatedRound)->Arg(10)->Arg(100);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// Table III reproduction: scalability — time to 80% on IID CIFAR-10 with
+// 20/50/100 agents (20% participation per round), ResNet-56 and ResNet-110.
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace comdml;
+using namespace comdml::bench;
+
+struct Row {
+  const char* model;
+  int64_t agents;
+  double paper[5];  // ComDML, Gossip, BrainTorrent, AllReduce, FedAvg
+};
+
+constexpr Row kRows[] = {
+    {"resnet56", 20, {7618, 12637, 14822, 15660, 14409}},
+    {"resnet56", 50, {9539, 17716, 20337, 21339, 19681}},
+    {"resnet56", 100, {10461, 19465, 22825, 23652, 22577}},
+    {"resnet110", 20, {11799, 18834, 20234, 19559, 19322}},
+    {"resnet110", 50, {15014, 25574, 27753, 28117, 27191}},
+    {"resnet110", 100, {15843, 28825, 31526, 30085, 29494}},
+};
+
+constexpr Method kMethods[] = {Method::kComDML, Method::kGossip,
+                               Method::kBrainTorrent, Method::kAllReduceDML,
+                               Method::kFedAvg};
+
+}  // namespace
+
+int main() {
+  print_header("Table III: scalability, target 80% on IID CIFAR-10",
+               "ICDCS'24 ComDML, Table III");
+  std::printf("%-10s %6s %10s %10s %10s %10s %10s\n", "model", "agents",
+              "ComDML", "Gossip", "BrainT.", "AllRed.", "FedAvg");
+  for (const Row& row : kRows) {
+    Scenario s;
+    s.dataset = "cifar10";
+    s.model = row.model;
+    s.partition = PartitionKind::kIID;
+    s.agents = row.agents;
+    s.participation = 0.2;          // paper: 20% sampling rate
+    s.target_accuracy = 0.80;
+    s.fixed_shard_size = 5000;      // fleet scales, per-agent workload fixed
+
+    double measured[5];
+    for (int m = 0; m < 5; ++m)
+      measured[m] = time_to_accuracy(kMethods[m], s, /*horizon=*/160);
+
+    std::printf("%-10s %6lld", row.model,
+                static_cast<long long>(row.agents));
+    for (int m = 0; m < 5; ++m) std::printf(" %10.0f", measured[m]);
+    std::printf("   <- measured\n%-10s %6s", "", "");
+    for (int m = 0; m < 5; ++m) std::printf(" %10.0f", row.paper[m]);
+    std::printf("   <- paper\n");
+  }
+  std::printf(
+      "\nshape checks: ComDML fastest at every scale; times grow mildly "
+      "with fleet size (no scalability collapse); ResNet-110 rows sit above "
+      "their ResNet-56 counterparts.\n");
+  return 0;
+}

@@ -1,0 +1,175 @@
+// fleet_cli — run any ComDML/baseline timing scenario from the command
+// line. This is the "downstream user" entry point: pick a method, fleet
+// size, dataset geometry, topology and partition, and get per-round timing
+// plus time-to-target-accuracy.
+//
+//   ./examples/fleet_cli --method comdml --agents 20 --dataset cifar10
+//       --partition iid --target 0.85 --topology 0.5 --rounds 50
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "baselines/baseline_fleet.hpp"
+#include "core/trainer.hpp"
+
+namespace {
+
+using namespace comdml;
+using learncurve::Method;
+using learncurve::PartitionKind;
+
+struct Args {
+  std::string method = "comdml";
+  std::string dataset = "cifar10";
+  std::string partition = "iid";
+  int64_t agents = 10;
+  int64_t rounds = 30;
+  double participation = 1.0;
+  double topology = 1.0;  // link probability; 1.0 = full mesh
+  double target = 0.8;
+  double dropout = 0.0;
+  uint64_t seed = 42;
+};
+
+bool parse(int argc, char** argv, Args& args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto need_value = [&](const char* name) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", name);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    const char* v = nullptr;
+    if (flag == "--method" && (v = need_value("--method"))) args.method = v;
+    else if (flag == "--dataset" && (v = need_value("--dataset"))) args.dataset = v;
+    else if (flag == "--partition" && (v = need_value("--partition"))) args.partition = v;
+    else if (flag == "--agents" && (v = need_value("--agents"))) args.agents = std::stoll(v);
+    else if (flag == "--rounds" && (v = need_value("--rounds"))) args.rounds = std::stoll(v);
+    else if (flag == "--participation" && (v = need_value("--participation"))) args.participation = std::stod(v);
+    else if (flag == "--topology" && (v = need_value("--topology"))) args.topology = std::stod(v);
+    else if (flag == "--target" && (v = need_value("--target"))) args.target = std::stod(v);
+    else if (flag == "--dropout" && (v = need_value("--dropout"))) args.dropout = std::stod(v);
+    else if (flag == "--seed" && (v = need_value("--seed"))) args.seed = std::stoull(v);
+    else if (flag == "--help") {
+      std::printf(
+          "usage: fleet_cli [--method comdml|fedavg|fedprox|gossip|"
+          "braintorrent|allreduce]\n"
+          "  [--dataset cifar10|cifar100|cinic10] [--partition iid|dirichlet]\n"
+          "  [--agents N] [--rounds N] [--participation F] [--topology P]\n"
+          "  [--target ACC] [--dropout P] [--seed N]\n");
+      return false;
+    } else {
+      std::fprintf(stderr, "unknown flag %s (try --help)\n", flag.c_str());
+      return false;
+    }
+    if (v == nullptr && flag != "--help") return false;
+  }
+  return true;
+}
+
+Method parse_method(const std::string& name) {
+  if (name == "comdml") return Method::kComDML;
+  if (name == "fedavg") return Method::kFedAvg;
+  if (name == "fedprox") return Method::kFedProx;
+  if (name == "gossip") return Method::kGossip;
+  if (name == "braintorrent") return Method::kBrainTorrent;
+  if (name == "allreduce") return Method::kAllReduceDML;
+  throw std::invalid_argument("unknown method " + name);
+}
+
+data::DatasetSpec parse_dataset(const std::string& name) {
+  if (name == "cifar10") return data::cifar10_spec();
+  if (name == "cifar100") return data::cifar100_spec();
+  if (name == "cinic10") return data::cinic10_spec();
+  throw std::invalid_argument("unknown dataset " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse(argc, argv, args)) return 1;
+
+  try {
+    const Method method = parse_method(args.method);
+    const auto dspec = parse_dataset(args.dataset);
+    const PartitionKind partition = args.partition == "iid"
+                                        ? PartitionKind::kIID
+                                        : PartitionKind::kDirichlet05;
+    const auto mspec = nn::resnet56_spec(dspec.classes);
+
+    tensor::Rng rng(args.seed);
+    const auto profiles = sim::assign_profiles(args.agents, rng);
+    auto topology =
+        args.topology >= 1.0
+            ? sim::Topology::full_mesh(profiles)
+            : sim::Topology::random_graph(profiles, args.topology, rng);
+    if (!topology.is_connected()) {
+      std::fprintf(stderr,
+                   "drawn topology is disconnected; raise --topology\n");
+      return 1;
+    }
+    auto sizes =
+        core::shard_sizes_for(dspec, args.agents, partition, rng);
+
+    core::FleetConfig cfg;
+    cfg.agents = args.agents;
+    cfg.participation = args.participation;
+    cfg.agent_dropout = args.dropout;
+    cfg.max_split_points = 16;
+    cfg.seed = args.seed;
+
+    std::printf("method=%s dataset=%s partition=%s agents=%lld "
+                "topology=%.2f seed=%llu\n",
+                args.method.c_str(), args.dataset.c_str(),
+                args.partition.c_str(), (long long)args.agents,
+                args.topology, (unsigned long long)args.seed);
+    std::printf("%6s %12s %10s %8s %8s\n", "round", "time(s)", "pairs",
+                "dropped", "idle(s)");
+
+    core::RunSummary summary;
+    if (method == Method::kComDML) {
+      core::SimulatedFleet fleet(mspec, cfg, std::move(topology),
+                                 std::move(sizes));
+      for (int64_t r = 0; r < args.rounds; ++r) {
+        const auto rec = fleet.step();
+        if (r < 10 || r % 10 == 0)
+          std::printf("%6lld %12.1f %10lld %8lld %8.1f\n", (long long)r,
+                      rec.round_time, (long long)rec.num_pairs,
+                      (long long)rec.dropped_agents, rec.idle_time);
+        summary.add(rec);
+      }
+    } else {
+      baselines::BaselineFleet fleet(method, mspec, cfg,
+                                     std::move(topology), std::move(sizes));
+      for (int64_t r = 0; r < args.rounds; ++r) {
+        const auto rec = fleet.step();
+        if (r < 10 || r % 10 == 0)
+          std::printf("%6lld %12.1f %10s %8s %8.1f\n", (long long)r,
+                      rec.round_time, "-", "-", rec.idle_time);
+        summary.add(rec);
+      }
+    }
+
+    std::printf("\nmean round time: %.1fs\n", summary.mean_round_time());
+    const std::string model_name = "resnet56";
+    const auto curve = learncurve::make_accuracy_model(
+        args.dataset, model_name, partition, method, args.participation);
+    if (const auto rounds = curve.rounds_to(args.target)) {
+      const double needed =
+          *rounds * learncurve::fleet_rounds_factor(args.agents);
+      std::printf("estimated rounds to %.0f%%: %.0f  ->  total %.0fs\n",
+                  100 * args.target, needed,
+                  summary.time_for_rounds(needed));
+    } else {
+      std::printf("target %.0f%% exceeds the calibrated ceiling\n",
+                  100 * args.target);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

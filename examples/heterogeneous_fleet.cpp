@@ -1,0 +1,60 @@
+// Heterogeneous fleet walkthrough (the paper's Table II setting, scaled to
+// one executable): a 10-agent simulated fleet with the paper's CPU/link
+// profiles trains ResNet-56 on CIFAR-10 geometry; we compare ComDML's
+// balanced rounds against every baseline and show where the savings come
+// from (idle time reclaimed by offloading).
+//
+//   ./examples/heterogeneous_fleet
+#include <cstdio>
+
+#include "baselines/baseline_fleet.hpp"
+#include "core/trainer.hpp"
+
+int main() {
+  using namespace comdml;
+  using learncurve::Method;
+
+  tensor::Rng rng(7);
+  const auto spec = nn::resnet56_spec();
+  const auto profiles = sim::assign_profiles(10, rng);
+  auto topology = sim::Topology::full_mesh(profiles);
+  auto sizes = core::shard_sizes_for(data::cifar10_spec(), 10,
+                                     learncurve::PartitionKind::kIID, rng);
+
+  std::printf("agent | cpu  | link (Mbps) | shard\n");
+  for (int64_t i = 0; i < 10; ++i)
+    std::printf("%5lld | %4.1f | %11.0f | %lld\n", static_cast<long long>(i),
+                topology.profile(i).cpu, topology.profile(i).mbps,
+                static_cast<long long>(sizes[static_cast<size_t>(i)]));
+
+  core::FleetConfig cfg;
+  cfg.agents = 10;
+  cfg.reshuffle_period = 0;
+  cfg.max_split_points = 16;
+
+  core::SimulatedFleet comdml(spec, cfg, topology, sizes);
+  const auto rec = comdml.step();
+  std::printf("\nComDML round: %.1fs (%lld pairs; without balancing the "
+              "same round takes %.1fs)\n",
+              rec.round_time, static_cast<long long>(rec.num_pairs),
+              rec.unbalanced_time);
+  std::printf("idle time reclaimed: %.1fs across the fleet\n",
+              rec.unbalanced_time * 10 - rec.idle_time);
+
+  std::printf("\nper-method mean round time over 20 rounds:\n");
+  std::printf("  %-22s %8.1fs\n", "ComDML",
+              core::SimulatedFleet(spec, cfg, topology, sizes)
+                  .run(20)
+                  .mean_round_time());
+  for (const Method m : {Method::kGossip, Method::kBrainTorrent,
+                         Method::kAllReduceDML, Method::kFedAvg,
+                         Method::kFedProx}) {
+    baselines::BaselineFleet fleet(m, spec, cfg, topology, sizes);
+    std::printf("  %-22s %8.1fs\n", learncurve::method_name(m).c_str(),
+                fleet.run(20).mean_round_time());
+  }
+  std::printf("\nComDML's rounds are shorter because slow agents ship the "
+              "deep half of the model\n(and its gradient work) to idle fast "
+              "agents instead of stalling the fleet.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Quickstart: the smallest complete ComDML run.
+//
+// Two agents — one slow, one fast — train a small CNN on synthetic images
+// with real local-loss split training, decentralized pairing and a real
+// message-level AllReduce, then we evaluate the shared model.
+//
+//   ./examples/quickstart
+#include <cstdio>
+
+#include "core/real_fleet.hpp"
+#include "data/partition.hpp"
+#include "data/synthetic.hpp"
+
+int main() {
+  using namespace comdml;
+  tensor::Rng rng(1);
+
+  // 1. Data: a 3x8x8 synthetic image classification task, split IID
+  //    between the two agents.
+  const auto dataset = data::make_synthetic_images(
+      /*samples=*/192, /*classes=*/3, {3, 8, 8}, /*noise=*/0.4f, rng);
+  const auto parts = data::iid_partition(dataset.size(), 2, rng);
+  std::vector<data::Dataset> shards{dataset.subset(parts[0]),
+                                    dataset.subset(parts[1])};
+
+  // 2. Fleet: agent 0 has 0.2 CPU, agent 1 has 4 CPUs, 100 Mbps link.
+  std::vector<sim::ResourceProfile> profiles{{0.2, 100.0}, {4.0, 100.0}};
+  auto topology = sim::Topology::full_mesh(profiles);
+
+  // 3. ComDML: the factory builds one model replica per agent.
+  core::ModelFactory factory = [](tensor::Rng& r) {
+    return nn::small_cnn(3, 3, r);
+  };
+  core::RealFleet::Options options;
+  options.batch_size = 16;
+  options.batches_per_round = 4;
+  options.sgd.lr = 0.05f;
+  core::RealFleet fleet(factory, /*classes=*/3, std::move(shards),
+                        std::move(topology), options);
+
+  std::printf("round | pairs | slow-side loss | fleet loss | sim time\n");
+  for (int round = 0; round < 12; ++round) {
+    const auto stats = fleet.step();
+    std::printf("%5d | %5lld | %14.3f | %10.3f | %7.2fs\n", round,
+                static_cast<long long>(stats.num_pairs),
+                stats.mean_slow_loss, stats.mean_loss, stats.sim_time);
+  }
+
+  const float accuracy = fleet.evaluate(dataset);
+  std::printf("\nshared model accuracy on the full dataset: %.1f%%\n",
+              100.0 * accuracy);
+  std::printf("the slow agent offloaded its deeper layers to the fast "
+              "agent every round (pairs > 0),\nwhile aggregation used "
+              "recursive-halving/doubling AllReduce.\n");
+  return accuracy > 0.6f ? 0 : 1;
+}

@@ -1,0 +1,65 @@
+// Topology resilience (the paper's SecV-B-5 / Fig. 3 theme): the same
+// 50-agent fleet simulated on a full mesh, sparse random graphs, and a
+// ring; ComDML keeps balancing wherever links allow and falls back to
+// independent training when they do not.
+//
+//   ./examples/topology_resilience
+#include <cstdio>
+
+#include "core/trainer.hpp"
+
+int main() {
+  using namespace comdml;
+
+  const auto spec = nn::resnet56_spec();
+  tensor::Rng rng(13);
+  const auto profiles = sim::assign_profiles(50, rng);
+  auto sizes = core::shard_sizes_for(data::cifar10_spec(), 50,
+                                     learncurve::PartitionKind::kIID, rng);
+
+  core::FleetConfig cfg;
+  cfg.agents = 50;
+  cfg.reshuffle_period = 0;
+  cfg.max_split_points = 16;
+
+  const struct {
+    const char* label;
+    double p;  // link probability; <0 means ring
+  } topologies[] = {
+      {"full mesh", 1.0},
+      {"random, 50% links", 0.5},
+      {"random, 20% links (Fig. 3)", 0.2},
+      {"random, 10% links", 0.1},
+      {"ring", -1.0},
+  };
+
+  std::printf("%-28s %10s %8s %14s\n", "topology", "round(s)", "pairs",
+              "vs unbalanced");
+  for (const auto& t : topologies) {
+    tensor::Rng trng(17);
+    auto topo = t.p < 0
+                    ? sim::Topology::ring(profiles)
+                    : (t.p >= 1.0
+                           ? sim::Topology::full_mesh(profiles)
+                           : sim::Topology::random_graph(profiles, t.p,
+                                                         trng));
+    if (!topo.is_connected()) {
+      std::printf("%-28s   (disconnected draw; skipped)\n", t.label);
+      continue;
+    }
+    core::SimulatedFleet fleet(spec, cfg, std::move(topo), sizes);
+    const auto summary = fleet.run(5);
+    double pairs = 0, saving = 0;
+    for (const auto& r : summary.rounds()) {
+      pairs += static_cast<double>(r.num_pairs);
+      saving += 1.0 - r.round_time / r.unbalanced_time;
+    }
+    std::printf("%-28s %10.1f %8.1f %13.0f%%\n", t.label,
+                summary.mean_round_time(), pairs / 5.0,
+                100.0 * saving / 5.0);
+  }
+  std::printf("\nsparser graphs leave fewer pairing options, so savings "
+              "shrink gracefully;\neven the ring keeps training (agents "
+              "pair with ring neighbours or run solo).\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Empirical convergence analysis for Theorem 1.
+//
+// The paper proves O(1/sqrt(R A_m)) (non-convex) and O(1/(R A_m)) + linear
+// (convex) convergence of the slow and fast agent-side models under
+// local-loss split training, with fast-side convergence *contingent on*
+// slow-side convergence (constants C1/C2). These utilities measure the
+// quantities the theorem speaks about — gradient norms and suboptimality
+// traces — and fit decay rates so property tests can check the predicted
+// behaviour on real training runs.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "nn/split.hpp"
+
+namespace comdml::analysis {
+
+/// Global L2 norm of all parameter gradients currently accumulated in `m`.
+[[nodiscard]] double gradient_norm(nn::Module& m);
+
+/// Least-squares slope of log(y) against log(x) over positive samples —
+/// the empirical decay exponent (a 1/R rate gives slope ~ -1, a 1/sqrt(R)
+/// rate gives slope ~ -0.5). Requires >= 3 positive points.
+[[nodiscard]] double log_log_slope(std::span<const double> xs,
+                                   std::span<const double> ys);
+
+/// Fraction of steps where the running minimum improved — a robustness
+/// measure of "the trace is going down" that tolerates SGD noise.
+[[nodiscard]] double descent_fraction(std::span<const double> trace);
+
+/// Smallest prefix mean / last-window mean (how much the trace shrank).
+[[nodiscard]] double shrink_ratio(std::span<const double> trace,
+                                  size_t window = 5);
+
+/// Traces from one local-loss split-training run (Theorem 1's setting).
+struct SplitRunTraces {
+  std::vector<double> slow_loss;       ///< f_s per round (Eq. 2)
+  std::vector<double> fast_loss;       ///< f_f per round (Eq. 3)
+  std::vector<double> slow_grad_norm;  ///< ||grad f_s|| after each round
+  std::vector<double> fast_grad_norm;  ///< ||grad f_f|| after each round
+};
+
+/// Train `model` (cut at `cut`) with local-loss split training for
+/// `rounds` full-batch steps on (x, labels), recording the theorem's
+/// quantities. The model is trained in place.
+[[nodiscard]] SplitRunTraces run_split_training(
+    nn::Sequential& model, size_t cut, const tensor::Shape& in_shape,
+    int64_t classes, const tensor::Tensor& x,
+    std::span<const int64_t> labels, int64_t rounds, float lr,
+    uint64_t seed);
+
+}  // namespace comdml::analysis

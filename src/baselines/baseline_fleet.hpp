@@ -1,0 +1,47 @@
+// Paper-scale timing simulation of the comparison methods (Table II/III,
+// Fig. 3): FedAvg, FedProx, Gossip Learning, BrainTorrent, and plain
+// decentralized AllReduce. Every method trains the *full* model locally
+// (none of them balances workload); they differ in how updates move.
+#pragma once
+
+#include "comm/param_server.hpp"
+#include "core/trainer.hpp"
+
+namespace comdml::baselines {
+
+using core::FleetConfig;
+using core::RoundRecord;
+using core::RunSummary;
+using learncurve::Method;
+
+class BaselineFleet {
+ public:
+  BaselineFleet(Method method, const nn::ArchitectureSpec& spec,
+                FleetConfig config, sim::Topology topology,
+                std::vector<int64_t> shard_sizes);
+
+  RoundRecord step();
+  RunSummary run(int64_t rounds);
+
+  [[nodiscard]] Method method() const noexcept { return method_; }
+  [[nodiscard]] int64_t model_bytes() const noexcept { return model_bytes_; }
+
+ private:
+  Method method_;
+  FleetConfig config_;
+  sim::Topology topology_;
+  std::vector<int64_t> shard_sizes_;
+  double flops_per_sample_;
+  int64_t model_bytes_;
+  tensor::Rng rng_;
+  int64_t round_ = 0;
+
+  [[nodiscard]] std::vector<double> solo_times(
+      const std::vector<int64_t>& participants) const;
+  [[nodiscard]] std::vector<int64_t> sample_participants();
+};
+
+/// Proximal-term compute overhead used for FedProx (extra gradient term).
+inline constexpr double kFedProxComputeOverhead = 1.05;
+
+}  // namespace comdml::baselines

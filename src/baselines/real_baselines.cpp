@@ -1,0 +1,147 @@
+#include "baselines/real_baselines.hpp"
+
+#include "comm/allreduce.hpp"
+#include "comm/gossip.hpp"
+
+namespace comdml::baselines {
+
+RealBaselineFleet::RealBaselineFleet(learncurve::Method method,
+                                     const core::ModelFactory& factory,
+                                     int64_t classes,
+                                     std::vector<data::Dataset> shards,
+                                     sim::Topology topology, Options options)
+    : method_(method),
+      options_(options),
+      shards_(std::move(shards)),
+      topology_(std::move(topology)),
+      rng_(options.seed) {
+  (void)classes;
+  COMDML_REQUIRE(method != learncurve::Method::kComDML,
+                 "use core::RealFleet for ComDML");
+  COMDML_CHECK(static_cast<int64_t>(shards_.size()) == topology_.agents());
+  for (auto& s : shards_) s.validate();
+  models_.reserve(shards_.size());
+  batchers_.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    tensor::Rng model_rng = rng_.fork();
+    models_.push_back(factory(model_rng));
+    batchers_.push_back(std::make_unique<data::Batcher>(
+        shards_[i], options_.batch_size, rng_.fork()));
+  }
+  const auto init = nn::state_of(*models_[0]);
+  for (size_t i = 1; i < models_.size(); ++i)
+    nn::load_state(*models_[i], init);
+}
+
+float RealBaselineFleet::train_locally(
+    size_t agent, const std::vector<tensor::Tensor>* global) {
+  auto& model = *models_[agent];
+  nn::SGD opt(model.parameters(), options_.sgd);
+  float loss_sum = 0.0f;
+  for (int64_t b = 0; b < options_.batches_per_round; ++b) {
+    const auto batch = batchers_[agent]->next();
+    if (method_ == learncurve::Method::kFedProx && global != nullptr) {
+      // Proximal step: gradient + mu * (w - w_global).
+      opt.zero_grad();
+      const auto logits = model.forward(batch.x, true);
+      auto res = nn::softmax_cross_entropy(logits, batch.y);
+      (void)model.backward(res.grad_logits);
+      std::vector<nn::Parameter*> params = model.parameters();
+      size_t g = 0;
+      std::vector<tensor::Tensor*> state;
+      model.collect_state(state);
+      // Parameters appear in state in collection order; apply the proximal
+      // pull only to learnable parameters.
+      (void)state;
+      for (auto* p : params) {
+        COMDML_CHECK(g < global->size());
+        // Find matching global tensor by shape walk: parameter ordering is
+        // stable across replicas, and state_of() lists parameter values in
+        // the same order as collect_parameters for our layer set.
+        const tensor::Tensor& anchor = (*global)[g];
+        if (anchor.shape() == p->value.shape()) {
+          auto gr = p->grad.flat();
+          auto w = p->value.flat();
+          auto a = anchor.flat();
+          for (size_t k = 0; k < gr.size(); ++k)
+            gr[k] += options_.prox_mu * (w[k] - a[k]);
+        }
+        ++g;
+      }
+      opt.step();
+      loss_sum += res.loss;
+    } else {
+      loss_sum +=
+          nn::train_batch_full(model, opt, batch.x, batch.y).loss;
+    }
+  }
+  return loss_sum / static_cast<float>(options_.batches_per_round);
+}
+
+void RealBaselineFleet::aggregate() {
+  std::vector<std::vector<tensor::Tensor>> states;
+  states.reserve(models_.size());
+  for (auto& m : models_) states.push_back(nn::state_of(*m));
+
+  switch (method_) {
+    case learncurve::Method::kFedAvg:
+    case learncurve::Method::kFedProx: {
+      // Server-side N_i/N weighted average, broadcast to all.
+      std::vector<double> weights;
+      weights.reserve(shards_.size());
+      for (const auto& s : shards_)
+        weights.push_back(static_cast<double>(s.size()));
+      const auto avg = comm::weighted_mean_state(states, weights);
+      for (auto& m : models_) nn::load_state(*m, avg);
+      break;
+    }
+    case learncurve::Method::kBrainTorrent: {
+      // Random coordinator averages and redistributes.
+      const auto avg = comm::mean_state(states);
+      for (auto& m : models_) nn::load_state(*m, avg);
+      break;
+    }
+    case learncurve::Method::kAllReduceDML: {
+      comm::allreduce_average(states);
+      for (size_t i = 0; i < models_.size(); ++i)
+        nn::load_state(*models_[i], states[i]);
+      break;
+    }
+    case learncurve::Method::kGossip: {
+      const int64_t bytes =
+          static_cast<int64_t>(nn::state_bytes(*models_[0]));
+      (void)comm::gossip_exchange(states, topology_, bytes, rng_);
+      for (size_t i = 0; i < models_.size(); ++i)
+        nn::load_state(*models_[i], states[i]);
+      break;
+    }
+    case learncurve::Method::kComDML:
+      COMDML_CHECK(false);
+  }
+}
+
+RealBaselineFleet::RoundStats RealBaselineFleet::step() {
+  std::optional<std::vector<tensor::Tensor>> global;
+  if (method_ == learncurve::Method::kFedProx)
+    global = nn::state_of(*models_[0]);
+
+  RoundStats stats;
+  float loss = 0.0f;
+  for (size_t i = 0; i < models_.size(); ++i)
+    loss += train_locally(i, global ? &*global : nullptr);
+  stats.mean_loss = loss / static_cast<float>(models_.size());
+  aggregate();
+  return stats;
+}
+
+float RealBaselineFleet::evaluate(const data::Dataset& test) {
+  test.validate();
+  return nn::evaluate_accuracy(*models_[0], test.images, test.labels);
+}
+
+nn::Sequential& RealBaselineFleet::model(int64_t agent) {
+  COMDML_CHECK(agent >= 0 && agent < agents());
+  return *models_[static_cast<size_t>(agent)];
+}
+
+}  // namespace comdml::baselines

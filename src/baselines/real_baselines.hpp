@@ -1,0 +1,57 @@
+// Real-training implementations of the baselines on small models: every
+// agent holds a replica + shard; one round = local full-model training
+// followed by the method's aggregation pattern. Used by integration tests
+// and examples to compare learning behaviour against ComDML's RealFleet.
+#pragma once
+
+#include "core/real_fleet.hpp"
+
+namespace comdml::baselines {
+
+class RealBaselineFleet {
+ public:
+  struct Options {
+    int64_t batch_size = 16;
+    int64_t batches_per_round = 4;
+    nn::SGD::Options sgd{0.05f, 0.9f, 0.0f};
+    /// FedProx proximal coefficient (used when method == kFedProx).
+    float prox_mu = 0.01f;
+    uint64_t seed = 7;
+  };
+
+  RealBaselineFleet(learncurve::Method method,
+                    const core::ModelFactory& factory, int64_t classes,
+                    std::vector<data::Dataset> shards,
+                    sim::Topology topology, Options options);
+
+  struct RoundStats {
+    float mean_loss = 0.0f;
+  };
+
+  RoundStats step();
+
+  /// Accuracy of agent 0's model on a held-out set (post-aggregation all
+  /// replicas agree for FedAvg/BrainTorrent/AllReduce; gossip replicas may
+  /// differ, agent 0 is the reporting convention).
+  [[nodiscard]] float evaluate(const data::Dataset& test);
+
+  [[nodiscard]] int64_t agents() const noexcept {
+    return static_cast<int64_t>(models_.size());
+  }
+  [[nodiscard]] nn::Sequential& model(int64_t agent);
+
+ private:
+  learncurve::Method method_;
+  Options options_;
+  std::vector<data::Dataset> shards_;
+  sim::Topology topology_;
+  tensor::Rng rng_;
+  std::vector<std::unique_ptr<nn::Sequential>> models_;
+  std::vector<std::unique_ptr<data::Batcher>> batchers_;
+
+  float train_locally(size_t agent,
+                      const std::vector<tensor::Tensor>* global);
+  void aggregate();
+};
+
+}  // namespace comdml::baselines

@@ -1,0 +1,59 @@
+// Decentralized AllReduce (paper §IV-B).
+//
+// Two bandwidth-optimal algorithms:
+//  - ring (Goyal et al. [34]):          2(K-1) steps, 2(K-1)/K * b bytes/agent
+//  - recursive halving/doubling [35]:   2 log2 K steps, 2(K-1)/K * b bytes/agent
+// The paper picks halving/doubling for large K because of its O(log K) step
+// count. Both are provided as (a) an analytic cost model used by the timing
+// simulator and (b) a real message-level implementation that averages actual
+// agent states and accounts every byte, so tests can check the cost model
+// against executed traffic.
+#pragma once
+
+#include <vector>
+
+#include "comm/link.hpp"
+#include "tensor/tensor.hpp"
+
+namespace comdml::comm {
+
+using tensor::Tensor;
+
+enum class AllReduceAlgo { kRing, kHalvingDoubling };
+
+/// Analytic cost of one AllReduce over K agents moving a `model_bytes`
+/// model with the slowest participating link at `bottleneck_mbps`.
+struct CollectiveCost {
+  double seconds = 0.0;
+  int64_t steps = 0;
+  int64_t bytes_per_agent = 0;  ///< bytes each agent sends (= receives)
+};
+
+[[nodiscard]] CollectiveCost allreduce_cost(
+    int64_t agents, int64_t model_bytes, double bottleneck_mbps,
+    AllReduceAlgo algo = AllReduceAlgo::kHalvingDoubling,
+    double latency_sec = kDefaultLatencySec);
+
+/// Execution trace of a real collective (for validating the cost model).
+struct AllReduceTrace {
+  int64_t steps = 0;
+  std::vector<int64_t> bytes_sent;  ///< per agent
+};
+
+/// In-place averaging of per-agent state snapshots, executed with the real
+/// message schedule of the chosen algorithm. All agents must hold
+/// structurally identical state lists. Returns the traffic trace.
+AllReduceTrace allreduce_average(
+    std::vector<std::vector<Tensor>>& agent_states,
+    AllReduceAlgo algo = AllReduceAlgo::kHalvingDoubling);
+
+/// Plain arithmetic mean across agents (reference for tests; no traffic).
+[[nodiscard]] std::vector<Tensor> mean_state(
+    const std::vector<std::vector<Tensor>>& agent_states);
+
+/// Weighted mean with per-agent weights (FedAvg-style N_i/N weighting).
+[[nodiscard]] std::vector<Tensor> weighted_mean_state(
+    const std::vector<std::vector<Tensor>>& agent_states,
+    const std::vector<double>& weights);
+
+}  // namespace comdml::comm

@@ -1,0 +1,78 @@
+#include "comm/compress.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace comdml::comm {
+
+int64_t CompressedActivations::wire_bytes() const {
+  // Header: rank + dims + scale; then presence bitmask and value stream.
+  return static_cast<int64_t>(sizeof(uint32_t) +
+                              shape.size() * sizeof(int64_t) +
+                              sizeof(float) + runs.size() + values.size());
+}
+
+CompressedActivations compress_activations(const Tensor& t) {
+  CompressedActivations out;
+  out.shape = t.shape();
+  const auto flat = t.flat();
+
+  float max_val = 0.0f;
+  for (const float v : flat) max_val = std::max(max_val, v);
+  out.scale = max_val > 0.0f ? max_val / 255.0f : 1.0f;
+  const float inv_scale = 1.0f / out.scale;
+
+  // Presence bitmask (1 bit/element, stored in `runs`) + one int8 per
+  // present element. A value is "present" if it quantizes to a non-zero
+  // level — sub-resolution positives are dropped like zeros.
+  out.runs.assign((flat.size() + 7) / 8, 0);
+  for (size_t i = 0; i < flat.size(); ++i) {
+    if (flat[i] <= 0.0f) continue;
+    const float q = std::round(flat[i] * inv_scale);
+    if (q < 1.0f) continue;
+    out.runs[i / 8] |= static_cast<uint8_t>(1u << (i % 8));
+    out.values.push_back(
+        static_cast<uint8_t>(std::clamp(q, 1.0f, 255.0f)));
+  }
+  return out;
+}
+
+Tensor decompress_activations(const CompressedActivations& c) {
+  Tensor out(c.shape);
+  auto flat = out.flat();
+  COMDML_REQUIRE(c.runs.size() == (flat.size() + 7) / 8,
+                 "corrupt activation stream: bitmask size "
+                     << c.runs.size() << " for " << flat.size()
+                     << " elements");
+  size_t vi = 0;
+  for (size_t i = 0; i < flat.size(); ++i) {
+    if (!(c.runs[i / 8] & (1u << (i % 8)))) continue;
+    COMDML_REQUIRE(vi < c.values.size(),
+                   "corrupt activation stream: value underrun at " << i);
+    flat[i] = c.scale * static_cast<float>(c.values[vi++]);
+  }
+  COMDML_REQUIRE(vi == c.values.size(),
+                 "corrupt activation stream: " << c.values.size() - vi
+                                               << " trailing values");
+  return out;
+}
+
+double compression_ratio(const Tensor& t) {
+  const auto c = compress_activations(t);
+  return static_cast<double>(t.nbytes()) /
+         static_cast<double>(c.wire_bytes());
+}
+
+double reconstruction_error(const Tensor& t) {
+  const Tensor back = decompress_activations(compress_activations(t));
+  double worst = 0.0;
+  auto a = t.flat();
+  auto b = back.flat();
+  for (size_t i = 0; i < a.size(); ++i)
+    worst = std::max(worst,
+                     static_cast<double>(std::fabs(std::max(a[i], 0.0f) -
+                                                   b[i])));
+  return worst;
+}
+
+}  // namespace comdml::comm

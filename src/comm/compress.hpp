@@ -1,0 +1,45 @@
+// Activation wire compression: the codec behind the timing model's
+// `activation_compression` factor (paper §IV-B cites quantized training
+// [36] as directly integrable).
+//
+// Post-ReLU activations are non-negative and ~50 % zeros, so the codec
+// combines (a) a 1-bit presence mask and (b) int8 affine quantization of
+// the non-zero values: 6.4x at 50 % sparsity, >10x at 75 %. Both directions
+// are implemented for real, so tests can measure the achieved ratio on
+// genuine network activations and bound the reconstruction error.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace comdml::comm {
+
+using tensor::Tensor;
+
+struct CompressedActivations {
+  tensor::Shape shape;
+  float scale = 1.0f;           ///< dequant: value = scale * q
+  std::vector<uint8_t> runs;    ///< presence bitmask, 1 bit per element
+  std::vector<uint8_t> values;  ///< int8-quantized non-zero magnitudes
+
+  /// Payload bytes on the wire (runs + values + small header).
+  [[nodiscard]] int64_t wire_bytes() const;
+};
+
+/// Compress a (typically post-ReLU) activation tensor. Values are clamped
+/// to [0, max]; negative inputs are legal but quantize to zero, matching
+/// the semantics of a ReLU cut.
+[[nodiscard]] CompressedActivations compress_activations(const Tensor& t);
+
+/// Reconstruct the tensor (lossy: int8 resolution of the dynamic range).
+[[nodiscard]] Tensor decompress_activations(const CompressedActivations& c);
+
+/// Achieved ratio raw_bytes / wire_bytes.
+[[nodiscard]] double compression_ratio(const Tensor& t);
+
+/// Max absolute reconstruction error of one round trip.
+[[nodiscard]] double reconstruction_error(const Tensor& t);
+
+}  // namespace comdml::comm

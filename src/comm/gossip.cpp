@@ -1,0 +1,62 @@
+#include "comm/gossip.hpp"
+
+#include "comm/allreduce.hpp"
+
+namespace comdml::comm {
+
+std::vector<std::optional<int64_t>> gossip_partners(const Topology& topology,
+                                                    Rng& rng) {
+  std::vector<std::optional<int64_t>> partners(
+      static_cast<size_t>(topology.agents()));
+  for (int64_t i = 0; i < topology.agents(); ++i) {
+    const auto nbrs = topology.neighbors(i);
+    if (nbrs.empty()) continue;
+    partners[static_cast<size_t>(i)] =
+        nbrs[static_cast<size_t>(rng.below(static_cast<int64_t>(nbrs.size())))];
+  }
+  return partners;
+}
+
+std::vector<double> gossip_exchange(std::vector<std::vector<Tensor>>& states,
+                                    const Topology& topology,
+                                    int64_t model_bytes, Rng& rng) {
+  COMDML_CHECK(static_cast<int64_t>(states.size()) == topology.agents());
+  const auto partners = gossip_partners(topology, rng);
+  const size_t k = states.size();
+
+  // Collect pushes first so all sends use the round-start states.
+  std::vector<std::vector<const std::vector<Tensor>*>> inbox(k);
+  std::vector<double> times(k, 0.0);
+  const auto snapshot = states;  // round-start copies
+  for (size_t i = 0; i < k; ++i) {
+    if (!partners[i]) continue;
+    const auto dst = static_cast<size_t>(*partners[i]);
+    inbox[dst].push_back(&snapshot[i]);
+    times[i] = transfer_seconds(
+        model_bytes,
+        topology.bandwidth_mbps(static_cast<int64_t>(i), *partners[i]));
+  }
+  for (size_t i = 0; i < k; ++i) {
+    if (inbox[i].empty()) continue;
+    std::vector<std::vector<Tensor>> group;
+    group.push_back(snapshot[i]);
+    for (const auto* s : inbox[i]) group.push_back(*s);
+    states[i] = mean_state(group);
+  }
+  return times;
+}
+
+std::vector<double> gossip_exchange_cost(const Topology& topology,
+                                         int64_t model_bytes, Rng& rng) {
+  const auto partners = gossip_partners(topology, rng);
+  std::vector<double> times(static_cast<size_t>(topology.agents()), 0.0);
+  for (size_t i = 0; i < times.size(); ++i) {
+    if (!partners[i]) continue;
+    times[i] = transfer_seconds(
+        model_bytes,
+        topology.bandwidth_mbps(static_cast<int64_t>(i), *partners[i]));
+  }
+  return times;
+}
+
+}  // namespace comdml::comm

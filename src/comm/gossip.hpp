@@ -1,0 +1,33 @@
+// Gossip model exchange (Hegedus et al. [11]): each agent sends its model to
+// one randomly chosen neighbor per round and averages what it receives.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "comm/link.hpp"
+#include "sim/topology.hpp"
+#include "tensor/tensor.hpp"
+
+namespace comdml::comm {
+
+using sim::Topology;
+using tensor::Rng;
+using tensor::Tensor;
+
+/// Chosen gossip partner per agent (nullopt for isolated agents).
+[[nodiscard]] std::vector<std::optional<int64_t>> gossip_partners(
+    const Topology& topology, Rng& rng);
+
+/// One gossip round on real states: agent i's new state is the average of
+/// its own state and every state pushed to it this round. Returns per-agent
+/// exchange time (model push over the chosen link).
+std::vector<double> gossip_exchange(std::vector<std::vector<Tensor>>& states,
+                                    const Topology& topology,
+                                    int64_t model_bytes, Rng& rng);
+
+/// Timing-only variant (used by the paper-scale simulator).
+[[nodiscard]] std::vector<double> gossip_exchange_cost(
+    const Topology& topology, int64_t model_bytes, Rng& rng);
+
+}  // namespace comdml::comm

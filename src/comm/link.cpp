@@ -1,0 +1,16 @@
+#include "comm/link.hpp"
+
+namespace comdml::comm {
+
+double bytes_per_sec(double mbps) {
+  COMDML_REQUIRE(mbps > 0.0, "unusable link: " << mbps << " Mbps");
+  return mbps * 1e6 / 8.0;
+}
+
+double transfer_seconds(int64_t bytes, double mbps, double latency_sec) {
+  COMDML_CHECK(bytes >= 0);
+  COMDML_CHECK(latency_sec >= 0.0);
+  return latency_sec + static_cast<double>(bytes) / bytes_per_sec(mbps);
+}
+
+}  // namespace comdml::comm

@@ -1,0 +1,21 @@
+// Point-to-point transfer-time model shared by every protocol in the repo.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/check.hpp"
+
+namespace comdml::comm {
+
+/// Per-message fixed overhead (handshake + serialization), seconds.
+inline constexpr double kDefaultLatencySec = 5e-3;
+
+/// Seconds to move `bytes` over a `mbps` link: latency + bytes*8 / (mbps*1e6).
+/// Throws if the link is unusable (mbps <= 0).
+[[nodiscard]] double transfer_seconds(int64_t bytes, double mbps,
+                                      double latency_sec = kDefaultLatencySec);
+
+/// Sustainable bytes/sec of a link (no latency term).
+[[nodiscard]] double bytes_per_sec(double mbps);
+
+}  // namespace comdml::comm

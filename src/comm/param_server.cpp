@@ -1,0 +1,31 @@
+#include "comm/param_server.hpp"
+
+#include <algorithm>
+
+namespace comdml::comm {
+
+std::vector<double> server_round_times(
+    const std::vector<sim::ResourceProfile>& profiles,
+    const std::vector<int64_t>& selected, int64_t model_bytes,
+    const ParamServerConfig& config) {
+  COMDML_CHECK(!selected.empty());
+  COMDML_CHECK(config.server_mbps > 0.0);
+  const double share =
+      config.server_mbps / static_cast<double>(selected.size());
+  std::vector<double> times;
+  times.reserve(selected.size());
+  for (const int64_t idx : selected) {
+    COMDML_CHECK(idx >= 0 &&
+                 idx < static_cast<int64_t>(profiles.size()));
+    const auto& p = profiles[static_cast<size_t>(idx)];
+    COMDML_REQUIRE(p.connected(), "selected agent " << idx
+                                                    << " has no uplink");
+    const double rate = std::min(p.mbps, share);
+    // Download + upload of the full model.
+    times.push_back(2.0 *
+                    transfer_seconds(model_bytes, rate, config.latency_sec));
+  }
+  return times;
+}
+
+}  // namespace comdml::comm

@@ -1,0 +1,29 @@
+// Central parameter-server communication cost (FedAvg / FedProx baselines).
+//
+// Each selected agent downloads the global model and uploads its update
+// through its own access link; the server's aggregate bandwidth is shared
+// across concurrent transfers, which is exactly the central-bottleneck
+// effect the paper attributes to server-based FL (§V-B-2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/link.hpp"
+#include "sim/resources.hpp"
+
+namespace comdml::comm {
+
+struct ParamServerConfig {
+  double server_mbps = 1000.0;  ///< total server bandwidth, shared
+  double latency_sec = kDefaultLatencySec;
+};
+
+/// Per-agent down+up time for the selected agents; the effective rate of
+/// agent i is min(link_i, server_mbps / #selected).
+[[nodiscard]] std::vector<double> server_round_times(
+    const std::vector<sim::ResourceProfile>& profiles,
+    const std::vector<int64_t>& selected, int64_t model_bytes,
+    const ParamServerConfig& config = {});
+
+}  // namespace comdml::comm

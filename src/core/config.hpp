@@ -1,0 +1,38 @@
+// Fleet-level configuration shared by the ComDML trainer and the baselines.
+#pragma once
+
+#include <cstdint>
+
+#include "comm/allreduce.hpp"
+#include "learncurve/curves.hpp"
+
+namespace comdml::core {
+
+struct FleetConfig {
+  int64_t agents = 10;
+  int64_t batch_size = 100;  ///< paper: local batch size 100
+  /// Fraction of agents sampled each round (Table III uses 0.2).
+  double participation = 1.0;
+  /// Dynamic environment: re-draw this fraction of profiles every
+  /// `reshuffle_period` rounds (paper: 20 % after round 100).
+  double reshuffle_fraction = 0.2;
+  int64_t reshuffle_period = 100;  ///< 0 disables profile dynamics
+  /// Cap on the number of profiled split points (0 = every boundary).
+  size_t max_split_points = 0;
+  /// Wire compression applied to intermediate activations. The profiled
+  /// cuts sit after ReLU units, whose outputs are ~50 % zeros; 8-bit
+  /// quantization (Hubara et al. [36], cited by the paper as integrable)
+  /// combined with sparse encoding gives ~8x over raw float32. Model
+  /// parameters always travel uncompressed.
+  double activation_compression = 8.0;
+  comm::AllReduceAlgo aggregation = comm::AllReduceAlgo::kHalvingDoubling;
+  learncurve::PrivacyTechnique privacy = learncurve::PrivacyTechnique::kNone;
+  /// Per-round probability that a sampled agent fails before training
+  /// (device churn). Failed agents skip the round; the fleet re-pairs among
+  /// survivors and aggregates without them — the paper's no-single-point-of
+  /// -failure claim as an executable property.
+  double agent_dropout = 0.0;
+  uint64_t seed = 42;
+};
+
+}  // namespace comdml::core

@@ -1,0 +1,63 @@
+#include "core/execution.hpp"
+
+#include <algorithm>
+
+#include "comm/link.hpp"
+
+namespace comdml::core {
+
+PairExecution execute_pair(const SplitProfile& profile, const AgentInfo& slow,
+                           const AgentInfo& fast, size_t cut,
+                           double link_mbps, int64_t batch_size) {
+  COMDML_CHECK(batch_size > 0);
+  COMDML_REQUIRE(link_mbps > 0.0, "pair has no usable link");
+  const SplitPoint& m = profile.at_cut(cut);
+  const double link_bps = comm::bytes_per_sec(link_mbps);
+  const double slow_batch_sec = m.t_slow / slow.proc_speed;
+  const double fast_batch_sec = m.t_fast / fast.proc_speed;
+  const double xfer_sec =
+      static_cast<double>(m.nu_bytes) * static_cast<double>(batch_size) /
+      link_bps;
+  const double suffix_sec =
+      static_cast<double>(m.suffix_param_bytes) / link_bps;
+  const int64_t n = slow.num_batches;
+  COMDML_CHECK(n > 0);
+
+  PairExecution exec;
+  // t = 0: pairing agreed; the suffix parameters ship first.
+  double link_free = suffix_sec;
+  exec.link_busy = suffix_sec;
+  // Fast agent trains its own task concurrently with the suffix transfer.
+  double fast_free = fast.tau_solo;
+  exec.fast_train_time = fast.tau_solo;
+
+  double slow_done = 0.0;   // completion of slow-side batch k
+  double fast_done = 0.0;   // completion of fast-side batch k
+  for (int64_t k = 0; k < n; ++k) {
+    slow_done = slow_done + slow_batch_sec;  // sequential prefix training
+    // FIFO link: activation of batch k starts when both producer and link
+    // are ready.
+    const double xfer_start = std::max(slow_done, link_free);
+    const double arrival = xfer_start + xfer_sec;
+    link_free = arrival;
+    exec.link_busy += xfer_sec;
+    // Fast agent consumes arrivals in order, after its own task and the
+    // suffix model are in place.
+    const double start =
+        std::max({arrival, fast_free, suffix_sec});
+    fast_done = start + fast_batch_sec;
+    fast_free = fast_done;
+    exec.fast_train_time += fast_batch_sec;
+  }
+  exec.slow_finish = slow_done;
+  // Trained suffix returns to the slow agent before aggregation.
+  const double return_start = std::max(fast_done, link_free);
+  exec.fast_finish = return_start + suffix_sec;
+  exec.link_busy += suffix_sec;
+  exec.pair_time = std::max(exec.slow_finish, exec.fast_finish);
+  exec.slow_idle = exec.pair_time - exec.slow_finish;
+  exec.fast_idle = exec.pair_time - exec.fast_train_time;
+  return exec;
+}
+
+}  // namespace comdml::core

@@ -1,0 +1,33 @@
+// Batch-level execution model of one offloading pair (paper Fig. 1).
+//
+// The pairing scheduler's tau_ij (Algorithm 1 line 18) is a closed-form
+// *estimate* that serializes communication and fast-side compute. This
+// module executes the pair at batch granularity — the slow agent streams
+// intermediate activations over a FIFO link while the fast agent first
+// finishes its own task and then consumes arrivals — yielding the actual
+// (pipelined) completion times and per-agent idle times. Tests verify
+// actual <= estimate and that both coincide when one stage dominates.
+#pragma once
+
+#include "core/pairing.hpp"
+
+namespace comdml::core {
+
+struct PairExecution {
+  double slow_finish = 0.0;  ///< slow agent's prefix-training completion
+  double fast_finish = 0.0;  ///< fast agent done with own + offloaded work
+  double pair_time = 0.0;    ///< max of the above + trained-suffix return
+  double slow_idle = 0.0;    ///< slow agent idle within the pair span
+  double fast_idle = 0.0;    ///< fast agent idle within the pair span
+  double link_busy = 0.0;    ///< total seconds the link carried payload
+  double fast_train_time = 0.0;  ///< fast agent busy compute (own + offload)
+};
+
+/// Execute one pair at batch granularity.
+[[nodiscard]] PairExecution execute_pair(const SplitProfile& profile,
+                                         const AgentInfo& slow,
+                                         const AgentInfo& fast, size_t cut,
+                                         double link_mbps,
+                                         int64_t batch_size);
+
+}  // namespace comdml::core

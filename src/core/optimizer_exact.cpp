@@ -1,0 +1,115 @@
+#include "core/optimizer_exact.hpp"
+
+#include <unordered_map>
+
+namespace comdml::core {
+
+namespace {
+
+struct Solver {
+  const std::vector<AgentInfo>* infos = nullptr;
+  const std::vector<int64_t>* participants = nullptr;
+  // pair_time[i][j]: best offload decision with slow=pos i, fast=pos j.
+  std::vector<std::vector<std::optional<OffloadDecision>>> options;
+  std::unordered_map<uint64_t, double> memo;
+
+  [[nodiscard]] double solo_time(size_t pos) const {
+    return (*infos)[static_cast<size_t>((*participants)[pos])].tau_solo;
+  }
+
+  /// Minimal achievable max-time over agents in `mask` (bit p = participant
+  /// position p still unassigned).
+  double solve(uint64_t mask) {
+    if (mask == 0) return 0.0;
+    if (const auto it = memo.find(mask); it != memo.end()) return it->second;
+    // Lowest set bit = first unassigned participant.
+    size_t p = 0;
+    while (!(mask & (uint64_t{1} << p))) ++p;
+    const uint64_t rest = mask & ~(uint64_t{1} << p);
+    // Option 1: p trains alone.
+    double best = std::max(solo_time(p), solve(rest));
+    // Option 2: p pairs with q (either direction).
+    for (size_t q = p + 1; q < participants->size(); ++q) {
+      if (!(rest & (uint64_t{1} << q))) continue;
+      const uint64_t rest2 = rest & ~(uint64_t{1} << q);
+      for (const auto& opt : {options[p][q], options[q][p]}) {
+        if (!opt) continue;
+        best = std::min(best, std::max(opt->estimated_time, solve(rest2)));
+      }
+    }
+    memo[mask] = best;
+    return best;
+  }
+
+  /// Reconstruct one optimal assignment.
+  void reconstruct(uint64_t mask, PairingResult& out) {
+    if (mask == 0) return;
+    const double target = solve(mask);
+    size_t p = 0;
+    while (!(mask & (uint64_t{1} << p))) ++p;
+    const uint64_t rest = mask & ~(uint64_t{1} << p);
+    if (std::max(solo_time(p), solve(rest)) == target) {
+      out.solo.push_back((*participants)[p]);
+      reconstruct(rest, out);
+      return;
+    }
+    for (size_t q = p + 1; q < participants->size(); ++q) {
+      if (!(rest & (uint64_t{1} << q))) continue;
+      const uint64_t rest2 = rest & ~(uint64_t{1} << q);
+      for (const auto& opt : {options[p][q], options[q][p]}) {
+        if (!opt) continue;
+        if (std::max(opt->estimated_time, solve(rest2)) == target) {
+          out.pairs.push_back(*opt);
+          reconstruct(rest2, out);
+          return;
+        }
+      }
+    }
+    // Floating-point safety net: fall back to solo.
+    out.solo.push_back((*participants)[p]);
+    reconstruct(rest, out);
+  }
+};
+
+}  // namespace
+
+PairingResult optimal_pairing(const SplitProfile& profile,
+                              const std::vector<AgentInfo>& infos,
+                              const sim::Topology& topology,
+                              int64_t batch_size,
+                              const std::vector<int64_t>& participants) {
+  COMDML_REQUIRE(participants.size() <= kExactSolverMaxAgents,
+                 "exact solver capped at " << kExactSolverMaxAgents
+                                           << " agents, got "
+                                           << participants.size());
+  const size_t n = participants.size();
+  Solver solver;
+  solver.infos = &infos;
+  solver.participants = &participants;
+  solver.options.assign(
+      n, std::vector<std::optional<OffloadDecision>>(n, std::nullopt));
+  for (size_t a = 0; a < n; ++a) {
+    for (size_t b = 0; b < n; ++b) {
+      if (a == b) continue;
+      const AgentInfo& slow = infos[static_cast<size_t>(participants[a])];
+      const AgentInfo& fast = infos[static_cast<size_t>(participants[b])];
+      const double link =
+          topology.bandwidth_mbps(participants[a], participants[b]);
+      const auto choice = best_split(profile, slow, fast, link, batch_size);
+      if (!choice) continue;
+      // The exact solver also only accepts improving offloads; otherwise a
+      // "pair" would just be two solo agents mislabeled.
+      if (choice->time >= slow.tau_solo) continue;
+      solver.options[a][b] = OffloadDecision{
+          slow.id, fast.id, choice->cut, choice->time, choice->comm_time};
+    }
+  }
+
+  const uint64_t full = n == 64 ? ~uint64_t{0} : (uint64_t{1} << n) - 1;
+  PairingResult result;
+  result.estimated_round_time = solver.solve(full);
+  solver.reconstruct(full, result);
+  return result;
+}
+
+}  // namespace comdml::core

@@ -1,0 +1,25 @@
+// Exact reference solver for the workload-balancing integer program
+// (paper Eq. 5): choose a partial matching of slow->fast offloads and a
+// split per pair minimizing the maximum per-agent round time.
+//
+// Exponential in the number of participants (bitmask memoization), so it is
+// gated to small fleets; its purpose is to quantify the optimality gap of
+// the greedy decentralized scheduler (bench_ablation_pairing).
+#pragma once
+
+#include "core/pairing.hpp"
+
+namespace comdml::core {
+
+/// Maximum participants the exact solver accepts (2^K states).
+inline constexpr size_t kExactSolverMaxAgents = 18;
+
+/// Globally optimal pairing under the same cost model as pair_agents().
+/// Throws std::invalid_argument if participants exceed
+/// kExactSolverMaxAgents.
+[[nodiscard]] PairingResult optimal_pairing(
+    const SplitProfile& profile, const std::vector<AgentInfo>& infos,
+    const sim::Topology& topology, int64_t batch_size,
+    const std::vector<int64_t>& participants);
+
+}  // namespace comdml::core

@@ -1,0 +1,60 @@
+#include "core/profile.hpp"
+
+namespace comdml::core {
+
+SplitProfile SplitProfile::from_spec(const nn::ArchitectureSpec& spec,
+                                     size_t max_points,
+                                     double wire_compression) {
+  COMDML_REQUIRE(spec.size() >= 2,
+                 "model '" << spec.name << "' has no interior split point");
+  COMDML_CHECK(wire_compression >= 1.0);
+  SplitProfile profile;
+  profile.full_flops_ = spec.total_flops();
+  profile.model_bytes_ = spec.total_param_bytes();
+  profile.total_units_ = spec.size();
+  COMDML_CHECK(profile.full_flops_ > 0.0);
+
+  // Candidate cuts: every interior boundary 1..size-1.
+  std::vector<size_t> cuts;
+  const size_t interior = spec.size() - 1;
+  if (max_points == 0 || max_points >= interior) {
+    for (size_t c = 1; c < spec.size(); ++c) cuts.push_back(c);
+  } else {
+    COMDML_CHECK(max_points >= 1);
+    // Evenly spaced cuts across the interior boundaries.
+    for (size_t i = 0; i < max_points; ++i) {
+      const size_t c =
+          1 + (i * (interior - 1)) / (max_points > 1 ? max_points - 1 : 1);
+      if (cuts.empty() || cuts.back() != c) cuts.push_back(c);
+    }
+  }
+
+  for (const size_t cut : cuts) {
+    SplitPoint p;
+    p.cut = cut;
+    const double prefix = spec.prefix_flops(cut);
+    p.t_slow = prefix / profile.full_flops_;
+    p.t_fast = 1.0 - p.t_slow;
+    p.nu_bytes = static_cast<int64_t>(
+        static_cast<double>(spec.cut_activation_bytes(cut)) /
+        wire_compression);
+    p.suffix_param_bytes = spec.suffix_param_bytes(cut);
+    profile.points_.push_back(p);
+  }
+  return profile;
+}
+
+const SplitPoint& SplitProfile::at_cut(size_t cut) const {
+  for (const auto& p : points_)
+    if (p.cut == cut) return p;
+  COMDML_REQUIRE(false, "cut " << cut << " was not profiled");
+  // unreachable
+  return points_.front();
+}
+
+double SplitProfile::offloaded_fraction(size_t cut) const {
+  const auto& p = at_cut(cut);
+  return p.t_fast;
+}
+
+}  // namespace comdml::core

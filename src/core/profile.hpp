@@ -1,0 +1,63 @@
+// Split-model profiling (paper §IV-B, "lightweight local split model
+// profiling").
+//
+// For each candidate cut m the profile records the *relative* training time
+// of the slow side T_s^m and fast side T_f^m (time relative to training the
+// full model), the per-sample intermediate payload nu_m crossing the cut,
+// and the parameter bytes of the suffix that must be shipped when an offload
+// is agreed. Relative times are FLOP ratios, exactly what an agent measures
+// by timing one batch per split on its own hardware.
+#pragma once
+
+#include "nn/arch_specs.hpp"
+
+namespace comdml::core {
+
+struct SplitPoint {
+  size_t cut = 0;            ///< slow side = units [0, cut)
+  double t_slow = 0.0;       ///< T_s^m: relative slow-side training time
+  double t_fast = 0.0;       ///< T_f^m: relative fast-side training time
+  int64_t nu_bytes = 0;      ///< per-sample activation payload over the cut
+  int64_t suffix_param_bytes = 0;  ///< model portion shipped on pairing
+};
+
+class SplitProfile {
+ public:
+  /// Profile every interior unit boundary of `spec`; if `max_points` > 0,
+  /// keep only that many evenly spaced cuts (the paper's "M split models").
+  /// `wire_compression` divides the intermediate-activation payload nu_m:
+  /// 1.0 models raw float32 streaming (real execution mode), 4.0 models the
+  /// 8-bit activation quantization the paper cites as integrable ([36]);
+  /// model parameters always travel uncompressed.
+  [[nodiscard]] static SplitProfile from_spec(const nn::ArchitectureSpec& spec,
+                                              size_t max_points = 0,
+                                              double wire_compression = 1.0);
+
+  [[nodiscard]] const std::vector<SplitPoint>& points() const noexcept {
+    return points_;
+  }
+
+  /// Per-sample forward+backward FLOPs of the unsplit model.
+  [[nodiscard]] double full_flops_per_sample() const noexcept {
+    return full_flops_;
+  }
+
+  /// Full-model state payload (what aggregation moves), bytes.
+  [[nodiscard]] int64_t model_state_bytes() const noexcept {
+    return model_bytes_;
+  }
+
+  /// The point whose cut equals `cut`; throws if not profiled.
+  [[nodiscard]] const SplitPoint& at_cut(size_t cut) const;
+
+  /// Offloaded compute fraction for a cut (for learning-curve penalties).
+  [[nodiscard]] double offloaded_fraction(size_t cut) const;
+
+ private:
+  std::vector<SplitPoint> points_;
+  double full_flops_ = 0.0;
+  int64_t model_bytes_ = 0;
+  size_t total_units_ = 0;
+};
+
+}  // namespace comdml::core

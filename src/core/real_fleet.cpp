@@ -1,0 +1,195 @@
+#include "core/real_fleet.hpp"
+
+#include "comm/allreduce.hpp"
+#include "comm/compress.hpp"
+#include "nn/arch_specs.hpp"
+#include "privacy/dcor.hpp"
+#include "privacy/dp.hpp"
+#include "privacy/patch_shuffle.hpp"
+#include "sim/resources.hpp"
+
+namespace comdml::core {
+
+RealFleet::RealFleet(const ModelFactory& factory, int64_t classes,
+                     std::vector<data::Dataset> shards,
+                     sim::Topology topology, Options options)
+    : options_(options),
+      shards_(std::move(shards)),
+      topology_(std::move(topology)),
+      rng_(options.seed),
+      classes_(classes),
+      in_shape_(),
+      profile_() {
+  COMDML_REQUIRE(!shards_.empty(), "fleet needs at least one shard");
+  COMDML_CHECK(static_cast<int64_t>(shards_.size()) == topology_.agents());
+  for (auto& s : shards_) s.validate();
+  in_shape_ = shards_.front().sample_shape();
+
+  // Identical initial replicas: build each from a forked RNG, then overwrite
+  // with replica 0's state.
+  agents_.resize(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    tensor::Rng model_rng = rng_.fork();
+    agents_[i].model = factory(model_rng);
+    COMDML_REQUIRE(agents_[i].model->size() >= 2,
+                   "models need >= 2 units for split training");
+    agents_[i].batcher = std::make_unique<data::Batcher>(
+        shards_[i], options_.batch_size, rng_.fork());
+  }
+  const auto init = nn::state_of(*agents_[0].model);
+  for (size_t i = 1; i < agents_.size(); ++i)
+    nn::load_state(*agents_[i].model, init);
+
+  const auto spec = nn::spec_from_model(*agents_[0].model, in_shape_,
+                                        "real-model", classes_);
+  profile_ = SplitProfile::from_spec(spec);
+
+  current_lr_ = options_.sgd.lr;
+  if (options_.plateau_factor > 0.0f) {
+    plateau_.emplace(options_.plateau_factor, options_.plateau_patience);
+  }
+}
+
+std::vector<AgentInfo> RealFleet::build_infos() const {
+  std::vector<AgentInfo> infos(agents_.size());
+  const double flops = profile_.full_flops_per_sample();
+  for (size_t i = 0; i < agents_.size(); ++i) {
+    AgentInfo& a = infos[i];
+    a.id = static_cast<int64_t>(i);
+    const double sps =
+        topology_.profile(static_cast<int64_t>(i)).cpu *
+        options_.reference_flops / flops;
+    a.proc_speed = sps / static_cast<double>(options_.batch_size);
+    a.num_batches = options_.batches_per_round;
+    a.tau_solo = static_cast<double>(a.num_batches) / a.proc_speed;
+  }
+  return infos;
+}
+
+data::Batch RealFleet::next_batch(int64_t agent) {
+  data::Batch batch = agents_[static_cast<size_t>(agent)].batcher->next();
+  if (options_.privacy == learncurve::PrivacyTechnique::kPatchShuffle &&
+      batch.x.rank() == 4) {
+    batch.x = privacy::patch_shuffle(batch.x, options_.shuffle_patch, rng_);
+  }
+  return batch;
+}
+
+RealFleet::RoundStats RealFleet::step() {
+  nn::SGD::Options sgd = options_.sgd;
+  sgd.lr = current_lr_;
+  const auto infos = build_infos();
+  std::vector<int64_t> participants(agents_.size());
+  for (size_t i = 0; i < participants.size(); ++i)
+    participants[i] = static_cast<int64_t>(i);
+  const PairingResult plan = pair_agents(profile_, infos, topology_,
+                                         options_.batch_size, participants);
+
+  RoundStats stats;
+  stats.num_pairs = static_cast<int64_t>(plan.pairs.size());
+  float slow_loss_sum = 0.0f, loss_sum = 0.0f;
+  int64_t loss_count = 0;
+  double dcor_sum = 0.0;
+  int64_t dcor_count = 0;
+
+  // Paired agents: local-loss split training of the *slow* agent's replica
+  // (fast side physically runs on the fast agent; state-wise it is the slow
+  // replica's suffix), while the fast agent also trains its own replica.
+  for (const auto& pair : plan.pairs) {
+    auto& slow = agents_[static_cast<size_t>(pair.slow_agent)];
+    auto& fast = agents_[static_cast<size_t>(pair.fast_agent)];
+    nn::LocalLossSplitTrainer split(*slow.model, pair.cut, in_shape_,
+                                    classes_, rng_, sgd);
+    for (int64_t b = 0; b < options_.batches_per_round; ++b) {
+      const auto batch = next_batch(pair.slow_agent);
+      const auto step = split.train_batch(batch.x, batch.y);
+      slow_loss_sum += step.slow_loss;
+      loss_sum += step.fast_loss;
+      ++loss_count;
+      if (b == 0) {
+        // Privacy leakage across the cut, measured on real activations,
+        // and the actually-achieved wire compression of the same payload.
+        const auto h =
+            slow.model->forward_range(batch.x, 0, pair.cut, false);
+        dcor_sum += privacy::distance_correlation(batch.x, h);
+        stats.mean_wire_compression += comm::compression_ratio(h);
+        ++dcor_count;
+      }
+    }
+    nn::SGD fast_opt(fast.model->parameters(), sgd);
+    for (int64_t b = 0; b < options_.batches_per_round; ++b) {
+      const auto batch = next_batch(pair.fast_agent);
+      const auto res =
+          nn::train_batch_full(*fast.model, fast_opt, batch.x, batch.y);
+      loss_sum += res.loss;
+      ++loss_count;
+    }
+  }
+  // Solo agents train the full model.
+  for (const int64_t id : plan.solo) {
+    auto& agent = agents_[static_cast<size_t>(id)];
+    nn::SGD opt(agent.model->parameters(), sgd);
+    for (int64_t b = 0; b < options_.batches_per_round; ++b) {
+      const auto batch = next_batch(id);
+      const auto res =
+          nn::train_batch_full(*agent.model, opt, batch.x, batch.y);
+      loss_sum += res.loss;
+      ++loss_count;
+    }
+  }
+
+  // Optional DP on each agent's state before it leaves the device.
+  std::vector<std::vector<tensor::Tensor>> states;
+  states.reserve(agents_.size());
+  for (auto& a : agents_) states.push_back(nn::state_of(*a.model));
+  if (options_.privacy ==
+      learncurve::PrivacyTechnique::kDifferentialPrivacy) {
+    for (auto& s : states)
+      privacy::laplace_mechanism(s, options_.dp_epsilon,
+                                 options_.dp_sensitivity, rng_);
+  }
+
+  // Real message-level decentralized aggregation.
+  comm::allreduce_average(states, options_.aggregation);
+  for (size_t i = 0; i < agents_.size(); ++i)
+    nn::load_state(*agents_[i].model, states[i]);
+
+  // Simulated wall-clock: balanced round span + the collective.
+  const auto min_bw = topology_.min_link_bandwidth();
+  COMDML_REQUIRE(min_bw.has_value(), "topology has no usable link");
+  const auto agg = comm::allreduce_cost(
+      static_cast<int64_t>(agents_.size()), profile_.model_state_bytes(),
+      *min_bw, options_.aggregation);
+  stats.sim_time = plan.estimated_round_time + agg.seconds;
+  stats.mean_slow_loss =
+      plan.pairs.empty()
+          ? 0.0f
+          : slow_loss_sum / static_cast<float>(plan.pairs.size() *
+                                               options_.batches_per_round);
+  stats.mean_loss =
+      loss_count == 0 ? 0.0f : loss_sum / static_cast<float>(loss_count);
+  stats.mean_dcor =
+      dcor_count == 0 ? 0.0 : dcor_sum / static_cast<double>(dcor_count);
+  if (dcor_count > 0)
+    stats.mean_wire_compression /= static_cast<double>(dcor_count);
+
+  // Plateau LR schedule (paper §V-A): decay when the fleet loss stalls.
+  if (plateau_) {
+    const float mult = plateau_->observe(-stats.mean_loss);
+    if (mult < 1.0f) current_lr_ *= mult;
+  }
+  ++round_;
+  return stats;
+}
+
+float RealFleet::evaluate(const data::Dataset& test) {
+  test.validate();
+  return nn::evaluate_accuracy(*agents_[0].model, test.images, test.labels);
+}
+
+nn::Sequential& RealFleet::model(int64_t agent) {
+  COMDML_CHECK(agent >= 0 && agent < agents());
+  return *agents_[static_cast<size_t>(agent)].model;
+}
+
+}  // namespace comdml::core

@@ -1,0 +1,107 @@
+// Real execution mode: the full ComDML round — decentralized pairing,
+// local-loss split training on actual tensors, and a real message-level
+// AllReduce — on small models and synthetic data. The scheduling code is
+// the same pair_agents()/SplitProfile used at paper scale, so nothing about
+// the algorithm is mocked; only the model/dataset sizes shrink.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "core/config.hpp"
+#include "core/pairing.hpp"
+#include "data/batcher.hpp"
+#include "nn/split.hpp"
+
+namespace comdml::core {
+
+/// Builds one model replica; must be deterministic given the Rng.
+using ModelFactory =
+    std::function<std::unique_ptr<nn::Sequential>(tensor::Rng&)>;
+
+class RealFleet {
+ public:
+  struct Options {
+    int64_t batch_size = 16;
+    /// Mini-batches each agent trains per round (keeps tests fast while the
+    /// timing model still uses full shard sizes).
+    int64_t batches_per_round = 4;
+    nn::SGD::Options sgd{0.05f, 0.9f, 0.0f};
+    /// Reference FLOP/s of a cpu=1.0 agent for the *simulated clock* of the
+    /// real fleet. Deliberately small: real-mode models are tiny, and the
+    /// paper's offloading regime (compute >> per-batch comm) only appears
+    /// when the simulated compute time is scaled to match.
+    double reference_flops = 1e6;
+    comm::AllReduceAlgo aggregation = comm::AllReduceAlgo::kHalvingDoubling;
+    learncurve::PrivacyTechnique privacy =
+        learncurve::PrivacyTechnique::kNone;
+    double dp_epsilon = 0.5;
+    double dp_sensitivity = 1e-3;
+    int64_t shuffle_patch = 2;
+    /// Plateau LR schedule (the paper reduces LR by 0.2/0.5 when accuracy
+    /// plateaus). 0 disables; otherwise the LR is multiplied by this
+    /// factor when the fleet loss stops improving for `plateau_patience`
+    /// rounds.
+    float plateau_factor = 0.0f;
+    int plateau_patience = 5;
+    uint64_t seed = 7;
+  };
+
+  /// One shard per agent; all shards must share classes and sample shape.
+  RealFleet(const ModelFactory& factory, int64_t classes,
+            std::vector<data::Dataset> shards, sim::Topology topology,
+            Options options);
+
+  struct RoundStats {
+    double sim_time = 0.0;       ///< simulated wall-clock of the round
+    float mean_slow_loss = 0.0;  ///< mean aux-head loss across pairs
+    float mean_loss = 0.0;       ///< mean full/fast loss across agents
+    int64_t num_pairs = 0;
+    double mean_dcor = 0.0;  ///< input-vs-cut-activation distance correlation
+    /// Measured wire compression of the real activations crossing the cut
+    /// (bitmask + int8 codec; see comm/compress.hpp). 0 when no pairs.
+    double mean_wire_compression = 0.0;
+  };
+
+  /// One complete ComDML round (pair -> train -> aggregate).
+  RoundStats step();
+
+  /// Accuracy of the (post-aggregation) shared model on a held-out set.
+  [[nodiscard]] float evaluate(const data::Dataset& test);
+
+  [[nodiscard]] nn::Sequential& model(int64_t agent);
+
+  /// Learning rate currently in force (moves under the plateau schedule).
+  [[nodiscard]] float current_lr() const noexcept { return current_lr_; }
+
+  [[nodiscard]] int64_t agents() const noexcept {
+    return static_cast<int64_t>(shards_.size());
+  }
+  [[nodiscard]] const SplitProfile& profile() const noexcept {
+    return profile_;
+  }
+
+ private:
+  struct AgentState {
+    std::unique_ptr<nn::Sequential> model;
+    std::unique_ptr<data::Batcher> batcher;
+  };
+
+  Options options_;
+  std::vector<data::Dataset> shards_;
+  sim::Topology topology_;
+  tensor::Rng rng_;
+  int64_t classes_;
+  tensor::Shape in_shape_;
+  SplitProfile profile_;
+  std::vector<AgentState> agents_;
+  int64_t round_ = 0;
+  float current_lr_ = 0.0f;
+  std::optional<nn::PlateauScheduler> plateau_;
+
+  [[nodiscard]] std::vector<AgentInfo> build_infos() const;
+  [[nodiscard]] data::Batch next_batch(int64_t agent);
+};
+
+}  // namespace comdml::core

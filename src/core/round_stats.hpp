@@ -1,0 +1,64 @@
+// Per-round and per-run timing records produced by the simulators.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/check.hpp"
+
+namespace comdml::core {
+
+struct RoundRecord {
+  int64_t round = 0;
+  double compute_time = 0.0;      ///< slowest agent's busy (train) time
+  double comm_time = 0.0;         ///< largest pair communication time
+  double aggregation_time = 0.0;  ///< collective (AllReduce/server/gossip)
+  double round_time = 0.0;        ///< wall-clock span of the round
+  double idle_time = 0.0;         ///< summed idle across agents
+  double unbalanced_time = 0.0;   ///< hypothetical round time w/o offloading
+  int64_t num_pairs = 0;
+  int64_t dropped_agents = 0;     ///< sampled agents that failed this round
+};
+
+class RunSummary {
+ public:
+  void add(RoundRecord record) { rounds_.push_back(record); }
+
+  [[nodiscard]] const std::vector<RoundRecord>& rounds() const noexcept {
+    return rounds_;
+  }
+
+  [[nodiscard]] double total_time() const {
+    double t = 0.0;
+    for (const auto& r : rounds_) t += r.round_time;
+    return t;
+  }
+
+  /// Wall-clock until `rounds` (fractional) rounds have completed; rounds
+  /// beyond the recorded horizon extrapolate at the mean recorded rate.
+  [[nodiscard]] double time_for_rounds(double rounds) const {
+    COMDML_CHECK(rounds >= 0.0);
+    COMDML_REQUIRE(!rounds_.empty(), "no rounds recorded");
+    double t = 0.0;
+    double remaining = rounds;
+    for (const auto& r : rounds_) {
+      if (remaining <= 0.0) return t;
+      const double take = std::min(remaining, 1.0);
+      t += take * r.round_time;
+      remaining -= take;
+    }
+    if (remaining > 0.0)
+      t += remaining * (total_time() / static_cast<double>(rounds_.size()));
+    return t;
+  }
+
+  [[nodiscard]] double mean_round_time() const {
+    COMDML_REQUIRE(!rounds_.empty(), "no rounds recorded");
+    return total_time() / static_cast<double>(rounds_.size());
+  }
+
+ private:
+  std::vector<RoundRecord> rounds_;
+};
+
+}  // namespace comdml::core

@@ -1,0 +1,34 @@
+#include "data/batcher.hpp"
+
+#include <numeric>
+
+namespace comdml::data {
+
+Batcher::Batcher(const Dataset& dataset, int64_t batch_size, tensor::Rng rng)
+    : dataset_(&dataset), batch_size_(batch_size), rng_(rng) {
+  dataset.validate();
+  COMDML_CHECK(batch_size > 0);
+  order_.resize(static_cast<size_t>(dataset.size()));
+  std::iota(order_.begin(), order_.end(), 0);
+  reshuffle();
+}
+
+void Batcher::reshuffle() {
+  rng_.shuffle(order_);
+  cursor_ = 0;
+}
+
+Batch Batcher::next() {
+  if (cursor_ >= dataset_->size()) {
+    ++epoch_;
+    reshuffle();
+  }
+  const int64_t take = std::min(batch_size_, dataset_->size() - cursor_);
+  std::span<const int64_t> idx(order_.data() + cursor_,
+                               static_cast<size_t>(take));
+  Dataset sub = dataset_->subset(idx);
+  cursor_ += take;
+  return Batch{std::move(sub.images), std::move(sub.labels)};
+}
+
+}  // namespace comdml::data

@@ -1,0 +1,51 @@
+#include "data/dataset.hpp"
+
+namespace comdml::data {
+
+Shape Dataset::sample_shape() const {
+  COMDML_CHECK(!images.empty());
+  Shape s(images.shape().begin() + 1, images.shape().end());
+  return s;
+}
+
+Dataset Dataset::subset(std::span<const int64_t> indices) const {
+  validate();
+  const Shape per = sample_shape();
+  const int64_t row = tensor::shape_size(per);
+  Shape out_shape;
+  out_shape.push_back(static_cast<int64_t>(indices.size()));
+  out_shape.insert(out_shape.end(), per.begin(), per.end());
+  Dataset out;
+  out.images = Tensor(out_shape);
+  out.labels.reserve(indices.size());
+  out.classes = classes;
+  auto src = images.flat();
+  auto dst = out.images.flat();
+  int64_t r = 0;
+  for (const int64_t idx : indices) {
+    COMDML_REQUIRE(idx >= 0 && idx < size(),
+                   "subset index " << idx << " out of range [0," << size()
+                                   << ")");
+    std::copy(src.begin() + idx * row, src.begin() + (idx + 1) * row,
+              dst.begin() + r * row);
+    out.labels.push_back(labels[static_cast<size_t>(idx)]);
+    ++r;
+  }
+  return out;
+}
+
+void Dataset::validate() const {
+  COMDML_REQUIRE(!images.empty(), "dataset has no images");
+  COMDML_REQUIRE(static_cast<int64_t>(labels.size()) == size(),
+                 "dataset: " << labels.size() << " labels for " << size()
+                             << " images");
+  COMDML_REQUIRE(classes > 1, "dataset needs at least two classes");
+  for (const int64_t y : labels)
+    COMDML_REQUIRE(y >= 0 && y < classes, "label " << y << " out of range");
+}
+
+DatasetSpec cifar10_spec() { return {"cifar10", 50000, 10, {3, 32, 32}}; }
+DatasetSpec cifar100_spec() { return {"cifar100", 50000, 100, {3, 32, 32}}; }
+DatasetSpec cinic10_spec() { return {"cinic10", 90000, 10, {3, 32, 32}}; }
+
+}  // namespace comdml::data

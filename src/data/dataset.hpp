@@ -1,0 +1,52 @@
+// In-memory labelled dataset plus the catalog of paper dataset geometries.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace comdml::data {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+/// A labelled dataset held fully in memory. Images are [N, C, H, W] (or
+/// [N, F] for flat feature sets); labels are class indices in [0, classes).
+struct Dataset {
+  Tensor images;
+  std::vector<int64_t> labels;
+  int64_t classes = 0;
+
+  [[nodiscard]] int64_t size() const {
+    return images.empty() ? 0 : images.dim(0);
+  }
+
+  /// Per-sample shape (shape with the batch axis stripped).
+  [[nodiscard]] Shape sample_shape() const;
+
+  /// Deep-copied row subset in the given order.
+  [[nodiscard]] Dataset subset(std::span<const int64_t> indices) const;
+
+  /// Throws std::invalid_argument if sizes/labels are inconsistent.
+  void validate() const;
+};
+
+/// Geometry of a benchmark dataset — enough for the timing simulator and the
+/// learning-curve model; pixel content is irrelevant for those paths.
+struct DatasetSpec {
+  std::string name;
+  int64_t train_size = 0;
+  int64_t classes = 0;
+  Shape sample_shape;
+};
+
+/// CIFAR-10: 50k train, 10 classes, 3x32x32.
+[[nodiscard]] DatasetSpec cifar10_spec();
+/// CIFAR-100: 50k train, 100 classes, 3x32x32.
+[[nodiscard]] DatasetSpec cifar100_spec();
+/// CINIC-10: 90k train, 10 classes, 3x32x32.
+[[nodiscard]] DatasetSpec cinic10_spec();
+
+}  // namespace comdml::data

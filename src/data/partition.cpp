@@ -1,0 +1,121 @@
+#include "data/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace comdml::data {
+
+Partition iid_partition(int64_t total, int64_t agents, Rng& rng) {
+  COMDML_CHECK(total > 0 && agents > 0);
+  COMDML_REQUIRE(total >= agents,
+                 "cannot split " << total << " samples over " << agents
+                                 << " agents");
+  std::vector<int64_t> idx(static_cast<size_t>(total));
+  std::iota(idx.begin(), idx.end(), 0);
+  rng.shuffle(idx);
+  Partition parts(static_cast<size_t>(agents));
+  const int64_t base = total / agents;
+  const int64_t extra = total % agents;
+  size_t cursor = 0;
+  for (int64_t a = 0; a < agents; ++a) {
+    const int64_t take = base + (a < extra ? 1 : 0);
+    auto& shard = parts[static_cast<size_t>(a)];
+    shard.assign(idx.begin() + static_cast<int64_t>(cursor),
+                 idx.begin() + static_cast<int64_t>(cursor) + take);
+    cursor += static_cast<size_t>(take);
+  }
+  return parts;
+}
+
+Partition dirichlet_label_partition(std::span<const int64_t> labels,
+                                    int64_t agents, double alpha, Rng& rng,
+                                    int64_t min_per_agent) {
+  COMDML_CHECK(!labels.empty() && agents > 0 && alpha > 0.0 &&
+               min_per_agent >= 0);
+  const int64_t classes =
+      1 + *std::max_element(labels.begin(), labels.end());
+
+  // Bucket sample indices by class, shuffled for random assignment order.
+  std::vector<std::vector<int64_t>> by_class(static_cast<size_t>(classes));
+  for (size_t i = 0; i < labels.size(); ++i)
+    by_class[static_cast<size_t>(labels[i])].push_back(
+        static_cast<int64_t>(i));
+  for (auto& bucket : by_class) rng.shuffle(bucket);
+
+  Partition parts(static_cast<size_t>(agents));
+  for (const auto& bucket : by_class) {
+    if (bucket.empty()) continue;
+    const auto props = rng.dirichlet(alpha, static_cast<size_t>(agents));
+    // Convert proportions to counts, largest-remainder rounding.
+    const auto n = static_cast<int64_t>(bucket.size());
+    std::vector<int64_t> counts(static_cast<size_t>(agents), 0);
+    int64_t assigned = 0;
+    std::vector<std::pair<double, size_t>> remainders;
+    for (size_t a = 0; a < counts.size(); ++a) {
+      const double exact = props[a] * static_cast<double>(n);
+      counts[a] = static_cast<int64_t>(exact);
+      assigned += counts[a];
+      remainders.emplace_back(exact - std::floor(exact), a);
+    }
+    std::sort(remainders.rbegin(), remainders.rend());
+    for (int64_t i = 0; i < n - assigned; ++i)
+      ++counts[remainders[static_cast<size_t>(i) % remainders.size()].second];
+    size_t cursor = 0;
+    for (size_t a = 0; a < counts.size(); ++a) {
+      for (int64_t c = 0; c < counts[a]; ++c)
+        parts[a].push_back(bucket[cursor++]);
+    }
+  }
+
+  // Enforce the per-agent minimum by moving samples from the largest shard.
+  for (auto& shard : parts) {
+    while (static_cast<int64_t>(shard.size()) < min_per_agent) {
+      auto donor = std::max_element(
+          parts.begin(), parts.end(),
+          [](const auto& a, const auto& b) { return a.size() < b.size(); });
+      COMDML_REQUIRE(donor->size() > 1,
+                     "not enough samples to give every agent "
+                         << min_per_agent);
+      shard.push_back(donor->back());
+      donor->pop_back();
+    }
+  }
+  return parts;
+}
+
+std::vector<std::vector<int64_t>> label_histograms(
+    std::span<const int64_t> labels, const Partition& parts, int64_t classes) {
+  std::vector<std::vector<int64_t>> hist(
+      parts.size(), std::vector<int64_t>(static_cast<size_t>(classes), 0));
+  for (size_t a = 0; a < parts.size(); ++a)
+    for (const int64_t idx : parts[a]) {
+      COMDML_CHECK(idx >= 0 && idx < static_cast<int64_t>(labels.size()));
+      ++hist[a][static_cast<size_t>(labels[static_cast<size_t>(idx)])];
+    }
+  return hist;
+}
+
+double label_skew(std::span<const int64_t> labels, const Partition& parts,
+                  int64_t classes) {
+  const auto hist = label_histograms(labels, parts, classes);
+  std::vector<double> global(static_cast<size_t>(classes), 0.0);
+  for (const int64_t y : labels) global[static_cast<size_t>(y)] += 1.0;
+  for (auto& g : global) g /= static_cast<double>(labels.size());
+
+  double total_tv = 0.0;
+  size_t counted = 0;
+  for (const auto& h : hist) {
+    const auto n = static_cast<double>(
+        std::accumulate(h.begin(), h.end(), int64_t{0}));
+    if (n == 0) continue;
+    double tv = 0.0;
+    for (size_t c = 0; c < h.size(); ++c)
+      tv += std::fabs(static_cast<double>(h[c]) / n - global[c]);
+    total_tv += 0.5 * tv;
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : total_tv / static_cast<double>(counted);
+}
+
+}  // namespace comdml::data

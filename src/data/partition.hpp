@@ -1,0 +1,34 @@
+// Dataset partitioning across agents: IID and Dirichlet label-skew
+// (the paper's non-I.I.D. variants use Dirichlet concentration 0.5).
+#pragma once
+
+#include "data/dataset.hpp"
+#include "tensor/random.hpp"
+
+namespace comdml::data {
+
+using tensor::Rng;
+
+using Partition = std::vector<std::vector<int64_t>>;  ///< per-agent indices
+
+/// Shuffle [0, total) and deal out equally (remainder spread one-by-one).
+[[nodiscard]] Partition iid_partition(int64_t total, int64_t agents, Rng& rng);
+
+/// Label-distribution-skew partition: for each class, split its samples
+/// across agents with proportions drawn from Dirichlet(alpha). Guarantees
+/// every agent at least `min_per_agent` samples by stealing from the
+/// largest shard.
+[[nodiscard]] Partition dirichlet_label_partition(
+    std::span<const int64_t> labels, int64_t agents, double alpha, Rng& rng,
+    int64_t min_per_agent = 1);
+
+/// Per-agent class histograms [agents][classes] (for skew diagnostics).
+[[nodiscard]] std::vector<std::vector<int64_t>> label_histograms(
+    std::span<const int64_t> labels, const Partition& parts, int64_t classes);
+
+/// Average total-variation distance between each agent's label distribution
+/// and the global one — 0 for perfectly IID shards, grows with skew.
+[[nodiscard]] double label_skew(std::span<const int64_t> labels,
+                                const Partition& parts, int64_t classes);
+
+}  // namespace comdml::data

@@ -1,0 +1,37 @@
+// Deterministic synthetic datasets.
+//
+// Offline substitute for CIFAR/CINIC downloads (see DESIGN.md §3): timing
+// experiments depend only on dataset geometry, while real-training tests and
+// examples need *learnable* data, which these generators provide.
+#pragma once
+
+#include "data/dataset.hpp"
+#include "tensor/random.hpp"
+
+namespace comdml::data {
+
+using tensor::Rng;
+
+/// Gaussian blobs in a flat feature space: class c is a fixed random center,
+/// samples are center + N(0, spread). Linearly separable for small spread.
+[[nodiscard]] Dataset make_blobs(int64_t samples, int64_t classes,
+                                 int64_t features, float spread, Rng& rng);
+
+/// Two-dimensional interleaved spirals (non-linearly separable), the classic
+/// non-convex benchmark for MLP convergence tests.
+[[nodiscard]] Dataset make_spirals(int64_t samples_per_class, int64_t classes,
+                                   float noise, Rng& rng);
+
+/// Class-coded images: each class has a fixed random prototype image; a
+/// sample is prototype + pixel noise. Learnable by small conv nets yet cheap
+/// to generate at any (C,H,W).
+[[nodiscard]] Dataset make_synthetic_images(int64_t samples, int64_t classes,
+                                            const Shape& sample_shape,
+                                            float noise, Rng& rng);
+
+/// Synthetic stand-in with the exact geometry of a paper dataset
+/// (sample count scaled by `fraction` so tests stay fast).
+[[nodiscard]] Dataset make_for_spec(const DatasetSpec& spec, double fraction,
+                                    float noise, Rng& rng);
+
+}  // namespace comdml::data

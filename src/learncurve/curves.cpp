@@ -1,0 +1,170 @@
+#include "learncurve/curves.hpp"
+
+#include <cmath>
+
+#include "tensor/check.hpp"
+
+namespace comdml::learncurve {
+
+std::string method_name(Method m) {
+  switch (m) {
+    case Method::kComDML: return "ComDML";
+    case Method::kGossip: return "Gossip Learning";
+    case Method::kBrainTorrent: return "BrainTorrent";
+    case Method::kAllReduceDML: return "AllReduce";
+    case Method::kFedAvg: return "FedAvg";
+    case Method::kFedProx: return "FedProx";
+  }
+  return "?";
+}
+
+CurveSpec base_curve(const std::string& dataset, const std::string& model,
+                     PartitionKind partition) {
+  // Calibration notes:
+  //  - acc_max: slightly above the paper's target accuracy for each
+  //    configuration (the targets are reachable but not trivially so).
+  //  - tau: chosen so targets land at 150-450 rounds, the regime the paper's
+  //    plateau-LR schedule implies; non-IID shards converge slower and to a
+  //    lower ceiling (Dirichlet 0.5 label skew).
+  // tau values are fitted to the round counts implied by the paper's
+  // Table II FedAvg column (total time / simulated FedAvg round time);
+  // EXPERIMENTS.md §calibration records the derivation.
+  CurveSpec spec;
+  const bool iid = partition == PartitionKind::kIID;
+  if (dataset == "cifar10") {
+    spec = iid ? CurveSpec{0.935, 54.5} : CurveSpec{0.885, 30.0};
+  } else if (dataset == "cifar100") {
+    spec = iid ? CurveSpec{0.700, 51.5} : CurveSpec{0.655, 78.2};
+  } else if (dataset == "cinic10") {
+    spec = iid ? CurveSpec{0.805, 49.0} : CurveSpec{0.715, 89.3};
+  } else {
+    COMDML_REQUIRE(false, "unknown dataset '" << dataset << "'");
+  }
+  if (model == "resnet56") {
+    // reference model; no adjustment
+  } else if (model == "resnet110") {
+    spec.acc_max += 0.008;  // deeper model, slightly higher ceiling
+    spec.tau *= 1.15;       // and slower per-round convergence
+  } else {
+    COMDML_REQUIRE(false, "unknown model '" << model << "'");
+  }
+  return spec;
+}
+
+double method_rate(Method method, double participation,
+                   PartitionKind partition) {
+  COMDML_CHECK(participation > 0.0 && participation <= 1.0);
+  double rate = 1.0;
+  switch (method) {
+    case Method::kFedAvg:
+    case Method::kBrainTorrent:
+    case Method::kAllReduceDML:
+      rate = 1.0;  // exact synchronous averaging of full local updates
+      break;
+    case Method::kFedProx:
+      rate = 0.97;  // proximal term slows local progress slightly
+      break;
+    case Method::kComDML:
+      // Local-loss split training (aux-head gradients on the slow side)
+      // trades a small per-round progress loss for parallel updates.
+      rate = 0.95;
+      break;
+    case Method::kGossip:
+      // Single-peer mixing propagates information O(log K) slower than a
+      // full AllReduce, and label-skewed shards make the exchanged models
+      // locally biased (paper Table II: gossip loses its edge non-IID).
+      rate = partition == PartitionKind::kIID ? 0.75 : 0.50;
+      break;
+  }
+  // Client sampling: only a fraction of agents contribute per round, but
+  // averaging still spreads their progress (Li et al. [13]); the penalty is
+  // mild because each sampled agent still performs a full local epoch.
+  return rate * (0.75 + 0.25 * participation);
+}
+
+double fleet_rounds_factor(int64_t agents) {
+  COMDML_CHECK(agents > 0);
+  const double k = static_cast<double>(agents);
+  // Small fleets hold large shards and converge almost like centralized
+  // training (Table I's 2-agent runs); larger fleets average more, smaller
+  // local views and need mildly more rounds (Table III grows ~1.4x from 20
+  // to 100 agents). Continuous at the 10-agent reference point.
+  if (agents <= 10) return std::pow(k / 10.0, 0.95);
+  return 1.0 + 0.15 * std::log2(k / 10.0);
+}
+
+double split_rate_penalty(double offloaded_fraction) {
+  COMDML_CHECK(offloaded_fraction >= 0.0 && offloaded_fraction < 1.0);
+  // Earlier auxiliary heads (more offloading) learn slightly weaker
+  // slow-side features; decoupled-greedy results [15] bound the loss at a
+  // few percent even for very early heads.
+  return 1.0 - 0.12 * offloaded_fraction;
+}
+
+double gossip_mixing_factor(double link_connectivity) {
+  COMDML_CHECK(link_connectivity > 0.0 && link_connectivity <= 1.0);
+  return 1.0 / (0.55 + 0.45 * link_connectivity);
+}
+
+AccuracyModel::AccuracyModel(CurveSpec spec, double rate)
+    : spec_(spec), rate_(rate) {
+  COMDML_CHECK(spec.acc_max > 0.0 && spec.acc_max <= 1.0);
+  COMDML_CHECK(spec.tau > 0.0);
+  COMDML_CHECK(rate > 0.0 && rate <= 1.0);
+}
+
+double AccuracyModel::accuracy_at(double rounds) const {
+  COMDML_CHECK(rounds >= 0.0);
+  return spec_.acc_max * (1.0 - std::exp(-rounds * rate_ / spec_.tau));
+}
+
+std::optional<double> AccuracyModel::rounds_to(double target) const {
+  COMDML_CHECK(target > 0.0 && target < 1.0);
+  if (target >= spec_.acc_max) return std::nullopt;
+  const double frac = target / spec_.acc_max;
+  return -spec_.tau * std::log(1.0 - frac) / rate_;
+}
+
+AccuracyModel make_accuracy_model(const std::string& dataset,
+                                  const std::string& model,
+                                  PartitionKind partition, Method method,
+                                  double participation) {
+  return AccuracyModel(base_curve(dataset, model, partition),
+                       method_rate(method, participation, partition));
+}
+
+std::string privacy_name(PrivacyTechnique t) {
+  switch (t) {
+    case PrivacyTechnique::kNone: return "none";
+    case PrivacyTechnique::kDistanceCorrelation:
+      return "distance correlation (alpha=0.5)";
+    case PrivacyTechnique::kPatchShuffle: return "patch shuffling";
+    case PrivacyTechnique::kDifferentialPrivacy:
+      return "differential privacy (Laplace eps=0.5)";
+  }
+  return "?";
+}
+
+double privacy_accuracy_penalty(PrivacyTechnique t) {
+  // Calibrated to paper §V-B-4 (100 agents, CIFAR-10, ResNet-56, 100
+  // rounds): 83.5 % no-privacy baseline -> 81.7 / 83.2 / 77.6.
+  switch (t) {
+    case PrivacyTechnique::kNone: return 0.0;
+    case PrivacyTechnique::kDistanceCorrelation: return 0.018;
+    case PrivacyTechnique::kPatchShuffle: return 0.003;
+    case PrivacyTechnique::kDifferentialPrivacy: return 0.059;
+  }
+  return 0.0;
+}
+
+double privacy_compute_overhead(PrivacyTechnique t) {
+  switch (t) {
+    case PrivacyTechnique::kNone: return 1.0;
+    case PrivacyTechnique::kDistanceCorrelation: return 1.06;  // O(B^2) dCor
+    case PrivacyTechnique::kPatchShuffle: return 1.01;
+    case PrivacyTechnique::kDifferentialPrivacy: return 1.02;
+  }
+  return 1.0;
+}
+
+}  // namespace comdml::learncurve

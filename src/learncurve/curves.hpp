@@ -1,0 +1,110 @@
+// Calibrated accuracy-versus-round curves.
+//
+// The paper reports *time to reach a target accuracy* measured on a GPU
+// testbed. Offline we cannot train ResNet-56/110 to 90 % on real CIFAR, so
+// the per-round wall-clock times come from the faithful timing simulator and
+// the mapping rounds -> accuracy comes from this module: a saturating
+// exponential acc(r) = acc_max * (1 - exp(-r_eff / tau)) with
+// r_eff = rounds * method_rate. Constants are calibrated once against the
+// published end-point accuracies and documented in EXPERIMENTS.md; every
+// reproduced *comparison* (who wins, by what factor) is driven by the
+// simulated round times, not by this curve.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace comdml::learncurve {
+
+enum class Method {
+  kComDML,
+  kGossip,
+  kBrainTorrent,
+  kAllReduceDML,
+  kFedAvg,
+  kFedProx,
+};
+
+enum class PartitionKind { kIID, kDirichlet05 };
+
+[[nodiscard]] std::string method_name(Method m);
+
+/// Base curve constants for (dataset, model) under a partition scheme.
+struct CurveSpec {
+  double acc_max = 0.9;  ///< asymptotic accuracy
+  double tau = 60.0;     ///< rounds scale of the saturating exponential
+};
+
+/// Calibrated (dataset, model, partition) table; throws on unknown names.
+/// Known datasets: cifar10, cifar100, cinic10. Models: resnet56, resnet110.
+[[nodiscard]] CurveSpec base_curve(const std::string& dataset,
+                                   const std::string& model,
+                                   PartitionKind partition);
+
+/// Per-round effective-progress multiplier of a training method.
+/// Synchronous full-averaging methods progress at rate 1; gossip mixes
+/// through single peers and needs more rounds (much more under label skew,
+/// where single-peer averaging propagates biased updates); ComDML pays a
+/// small penalty for auxiliary-head local-loss training (Belilovsky et al.
+/// [15]). `participation` in (0,1] models client sampling (Table III).
+[[nodiscard]] double method_rate(Method method, double participation = 1.0,
+                                 PartitionKind partition = PartitionKind::kIID);
+
+/// Convergence slowdown of large fleets (more averaging, smaller local
+/// views): multiply rounds-to-target by this factor (1.0 for <= 10 agents).
+[[nodiscard]] double fleet_rounds_factor(int64_t agents);
+
+/// Gossip-only slowdown on sparse communication graphs: single-peer mixing
+/// time scales with the graph's spectral gap, so low link connectivity
+/// multiplies gossip's rounds-to-target (1.0 on a full mesh). Synchronous
+/// collectives are unaffected (they route through the connected graph).
+[[nodiscard]] double gossip_mixing_factor(double link_connectivity);
+
+/// Additional rate multiplier for local-loss split training as a function of
+/// the offloaded model fraction in [0,1): the earlier the auxiliary head,
+/// the weaker the slow-side features (Table I epochs-to-target effect).
+[[nodiscard]] double split_rate_penalty(double offloaded_fraction);
+
+class AccuracyModel {
+ public:
+  AccuracyModel(CurveSpec spec, double rate);
+
+  /// Test accuracy after `rounds` aggregation rounds.
+  [[nodiscard]] double accuracy_at(double rounds) const;
+
+  /// Rounds needed to reach `target`; nullopt if target >= acc_max.
+  [[nodiscard]] std::optional<double> rounds_to(double target) const;
+
+  [[nodiscard]] const CurveSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] double rate() const noexcept { return rate_; }
+
+ private:
+  CurveSpec spec_;
+  double rate_;
+};
+
+[[nodiscard]] AccuracyModel make_accuracy_model(
+    const std::string& dataset, const std::string& model,
+    PartitionKind partition, Method method, double participation = 1.0);
+
+// ---- privacy integration (paper §V-B-4) -------------------------------------
+
+enum class PrivacyTechnique {
+  kNone,
+  kDistanceCorrelation,  ///< NoPeek-style dCor regularizer, alpha = 0.5
+  kPatchShuffle,
+  kDifferentialPrivacy,  ///< Laplace, eps = 0.5, delta = 1e-5
+};
+
+[[nodiscard]] std::string privacy_name(PrivacyTechnique t);
+
+/// Asymptotic accuracy drop caused by a privacy technique (calibrated to the
+/// paper's 100-round accuracies: 81.7 % dCor / 83.2 % shuffle / 77.6 % DP).
+[[nodiscard]] double privacy_accuracy_penalty(PrivacyTechnique t);
+
+/// Multiplicative per-round compute overhead of a privacy technique.
+[[nodiscard]] double privacy_compute_overhead(PrivacyTechnique t);
+
+}  // namespace comdml::learncurve

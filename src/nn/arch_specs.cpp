@@ -1,0 +1,156 @@
+#include "nn/arch_specs.hpp"
+
+#include <sstream>
+
+namespace comdml::nn {
+
+double ArchitectureSpec::total_flops() const {
+  double total = 0.0;
+  for (const auto& u : units) total += u.flops_forward + u.flops_backward;
+  return total;
+}
+
+int64_t ArchitectureSpec::total_param_bytes() const {
+  int64_t total = 0;
+  for (const auto& u : units) total += u.param_bytes;
+  return total;
+}
+
+double ArchitectureSpec::prefix_flops(size_t cut) const {
+  COMDML_CHECK(cut <= units.size());
+  double total = 0.0;
+  for (size_t i = 0; i < cut; ++i)
+    total += units[i].flops_forward + units[i].flops_backward;
+  return total;
+}
+
+int64_t ArchitectureSpec::suffix_param_bytes(size_t cut) const {
+  COMDML_CHECK(cut <= units.size());
+  int64_t total = 0;
+  for (size_t i = cut; i < units.size(); ++i) total += units[i].param_bytes;
+  return total;
+}
+
+int64_t ArchitectureSpec::cut_activation_bytes(size_t cut) const {
+  COMDML_REQUIRE(cut >= 1 && cut < units.size(),
+                 "cut " << cut << " not an interior boundary of "
+                        << units.size() << " units");
+  const UnitSpec& u = units[cut - 1];
+  // +8: per-sample label (int64) shipped with the activation.
+  return u.act_bytes + u.cut_extra_bytes + 8;
+}
+
+namespace {
+
+constexpr int64_t kF32 = static_cast<int64_t>(sizeof(float));
+
+/// Adds one conv(+BN+ReLU) unit to the spec and returns its output bytes.
+UnitSpec conv_unit(const std::string& name, int64_t cin, int64_t cout,
+                   int64_t k, int64_t hout, int64_t wout, int64_t extra_skip) {
+  UnitSpec u;
+  u.name = name;
+  const double conv_fwd =
+      2.0 * double(k * k) * double(cin) * double(cout) * double(hout * wout);
+  const double bn_relu_fwd = 5.0 * double(cout * hout * wout);
+  u.flops_forward = conv_fwd + bn_relu_fwd;
+  u.flops_backward = 2.0 * conv_fwd + 2.0 * bn_relu_fwd;
+  u.param_bytes = (cout * cin * k * k + 4 * cout) * kF32;  // conv + BN(γβ,μ,σ²)
+  u.act_bytes = cout * hout * wout * kF32;
+  u.cut_extra_bytes = extra_skip;
+  return u;
+}
+
+}  // namespace
+
+ArchitectureSpec resnet_cifar_spec(int depth, int64_t classes,
+                                   int64_t image_hw) {
+  COMDML_REQUIRE(depth >= 8 && (depth - 2) % 6 == 0,
+                 "CIFAR ResNet depth must be 6n+2, got " << depth);
+  const int64_t n = (depth - 2) / 6;  // blocks per stage
+  ArchitectureSpec spec;
+  {
+    std::ostringstream os;
+    os << "resnet" << depth;
+    spec.name = os.str();
+  }
+  spec.classes = classes;
+
+  // Stem: conv3x3 3->16 at full resolution.
+  int64_t hw = image_hw;
+  spec.units.push_back(conv_unit("stem", 3, 16, 3, hw, hw, 0));
+
+  int64_t in_ch = 16;
+  for (int stage = 0; stage < 3; ++stage) {
+    const int64_t out_ch = 16 << stage;
+    for (int64_t b = 0; b < n; ++b) {
+      const bool downsample = (stage > 0 && b == 0);
+      const int64_t hw_out = downsample ? hw / 2 : hw;
+      const int64_t block_in_bytes = in_ch * hw * hw * kF32;
+      std::ostringstream base;
+      base << "s" << stage + 1 << "b" << b + 1;
+      // conv1: cutting after it leaves the skip input live -> extra bytes.
+      UnitSpec c1 = conv_unit(base.str() + ".conv1", in_ch, out_ch, 3, hw_out,
+                              hw_out, block_in_bytes);
+      // conv2 closes the block (skip is consumed by the residual add).
+      UnitSpec c2 = conv_unit(base.str() + ".conv2", out_ch, out_ch, 3,
+                              hw_out, hw_out, 0);
+      if (downsample) {
+        // Fold the 1x1 projection shortcut into the block-closing unit.
+        const double proj_fwd =
+            2.0 * double(in_ch) * double(out_ch) * double(hw_out * hw_out);
+        c2.flops_forward += proj_fwd;
+        c2.flops_backward += 2.0 * proj_fwd;
+        c2.param_bytes += (in_ch * out_ch + 4 * out_ch) * kF32;
+      }
+      spec.units.push_back(std::move(c1));
+      spec.units.push_back(std::move(c2));
+      in_ch = out_ch;
+      hw = hw_out;
+    }
+  }
+
+  // Head: global average pool + linear classifier.
+  UnitSpec head;
+  head.name = "head";
+  head.flops_forward = double(in_ch * hw * hw) +  // pool
+                       2.0 * double(in_ch) * double(classes);
+  head.flops_backward = 2.0 * head.flops_forward;
+  head.param_bytes = (in_ch * classes + classes) * kF32;
+  head.act_bytes = classes * kF32;
+  spec.units.push_back(std::move(head));
+
+  COMDML_CHECK(static_cast<int>(spec.units.size()) == depth);
+  return spec;
+}
+
+ArchitectureSpec resnet56_spec(int64_t classes) {
+  return resnet_cifar_spec(56, classes);
+}
+
+ArchitectureSpec resnet110_spec(int64_t classes) {
+  return resnet_cifar_spec(110, classes);
+}
+
+ArchitectureSpec spec_from_model(const Sequential& model,
+                                 const Shape& in_shape, std::string name,
+                                 int64_t classes) {
+  ArchitectureSpec spec;
+  spec.name = std::move(name);
+  spec.classes = classes;
+  const auto costs = model.unit_costs(in_shape);
+  spec.units.reserve(costs.size());
+  for (size_t i = 0; i < costs.size(); ++i) {
+    UnitSpec u;
+    std::ostringstream os;
+    os << "unit" << i;
+    u.name = os.str();
+    u.flops_forward = costs[i].flops_forward;
+    u.flops_backward = costs[i].flops_backward;
+    u.param_bytes = costs[i].param_bytes;
+    u.act_bytes = costs[i].out_bytes;
+    spec.units.push_back(std::move(u));
+  }
+  return spec;
+}
+
+}  // namespace comdml::nn

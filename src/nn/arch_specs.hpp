@@ -1,0 +1,72 @@
+// Architecture cost descriptors used by split-model profiling and the
+// timing simulator.
+//
+// For paper-scale models (ResNet-56/110 on 3x32x32) the simulator never
+// executes tensors; it consumes a per-unit UnitSpec list derived from the
+// exact convolution arithmetic of the architecture. The same structure can
+// be extracted from any live Sequential via spec_from_model(), so small
+// real models and large simulated ones flow through identical scheduling
+// code.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/layers.hpp"
+
+namespace comdml::nn {
+
+/// Cost of one split unit. `cut_extra_bytes` models activations that must
+/// additionally cross the wire when the model is cut directly after this
+/// unit *inside* a residual block (the skip input stays live and must be
+/// shipped alongside the main-path activation).
+struct UnitSpec {
+  std::string name;
+  double flops_forward = 0.0;   ///< per sample
+  double flops_backward = 0.0;  ///< per sample
+  int64_t param_bytes = 0;
+  int64_t act_bytes = 0;        ///< main-path activation leaving this unit, per sample
+  int64_t cut_extra_bytes = 0;  ///< extra skip-path bytes if cut here, per sample
+};
+
+/// Whole-model descriptor; unit boundaries are admissible split points.
+struct ArchitectureSpec {
+  std::string name;
+  int64_t classes = 10;
+  std::vector<UnitSpec> units;
+
+  [[nodiscard]] size_t size() const noexcept { return units.size(); }
+
+  /// Per-sample forward+backward FLOPs of the full model.
+  [[nodiscard]] double total_flops() const;
+
+  /// Learnable + buffer payload of the full model in bytes.
+  [[nodiscard]] int64_t total_param_bytes() const;
+
+  /// FLOPs (fwd+bwd) of units [0, cut).
+  [[nodiscard]] double prefix_flops(size_t cut) const;
+
+  /// Parameter bytes of units [cut, size()) — what an offload ships.
+  [[nodiscard]] int64_t suffix_param_bytes(size_t cut) const;
+
+  /// Wire bytes per sample crossing a cut after unit `cut-1`
+  /// (main activation + any live skip input + the label byte payload).
+  [[nodiscard]] int64_t cut_activation_bytes(size_t cut) const;
+};
+
+/// CIFAR ResNet of depth 6n+2 at *conv-layer granularity*: one UnitSpec per
+/// conv layer (56 units for ResNet-56: stem, 54 block convs, head), so the
+/// Table I offload sweep can cut at any layer exactly as the paper does.
+[[nodiscard]] ArchitectureSpec resnet_cifar_spec(int depth, int64_t classes,
+                                                 int64_t image_hw = 32);
+
+[[nodiscard]] ArchitectureSpec resnet56_spec(int64_t classes = 10);
+[[nodiscard]] ArchitectureSpec resnet110_spec(int64_t classes = 10);
+
+/// Extract a spec from a live model (unit granularity = split granularity).
+[[nodiscard]] ArchitectureSpec spec_from_model(const Sequential& model,
+                                               const Shape& in_shape,
+                                               std::string name,
+                                               int64_t classes);
+
+}  // namespace comdml::nn

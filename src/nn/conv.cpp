@@ -1,0 +1,139 @@
+#include "nn/conv.hpp"
+
+#include <sstream>
+
+namespace comdml::nn {
+
+Conv2d::Conv2d(int64_t in_channels, int64_t out_channels, int64_t kernel,
+               int64_t stride, int64_t padding, Rng& rng)
+    : cin_(in_channels),
+      cout_(out_channels),
+      k_(kernel),
+      stride_(stride),
+      pad_(padding),
+      weight_("conv.weight",
+              rng.he_normal({out_channels, in_channels, kernel, kernel},
+                            in_channels * kernel * kernel)) {
+  COMDML_CHECK(in_channels > 0 && out_channels > 0 && kernel > 0 &&
+               stride > 0 && padding >= 0);
+}
+
+std::string Conv2d::kind() const {
+  std::ostringstream os;
+  os << "conv" << k_ << "x" << k_;
+  return os.str();
+}
+
+Tensor Conv2d::forward(const Tensor& x, bool /*train*/) {
+  COMDML_REQUIRE(x.rank() == 4 && x.dim(1) == cin_,
+                 "conv: expected [N," << cin_ << ",H,W], got "
+                                      << tensor::shape_str(x.shape()));
+  cached_input_ = x;
+  const int64_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const int64_t ho = out_extent(h), wo = out_extent(w);
+  COMDML_REQUIRE(ho > 0 && wo > 0, "conv: input " << h << "x" << w
+                                                  << " too small for kernel");
+  Tensor y({n, cout_, ho, wo});
+  const float* xp = x.flat().data();
+  const float* wp = weight_.value.flat().data();
+  float* yp = y.flat().data();
+
+  for (int64_t in = 0; in < n; ++in) {
+    for (int64_t co = 0; co < cout_; ++co) {
+      for (int64_t oy = 0; oy < ho; ++oy) {
+        for (int64_t ox = 0; ox < wo; ++ox) {
+          double acc = 0.0;
+          const int64_t iy0 = oy * stride_ - pad_;
+          const int64_t ix0 = ox * stride_ - pad_;
+          for (int64_t ci = 0; ci < cin_; ++ci) {
+            const float* xc = xp + ((in * cin_ + ci) * h) * w;
+            const float* wc = wp + ((co * cin_ + ci) * k_) * k_;
+            for (int64_t ky = 0; ky < k_; ++ky) {
+              const int64_t iy = iy0 + ky;
+              if (iy < 0 || iy >= h) continue;
+              for (int64_t kx = 0; kx < k_; ++kx) {
+                const int64_t ix = ix0 + kx;
+                if (ix < 0 || ix >= w) continue;
+                acc += double(xc[iy * w + ix]) * wc[ky * k_ + kx];
+              }
+            }
+          }
+          yp[((in * cout_ + co) * ho + oy) * wo + ox] =
+              static_cast<float>(acc);
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  COMDML_CHECK(!cached_input_.empty());
+  const Tensor& x = cached_input_;
+  const int64_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const int64_t ho = out_extent(h), wo = out_extent(w);
+  COMDML_REQUIRE(grad_out.rank() == 4 && grad_out.dim(0) == n &&
+                     grad_out.dim(1) == cout_ && grad_out.dim(2) == ho &&
+                     grad_out.dim(3) == wo,
+                 "conv backward: bad grad shape "
+                     << tensor::shape_str(grad_out.shape()));
+
+  Tensor dx(x.shape());
+  const float* xp = x.flat().data();
+  const float* wp = weight_.value.flat().data();
+  const float* gp = grad_out.flat().data();
+  float* dxp = dx.flat().data();
+  float* dwp = weight_.grad.flat().data();
+
+  for (int64_t in = 0; in < n; ++in) {
+    for (int64_t co = 0; co < cout_; ++co) {
+      const float* gc = gp + ((in * cout_ + co) * ho) * wo;
+      for (int64_t oy = 0; oy < ho; ++oy) {
+        for (int64_t ox = 0; ox < wo; ++ox) {
+          const float g = gc[oy * wo + ox];
+          if (g == 0.0f) continue;
+          const int64_t iy0 = oy * stride_ - pad_;
+          const int64_t ix0 = ox * stride_ - pad_;
+          for (int64_t ci = 0; ci < cin_; ++ci) {
+            const float* xc = xp + ((in * cin_ + ci) * h) * w;
+            float* dxc = dxp + ((in * cin_ + ci) * h) * w;
+            const float* wc = wp + ((co * cin_ + ci) * k_) * k_;
+            float* dwc = dwp + ((co * cin_ + ci) * k_) * k_;
+            for (int64_t ky = 0; ky < k_; ++ky) {
+              const int64_t iy = iy0 + ky;
+              if (iy < 0 || iy >= h) continue;
+              for (int64_t kx = 0; kx < k_; ++kx) {
+                const int64_t ix = ix0 + kx;
+                if (ix < 0 || ix >= w) continue;
+                dwc[ky * k_ + kx] += g * xc[iy * w + ix];
+                dxc[iy * w + ix] += g * wc[ky * k_ + kx];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return dx;
+}
+
+void Conv2d::collect_parameters(std::vector<Parameter*>& out) {
+  out.push_back(&weight_);
+}
+
+LayerCost Conv2d::cost(const Shape& in_shape) const {
+  COMDML_REQUIRE(in_shape.size() == 3 && in_shape[0] == cin_,
+                 "conv cost: expected [" << cin_ << ",H,W]");
+  const int64_t ho = out_extent(in_shape[1]), wo = out_extent(in_shape[2]);
+  LayerCost c;
+  c.flops_forward = 2.0 * double(k_ * k_) * double(cin_) * double(cout_) *
+                    double(ho) * double(wo);
+  c.flops_backward = 2.0 * c.flops_forward;  // dX pass + dW pass
+  c.param_bytes =
+      cout_ * cin_ * k_ * k_ * static_cast<int64_t>(sizeof(float));
+  c.out_bytes = cout_ * ho * wo * static_cast<int64_t>(sizeof(float));
+  c.out_shape = {cout_, ho, wo};
+  return c;
+}
+
+}  // namespace comdml::nn

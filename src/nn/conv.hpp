@@ -1,0 +1,34 @@
+// 2-D convolution (NCHW, square kernel, zero padding, no bias — ResNet style).
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace comdml::nn {
+
+class Conv2d : public Module {
+ public:
+  /// kernel k x k, stride s, symmetric zero padding p.
+  Conv2d(int64_t in_channels, int64_t out_channels, int64_t kernel,
+         int64_t stride, int64_t padding, Rng& rng);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_parameters(std::vector<Parameter*>& out) override;
+  [[nodiscard]] LayerCost cost(const Shape& in_shape) const override;
+  [[nodiscard]] std::string kind() const override;
+
+  [[nodiscard]] int64_t in_channels() const noexcept { return cin_; }
+  [[nodiscard]] int64_t out_channels() const noexcept { return cout_; }
+
+  /// Output spatial extent for an input extent under this conv's geometry.
+  [[nodiscard]] int64_t out_extent(int64_t in) const {
+    return (in + 2 * pad_ - k_) / stride_ + 1;
+  }
+
+ private:
+  int64_t cin_, cout_, k_, stride_, pad_;
+  Parameter weight_;  ///< [cout, cin, k, k]
+  Tensor cached_input_;
+};
+
+}  // namespace comdml::nn

@@ -1,0 +1,201 @@
+#include "nn/extras.hpp"
+
+#include <cmath>
+
+namespace comdml::nn {
+
+// ---- MaxPool2d ---------------------------------------------------------------
+
+MaxPool2d::MaxPool2d(int64_t kernel) : k_(kernel) { COMDML_CHECK(kernel > 0); }
+
+Tensor MaxPool2d::forward(const Tensor& x, bool /*train*/) {
+  COMDML_REQUIRE(x.rank() == 4, "maxpool expects [N,C,H,W], got "
+                                    << tensor::shape_str(x.shape()));
+  const int64_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  COMDML_REQUIRE(h % k_ == 0 && w % k_ == 0,
+                 "maxpool: " << h << "x" << w << " not divisible by " << k_);
+  const int64_t ho = h / k_, wo = w / k_;
+  cached_in_shape_ = x.shape();
+  cached_argmax_.assign(static_cast<size_t>(n * c * ho * wo), 0);
+
+  Tensor y({n, c, ho, wo});
+  auto xi = x.flat();
+  auto yo = y.flat();
+  for (int64_t img = 0; img < n * c; ++img) {
+    const float* plane = xi.data() + img * h * w;
+    for (int64_t oy = 0; oy < ho; ++oy) {
+      for (int64_t ox = 0; ox < wo; ++ox) {
+        int64_t best = (oy * k_) * w + ox * k_;
+        for (int64_t dy = 0; dy < k_; ++dy)
+          for (int64_t dx = 0; dx < k_; ++dx) {
+            const int64_t idx = (oy * k_ + dy) * w + (ox * k_ + dx);
+            if (plane[idx] > plane[best]) best = idx;
+          }
+        const int64_t out_idx = (img * ho + oy) * wo + ox;
+        yo[out_idx] = plane[best];
+        cached_argmax_[static_cast<size_t>(out_idx)] = img * h * w + best;
+      }
+    }
+  }
+  return y;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_out) {
+  COMDML_CHECK(!cached_in_shape_.empty());
+  Tensor dx(cached_in_shape_);
+  auto go = grad_out.flat();
+  auto dxo = dx.flat();
+  COMDML_CHECK(go.size() == cached_argmax_.size());
+  for (size_t i = 0; i < go.size(); ++i)
+    dxo[static_cast<size_t>(cached_argmax_[i])] += go[i];
+  return dx;
+}
+
+LayerCost MaxPool2d::cost(const Shape& in_shape) const {
+  COMDML_REQUIRE(in_shape.size() == 3, "maxpool cost expects [C,H,W]");
+  LayerCost c;
+  c.flops_forward = static_cast<double>(tensor::shape_size(in_shape));
+  c.flops_backward = c.flops_forward / static_cast<double>(k_ * k_);
+  c.out_shape = {in_shape[0], in_shape[1] / k_, in_shape[2] / k_};
+  c.out_bytes =
+      tensor::shape_size(c.out_shape) * static_cast<int64_t>(sizeof(float));
+  return c;
+}
+
+// ---- Dropout -----------------------------------------------------------------
+
+Dropout::Dropout(float rate, uint64_t seed) : rate_(rate), rng_(seed) {
+  COMDML_CHECK(rate >= 0.0f && rate < 1.0f);
+}
+
+Tensor Dropout::forward(const Tensor& x, bool train) {
+  last_was_training_ = train;
+  if (!train || rate_ == 0.0f) return x;
+  const float keep = 1.0f - rate_;
+  const float scale = 1.0f / keep;
+  cached_mask_ = Tensor(x.shape());
+  Tensor y(x.shape());
+  auto xi = x.flat();
+  auto mo = cached_mask_.flat();
+  auto yo = y.flat();
+  for (size_t i = 0; i < xi.size(); ++i) {
+    const bool kept = rng_.uniform() < keep;
+    mo[i] = kept ? scale : 0.0f;
+    yo[i] = xi[i] * mo[i];
+  }
+  return y;
+}
+
+Tensor Dropout::backward(const Tensor& grad_out) {
+  if (!last_was_training_ || rate_ == 0.0f) return grad_out;
+  COMDML_CHECK(!cached_mask_.empty());
+  return tensor::mul(grad_out, cached_mask_);
+}
+
+LayerCost Dropout::cost(const Shape& in_shape) const {
+  LayerCost c;
+  const auto n = static_cast<double>(tensor::shape_size(in_shape));
+  c.flops_forward = n;
+  c.flops_backward = n;
+  c.out_shape = in_shape;
+  c.out_bytes =
+      tensor::shape_size(in_shape) * static_cast<int64_t>(sizeof(float));
+  return c;
+}
+
+// ---- LayerNorm ---------------------------------------------------------------
+
+LayerNorm::LayerNorm(int64_t features, float eps)
+    : features_(features),
+      eps_(eps),
+      gain_("ln.gain", Tensor({features}, 1.0f)),
+      bias_("ln.bias", Tensor({features})) {
+  COMDML_CHECK(features > 0 && eps > 0.0f);
+}
+
+Tensor LayerNorm::forward(const Tensor& x, bool /*train*/) {
+  COMDML_REQUIRE(x.rank() == 2 && x.dim(1) == features_,
+                 "layernorm: expected [N," << features_ << "], got "
+                                           << tensor::shape_str(x.shape()));
+  const int64_t n = x.dim(0), f = features_;
+  cached_xhat_ = Tensor(x.shape());
+  cached_inv_std_ = Tensor({n});
+  Tensor y(x.shape());
+  auto xi = x.flat();
+  auto xh = cached_xhat_.flat();
+  auto is = cached_inv_std_.flat();
+  auto yo = y.flat();
+  const auto g = gain_.value.flat();
+  const auto b = bias_.value.flat();
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = xi.data() + i * f;
+    double mean = 0, var = 0;
+    for (int64_t j = 0; j < f; ++j) mean += row[j];
+    mean /= static_cast<double>(f);
+    for (int64_t j = 0; j < f; ++j) {
+      const double d = row[j] - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(f);
+    const float inv = 1.0f / std::sqrt(static_cast<float>(var) + eps_);
+    is[static_cast<size_t>(i)] = inv;
+    for (int64_t j = 0; j < f; ++j) {
+      const float v = (row[j] - static_cast<float>(mean)) * inv;
+      xh[i * f + j] = v;
+      yo[i * f + j] = g[j] * v + b[j];
+    }
+  }
+  return y;
+}
+
+Tensor LayerNorm::backward(const Tensor& grad_out) {
+  COMDML_CHECK(!cached_xhat_.empty());
+  COMDML_CHECK(grad_out.shape() == cached_xhat_.shape());
+  const int64_t n = cached_xhat_.dim(0), f = features_;
+  Tensor dx(cached_xhat_.shape());
+  auto go = grad_out.flat();
+  auto xh = cached_xhat_.flat();
+  auto is = cached_inv_std_.flat();
+  auto dxo = dx.flat();
+  const auto g = gain_.value.flat();
+  auto dg = gain_.grad.flat();
+  auto db = bias_.grad.flat();
+  const float inv_f = 1.0f / static_cast<float>(f);
+  for (int64_t i = 0; i < n; ++i) {
+    double sum_dy = 0, sum_dy_xh = 0;
+    for (int64_t j = 0; j < f; ++j) {
+      const float dyj = go[i * f + j] * g[j];
+      sum_dy += dyj;
+      sum_dy_xh += double(dyj) * xh[i * f + j];
+      dg[j] += go[i * f + j] * xh[i * f + j];
+      db[j] += go[i * f + j];
+    }
+    const float mean_dy = static_cast<float>(sum_dy) * inv_f;
+    const float mean_dy_xh = static_cast<float>(sum_dy_xh) * inv_f;
+    for (int64_t j = 0; j < f; ++j) {
+      const float dyj = go[i * f + j] * g[j];
+      dxo[i * f + j] = is[static_cast<size_t>(i)] *
+                       (dyj - mean_dy - xh[i * f + j] * mean_dy_xh);
+    }
+  }
+  return dx;
+}
+
+void LayerNorm::collect_parameters(std::vector<Parameter*>& out) {
+  out.push_back(&gain_);
+  out.push_back(&bias_);
+}
+
+LayerCost LayerNorm::cost(const Shape& in_shape) const {
+  COMDML_REQUIRE(in_shape.size() == 1 && in_shape[0] == features_,
+                 "layernorm cost expects [" << features_ << "]");
+  LayerCost c;
+  c.flops_forward = 6.0 * static_cast<double>(features_);
+  c.flops_backward = 10.0 * static_cast<double>(features_);
+  c.param_bytes = 2 * features_ * static_cast<int64_t>(sizeof(float));
+  c.out_bytes = features_ * static_cast<int64_t>(sizeof(float));
+  c.out_shape = in_shape;
+  return c;
+}
+
+}  // namespace comdml::nn

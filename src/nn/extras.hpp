@@ -1,0 +1,65 @@
+// Additional layers beyond the ResNet set: max pooling, dropout and layer
+// normalization — enough to assemble the MLP-to-transformer-style models
+// the paper names as supported workloads (§V-A "from MLPs and CNNs to
+// LLMs").
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace comdml::nn {
+
+/// Non-overlapping k x k max pooling on NCHW input (H, W divisible by k).
+class MaxPool2d : public Module {
+ public:
+  explicit MaxPool2d(int64_t kernel);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] LayerCost cost(const Shape& in_shape) const override;
+  [[nodiscard]] std::string kind() const override { return "maxpool"; }
+
+ private:
+  int64_t k_;
+  Shape cached_in_shape_;
+  std::vector<int64_t> cached_argmax_;  ///< flat input index per output
+};
+
+/// Inverted dropout: active only in training mode; eval is the identity.
+class Dropout : public Module {
+ public:
+  Dropout(float rate, uint64_t seed);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] LayerCost cost(const Shape& in_shape) const override;
+  [[nodiscard]] std::string kind() const override { return "dropout"; }
+
+ private:
+  float rate_;
+  Rng rng_;
+  Tensor cached_mask_;
+  bool last_was_training_ = false;
+};
+
+/// Layer normalization over the last axis of [N, F] inputs with learnable
+/// gain/bias (transformer-style).
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(int64_t features, float eps = 1e-5f);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_parameters(std::vector<Parameter*>& out) override;
+  [[nodiscard]] LayerCost cost(const Shape& in_shape) const override;
+  [[nodiscard]] std::string kind() const override { return "layernorm"; }
+
+ private:
+  int64_t features_;
+  float eps_;
+  Parameter gain_;
+  Parameter bias_;
+  Tensor cached_xhat_;
+  Tensor cached_inv_std_;  ///< [N]
+};
+
+}  // namespace comdml::nn

@@ -1,0 +1,61 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+
+namespace comdml::nn {
+
+Tensor softmax(const Tensor& logits) {
+  COMDML_REQUIRE(logits.rank() == 2, "softmax expects [N,C], got "
+                                         << tensor::shape_str(logits.shape()));
+  const int64_t n = logits.dim(0), c = logits.dim(1);
+  Tensor out(logits.shape());
+  auto li = logits.flat();
+  auto oo = out.flat();
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = li.data() + i * c;
+    float* orow = oo.data() + i * c;
+    float mx = row[0];
+    for (int64_t j = 1; j < c; ++j) mx = std::max(mx, row[j]);
+    double denom = 0.0;
+    for (int64_t j = 0; j < c; ++j) {
+      orow[j] = std::exp(row[j] - mx);
+      denom += orow[j];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (int64_t j = 0; j < c; ++j) orow[j] *= inv;
+  }
+  return out;
+}
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 std::span<const int64_t> labels) {
+  COMDML_REQUIRE(logits.rank() == 2, "cross_entropy expects [N,C]");
+  const int64_t n = logits.dim(0), c = logits.dim(1);
+  COMDML_REQUIRE(static_cast<int64_t>(labels.size()) == n,
+                 "cross_entropy: " << labels.size() << " labels for batch "
+                                   << n);
+  LossResult res;
+  res.grad_logits = softmax(logits);
+  auto go = res.grad_logits.flat();
+  double loss = 0.0;
+  int64_t correct = 0;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t y = labels[static_cast<size_t>(i)];
+    COMDML_REQUIRE(y >= 0 && y < c, "label " << y << " out of range [0," << c
+                                             << ")");
+    float* row = go.data() + i * c;
+    loss -= std::log(std::max(row[y], 1e-12f));
+    int64_t pred = 0;
+    for (int64_t j = 1; j < c; ++j)
+      if (row[j] > row[pred]) pred = j;
+    if (pred == y) ++correct;
+    row[y] -= 1.0f;
+    for (int64_t j = 0; j < c; ++j) row[j] *= inv_n;
+  }
+  res.loss = static_cast<float>(loss / static_cast<double>(n));
+  res.accuracy = static_cast<float>(correct) / static_cast<float>(n);
+  return res;
+}
+
+}  // namespace comdml::nn

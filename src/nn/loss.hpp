@@ -1,0 +1,24 @@
+// Softmax cross-entropy loss with gradient, plus accuracy accounting.
+#pragma once
+
+#include <span>
+
+#include "nn/module.hpp"
+
+namespace comdml::nn {
+
+struct LossResult {
+  float loss = 0.0f;      ///< mean negative log-likelihood over the batch
+  float accuracy = 0.0f;  ///< fraction of argmax-correct predictions
+  Tensor grad_logits;     ///< d(mean loss)/d(logits), shape [N, C]
+};
+
+/// Numerically stable softmax cross-entropy on logits [N, C].
+/// Labels must lie in [0, C).
+[[nodiscard]] LossResult softmax_cross_entropy(
+    const Tensor& logits, std::span<const int64_t> labels);
+
+/// Row-wise softmax probabilities (for inspection / calibration tests).
+[[nodiscard]] Tensor softmax(const Tensor& logits);
+
+}  // namespace comdml::nn

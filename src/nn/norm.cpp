@@ -1,0 +1,153 @@
+#include "nn/norm.hpp"
+
+#include <cmath>
+
+namespace comdml::nn {
+
+BatchNorm2d::BatchNorm2d(int64_t channels, float momentum, float eps)
+    : channels_(channels),
+      momentum_(momentum),
+      eps_(eps),
+      gamma_("bn.gamma", Tensor({channels}, 1.0f)),
+      beta_("bn.beta", Tensor({channels})),
+      running_mean_({channels}),
+      running_var_({channels}, 1.0f) {
+  COMDML_CHECK(channels > 0 && momentum > 0.0f && momentum <= 1.0f &&
+               eps > 0.0f);
+}
+
+Tensor BatchNorm2d::forward(const Tensor& x, bool train) {
+  COMDML_REQUIRE(x.rank() == 4 && x.dim(1) == channels_,
+                 "batchnorm: expected [N," << channels_ << ",H,W], got "
+                                           << tensor::shape_str(x.shape()));
+  const int64_t n = x.dim(0), c = channels_, hw = x.dim(2) * x.dim(3);
+  const int64_t per_channel = n * hw;
+  Tensor y(x.shape());
+  const float* xp = x.flat().data();
+  float* yp = y.flat().data();
+  const float* gp = gamma_.value.flat().data();
+  const float* bp = beta_.value.flat().data();
+
+  if (train) {
+    cached_xhat_ = Tensor(x.shape());
+    cached_inv_std_ = Tensor({c});
+    float* xh = cached_xhat_.flat().data();
+    float* is = cached_inv_std_.flat().data();
+    float* rm = running_mean_.flat().data();
+    float* rv = running_var_.flat().data();
+    for (int64_t j = 0; j < c; ++j) {
+      double mean = 0.0, var = 0.0;
+      for (int64_t i = 0; i < n; ++i) {
+        const float* p = xp + (i * c + j) * hw;
+        for (int64_t k = 0; k < hw; ++k) mean += p[k];
+      }
+      mean /= static_cast<double>(per_channel);
+      for (int64_t i = 0; i < n; ++i) {
+        const float* p = xp + (i * c + j) * hw;
+        for (int64_t k = 0; k < hw; ++k) {
+          const double d = p[k] - mean;
+          var += d * d;
+        }
+      }
+      var /= static_cast<double>(per_channel);
+      const float inv_std = 1.0f / std::sqrt(static_cast<float>(var) + eps_);
+      is[j] = inv_std;
+      rm[j] = (1.0f - momentum_) * rm[j] +
+              momentum_ * static_cast<float>(mean);
+      rv[j] = (1.0f - momentum_) * rv[j] + momentum_ * static_cast<float>(var);
+      for (int64_t i = 0; i < n; ++i) {
+        const float* p = xp + (i * c + j) * hw;
+        float* xhp = xh + (i * c + j) * hw;
+        float* yq = yp + (i * c + j) * hw;
+        for (int64_t k = 0; k < hw; ++k) {
+          const float v = (p[k] - static_cast<float>(mean)) * inv_std;
+          xhp[k] = v;
+          yq[k] = gp[j] * v + bp[j];
+        }
+      }
+    }
+  } else {
+    const float* rm = running_mean_.flat().data();
+    const float* rv = running_var_.flat().data();
+    for (int64_t j = 0; j < c; ++j) {
+      const float inv_std = 1.0f / std::sqrt(rv[j] + eps_);
+      for (int64_t i = 0; i < n; ++i) {
+        const float* p = xp + (i * c + j) * hw;
+        float* yq = yp + (i * c + j) * hw;
+        for (int64_t k = 0; k < hw; ++k)
+          yq[k] = gp[j] * (p[k] - rm[j]) * inv_std + bp[j];
+      }
+    }
+  }
+  return y;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_out) {
+  COMDML_CHECK(!cached_xhat_.empty());
+  const Shape& s = cached_xhat_.shape();
+  COMDML_CHECK(grad_out.shape() == s);
+  const int64_t n = s[0], c = s[1], hw = s[2] * s[3];
+  const auto m = static_cast<float>(n * hw);
+
+  Tensor dx(s);
+  const float* gp = grad_out.flat().data();
+  const float* xh = cached_xhat_.flat().data();
+  const float* is = cached_inv_std_.flat().data();
+  const float* gam = gamma_.value.flat().data();
+  float* dxp = dx.flat().data();
+  float* dgam = gamma_.grad.flat().data();
+  float* dbet = beta_.grad.flat().data();
+
+  for (int64_t j = 0; j < c; ++j) {
+    double sum_dy = 0.0, sum_dy_xh = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      const float* g = gp + (i * c + j) * hw;
+      const float* xq = xh + (i * c + j) * hw;
+      for (int64_t k = 0; k < hw; ++k) {
+        sum_dy += g[k];
+        sum_dy_xh += double(g[k]) * xq[k];
+      }
+    }
+    dgam[j] += static_cast<float>(sum_dy_xh);
+    dbet[j] += static_cast<float>(sum_dy);
+    const float a = gam[j] * is[j];
+    const float mean_dy = static_cast<float>(sum_dy) / m;
+    const float mean_dy_xh = static_cast<float>(sum_dy_xh) / m;
+    for (int64_t i = 0; i < n; ++i) {
+      const float* g = gp + (i * c + j) * hw;
+      const float* xq = xh + (i * c + j) * hw;
+      float* d = dxp + (i * c + j) * hw;
+      for (int64_t k = 0; k < hw; ++k)
+        d[k] = a * (g[k] - mean_dy - xq[k] * mean_dy_xh);
+    }
+  }
+  return dx;
+}
+
+void BatchNorm2d::collect_parameters(std::vector<Parameter*>& out) {
+  out.push_back(&gamma_);
+  out.push_back(&beta_);
+}
+
+void BatchNorm2d::collect_state(std::vector<Tensor*>& out) {
+  out.push_back(&gamma_.value);
+  out.push_back(&beta_.value);
+  out.push_back(&running_mean_);
+  out.push_back(&running_var_);
+}
+
+LayerCost BatchNorm2d::cost(const Shape& in_shape) const {
+  COMDML_REQUIRE(in_shape.size() == 3 && in_shape[0] == channels_,
+                 "batchnorm cost: expected [" << channels_ << ",H,W]");
+  LayerCost c;
+  const auto n = static_cast<double>(tensor::shape_size(in_shape));
+  c.flops_forward = 4.0 * n;
+  c.flops_backward = 8.0 * n;
+  c.param_bytes = 2 * channels_ * static_cast<int64_t>(sizeof(float));
+  c.out_bytes =
+      tensor::shape_size(in_shape) * static_cast<int64_t>(sizeof(float));
+  c.out_shape = in_shape;
+  return c;
+}
+
+}  // namespace comdml::nn

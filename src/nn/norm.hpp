@@ -1,0 +1,33 @@
+// Batch normalization over the channel axis of NCHW activations.
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace comdml::nn {
+
+class BatchNorm2d : public Module {
+ public:
+  explicit BatchNorm2d(int64_t channels, float momentum = 0.1f,
+                       float eps = 1e-5f);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_parameters(std::vector<Parameter*>& out) override;
+  void collect_state(std::vector<Tensor*>& out) override;
+  [[nodiscard]] LayerCost cost(const Shape& in_shape) const override;
+  [[nodiscard]] std::string kind() const override { return "batchnorm"; }
+
+ private:
+  int64_t channels_;
+  float momentum_;
+  float eps_;
+  Parameter gamma_;
+  Parameter beta_;
+  Tensor running_mean_;
+  Tensor running_var_;
+  // training-pass caches
+  Tensor cached_xhat_;
+  Tensor cached_inv_std_;  ///< [C]
+};
+
+}  // namespace comdml::nn

@@ -1,0 +1,59 @@
+#include "nn/optimizer.hpp"
+
+namespace comdml::nn {
+
+SGD::SGD(std::vector<Parameter*> params, Options options)
+    : params_(std::move(params)), options_(options) {
+  COMDML_CHECK(options_.lr > 0.0f);
+  COMDML_CHECK(options_.momentum >= 0.0f && options_.momentum < 1.0f);
+  COMDML_CHECK(options_.weight_decay >= 0.0f);
+  velocity_.reserve(params_.size());
+  for (auto* p : params_) {
+    COMDML_CHECK(p != nullptr);
+    velocity_.emplace_back(p->value.shape());
+  }
+}
+
+void SGD::step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Parameter& p = *params_[i];
+    auto v = velocity_[i].flat();
+    auto w = p.value.flat();
+    auto g = p.grad.flat();
+    for (size_t k = 0; k < w.size(); ++k) {
+      const float grad = g[k] + options_.weight_decay * w[k];
+      v[k] = options_.momentum * v[k] - options_.lr * grad;
+      w[k] += v[k];
+    }
+  }
+}
+
+void SGD::zero_grad() {
+  for (auto* p : params_) p->grad.fill(0.0f);
+}
+
+void SGD::set_lr(float lr) {
+  COMDML_CHECK(lr > 0.0f);
+  options_.lr = lr;
+}
+
+PlateauScheduler::PlateauScheduler(float factor, int patience, float min_delta)
+    : factor_(factor), patience_(patience), min_delta_(min_delta) {
+  COMDML_CHECK(factor > 0.0f && factor < 1.0f);
+  COMDML_CHECK(patience > 0);
+}
+
+float PlateauScheduler::observe(float metric) {
+  if (metric > best_ + min_delta_) {
+    best_ = metric;
+    stale_ = 0;
+    return 1.0f;
+  }
+  if (++stale_ >= patience_) {
+    stale_ = 0;
+    return factor_;
+  }
+  return 1.0f;
+}
+
+}  // namespace comdml::nn

@@ -1,0 +1,52 @@
+// SGD with momentum, weight decay and a plateau learning-rate schedule,
+// matching the paper's training recipe (momentum 0.9, eta0 = 1e-3, LR decay
+// on accuracy plateau).
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace comdml::nn {
+
+class SGD {
+ public:
+  struct Options {
+    float lr = 1e-3f;
+    float momentum = 0.9f;
+    float weight_decay = 0.0f;
+  };
+
+  SGD(std::vector<Parameter*> params, Options options);
+
+  /// Apply one update: v <- momentum*v - lr*(g + wd*w); w <- w + v.
+  void step();
+
+  void zero_grad();
+
+  [[nodiscard]] float lr() const noexcept { return options_.lr; }
+  void set_lr(float lr);
+
+ private:
+  std::vector<Parameter*> params_;
+  std::vector<Tensor> velocity_;
+  Options options_;
+};
+
+/// Reduce-on-plateau controller: multiply LR by `factor` when the tracked
+/// metric has not improved by `min_delta` for `patience` observations.
+class PlateauScheduler {
+ public:
+  PlateauScheduler(float factor, int patience, float min_delta = 1e-4f);
+
+  /// Report a new metric value (higher is better); returns the LR multiplier
+  /// to apply this step (1.0 = unchanged, `factor` = decay triggered).
+  [[nodiscard]] float observe(float metric);
+
+ private:
+  float factor_;
+  int patience_;
+  float min_delta_;
+  float best_ = -1e30f;
+  int stale_ = 0;
+};
+
+}  // namespace comdml::nn

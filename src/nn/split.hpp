@@ -1,0 +1,71 @@
+// Local-loss-based split training (paper §III-B).
+//
+// The global model w = (w_s^m, w_f^m) is cut at unit boundary `cut`:
+// the slow agent trains units [0, cut) plus an auxiliary head that supplies
+// the local loss; the fast agent trains units [cut, end) on the slow side's
+// intermediate activations. No gradient crosses the cut, so both sides
+// update in parallel (paper Eqs. 2-3).
+#pragma once
+
+#include <span>
+
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/resnet.hpp"
+
+namespace comdml::nn {
+
+/// Auxiliary network for a slow-side output of shape `feat_shape`
+/// (per-sample): global-average-pool + fully-connected for conv feature
+/// maps, plain fully-connected for flat features (paper §III-B / [4], [15]).
+[[nodiscard]] ModulePtr make_aux_head(const Shape& feat_shape,
+                                      int64_t classes, Rng& rng);
+
+/// Trains one (slow, fast) split of a shared Sequential with local losses.
+/// The same object serves both the real execution mode of the ComDML trainer
+/// and the convergence tests.
+class LocalLossSplitTrainer {
+ public:
+  /// `model` must outlive the trainer. `cut` in [1, model.size()-1]:
+  /// at least one unit on each side.
+  LocalLossSplitTrainer(Sequential& model, size_t cut, const Shape& in_shape,
+                        int64_t classes, Rng& rng, SGD::Options options);
+
+  struct StepStats {
+    float slow_loss = 0.0f;   ///< auxiliary-head local loss (Eq. 2)
+    float fast_loss = 0.0f;   ///< fast-side loss on intermediate input (Eq. 3)
+    float fast_accuracy = 0.0f;
+    int64_t intermediate_bytes = 0;  ///< activation payload crossing the cut
+  };
+
+  /// One parallel update on a batch: slow side w/ aux head, fast side on the
+  /// detached intermediate activations.
+  StepStats train_batch(const Tensor& x, std::span<const int64_t> labels);
+
+  /// Full-model inference (slow prefix + fast suffix), evaluation mode.
+  [[nodiscard]] Tensor infer(const Tensor& x);
+
+  [[nodiscard]] size_t cut() const noexcept { return cut_; }
+  [[nodiscard]] Module& aux_head() { return *aux_; }
+  [[nodiscard]] SGD& slow_optimizer() { return slow_opt_; }
+  [[nodiscard]] SGD& fast_optimizer() { return fast_opt_; }
+
+ private:
+  Sequential& model_;
+  size_t cut_;
+  ModulePtr aux_;
+  SGD slow_opt_;
+  SGD fast_opt_;
+};
+
+/// One conventional (non-split) SGD step on a full model; shared by the
+/// baselines. Returns (loss, accuracy).
+[[nodiscard]] LossResult train_batch_full(Sequential& model, SGD& opt,
+                                          const Tensor& x,
+                                          std::span<const int64_t> labels);
+
+/// Mean argmax accuracy of `model` on (x, labels), evaluation mode.
+[[nodiscard]] float evaluate_accuracy(Sequential& model, const Tensor& x,
+                                      std::span<const int64_t> labels);
+
+}  // namespace comdml::nn

@@ -1,0 +1,70 @@
+#include "privacy/dcor.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace comdml::privacy {
+
+namespace {
+
+/// Pairwise Euclidean distance matrix of a [N, F] view, double-centered.
+std::vector<double> centered_distances(const Tensor& t) {
+  const int64_t n = t.dim(0);
+  const int64_t f = t.size() / n;
+  auto flat = t.flat();
+  std::vector<double> d(static_cast<size_t>(n * n), 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i + 1; j < n; ++j) {
+      double sq = 0.0;
+      const float* a = flat.data() + i * f;
+      const float* b = flat.data() + j * f;
+      for (int64_t k = 0; k < f; ++k) {
+        const double diff = double(a[k]) - b[k];
+        sq += diff * diff;
+      }
+      const double dist = std::sqrt(sq);
+      d[static_cast<size_t>(i * n + j)] = dist;
+      d[static_cast<size_t>(j * n + i)] = dist;
+    }
+  }
+  // Double centering: d_ij - rowmean_i - colmean_j + grandmean.
+  std::vector<double> row(static_cast<size_t>(n), 0.0);
+  double grand = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j)
+      row[static_cast<size_t>(i)] += d[static_cast<size_t>(i * n + j)];
+    grand += row[static_cast<size_t>(i)];
+    row[static_cast<size_t>(i)] /= static_cast<double>(n);
+  }
+  grand /= static_cast<double>(n * n);
+  for (int64_t i = 0; i < n; ++i)
+    for (int64_t j = 0; j < n; ++j)
+      d[static_cast<size_t>(i * n + j)] +=
+          grand - row[static_cast<size_t>(i)] - row[static_cast<size_t>(j)];
+  return d;
+}
+
+}  // namespace
+
+double distance_correlation(const Tensor& x, const Tensor& z) {
+  COMDML_REQUIRE(x.rank() >= 2 && z.rank() >= 2,
+                 "distance_correlation expects batched tensors");
+  COMDML_REQUIRE(x.dim(0) == z.dim(0),
+                 "batch mismatch: " << x.dim(0) << " vs " << z.dim(0));
+  const int64_t n = x.dim(0);
+  COMDML_REQUIRE(n >= 2, "need at least 2 samples");
+  const auto a = centered_distances(x);
+  const auto b = centered_distances(z);
+  double dcov = 0.0, dvar_a = 0.0, dvar_b = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dcov += a[i] * b[i];
+    dvar_a += a[i] * a[i];
+    dvar_b += b[i] * b[i];
+  }
+  const double denom = std::sqrt(dvar_a * dvar_b);
+  if (denom <= 1e-30) return 0.0;
+  const double r2 = dcov / denom;
+  return r2 <= 0.0 ? 0.0 : std::sqrt(r2);
+}
+
+}  // namespace comdml::privacy

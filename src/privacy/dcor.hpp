@@ -1,0 +1,17 @@
+// Distance correlation (Szekely et al.; used by NoPeek [43]) between raw
+// inputs and intermediate activations — the privacy-leakage metric for
+// split training. dCor in [0,1]; 0 = independent, 1 = fully dependent.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace comdml::privacy {
+
+using tensor::Tensor;
+
+/// Sample distance correlation between two batches of vectors. Both
+/// tensors must have the same leading (batch) dimension; trailing
+/// dimensions are flattened. O(N^2) in the batch size.
+[[nodiscard]] double distance_correlation(const Tensor& x, const Tensor& z);
+
+}  // namespace comdml::privacy

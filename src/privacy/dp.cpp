@@ -1,0 +1,44 @@
+#include "privacy/dp.hpp"
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+
+namespace comdml::privacy {
+
+double clip_l2(std::span<Tensor> tensors, float max_norm) {
+  COMDML_CHECK(max_norm > 0.0f);
+  double sq = 0.0;
+  for (const auto& t : tensors)
+    for (const float v : t.flat()) sq += static_cast<double>(v) * v;
+  const double norm = std::sqrt(sq);
+  if (norm <= max_norm) return 1.0;
+  const double scale = max_norm / norm;
+  for (auto& t : tensors)
+    tensor::scale_inplace(t, static_cast<float>(scale));
+  return scale;
+}
+
+void laplace_mechanism(std::span<Tensor> tensors, double epsilon,
+                       double sensitivity, Rng& rng) {
+  COMDML_CHECK(epsilon > 0.0 && sensitivity > 0.0);
+  const auto scale = static_cast<float>(sensitivity / epsilon);
+  for (auto& t : tensors)
+    for (float& v : t.flat()) v += rng.laplace(scale);
+}
+
+double gaussian_sigma(double epsilon, double delta, double sensitivity) {
+  COMDML_CHECK(epsilon > 0.0 && delta > 0.0 && delta < 1.0 &&
+               sensitivity > 0.0);
+  return sensitivity * std::sqrt(2.0 * std::log(1.25 / delta)) / epsilon;
+}
+
+void gaussian_mechanism(std::span<Tensor> tensors, double epsilon,
+                        double delta, double sensitivity, Rng& rng) {
+  const auto sigma =
+      static_cast<float>(gaussian_sigma(epsilon, delta, sensitivity));
+  for (auto& t : tensors)
+    for (float& v : t.flat()) v += rng.normal(0.0f, sigma);
+}
+
+}  // namespace comdml::privacy

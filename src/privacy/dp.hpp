@@ -1,0 +1,30 @@
+// Differential-privacy mechanisms on model parameters (paper §V-B-4 uses
+// Laplace noise with eps = 0.5, delta = 1e-5 before aggregation).
+#pragma once
+
+#include <span>
+
+#include "tensor/random.hpp"
+
+namespace comdml::privacy {
+
+using tensor::Rng;
+using tensor::Tensor;
+
+/// Clip the *global* L2 norm of a tensor list to `max_norm`; returns the
+/// scaling factor applied (1.0 if already within bounds).
+double clip_l2(std::span<Tensor> tensors, float max_norm);
+
+/// Laplace mechanism: adds Laplace(sensitivity / epsilon) noise per element.
+void laplace_mechanism(std::span<Tensor> tensors, double epsilon,
+                       double sensitivity, Rng& rng);
+
+/// Gaussian mechanism: sigma = sensitivity * sqrt(2 ln(1.25/delta)) / eps.
+void gaussian_mechanism(std::span<Tensor> tensors, double epsilon,
+                        double delta, double sensitivity, Rng& rng);
+
+/// Noise scale the Gaussian mechanism will use (exposed for tests).
+[[nodiscard]] double gaussian_sigma(double epsilon, double delta,
+                                    double sensitivity);
+
+}  // namespace comdml::privacy

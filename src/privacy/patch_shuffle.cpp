@@ -1,0 +1,42 @@
+#include "privacy/patch_shuffle.hpp"
+
+#include <numeric>
+
+namespace comdml::privacy {
+
+Tensor patch_shuffle(const Tensor& images, int64_t patch, Rng& rng) {
+  COMDML_REQUIRE(images.rank() == 4, "patch_shuffle expects [N,C,H,W], got "
+                                         << tensor::shape_str(images.shape()));
+  COMDML_CHECK(patch > 0);
+  const int64_t n = images.dim(0), c = images.dim(1), h = images.dim(2),
+                w = images.dim(3);
+  COMDML_REQUIRE(h % patch == 0 && w % patch == 0,
+                 "image " << h << "x" << w << " not divisible into " << patch
+                          << "x" << patch << " patches");
+  const int64_t gh = h / patch, gw = w / patch;
+  const int64_t patches = gh * gw;
+
+  Tensor out(images.shape());
+  auto src = images.flat();
+  auto dst = out.flat();
+  std::vector<int64_t> perm(static_cast<size_t>(patches));
+  for (int64_t i = 0; i < n; ++i) {
+    std::iota(perm.begin(), perm.end(), 0);
+    rng.shuffle(perm);
+    for (int64_t p = 0; p < patches; ++p) {
+      const int64_t q = perm[static_cast<size_t>(p)];
+      const int64_t py = (p / gw) * patch, px = (p % gw) * patch;
+      const int64_t qy = (q / gw) * patch, qx = (q % gw) * patch;
+      for (int64_t ch = 0; ch < c; ++ch) {
+        const int64_t base = (i * c + ch) * h * w;
+        for (int64_t y = 0; y < patch; ++y)
+          for (int64_t x = 0; x < patch; ++x)
+            dst[base + (py + y) * w + (px + x)] =
+                src[base + (qy + y) * w + (qx + x)];
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace comdml::privacy

@@ -1,0 +1,20 @@
+// Patch shuffling on input images (Yao et al. [42]): spatially permutes
+// square patches per sample so intermediate activations no longer reveal
+// the original layout.
+#pragma once
+
+#include "tensor/random.hpp"
+
+namespace comdml::privacy {
+
+using tensor::Rng;
+using tensor::Tensor;
+
+/// Shuffle non-overlapping `patch` x `patch` blocks of every image in a
+/// [N,C,H,W] batch with an independent permutation per sample. H and W must
+/// be divisible by `patch`. The same permutation is applied to all channels
+/// of one sample.
+[[nodiscard]] Tensor patch_shuffle(const Tensor& images, int64_t patch,
+                                   Rng& rng);
+
+}  // namespace comdml::privacy

@@ -1,0 +1,31 @@
+#include "sim/event_queue.hpp"
+
+namespace comdml::sim {
+
+void Simulator::schedule_in(double delay, EventFn fn) {
+  COMDML_REQUIRE(delay >= 0.0, "negative event delay " << delay);
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+void Simulator::schedule_at(double at, EventFn fn) {
+  COMDML_REQUIRE(at >= now_, "event at " << at << " is before now " << now_);
+  COMDML_CHECK(fn != nullptr);
+  queue_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+size_t Simulator::run(double until) {
+  size_t executed = 0;
+  while (!queue_.empty() && queue_.top().time <= until) {
+    // priority_queue::top() is const; move out via const_cast-free copy of
+    // the closure after popping the ordering fields.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ev.fn();
+    ++executed;
+  }
+  if (queue_.empty() && now_ < until && until != kForever) now_ = until;
+  return executed;
+}
+
+}  // namespace comdml::sim

@@ -1,0 +1,60 @@
+// Discrete-event simulation kernel.
+//
+// A minimal but complete DES: events are (time, sequence, closure) tuples in
+// a priority queue; ties break by insertion order so runs are deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "tensor/check.hpp"
+
+namespace comdml::sim {
+
+using EventFn = std::function<void()>;
+
+/// Deterministic discrete-event scheduler.
+class Simulator {
+ public:
+  /// Current simulation time in seconds.
+  [[nodiscard]] double now() const noexcept { return now_; }
+
+  /// Schedule `fn` to run `delay` seconds from now (delay >= 0).
+  void schedule_in(double delay, EventFn fn);
+
+  /// Schedule `fn` at absolute time `at` (must not be in the past).
+  void schedule_at(double at, EventFn fn);
+
+  /// Run events until the queue is empty or `until` is reached
+  /// (events scheduled exactly at `until` are executed).
+  /// Returns the number of events executed.
+  size_t run(double until = kForever);
+
+  /// True if no events remain.
+  [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
+
+  [[nodiscard]] size_t pending() const noexcept { return queue_.size(); }
+
+  static constexpr double kForever = 1e300;
+
+ private:
+  struct Event {
+    double time;
+    uint64_t seq;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  double now_ = 0.0;
+  uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace comdml::sim

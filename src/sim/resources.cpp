@@ -1,0 +1,72 @@
+#include "sim/resources.hpp"
+
+#include <algorithm>
+
+namespace comdml::sim {
+
+const std::vector<double>& standard_cpu_profiles() {
+  static const std::vector<double> kProfiles{4.0, 2.0, 1.0, 0.5, 0.2};
+  return kProfiles;
+}
+
+const std::vector<double>& standard_comm_profiles() {
+  static const std::vector<double> kProfiles{0.0, 10.0, 20.0, 50.0, 100.0};
+  return kProfiles;
+}
+
+std::vector<ResourceProfile> assign_profiles(int64_t agents, Rng& rng,
+                                             bool allow_disconnected) {
+  COMDML_CHECK(agents > 0);
+  const auto& cpus = standard_cpu_profiles();
+  std::vector<double> comms = standard_comm_profiles();
+  if (!allow_disconnected)
+    comms.erase(std::remove(comms.begin(), comms.end(), 0.0), comms.end());
+
+  // Build the profile deck: one entry per (cpu, comm) pairing position so
+  // that each cpu profile and each comm profile covers ~1/|set| of agents.
+  std::vector<ResourceProfile> profiles(static_cast<size_t>(agents));
+  std::vector<int64_t> order(static_cast<size_t>(agents));
+  for (int64_t i = 0; i < agents; ++i) order[static_cast<size_t>(i)] = i;
+  rng.shuffle(order);
+  for (int64_t slot = 0; slot < agents; ++slot) {
+    const auto a = static_cast<size_t>(order[static_cast<size_t>(slot)]);
+    profiles[a].cpu = cpus[static_cast<size_t>(slot) % cpus.size()];
+    // Decouple comm assignment from cpu assignment so all combinations occur.
+    profiles[a].mbps =
+        comms[static_cast<size_t>(rng.below(
+            static_cast<int64_t>(comms.size())))];
+  }
+  return profiles;
+}
+
+void reshuffle_profiles(std::vector<ResourceProfile>& profiles,
+                        double fraction, Rng& rng, bool allow_disconnected) {
+  COMDML_CHECK(fraction >= 0.0 && fraction <= 1.0);
+  if (profiles.empty()) return;
+  const auto& cpus = standard_cpu_profiles();
+  std::vector<double> comms = standard_comm_profiles();
+  if (!allow_disconnected)
+    comms.erase(std::remove(comms.begin(), comms.end(), 0.0), comms.end());
+
+  const auto n = static_cast<int64_t>(profiles.size());
+  const auto redraw = static_cast<int64_t>(fraction * static_cast<double>(n));
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) order[static_cast<size_t>(i)] = i;
+  rng.shuffle(order);
+  for (int64_t i = 0; i < redraw; ++i) {
+    auto& p = profiles[static_cast<size_t>(order[static_cast<size_t>(i)])];
+    p.cpu = cpus[static_cast<size_t>(rng.below(
+        static_cast<int64_t>(cpus.size())))];
+    p.mbps = comms[static_cast<size_t>(rng.below(
+        static_cast<int64_t>(comms.size())))];
+  }
+}
+
+double samples_per_sec(const ResourceProfile& profile,
+                       double flops_per_sample) {
+  COMDML_CHECK(flops_per_sample > 0.0);
+  COMDML_CHECK(profile.cpu > 0.0);
+  return profile.cpu * kReferenceFlopsPerSec / flops_per_sample;
+}
+
+}  // namespace comdml::sim

@@ -1,0 +1,53 @@
+// Heterogeneous agent resource profiles (paper §V-A).
+//
+// The paper simulates agents with CPU profiles {4, 2, 1, 0.5, 0.2} and
+// communication profiles {0, 10, 20, 50, 100} Mbps; 20 % of agents receive
+// each profile, and profiles of 20 % of the agents are re-drawn after round
+// 100 to model dynamic environments.
+#pragma once
+
+#include <vector>
+
+#include "tensor/random.hpp"
+
+namespace comdml::sim {
+
+using tensor::Rng;
+
+/// Compute and uplink capability of one agent.
+struct ResourceProfile {
+  double cpu = 1.0;   ///< relative CPU share (1.0 = reference core)
+  double mbps = 100;  ///< link speed; 0 means disconnected
+
+  [[nodiscard]] bool connected() const noexcept { return mbps > 0.0; }
+};
+
+/// The paper's CPU profile set.
+[[nodiscard]] const std::vector<double>& standard_cpu_profiles();
+
+/// The paper's communication profile set (Mbps; 0 = disconnected).
+[[nodiscard]] const std::vector<double>& standard_comm_profiles();
+
+/// Reference training throughput: FLOP/s an agent with cpu = 1.0 sustains.
+/// Only ratios matter for every reproduced result; the constant pins
+/// absolute numbers to the same order of magnitude as the paper's testbed.
+inline constexpr double kReferenceFlopsPerSec = 1.5e11;
+
+/// Assign one profile per agent, dealing the profile grid round-robin after
+/// a shuffle so each profile covers ~20 % of agents (paper §V-B-2).
+/// Disconnected (0 Mbps) comm profiles are excluded unless
+/// `allow_disconnected` — Table II/III fleets always communicate.
+[[nodiscard]] std::vector<ResourceProfile> assign_profiles(
+    int64_t agents, Rng& rng, bool allow_disconnected = false);
+
+/// Re-draw the profiles of `fraction` of the agents (dynamic environment).
+void reshuffle_profiles(std::vector<ResourceProfile>& profiles,
+                        double fraction, Rng& rng,
+                        bool allow_disconnected = false);
+
+/// Training throughput in samples/sec for a model that costs
+/// `flops_per_sample` (forward+backward) on an agent with `profile`.
+[[nodiscard]] double samples_per_sec(const ResourceProfile& profile,
+                                     double flops_per_sample);
+
+}  // namespace comdml::sim

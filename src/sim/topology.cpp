@@ -1,0 +1,117 @@
+#include "sim/topology.hpp"
+
+#include <algorithm>
+
+namespace comdml::sim {
+
+Topology::Topology(std::vector<ResourceProfile> profiles,
+                   std::vector<std::vector<bool>> adjacency)
+    : profiles_(std::move(profiles)), adjacency_(std::move(adjacency)) {
+  COMDML_CHECK(profiles_.size() == adjacency_.size());
+  for (const auto& row : adjacency_)
+    COMDML_CHECK(row.size() == adjacency_.size());
+}
+
+Topology Topology::full_mesh(const std::vector<ResourceProfile>& profiles) {
+  const size_t k = profiles.size();
+  COMDML_CHECK(k > 0);
+  std::vector<std::vector<bool>> adj(k, std::vector<bool>(k, true));
+  for (size_t i = 0; i < k; ++i) adj[i][i] = false;
+  return Topology(profiles, std::move(adj));
+}
+
+Topology Topology::random_graph(const std::vector<ResourceProfile>& profiles,
+                                double p, Rng& rng) {
+  COMDML_CHECK(p >= 0.0 && p <= 1.0);
+  const size_t k = profiles.size();
+  COMDML_CHECK(k > 0);
+  std::vector<std::vector<bool>> adj(k, std::vector<bool>(k, false));
+  for (size_t i = 0; i < k; ++i)
+    for (size_t j = i + 1; j < k; ++j) {
+      const bool present = rng.uniform() < p;
+      adj[i][j] = present;
+      adj[j][i] = present;
+    }
+  return Topology(profiles, std::move(adj));
+}
+
+Topology Topology::ring(const std::vector<ResourceProfile>& profiles) {
+  const size_t k = profiles.size();
+  COMDML_CHECK(k > 1);
+  std::vector<std::vector<bool>> adj(k, std::vector<bool>(k, false));
+  for (size_t i = 0; i < k; ++i) {
+    const size_t next = (i + 1) % k;
+    adj[i][next] = true;
+    adj[next][i] = true;
+  }
+  return Topology(profiles, std::move(adj));
+}
+
+double Topology::bandwidth_mbps(int64_t i, int64_t j) const {
+  COMDML_CHECK(i >= 0 && i < agents() && j >= 0 && j < agents());
+  if (i == j) return 0.0;
+  if (!adjacency_[static_cast<size_t>(i)][static_cast<size_t>(j)]) return 0.0;
+  return std::min(profiles_[static_cast<size_t>(i)].mbps,
+                  profiles_[static_cast<size_t>(j)].mbps);
+}
+
+std::vector<int64_t> Topology::neighbors(int64_t i) const {
+  std::vector<int64_t> out;
+  for (int64_t j = 0; j < agents(); ++j)
+    if (linked(i, j)) out.push_back(j);
+  return out;
+}
+
+bool Topology::is_connected() const {
+  const int64_t k = agents();
+  std::vector<bool> seen(static_cast<size_t>(k), false);
+  std::vector<int64_t> stack{0};
+  seen[0] = true;
+  int64_t visited = 1;
+  while (!stack.empty()) {
+    const int64_t cur = stack.back();
+    stack.pop_back();
+    for (const int64_t nb : neighbors(cur)) {
+      if (!seen[static_cast<size_t>(nb)]) {
+        seen[static_cast<size_t>(nb)] = true;
+        ++visited;
+        stack.push_back(nb);
+      }
+    }
+  }
+  return visited == k;
+}
+
+double Topology::density() const {
+  const int64_t k = agents();
+  if (k < 2) return 0.0;
+  int64_t present = 0;
+  for (int64_t i = 0; i < k; ++i)
+    for (int64_t j = i + 1; j < k; ++j)
+      if (adjacency_[static_cast<size_t>(i)][static_cast<size_t>(j)])
+        ++present;
+  return static_cast<double>(present) /
+         (static_cast<double>(k) * static_cast<double>(k - 1) / 2.0);
+}
+
+std::optional<double> Topology::min_link_bandwidth() const {
+  std::optional<double> best;
+  for (int64_t i = 0; i < agents(); ++i)
+    for (int64_t j = i + 1; j < agents(); ++j) {
+      const double bw = bandwidth_mbps(i, j);
+      if (bw > 0.0 && (!best || bw < *best)) best = bw;
+    }
+  return best;
+}
+
+const ResourceProfile& Topology::profile(int64_t i) const {
+  COMDML_CHECK(i >= 0 && i < agents());
+  return profiles_[static_cast<size_t>(i)];
+}
+
+void Topology::set_profiles(std::vector<ResourceProfile> profiles) {
+  COMDML_CHECK(profiles.size() == profiles_.size());
+  profiles_ = std::move(profiles);
+}
+
+}  // namespace comdml::sim

@@ -1,0 +1,66 @@
+// Peer-to-peer network topologies (paper §V-B-5: full, random p-connectivity,
+// ring). A link's bandwidth is the minimum of the endpoints' communication
+// profiles; absent links have bandwidth 0.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "sim/resources.hpp"
+
+namespace comdml::sim {
+
+class Topology {
+ public:
+  /// Fully connected graph over the given endpoint profiles.
+  [[nodiscard]] static Topology full_mesh(
+      const std::vector<ResourceProfile>& profiles);
+
+  /// Random graph keeping each possible link with probability `p`
+  /// (paper Fig. 3 uses p = 0.2). Never produces self-links.
+  [[nodiscard]] static Topology random_graph(
+      const std::vector<ResourceProfile>& profiles, double p, Rng& rng);
+
+  /// Ring: agent i connects to (i±1) mod K.
+  [[nodiscard]] static Topology ring(
+      const std::vector<ResourceProfile>& profiles);
+
+  [[nodiscard]] int64_t agents() const noexcept {
+    return static_cast<int64_t>(adjacency_.size());
+  }
+
+  /// Link bandwidth in Mbps; 0 if no usable link (absent edge or a
+  /// disconnected endpoint).
+  [[nodiscard]] double bandwidth_mbps(int64_t i, int64_t j) const;
+
+  [[nodiscard]] bool linked(int64_t i, int64_t j) const {
+    return bandwidth_mbps(i, j) > 0.0;
+  }
+
+  /// Agents j with a usable link to i, ascending order.
+  [[nodiscard]] std::vector<int64_t> neighbors(int64_t i) const;
+
+  /// True if every agent can reach every other over usable links.
+  [[nodiscard]] bool is_connected() const;
+
+  /// Fraction of possible (i<j) links present.
+  [[nodiscard]] double density() const;
+
+  /// Smallest positive link bandwidth in the graph (for collective-cost
+  /// bottleneck models); nullopt if the graph has no usable link.
+  [[nodiscard]] std::optional<double> min_link_bandwidth() const;
+
+  [[nodiscard]] const ResourceProfile& profile(int64_t i) const;
+
+  /// Replace the endpoint profiles (dynamic environments); adjacency keeps.
+  void set_profiles(std::vector<ResourceProfile> profiles);
+
+ private:
+  Topology(std::vector<ResourceProfile> profiles,
+           std::vector<std::vector<bool>> adjacency);
+
+  std::vector<ResourceProfile> profiles_;
+  std::vector<std::vector<bool>> adjacency_;
+};
+
+}  // namespace comdml::sim

@@ -1,0 +1,43 @@
+// Error-checking macros used at API boundaries across the library.
+//
+// COMDML_CHECK   — always-on precondition check; throws std::invalid_argument.
+// COMDML_REQUIRE — always-on check with a custom message stream.
+// COMDML_DCHECK  — debug-only assertion for hot paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace comdml::detail {
+
+[[noreturn]] inline void fail_check(const char* expr, const char* file,
+                                    int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "COMDML_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+}  // namespace comdml::detail
+
+#define COMDML_CHECK(expr)                                              \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::comdml::detail::fail_check(#expr, __FILE__, __LINE__, "");      \
+  } while (false)
+
+#define COMDML_REQUIRE(expr, msg)                                       \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      std::ostringstream os_;                                           \
+      os_ << msg; /* NOLINT */                                          \
+      ::comdml::detail::fail_check(#expr, __FILE__, __LINE__, os_.str()); \
+    }                                                                   \
+  } while (false)
+
+#ifdef NDEBUG
+#define COMDML_DCHECK(expr) ((void)0)
+#else
+#define COMDML_DCHECK(expr) COMDML_CHECK(expr)
+#endif

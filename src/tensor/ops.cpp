@@ -1,0 +1,198 @@
+#include "tensor/ops.hpp"
+
+#include <cmath>
+
+namespace comdml::tensor {
+
+namespace {
+
+void require_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+  COMDML_REQUIRE(a.shape() == b.shape(),
+                 op << ": shape mismatch " << shape_str(a.shape()) << " vs "
+                    << shape_str(b.shape()));
+}
+
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  require_same_shape(a, b, "add");
+  Tensor out(a.shape());
+  auto ao = a.flat(), bo = b.flat();
+  auto oo = out.flat();
+  for (size_t i = 0; i < oo.size(); ++i) oo[i] = ao[i] + bo[i];
+  return out;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  require_same_shape(a, b, "sub");
+  Tensor out(a.shape());
+  auto ao = a.flat(), bo = b.flat();
+  auto oo = out.flat();
+  for (size_t i = 0; i < oo.size(); ++i) oo[i] = ao[i] - bo[i];
+  return out;
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  require_same_shape(a, b, "mul");
+  Tensor out(a.shape());
+  auto ao = a.flat(), bo = b.flat();
+  auto oo = out.flat();
+  for (size_t i = 0; i < oo.size(); ++i) oo[i] = ao[i] * bo[i];
+  return out;
+}
+
+Tensor scale(const Tensor& a, float s) {
+  Tensor out(a.shape());
+  auto ao = a.flat();
+  auto oo = out.flat();
+  for (size_t i = 0; i < oo.size(); ++i) oo[i] = ao[i] * s;
+  return out;
+}
+
+void axpy(float alpha, const Tensor& x, Tensor& y) {
+  require_same_shape(x, y, "axpy");
+  auto xo = x.flat();
+  auto yo = y.flat();
+  for (size_t i = 0; i < yo.size(); ++i) yo[i] += alpha * xo[i];
+}
+
+void scale_inplace(Tensor& y, float s) {
+  for (float& v : y.flat()) v *= s;
+}
+
+float sum(const Tensor& a) {
+  double acc = 0.0;
+  for (float v : a.flat()) acc += v;
+  return static_cast<float>(acc);
+}
+
+float mean(const Tensor& a) {
+  COMDML_CHECK(a.size() > 0);
+  return sum(a) / static_cast<float>(a.size());
+}
+
+float max_abs(const Tensor& a) {
+  float m = 0.0f;
+  for (float v : a.flat()) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+float l2_norm(const Tensor& a) {
+  double acc = 0.0;
+  for (float v : a.flat()) acc += static_cast<double>(v) * v;
+  return static_cast<float>(std::sqrt(acc));
+}
+
+int64_t argmax(const Tensor& a) {
+  COMDML_CHECK(a.size() > 0);
+  auto flat = a.flat();
+  int64_t best = 0;
+  for (int64_t i = 1; i < a.size(); ++i) {
+    if (flat[static_cast<size_t>(i)] > flat[static_cast<size_t>(best)])
+      best = i;
+  }
+  return best;
+}
+
+std::vector<int64_t> argmax_rows(const Tensor& a) {
+  COMDML_REQUIRE(a.rank() == 2, "argmax_rows expects rank-2, got "
+                                    << shape_str(a.shape()));
+  const int64_t n = a.dim(0), c = a.dim(1);
+  std::vector<int64_t> out(static_cast<size_t>(n));
+  auto flat = a.flat();
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t best = 0;
+    const float* row = flat.data() + i * c;
+    for (int64_t j = 1; j < c; ++j)
+      if (row[j] > row[best]) best = j;
+    out[static_cast<size_t>(i)] = best;
+  }
+  return out;
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  COMDML_REQUIRE(a.rank() == 2 && b.rank() == 2 && a.dim(1) == b.dim(0),
+                 "matmul: incompatible " << shape_str(a.shape()) << " @ "
+                                         << shape_str(b.shape()));
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor out({m, n});
+  const float* ap = a.flat().data();
+  const float* bp = b.flat().data();
+  float* op = out.flat().data();
+  // i-k-j loop order keeps the inner loop contiguous over B and C rows.
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float av = ap[i * k + kk];
+      if (av == 0.0f) continue;
+      const float* brow = bp + kk * n;
+      float* orow = op + i * n;
+      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  COMDML_REQUIRE(a.rank() == 2 && b.rank() == 2 && a.dim(0) == b.dim(0),
+                 "matmul_tn: incompatible " << shape_str(a.shape()) << " @ "
+                                            << shape_str(b.shape()));
+  const int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  Tensor out({m, n});
+  const float* ap = a.flat().data();
+  const float* bp = b.flat().data();
+  float* op = out.flat().data();
+  for (int64_t kk = 0; kk < k; ++kk) {
+    const float* arow = ap + kk * m;
+    const float* brow = bp + kk * n;
+    for (int64_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* orow = op + i * n;
+      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  COMDML_REQUIRE(a.rank() == 2 && b.rank() == 2 && a.dim(1) == b.dim(1),
+                 "matmul_nt: incompatible " << shape_str(a.shape()) << " @ "
+                                            << shape_str(b.shape()));
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  Tensor out({m, n});
+  const float* ap = a.flat().data();
+  const float* bp = b.flat().data();
+  float* op = out.flat().data();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = ap + i * k;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = bp + j * k;
+      double acc = 0.0;
+      for (int64_t kk = 0; kk < k; ++kk) acc += double(arow[kk]) * brow[kk];
+      op[i * n + j] = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+Tensor transpose2d(const Tensor& a) {
+  COMDML_REQUIRE(a.rank() == 2, "transpose2d expects rank-2, got "
+                                    << shape_str(a.shape()));
+  const int64_t m = a.dim(0), n = a.dim(1);
+  Tensor out({n, m});
+  auto ai = a.flat();
+  auto oo = out.flat();
+  for (int64_t i = 0; i < m; ++i)
+    for (int64_t j = 0; j < n; ++j) oo[j * m + i] = ai[i * n + j];
+  return out;
+}
+
+bool allclose(const Tensor& a, const Tensor& b, float atol) {
+  if (a.shape() != b.shape()) return false;
+  auto ao = a.flat(), bo = b.flat();
+  for (size_t i = 0; i < ao.size(); ++i)
+    if (std::fabs(ao[i] - bo[i]) > atol) return false;
+  return true;
+}
+
+}  // namespace comdml::tensor

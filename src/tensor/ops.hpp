@@ -1,0 +1,61 @@
+// Elementwise, reduction and linear-algebra kernels on Tensor.
+//
+// All binary elementwise ops require identical shapes (no implicit
+// broadcasting; the nn layer code is explicit about every expansion).
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace comdml::tensor {
+
+// ---- elementwise -----------------------------------------------------------
+
+[[nodiscard]] Tensor add(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor sub(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor mul(const Tensor& a, const Tensor& b);
+
+/// out = a * s
+[[nodiscard]] Tensor scale(const Tensor& a, float s);
+
+/// y += alpha * x  (shapes must match)
+void axpy(float alpha, const Tensor& x, Tensor& y);
+
+/// In-place y *= s.
+void scale_inplace(Tensor& y, float s);
+
+// ---- reductions ------------------------------------------------------------
+
+[[nodiscard]] float sum(const Tensor& a);
+[[nodiscard]] float mean(const Tensor& a);
+[[nodiscard]] float max_abs(const Tensor& a);
+
+/// L2 norm of the flattened tensor.
+[[nodiscard]] float l2_norm(const Tensor& a);
+
+/// Index of the maximum element of a rank-1 tensor (ties -> lowest index).
+[[nodiscard]] int64_t argmax(const Tensor& a);
+
+/// Row-wise argmax of a rank-2 tensor [N, C] -> N indices.
+[[nodiscard]] std::vector<int64_t> argmax_rows(const Tensor& a);
+
+// ---- linear algebra --------------------------------------------------------
+
+/// C[M,N] = A[M,K] @ B[K,N]
+[[nodiscard]] Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// C[M,N] = A^T[M,K] @ B[K,N] where A is stored [K,M].
+[[nodiscard]] Tensor matmul_tn(const Tensor& a, const Tensor& b);
+
+/// C[M,N] = A[M,K] @ B^T[K,N] where B is stored [N,K].
+[[nodiscard]] Tensor matmul_nt(const Tensor& a, const Tensor& b);
+
+/// Transpose of a rank-2 tensor.
+[[nodiscard]] Tensor transpose2d(const Tensor& a);
+
+// ---- comparisons -----------------------------------------------------------
+
+/// True if same shape and all elements within `atol`.
+[[nodiscard]] bool allclose(const Tensor& a, const Tensor& b,
+                            float atol = 1e-5f);
+
+}  // namespace comdml::tensor

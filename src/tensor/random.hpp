@@ -1,0 +1,53 @@
+// Deterministic random number generation for the whole library.
+//
+// Every stochastic component takes an explicit Rng (or seed); nothing reads
+// global entropy, so all tests, examples and benches are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "tensor/tensor.hpp"
+
+namespace comdml::tensor {
+
+/// Thin seedable wrapper around std::mt19937_64 with tensor-filling helpers.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform in [lo, hi).
+  [[nodiscard]] float uniform(float lo = 0.0f, float hi = 1.0f);
+
+  /// Standard normal times `stddev`, shifted by `mean`.
+  [[nodiscard]] float normal(float mean = 0.0f, float stddev = 1.0f);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  [[nodiscard]] int64_t below(int64_t n);
+
+  /// Laplace(0, scale) sample (used by the DP mechanism).
+  [[nodiscard]] float laplace(float scale);
+
+  /// Sample from a Dirichlet distribution with symmetric concentration
+  /// `alpha` over `k` categories.
+  [[nodiscard]] std::vector<double> dirichlet(double alpha, size_t k);
+
+  /// Fisher-Yates shuffle of an index vector.
+  void shuffle(std::vector<int64_t>& v);
+
+  [[nodiscard]] Tensor normal_tensor(Shape shape, float mean, float stddev);
+  [[nodiscard]] Tensor uniform_tensor(Shape shape, float lo, float hi);
+
+  /// Kaiming/He normal initialisation: stddev = sqrt(2 / fan_in).
+  [[nodiscard]] Tensor he_normal(Shape shape, int64_t fan_in);
+
+  /// Derive an independent child generator (stable split for per-agent RNGs).
+  [[nodiscard]] Rng fork();
+
+  [[nodiscard]] std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace comdml::tensor

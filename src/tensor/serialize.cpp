@@ -1,0 +1,85 @@
+#include "tensor/serialize.hpp"
+
+#include <cstring>
+
+namespace comdml::tensor {
+
+namespace {
+
+template <typename T>
+void append_raw(std::vector<uint8_t>& out, const T& value) {
+  const auto* p = reinterpret_cast<const uint8_t*>(&value);
+  out.insert(out.end(), p, p + sizeof(T));
+}
+
+template <typename T>
+T read_raw(const std::vector<uint8_t>& bytes, size_t& offset) {
+  COMDML_REQUIRE(offset + sizeof(T) <= bytes.size(),
+                 "truncated tensor wire data at offset " << offset);
+  T value;
+  std::memcpy(&value, bytes.data() + offset, sizeof(T));
+  offset += sizeof(T);
+  return value;
+}
+
+}  // namespace
+
+std::vector<uint8_t> to_bytes(const Tensor& t) {
+  std::vector<uint8_t> out;
+  out.reserve(sizeof(uint32_t) + t.rank() * sizeof(int64_t) +
+              static_cast<size_t>(t.nbytes()));
+  append_raw(out, static_cast<uint32_t>(t.rank()));
+  for (size_t i = 0; i < t.rank(); ++i) append_raw(out, t.dim(i));
+  const auto flat = t.flat();
+  const auto* p = reinterpret_cast<const uint8_t*>(flat.data());
+  out.insert(out.end(), p, p + flat.size() * sizeof(float));
+  return out;
+}
+
+Tensor from_bytes(const std::vector<uint8_t>& bytes, size_t& offset) {
+  const auto rank = read_raw<uint32_t>(bytes, offset);
+  COMDML_REQUIRE(rank <= 8, "implausible tensor rank " << rank);
+  Shape shape(rank);
+  for (auto& d : shape) d = read_raw<int64_t>(bytes, offset);
+  const int64_t n = shape_size(shape);
+  COMDML_REQUIRE(offset + static_cast<size_t>(n) * sizeof(float) <=
+                     bytes.size(),
+                 "truncated tensor payload");
+  std::vector<float> data(static_cast<size_t>(n));
+  std::memcpy(data.data(), bytes.data() + offset,
+              static_cast<size_t>(n) * sizeof(float));
+  offset += static_cast<size_t>(n) * sizeof(float);
+  return Tensor(std::move(shape), std::move(data));
+}
+
+std::vector<uint8_t> pack_tensors(const std::vector<Tensor>& ts) {
+  std::vector<uint8_t> out;
+  append_raw(out, static_cast<uint32_t>(ts.size()));
+  for (const auto& t : ts) {
+    const auto one = to_bytes(t);
+    out.insert(out.end(), one.begin(), one.end());
+  }
+  return out;
+}
+
+std::vector<Tensor> unpack_tensors(const std::vector<uint8_t>& bytes) {
+  size_t offset = 0;
+  const auto count = read_raw<uint32_t>(bytes, offset);
+  std::vector<Tensor> out;
+  out.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) out.push_back(from_bytes(bytes, offset));
+  COMDML_REQUIRE(offset == bytes.size(),
+                 "trailing bytes after tensor pack: " << bytes.size() - offset);
+  return out;
+}
+
+int64_t wire_bytes(const std::vector<Tensor>& ts) {
+  int64_t total = static_cast<int64_t>(sizeof(uint32_t));
+  for (const auto& t : ts) {
+    total += static_cast<int64_t>(sizeof(uint32_t)) +
+             static_cast<int64_t>(t.rank() * sizeof(int64_t)) + t.nbytes();
+  }
+  return total;
+}
+
+}  // namespace comdml::tensor

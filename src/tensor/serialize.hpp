@@ -1,0 +1,32 @@
+// Byte-level (de)serialization of tensors and parameter sets.
+//
+// Used by the communication substrate so that "sending a model" moves real
+// bytes whose count matches what the timing model charges for.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace comdml::tensor {
+
+/// Serialized wire format: [rank u32][dims i64...][payload f32...].
+[[nodiscard]] std::vector<uint8_t> to_bytes(const Tensor& t);
+
+/// Parse one tensor from `bytes` starting at `offset`; advances `offset`.
+/// Throws std::invalid_argument on truncated or malformed input.
+[[nodiscard]] Tensor from_bytes(const std::vector<uint8_t>& bytes,
+                                size_t& offset);
+
+/// Serialize a whole parameter list (e.g. a model snapshot).
+[[nodiscard]] std::vector<uint8_t> pack_tensors(const std::vector<Tensor>& ts);
+
+/// Inverse of pack_tensors.
+[[nodiscard]] std::vector<Tensor> unpack_tensors(
+    const std::vector<uint8_t>& bytes);
+
+/// Total payload bytes a tensor list occupies on the wire.
+[[nodiscard]] int64_t wire_bytes(const std::vector<Tensor>& ts);
+
+}  // namespace comdml::tensor

@@ -1,0 +1,100 @@
+// Dense float32 tensor value type used throughout ComDML.
+//
+// Design notes (C++ Core Guidelines):
+//  - Tensor is a regular value type (copyable, movable, equality-comparable);
+//    all invariants (shape/size consistency) are established in constructors.
+//  - No raw owning pointers; storage is std::vector<float>.
+//  - Bounds are checked on the `at(...)` accessors; the flat `operator[]`
+//    is checked in debug builds only (hot loops use spans).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tensor/check.hpp"
+
+namespace comdml::tensor {
+
+/// Shape of a tensor, outermost dimension first (e.g. {N, C, H, W}).
+using Shape = std::vector<int64_t>;
+
+/// Number of elements implied by a shape. Throws on negative extents.
+[[nodiscard]] int64_t shape_size(const Shape& shape);
+
+/// Human-readable form such as "[2, 3, 4]".
+[[nodiscard]] std::string shape_str(const Shape& shape);
+
+/// Dense row-major float32 tensor.
+class Tensor {
+ public:
+  /// Empty tensor (rank 0, zero elements).
+  Tensor() = default;
+
+  /// Zero-filled tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// Constant-filled tensor of the given shape.
+  Tensor(Shape shape, float fill);
+
+  /// Tensor adopting `data`; `data.size()` must equal `shape_size(shape)`.
+  Tensor(Shape shape, std::vector<float> data);
+
+  /// Rank-1 tensor from a braced list: Tensor::of({1.f, 2.f, 3.f}).
+  [[nodiscard]] static Tensor of(std::initializer_list<float> values);
+
+  /// Rank-0-like scalar (shape {1}).
+  [[nodiscard]] static Tensor scalar(float value);
+
+  [[nodiscard]] const Shape& shape() const noexcept { return shape_; }
+  [[nodiscard]] size_t rank() const noexcept { return shape_.size(); }
+  [[nodiscard]] int64_t size() const noexcept {
+    return static_cast<int64_t>(data_.size());
+  }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  /// Extent of one axis; throws if `axis` is out of range.
+  [[nodiscard]] int64_t dim(size_t axis) const;
+
+  [[nodiscard]] std::span<float> flat() noexcept { return data_; }
+  [[nodiscard]] std::span<const float> flat() const noexcept { return data_; }
+
+  /// Unchecked-in-release flat element access.
+  [[nodiscard]] float& operator[](int64_t i) {
+    COMDML_DCHECK(i >= 0 && i < size());
+    return data_[static_cast<size_t>(i)];
+  }
+  [[nodiscard]] float operator[](int64_t i) const {
+    COMDML_DCHECK(i >= 0 && i < size());
+    return data_[static_cast<size_t>(i)];
+  }
+
+  /// Bounds-checked multi-dimensional access.
+  [[nodiscard]] float& at(std::initializer_list<int64_t> idx);
+  [[nodiscard]] float at(std::initializer_list<int64_t> idx) const;
+
+  /// Row-major offset of a multi-index; bounds-checked.
+  [[nodiscard]] int64_t offset(std::initializer_list<int64_t> idx) const;
+
+  /// Same data, new shape; element counts must match.
+  [[nodiscard]] Tensor reshaped(Shape new_shape) const;
+
+  void fill(float value);
+
+  /// Bytes occupied by the payload (float32 elements).
+  [[nodiscard]] int64_t nbytes() const noexcept {
+    return size() * static_cast<int64_t>(sizeof(float));
+  }
+
+  friend bool operator==(const Tensor& a, const Tensor& b) {
+    return a.shape_ == b.shape_ && a.data_ == b.data_;
+  }
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace comdml::tensor

@@ -1,0 +1,233 @@
+// Communication substrate tests: transfer-time model, AllReduce cost model
+// vs real message-level execution (ring and halving/doubling, including
+// non-power-of-two fleets), gossip exchange, parameter-server sharing.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "comm/allreduce.hpp"
+#include "comm/gossip.hpp"
+#include "comm/param_server.hpp"
+#include "tensor/ops.hpp"
+
+namespace comdml::comm {
+namespace {
+
+using sim::ResourceProfile;
+using sim::Topology;
+using tensor::Rng;
+using tensor::Tensor;
+
+// ---- link -----------------------------------------------------------------------
+
+TEST(Link, TransferTimeIsLatencyPlusPayload) {
+  // 1 MB over 8 Mbps = 1 second + latency.
+  EXPECT_NEAR(transfer_seconds(1'000'000, 8.0, 0.005), 1.005, 1e-9);
+}
+
+TEST(Link, ZeroBytesStillPaysLatency) {
+  EXPECT_DOUBLE_EQ(transfer_seconds(0, 10.0, 0.005), 0.005);
+}
+
+TEST(Link, UnusableLinkThrows) {
+  EXPECT_THROW((void)transfer_seconds(100, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)bytes_per_sec(-5.0), std::invalid_argument);
+}
+
+// ---- allreduce cost model ----------------------------------------------------------
+
+TEST(AllReduceCost, SingleAgentIsFree) {
+  const auto c = allreduce_cost(1, 1'000'000, 100.0);
+  EXPECT_DOUBLE_EQ(c.seconds, 0.0);
+  EXPECT_EQ(c.steps, 0);
+}
+
+TEST(AllReduceCost, BothAlgorithmsBandwidthOptimal) {
+  const int64_t b = 4'000'000;
+  const auto ring = allreduce_cost(8, b, 100.0, AllReduceAlgo::kRing);
+  const auto hd =
+      allreduce_cost(8, b, 100.0, AllReduceAlgo::kHalvingDoubling);
+  EXPECT_EQ(ring.bytes_per_agent, hd.bytes_per_agent);
+  EXPECT_EQ(ring.bytes_per_agent, 2 * (8 - 1) * b / 8);
+}
+
+TEST(AllReduceCost, HalvingDoublingFewerStepsAtScale) {
+  const auto ring = allreduce_cost(64, 1'000, 100.0, AllReduceAlgo::kRing);
+  const auto hd =
+      allreduce_cost(64, 1'000, 100.0, AllReduceAlgo::kHalvingDoubling);
+  EXPECT_EQ(ring.steps, 2 * 63);
+  EXPECT_EQ(hd.steps, 2 * 6);
+  EXPECT_LT(hd.seconds, ring.seconds);  // latency dominates for tiny models
+}
+
+TEST(AllReduceCost, NonPowerOfTwoPaysExtra) {
+  const auto p2 = allreduce_cost(8, 1'000'000, 100.0);
+  const auto np2 = allreduce_cost(9, 1'000'000, 100.0);
+  EXPECT_GT(np2.bytes_per_agent, p2.bytes_per_agent);
+  EXPECT_EQ(np2.steps, 2 * 3 + 2);
+}
+
+// ---- allreduce execution ------------------------------------------------------------
+
+std::vector<std::vector<Tensor>> random_states(size_t k, Rng& rng) {
+  std::vector<std::vector<Tensor>> states;
+  for (size_t a = 0; a < k; ++a) {
+    std::vector<Tensor> s;
+    s.push_back(rng.normal_tensor({3, 4}, 0, 1));
+    s.push_back(rng.normal_tensor({7}, 0, 1));
+    states.push_back(std::move(s));
+  }
+  return states;
+}
+
+class AllReduceExecP
+    : public ::testing::TestWithParam<std::tuple<int, AllReduceAlgo>> {};
+
+TEST_P(AllReduceExecP, ComputesExactMean) {
+  const auto [k, algo] = GetParam();
+  Rng rng(1000 + k);
+  auto states = random_states(static_cast<size_t>(k), rng);
+  const auto expected = mean_state(states);
+  (void)allreduce_average(states, algo);
+  for (int a = 0; a < k; ++a)
+    for (size_t t = 0; t < expected.size(); ++t)
+      EXPECT_TRUE(tensor::allclose(states[static_cast<size_t>(a)][t],
+                                   expected[t], 1e-5f))
+          << "agent " << a << " tensor " << t;
+}
+
+TEST_P(AllReduceExecP, TrafficMatchesCostModel) {
+  const auto [k, algo] = GetParam();
+  Rng rng(2000 + k);
+  auto states = random_states(static_cast<size_t>(k), rng);
+  int64_t payload = 0;
+  for (const auto& t : states[0]) payload += t.nbytes();
+  const auto trace = allreduce_average(states, algo);
+  const auto cost = allreduce_cost(k, payload, 100.0, algo);
+  // Mean per-agent traffic equals the model's 2(K-1)/K * b (+ fold-in for
+  // non-power-of-two halving/doubling; the model charges that to every
+  // agent, the execution splits it between extras and partners).
+  const double mean_sent =
+      std::accumulate(trace.bytes_sent.begin(), trace.bytes_sent.end(),
+                      0.0) /
+      static_cast<double>(k);
+  const double expected =
+      2.0 * static_cast<double>(k - 1) / k * static_cast<double>(payload);
+  EXPECT_NEAR(mean_sent, expected, static_cast<double>(payload))
+      << "k=" << k;
+  if (algo == AllReduceAlgo::kHalvingDoubling && (k & (k - 1)) == 0) {
+    EXPECT_EQ(trace.steps, cost.steps);
+  }
+  if (algo == AllReduceAlgo::kRing && k > 1) {
+    EXPECT_EQ(trace.steps, cost.steps);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FleetSizes, AllReduceExecP,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 7, 8, 12, 16),
+                       ::testing::Values(AllReduceAlgo::kRing,
+                                         AllReduceAlgo::kHalvingDoubling)));
+
+TEST(AllReduceExec, RejectsMismatchedStates) {
+  Rng rng(1);
+  auto states = random_states(3, rng);
+  states[1].pop_back();
+  EXPECT_THROW((void)allreduce_average(states), std::invalid_argument);
+}
+
+TEST(MeanState, WeightedMeanMatchesManual) {
+  std::vector<std::vector<Tensor>> states{{Tensor::of({1.f})},
+                                          {Tensor::of({5.f})}};
+  const auto avg = weighted_mean_state(states, {3.0, 1.0});
+  EXPECT_NEAR(avg[0][0], 2.0f, 1e-6);
+}
+
+TEST(MeanState, ZeroWeightsThrow) {
+  std::vector<std::vector<Tensor>> states{{Tensor::of({1.f})}};
+  EXPECT_THROW((void)weighted_mean_state(states, {0.0}),
+               std::invalid_argument);
+}
+
+// ---- gossip --------------------------------------------------------------------------
+
+TEST(Gossip, PartnersAreNeighbors) {
+  Rng rng(2);
+  std::vector<ResourceProfile> profiles(6, {1.0, 100.0});
+  const auto topo = Topology::ring(profiles);
+  const auto partners = gossip_partners(topo, rng);
+  for (int64_t i = 0; i < 6; ++i) {
+    ASSERT_TRUE(partners[static_cast<size_t>(i)].has_value());
+    EXPECT_TRUE(topo.linked(i, *partners[static_cast<size_t>(i)]));
+  }
+}
+
+TEST(Gossip, IsolatedAgentHasNoPartner) {
+  Rng rng(3);
+  std::vector<ResourceProfile> profiles{{1, 100}, {1, 100}, {1, 0}};
+  const auto topo = Topology::full_mesh(profiles);
+  const auto partners = gossip_partners(topo, rng);
+  EXPECT_FALSE(partners[2].has_value());
+}
+
+TEST(Gossip, ExchangeMovesStatesToward) {
+  Rng rng(4);
+  std::vector<ResourceProfile> profiles(2, {1.0, 100.0});
+  const auto topo = Topology::full_mesh(profiles);
+  std::vector<std::vector<Tensor>> states{{Tensor::of({0.f})},
+                                          {Tensor::of({10.f})}};
+  (void)gossip_exchange(states, topo, 1000, rng);
+  // Both agents push to each other (2-agent full mesh), so both average.
+  EXPECT_NEAR(states[0][0][0], 5.0f, 1e-5);
+  EXPECT_NEAR(states[1][0][0], 5.0f, 1e-5);
+}
+
+TEST(Gossip, RepeatedExchangeConverges) {
+  Rng rng(5);
+  std::vector<ResourceProfile> profiles(8, {1.0, 100.0});
+  const auto topo = Topology::full_mesh(profiles);
+  std::vector<std::vector<Tensor>> states;
+  for (int a = 0; a < 8; ++a)
+    states.push_back({Tensor::of({static_cast<float>(a)})});
+  for (int round = 0; round < 60; ++round)
+    (void)gossip_exchange(states, topo, 1000, rng);
+  for (int a = 0; a < 8; ++a)
+    EXPECT_NEAR(states[static_cast<size_t>(a)][0][0], 3.5f, 0.8f);
+}
+
+TEST(Gossip, CostUsesChosenLink) {
+  Rng rng(6);
+  std::vector<ResourceProfile> profiles(2, {1.0, 10.0});
+  const auto topo = Topology::full_mesh(profiles);
+  const auto times = gossip_exchange_cost(topo, 1'250'000, rng);
+  // 1.25 MB over 10 Mbps = 1 s (+5 ms latency).
+  EXPECT_NEAR(times[0], 1.005, 1e-6);
+}
+
+// ---- parameter server -----------------------------------------------------------------
+
+TEST(ParamServer, SharesServerBandwidth) {
+  std::vector<ResourceProfile> profiles(10, {1.0, 100.0});
+  std::vector<int64_t> selected(10);
+  std::iota(selected.begin(), selected.end(), 0);
+  ParamServerConfig config;
+  config.server_mbps = 100.0;  // 10 agents share 100 Mbps -> 10 Mbps each
+  const auto times = server_round_times(profiles, selected, 1'250'000,
+                                        config);
+  for (const double t : times) EXPECT_NEAR(t, 2.0 * 1.005, 1e-6);
+}
+
+TEST(ParamServer, AgentLinkCanBeBottleneck) {
+  std::vector<ResourceProfile> profiles{{1.0, 10.0}};
+  const auto times = server_round_times(profiles, {0}, 1'250'000, {});
+  EXPECT_NEAR(times[0], 2.0 * 1.005, 1e-6);  // limited by the 10 Mbps uplink
+}
+
+TEST(ParamServer, DisconnectedAgentThrows) {
+  std::vector<ResourceProfile> profiles{{1.0, 0.0}};
+  EXPECT_THROW((void)server_round_times(profiles, {0}, 100, {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace comdml::comm

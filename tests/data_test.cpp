@@ -1,0 +1,263 @@
+// Data substrate tests: dataset validation, synthetic generators, IID and
+// Dirichlet partitioning, batching.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "data/batcher.hpp"
+#include "data/partition.hpp"
+#include "data/synthetic.hpp"
+#include "tensor/ops.hpp"
+
+namespace comdml::data {
+namespace {
+
+using tensor::Rng;
+
+// ---- dataset ----------------------------------------------------------------
+
+TEST(Dataset, ValidateAcceptsConsistent) {
+  Rng rng(1);
+  const Dataset ds = make_blobs(10, 2, 4, 0.1f, rng);
+  EXPECT_NO_THROW(ds.validate());
+  EXPECT_EQ(ds.size(), 10);
+  EXPECT_EQ(ds.sample_shape(), tensor::Shape({4}));
+}
+
+TEST(Dataset, ValidateRejectsLabelCountMismatch) {
+  Rng rng(2);
+  Dataset ds = make_blobs(10, 2, 4, 0.1f, rng);
+  ds.labels.pop_back();
+  EXPECT_THROW(ds.validate(), std::invalid_argument);
+}
+
+TEST(Dataset, ValidateRejectsOutOfRangeLabel) {
+  Rng rng(3);
+  Dataset ds = make_blobs(10, 2, 4, 0.1f, rng);
+  ds.labels[0] = 2;
+  EXPECT_THROW(ds.validate(), std::invalid_argument);
+}
+
+TEST(Dataset, SubsetSelectsRowsInOrder) {
+  Rng rng(4);
+  const Dataset ds = make_blobs(10, 2, 4, 0.1f, rng);
+  const std::vector<int64_t> idx{7, 2};
+  const Dataset sub = ds.subset(idx);
+  EXPECT_EQ(sub.size(), 2);
+  EXPECT_EQ(sub.labels[0], ds.labels[7]);
+  EXPECT_EQ(sub.labels[1], ds.labels[2]);
+  for (int64_t f = 0; f < 4; ++f)
+    EXPECT_EQ(sub.images.at({0, f}), ds.images.at({7, f}));
+}
+
+TEST(Dataset, SubsetRejectsBadIndex) {
+  Rng rng(5);
+  const Dataset ds = make_blobs(10, 2, 4, 0.1f, rng);
+  const std::vector<int64_t> idx{10};
+  EXPECT_THROW((void)ds.subset(idx), std::invalid_argument);
+}
+
+TEST(DatasetSpec, PaperGeometries) {
+  EXPECT_EQ(cifar10_spec().train_size, 50000);
+  EXPECT_EQ(cifar10_spec().classes, 10);
+  EXPECT_EQ(cifar100_spec().classes, 100);
+  EXPECT_EQ(cinic10_spec().train_size, 90000);
+  EXPECT_EQ(cinic10_spec().sample_shape, tensor::Shape({3, 32, 32}));
+}
+
+// ---- synthetic ----------------------------------------------------------------
+
+TEST(Synthetic, BlobsAreBalanced) {
+  Rng rng(6);
+  const Dataset ds = make_blobs(99, 3, 4, 0.1f, rng);
+  std::vector<int64_t> counts(3, 0);
+  for (const auto y : ds.labels) ++counts[static_cast<size_t>(y)];
+  EXPECT_EQ(counts[0], 33);
+  EXPECT_EQ(counts[1], 33);
+  EXPECT_EQ(counts[2], 33);
+}
+
+TEST(Synthetic, SpiralsHaveUnitScale) {
+  Rng rng(7);
+  const Dataset ds = make_spirals(100, 2, 0.0f, rng);
+  EXPECT_EQ(ds.size(), 200);
+  EXPECT_LE(tensor::max_abs(ds.images), 1.1f);
+}
+
+TEST(Synthetic, ImagesHaveRequestedGeometry) {
+  Rng rng(8);
+  const Dataset ds = make_synthetic_images(20, 4, {3, 8, 8}, 0.1f, rng);
+  EXPECT_EQ(ds.images.shape(), tensor::Shape({20, 3, 8, 8}));
+  EXPECT_EQ(ds.classes, 4);
+}
+
+TEST(Synthetic, SameClassSamplesCorrelate) {
+  Rng rng(9);
+  const Dataset ds = make_synthetic_images(8, 4, {1, 4, 4}, 0.05f, rng);
+  // Samples 0 and 4 share class 0; 0 and 1 do not.
+  const auto dist = [&](int64_t a, int64_t b) {
+    double s = 0;
+    for (int64_t f = 0; f < 16; ++f) {
+      const double d = ds.images.flat()[a * 16 + f] -
+                       ds.images.flat()[b * 16 + f];
+      s += d * d;
+    }
+    return s;
+  };
+  EXPECT_LT(dist(0, 4), dist(0, 1));
+}
+
+TEST(Synthetic, ForSpecScalesSampleCount) {
+  Rng rng(10);
+  const Dataset ds = make_for_spec(cifar10_spec(), 0.002, 0.3f, rng);
+  EXPECT_EQ(ds.size(), 100);
+  EXPECT_EQ(ds.classes, 10);
+  EXPECT_EQ(ds.sample_shape(), tensor::Shape({3, 32, 32}));
+}
+
+TEST(Synthetic, RejectsBadFraction) {
+  Rng rng(11);
+  EXPECT_THROW((void)make_for_spec(cifar10_spec(), 0.0, 0.3f, rng),
+               std::invalid_argument);
+}
+
+// ---- partitioning ---------------------------------------------------------------
+
+TEST(Partition, IidCoversAllIndicesOnce) {
+  Rng rng(12);
+  const auto parts = iid_partition(103, 10, rng);
+  ASSERT_EQ(parts.size(), 10u);
+  std::set<int64_t> seen;
+  for (const auto& shard : parts)
+    for (const int64_t i : shard) EXPECT_TRUE(seen.insert(i).second);
+  EXPECT_EQ(seen.size(), 103u);
+}
+
+TEST(Partition, IidShardsNearlyEqual) {
+  Rng rng(13);
+  const auto parts = iid_partition(103, 10, rng);
+  for (const auto& shard : parts) {
+    EXPECT_GE(shard.size(), 10u);
+    EXPECT_LE(shard.size(), 11u);
+  }
+}
+
+TEST(Partition, IidRejectsTooManyAgents) {
+  Rng rng(14);
+  EXPECT_THROW((void)iid_partition(5, 10, rng), std::invalid_argument);
+}
+
+TEST(Partition, DirichletCoversAllIndicesOnce) {
+  Rng rng(15);
+  std::vector<int64_t> labels(500);
+  for (size_t i = 0; i < labels.size(); ++i)
+    labels[i] = static_cast<int64_t>(i % 5);
+  const auto parts = dirichlet_label_partition(labels, 8, 0.5, rng);
+  std::set<int64_t> seen;
+  for (const auto& shard : parts)
+    for (const int64_t i : shard) EXPECT_TRUE(seen.insert(i).second);
+  EXPECT_EQ(seen.size(), labels.size());
+}
+
+TEST(Partition, DirichletRespectsMinimum) {
+  Rng rng(16);
+  std::vector<int64_t> labels(300);
+  for (size_t i = 0; i < labels.size(); ++i)
+    labels[i] = static_cast<int64_t>(i % 3);
+  const auto parts = dirichlet_label_partition(labels, 10, 0.1, rng, 5);
+  for (const auto& shard : parts) EXPECT_GE(shard.size(), 5u);
+}
+
+TEST(Partition, DirichletSkewExceedsIid) {
+  Rng rng(17);
+  std::vector<int64_t> labels(2000);
+  for (size_t i = 0; i < labels.size(); ++i)
+    labels[i] = static_cast<int64_t>(i % 10);
+  const auto iid = iid_partition(2000, 10, rng);
+  const auto skewed = dirichlet_label_partition(labels, 10, 0.5, rng);
+  EXPECT_GT(label_skew(labels, skewed, 10),
+            2.0 * label_skew(labels, iid, 10));
+}
+
+TEST(Partition, SmallerAlphaMoreSkew) {
+  Rng rng(18);
+  std::vector<int64_t> labels(3000);
+  for (size_t i = 0; i < labels.size(); ++i)
+    labels[i] = static_cast<int64_t>(i % 10);
+  double skew_small = 0, skew_large = 0;
+  for (uint64_t trial = 0; trial < 5; ++trial) {
+    Rng r1(100 + trial), r2(200 + trial);
+    skew_small += label_skew(
+        labels, dirichlet_label_partition(labels, 10, 0.1, r1), 10);
+    skew_large += label_skew(
+        labels, dirichlet_label_partition(labels, 10, 10.0, r2), 10);
+  }
+  EXPECT_GT(skew_small, skew_large);
+}
+
+TEST(Partition, HistogramsCountLabels) {
+  Rng rng(19);
+  std::vector<int64_t> labels{0, 0, 1, 1, 1, 2};
+  Partition parts{{0, 2}, {1, 3, 4, 5}};
+  const auto hist = label_histograms(labels, parts, 3);
+  EXPECT_EQ(hist[0], (std::vector<int64_t>{1, 1, 0}));
+  EXPECT_EQ(hist[1], (std::vector<int64_t>{1, 2, 1}));
+}
+
+// ---- batcher --------------------------------------------------------------------
+
+TEST(Batcher, EmitsRequestedBatchSize) {
+  Rng rng(20);
+  const Dataset ds = make_blobs(50, 2, 4, 0.1f, rng);
+  Batcher batcher(ds, 16, Rng(21));
+  const Batch b = batcher.next();
+  EXPECT_EQ(b.x.dim(0), 16);
+  EXPECT_EQ(b.y.size(), 16u);
+}
+
+TEST(Batcher, BatchesPerEpochRoundsUp) {
+  Rng rng(22);
+  const Dataset ds = make_blobs(50, 2, 4, 0.1f, rng);
+  Batcher batcher(ds, 16, Rng(23));
+  EXPECT_EQ(batcher.batches_per_epoch(), 4);
+}
+
+TEST(Batcher, CoversEpochWithoutRepeats) {
+  Rng rng(24);
+  Dataset ds = make_blobs(10, 2, 1, 0.0f, rng);
+  // Tag each sample with a unique feature value to track coverage.
+  for (int64_t i = 0; i < 10; ++i) ds.images.flat()[i] = float(i);
+  Batcher batcher(ds, 3, Rng(25));
+  std::multiset<float> seen;
+  for (int b = 0; b < 4; ++b) {
+    const Batch batch = batcher.next();
+    for (int64_t i = 0; i < batch.x.dim(0); ++i)
+      seen.insert(batch.x.flat()[i]);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+  for (int64_t i = 0; i < 10; ++i) EXPECT_EQ(seen.count(float(i)), 1u);
+}
+
+TEST(Batcher, AdvancesEpochCounter) {
+  Rng rng(26);
+  const Dataset ds = make_blobs(8, 2, 4, 0.1f, rng);
+  Batcher batcher(ds, 8, Rng(27));
+  EXPECT_EQ(batcher.epoch(), 0);
+  (void)batcher.next();
+  (void)batcher.next();
+  EXPECT_EQ(batcher.epoch(), 1);
+}
+
+TEST(Batcher, LastPartialBatchIsSmaller) {
+  Rng rng(28);
+  const Dataset ds = make_blobs(10, 2, 4, 0.1f, rng);
+  Batcher batcher(ds, 4, Rng(29));
+  (void)batcher.next();
+  (void)batcher.next();
+  const Batch last = batcher.next();
+  EXPECT_EQ(last.x.dim(0), 2);
+}
+
+}  // namespace
+}  // namespace comdml::data

@@ -1,0 +1,216 @@
+// Fleet-level simulation tests: the ComDML SimulatedFleet, the baseline
+// fleets, dynamic profile reshuffling, participation sampling, and the
+// relative timing behaviour the paper's tables rest on.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "baselines/baseline_fleet.hpp"
+#include "core/trainer.hpp"
+
+namespace comdml::core {
+namespace {
+
+using baselines::BaselineFleet;
+using learncurve::Method;
+using learncurve::PartitionKind;
+using sim::Topology;
+using tensor::Rng;
+
+FleetConfig small_config(int64_t agents, uint64_t seed = 42) {
+  FleetConfig cfg;
+  cfg.agents = agents;
+  cfg.seed = seed;
+  cfg.reshuffle_period = 0;
+  return cfg;
+}
+
+Topology mesh(int64_t agents, uint64_t seed = 1) {
+  Rng rng(seed);
+  return Topology::full_mesh(sim::assign_profiles(agents, rng));
+}
+
+std::vector<int64_t> iid_sizes(int64_t agents) {
+  Rng rng(2);
+  return shard_sizes_for(data::cifar10_spec(), agents, PartitionKind::kIID,
+                         rng);
+}
+
+TEST(SimulatedFleet, RoundRecordsAreConsistent) {
+  SimulatedFleet fleet(nn::resnet56_spec(), small_config(10), mesh(10),
+                       iid_sizes(10));
+  const auto rec = fleet.step();
+  EXPECT_GT(rec.round_time, 0.0);
+  EXPECT_GE(rec.round_time, rec.aggregation_time);
+  EXPECT_GE(rec.idle_time, 0.0);
+  EXPECT_GE(rec.unbalanced_time, rec.round_time * 0.99);
+}
+
+TEST(SimulatedFleet, BalancesHeterogeneousFleet) {
+  SimulatedFleet fleet(nn::resnet56_spec(), small_config(10), mesh(10),
+                       iid_sizes(10));
+  const auto rec = fleet.step();
+  EXPECT_GT(rec.num_pairs, 0);
+  EXPECT_LT(rec.round_time, 0.85 * rec.unbalanced_time);
+}
+
+TEST(SimulatedFleet, RunAccumulatesRounds) {
+  SimulatedFleet fleet(nn::resnet56_spec(), small_config(10), mesh(10),
+                       iid_sizes(10));
+  const auto summary = fleet.run(5);
+  EXPECT_EQ(summary.rounds().size(), 5u);
+  EXPECT_EQ(fleet.rounds_executed(), 5);
+  EXPECT_GT(summary.total_time(), 0.0);
+}
+
+TEST(SimulatedFleet, TimeForRoundsInterpolates) {
+  SimulatedFleet fleet(nn::resnet56_spec(), small_config(10), mesh(10),
+                       iid_sizes(10));
+  const auto summary = fleet.run(4);
+  const double t2 = summary.time_for_rounds(2.0);
+  const double t25 = summary.time_for_rounds(2.5);
+  const double t3 = summary.time_for_rounds(3.0);
+  EXPECT_LT(t2, t25);
+  EXPECT_LT(t25, t3);
+  // Extrapolation beyond the horizon keeps growing.
+  EXPECT_GT(summary.time_for_rounds(10.0), summary.total_time());
+}
+
+TEST(SimulatedFleet, ReshufflePeriodChangesProfiles) {
+  auto cfg = small_config(10);
+  cfg.reshuffle_period = 3;
+  cfg.reshuffle_fraction = 1.0;  // redraw everyone for a visible effect
+  SimulatedFleet fleet(nn::resnet56_spec(), cfg, mesh(10), iid_sizes(10));
+  const auto before = fleet.agent_infos();
+  (void)fleet.run(4);  // crosses the reshuffle boundary at round 3
+  const auto after = fleet.agent_infos();
+  int changed = 0;
+  for (size_t i = 0; i < before.size(); ++i)
+    if (before[i].proc_speed != after[i].proc_speed) ++changed;
+  EXPECT_GT(changed, 0);
+}
+
+TEST(SimulatedFleet, ParticipationSamplingShrinksRound) {
+  auto cfg = small_config(50);
+  cfg.participation = 0.2;
+  SimulatedFleet fleet(nn::resnet56_spec(), cfg, mesh(50), iid_sizes(50));
+  // With 20% sampling the expected straggler is no slower than the full
+  // fleet's; mostly this exercises the sampling path end-to-end.
+  const auto rec = fleet.step();
+  EXPECT_GT(rec.round_time, 0.0);
+}
+
+TEST(SimulatedFleet, SchedulerVariantsOrdering) {
+  // Both workload-balancing schedulers must beat the no-offloading round;
+  // the greedy-vs-exact *estimate* ordering is covered in core_test.
+  const auto spec = nn::resnet56_spec();
+  const auto sizes = iid_sizes(10);
+  double greedy_t = 0, none_t = 0, exact_t = 0;
+  {
+    SimulatedFleet f(spec, small_config(10), mesh(10), sizes,
+                     Scheduler::kComDML);
+    greedy_t = f.step().round_time;
+  }
+  {
+    SimulatedFleet f(spec, small_config(10), mesh(10), sizes,
+                     Scheduler::kNoOffloading);
+    none_t = f.step().round_time;
+  }
+  {
+    auto cfg = small_config(10);
+    cfg.max_split_points = 10;  // keep the exact solver fast
+    SimulatedFleet f(spec, cfg, mesh(10), sizes, Scheduler::kExact);
+    exact_t = f.step().round_time;
+  }
+  EXPECT_LT(greedy_t, none_t);
+  EXPECT_LT(exact_t, none_t);
+}
+
+TEST(SimulatedFleet, RejectsShardSizeMismatch) {
+  EXPECT_THROW(SimulatedFleet(nn::resnet56_spec(), small_config(10),
+                              mesh(10), iid_sizes(9)),
+               std::invalid_argument);
+}
+
+TEST(SimulatedFleet, PrivacyOverheadSlowsCompute) {
+  // Compare under kNoOffloading so the compute overhead is not partially
+  // absorbed by re-balanced pairing decisions.
+  auto cfg = small_config(10);
+  auto cfg_dp = cfg;
+  cfg_dp.privacy = learncurve::PrivacyTechnique::kDistanceCorrelation;
+  SimulatedFleet plain(nn::resnet56_spec(), cfg, mesh(10), iid_sizes(10),
+                       Scheduler::kNoOffloading);
+  SimulatedFleet dp(nn::resnet56_spec(), cfg_dp, mesh(10), iid_sizes(10),
+                    Scheduler::kNoOffloading);
+  EXPECT_GT(dp.step().round_time, plain.step().round_time);
+}
+
+// ---- baselines --------------------------------------------------------------------
+
+class BaselineP : public ::testing::TestWithParam<Method> {};
+
+TEST_P(BaselineP, ProducesPositiveRoundTimes) {
+  BaselineFleet fleet(GetParam(), nn::resnet56_spec(), small_config(10),
+                      mesh(10), iid_sizes(10));
+  const auto rec = fleet.step();
+  EXPECT_GT(rec.round_time, 0.0);
+  if (GetParam() == Method::kGossip) {
+    // Gossip is asynchronous: its effective round (mean over agents) sits
+    // below the synchronous straggler bound but above the fastest agent.
+    EXPECT_LE(rec.round_time, rec.compute_time);
+  } else {
+    EXPECT_GE(rec.round_time, rec.compute_time);
+  }
+  EXPECT_GE(rec.idle_time, 0.0);
+}
+
+TEST_P(BaselineP, StragglerDominatesRound) {
+  BaselineFleet fleet(GetParam(), nn::resnet56_spec(), small_config(10),
+                      mesh(10), iid_sizes(10));
+  const auto rec = fleet.step();
+  // All baselines train the full model: compute time must equal the
+  // slowest agent's full-model time, which exceeds ComDML's balanced round.
+  SimulatedFleet comdml(nn::resnet56_spec(), small_config(10), mesh(10),
+                        iid_sizes(10));
+  EXPECT_GT(rec.round_time, comdml.step().round_time);
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, BaselineP,
+                         ::testing::Values(Method::kFedAvg, Method::kFedProx,
+                                           Method::kGossip,
+                                           Method::kBrainTorrent,
+                                           Method::kAllReduceDML));
+
+TEST(Baselines, RejectsComDML) {
+  EXPECT_THROW(BaselineFleet(Method::kComDML, nn::resnet56_spec(),
+                             small_config(10), mesh(10), iid_sizes(10)),
+               std::invalid_argument);
+}
+
+TEST(Baselines, BrainTorrentAggregationScalesWithFleet) {
+  auto t = [&](int64_t k) {
+    BaselineFleet fleet(Method::kBrainTorrent, nn::resnet56_spec(),
+                        small_config(k), mesh(k, 7), iid_sizes(k));
+    return fleet.step().aggregation_time;
+  };
+  EXPECT_GT(t(20), t(10));
+}
+
+TEST(Baselines, GossipCommCheaperThanBrainTorrent) {
+  BaselineFleet gossip(Method::kGossip, nn::resnet56_spec(),
+                       small_config(20), mesh(20, 9), iid_sizes(20));
+  BaselineFleet bt(Method::kBrainTorrent, nn::resnet56_spec(),
+                   small_config(20), mesh(20, 9), iid_sizes(20));
+  EXPECT_LT(gossip.step().aggregation_time, bt.step().aggregation_time);
+}
+
+TEST(Baselines, FedProxSlowerComputeThanFedAvg) {
+  BaselineFleet prox(Method::kFedProx, nn::resnet56_spec(),
+                     small_config(10), mesh(10, 11), iid_sizes(10));
+  BaselineFleet avg(Method::kFedAvg, nn::resnet56_spec(), small_config(10),
+                    mesh(10, 11), iid_sizes(10));
+  EXPECT_GT(prox.step().compute_time, avg.step().compute_time);
+}
+
+}  // namespace
+}  // namespace comdml::core

@@ -1,0 +1,149 @@
+// Learning-curve model tests: monotonicity, inversion, method ordering and
+// the calibrated paper targets being reachable.
+#include <gtest/gtest.h>
+
+#include "learncurve/curves.hpp"
+
+namespace comdml::learncurve {
+namespace {
+
+TEST(Curves, AccuracyIsMonotoneInRounds) {
+  const auto m = make_accuracy_model("cifar10", "resnet56",
+                                     PartitionKind::kIID, Method::kFedAvg);
+  double prev = -1;
+  for (double r = 0; r <= 500; r += 25) {
+    const double a = m.accuracy_at(r);
+    EXPECT_GT(a, prev);
+    prev = a;
+  }
+}
+
+TEST(Curves, AccuracyBoundedByAsymptote) {
+  const auto m = make_accuracy_model("cifar10", "resnet56",
+                                     PartitionKind::kIID, Method::kFedAvg);
+  EXPECT_LT(m.accuracy_at(1e6), m.spec().acc_max + 1e-9);
+  EXPECT_DOUBLE_EQ(m.accuracy_at(0.0), 0.0);
+}
+
+TEST(Curves, RoundsToInvertsAccuracyAt) {
+  const auto m = make_accuracy_model("cifar100", "resnet56",
+                                     PartitionKind::kDirichlet05,
+                                     Method::kComDML);
+  const auto r = m.rounds_to(0.60);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_NEAR(m.accuracy_at(*r), 0.60, 1e-9);
+}
+
+TEST(Curves, UnreachableTargetIsNull) {
+  const auto m = make_accuracy_model("cifar10", "resnet56",
+                                     PartitionKind::kIID, Method::kFedAvg);
+  EXPECT_FALSE(m.rounds_to(0.99).has_value());
+}
+
+TEST(Curves, PaperTargetsAreReachable) {
+  // Every (dataset, partition, target) pair used in Table II must be below
+  // the calibrated asymptote for every method.
+  const struct {
+    const char* dataset;
+    PartitionKind part;
+    double target;
+  } rows[] = {
+      {"cifar10", PartitionKind::kIID, 0.90},
+      {"cifar10", PartitionKind::kDirichlet05, 0.85},
+      {"cifar100", PartitionKind::kIID, 0.65},
+      {"cifar100", PartitionKind::kDirichlet05, 0.60},
+      {"cinic10", PartitionKind::kIID, 0.75},
+      {"cinic10", PartitionKind::kDirichlet05, 0.65},
+  };
+  for (const auto& row : rows) {
+    for (const Method m :
+         {Method::kComDML, Method::kGossip, Method::kBrainTorrent,
+          Method::kAllReduceDML, Method::kFedAvg}) {
+      const auto model =
+          make_accuracy_model(row.dataset, "resnet56", row.part, m);
+      EXPECT_TRUE(model.rounds_to(row.target).has_value())
+          << row.dataset << " " << method_name(m);
+    }
+  }
+}
+
+TEST(Curves, GossipNeedsMoreRounds) {
+  const auto gossip = make_accuracy_model(
+      "cifar10", "resnet56", PartitionKind::kIID, Method::kGossip);
+  const auto fedavg = make_accuracy_model(
+      "cifar10", "resnet56", PartitionKind::kIID, Method::kFedAvg);
+  EXPECT_GT(*gossip.rounds_to(0.8), *fedavg.rounds_to(0.8));
+}
+
+TEST(Curves, ComDMLPaysSmallRoundPenalty) {
+  const auto comdml = make_accuracy_model(
+      "cifar10", "resnet56", PartitionKind::kIID, Method::kComDML);
+  const auto fedavg = make_accuracy_model(
+      "cifar10", "resnet56", PartitionKind::kIID, Method::kFedAvg);
+  const double ratio = *comdml.rounds_to(0.8) / *fedavg.rounds_to(0.8);
+  EXPECT_GT(ratio, 1.0);
+  EXPECT_LT(ratio, 1.15);
+}
+
+TEST(Curves, NonIidSlowerThanIid) {
+  const auto iid = make_accuracy_model("cinic10", "resnet56",
+                                       PartitionKind::kIID, Method::kFedAvg);
+  const auto skew = make_accuracy_model(
+      "cinic10", "resnet56", PartitionKind::kDirichlet05, Method::kFedAvg);
+  EXPECT_GT(*skew.rounds_to(0.6), *iid.rounds_to(0.6));
+}
+
+TEST(Curves, Resnet110SlowerPerRound) {
+  const auto r56 = make_accuracy_model("cifar10", "resnet56",
+                                       PartitionKind::kIID, Method::kFedAvg);
+  const auto r110 = make_accuracy_model(
+      "cifar10", "resnet110", PartitionKind::kIID, Method::kFedAvg);
+  EXPECT_GT(*r110.rounds_to(0.8), *r56.rounds_to(0.8));
+}
+
+TEST(Curves, ParticipationSamplingSlowsProgress) {
+  EXPECT_LT(method_rate(Method::kFedAvg, 0.2),
+            method_rate(Method::kFedAvg, 1.0));
+}
+
+TEST(Curves, UnknownDatasetThrows) {
+  EXPECT_THROW((void)base_curve("mnist", "resnet56", PartitionKind::kIID),
+               std::invalid_argument);
+}
+
+TEST(Curves, UnknownModelThrows) {
+  EXPECT_THROW((void)base_curve("cifar10", "vgg16", PartitionKind::kIID),
+               std::invalid_argument);
+}
+
+TEST(Curves, SplitPenaltyGrowsWithOffload) {
+  EXPECT_GT(split_rate_penalty(0.1), split_rate_penalty(0.8));
+  EXPECT_DOUBLE_EQ(split_rate_penalty(0.0), 1.0);
+}
+
+TEST(Privacy, PenaltiesOrderedAsPaper) {
+  // Patch shuffling is mildest, DP is strongest (83.2 > 81.7 > 77.6).
+  EXPECT_LT(privacy_accuracy_penalty(PrivacyTechnique::kPatchShuffle),
+            privacy_accuracy_penalty(PrivacyTechnique::kDistanceCorrelation));
+  EXPECT_LT(privacy_accuracy_penalty(PrivacyTechnique::kDistanceCorrelation),
+            privacy_accuracy_penalty(PrivacyTechnique::kDifferentialPrivacy));
+  EXPECT_DOUBLE_EQ(privacy_accuracy_penalty(PrivacyTechnique::kNone), 0.0);
+}
+
+TEST(Privacy, OverheadsAtLeastOne) {
+  for (const auto t :
+       {PrivacyTechnique::kNone, PrivacyTechnique::kDistanceCorrelation,
+        PrivacyTechnique::kPatchShuffle,
+        PrivacyTechnique::kDifferentialPrivacy})
+    EXPECT_GE(privacy_compute_overhead(t), 1.0);
+}
+
+TEST(Names, AllMethodsNamed) {
+  for (const Method m :
+       {Method::kComDML, Method::kGossip, Method::kBrainTorrent,
+        Method::kAllReduceDML, Method::kFedAvg, Method::kFedProx})
+    EXPECT_FALSE(method_name(m).empty());
+}
+
+}  // namespace
+}  // namespace comdml::learncurve

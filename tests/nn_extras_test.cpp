@@ -1,0 +1,164 @@
+// Tests for the extended layer set: MaxPool2d, Dropout, LayerNorm.
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+#include "nn/extras.hpp"
+#include "nn/split.hpp"
+#include "test_util.hpp"
+
+namespace comdml::nn {
+namespace {
+
+using comdml::testing::input_grad_error;
+using comdml::testing::param_grad_error;
+
+constexpr double kGradTol = 5e-2;
+
+// ---- MaxPool2d ---------------------------------------------------------------
+
+TEST(MaxPool, SelectsBlockMaxima) {
+  MaxPool2d pool(2);
+  Tensor x({1, 1, 2, 4}, {1, 5, 2, 2, 3, 4, 9, 0});
+  const Tensor y = pool.forward(x, true);
+  EXPECT_EQ(y.shape(), Shape({1, 1, 1, 2}));
+  EXPECT_FLOAT_EQ(y[0], 5.0f);
+  EXPECT_FLOAT_EQ(y[1], 9.0f);
+}
+
+TEST(MaxPool, GradientRoutesToArgmax) {
+  MaxPool2d pool(2);
+  Tensor x({1, 1, 2, 2}, {1, 7, 3, 2});
+  (void)pool.forward(x, true);
+  const Tensor dx = pool.backward(Tensor({1, 1, 1, 1}, {10.0f}));
+  EXPECT_FLOAT_EQ(dx[1], 10.0f);
+  EXPECT_FLOAT_EQ(dx[0], 0.0f);
+  EXPECT_FLOAT_EQ(dx[2], 0.0f);
+}
+
+TEST(MaxPool, InputGradientMatchesNumeric) {
+  Rng rng(1);
+  MaxPool2d pool(2);
+  // Distinct values avoid argmax ties breaking finite differences.
+  Tensor x({2, 2, 4, 4});
+  for (int64_t i = 0; i < x.size(); ++i)
+    x[i] = static_cast<float>((i * 37) % 97) / 10.0f;
+  const Tensor g = rng.normal_tensor({2, 2, 2, 2}, 0, 1);
+  EXPECT_LT(input_grad_error(pool, x, g, 1e-3f), kGradTol);
+}
+
+TEST(MaxPool, RejectsIndivisibleInput) {
+  MaxPool2d pool(3);
+  EXPECT_THROW((void)pool.forward(Tensor({1, 1, 4, 4}), true),
+               std::invalid_argument);
+}
+
+TEST(MaxPool, CostHalvesGeometry) {
+  MaxPool2d pool(2);
+  const auto c = pool.cost({8, 16, 16});
+  EXPECT_EQ(c.out_shape, Shape({8, 8, 8}));
+}
+
+// ---- Dropout -----------------------------------------------------------------
+
+TEST(Dropout, EvalModeIsIdentity) {
+  Rng rng(2);
+  Dropout drop(0.5f, 3);
+  const Tensor x = rng.normal_tensor({4, 8}, 0, 1);
+  EXPECT_TRUE(tensor::allclose(drop.forward(x, false), x));
+}
+
+TEST(Dropout, TrainModeZeroesApproxRate) {
+  Dropout drop(0.5f, 4);
+  const Tensor x({1, 10000}, 1.0f);
+  const Tensor y = drop.forward(x, true);
+  int64_t zeros = 0;
+  for (const float v : y.flat())
+    if (v == 0.0f) ++zeros;
+  EXPECT_NEAR(static_cast<double>(zeros) / 10000.0, 0.5, 0.03);
+}
+
+TEST(Dropout, InvertedScalingPreservesExpectation) {
+  Dropout drop(0.3f, 5);
+  const Tensor x({1, 20000}, 1.0f);
+  const Tensor y = drop.forward(x, true);
+  EXPECT_NEAR(tensor::mean(y), 1.0f, 0.03f);
+}
+
+TEST(Dropout, BackwardUsesSameMask) {
+  Dropout drop(0.5f, 6);
+  const Tensor x({1, 64}, 1.0f);
+  const Tensor y = drop.forward(x, true);
+  const Tensor dx = drop.backward(Tensor({1, 64}, 1.0f));
+  EXPECT_TRUE(tensor::allclose(dx, y));  // identical mask and scale
+}
+
+TEST(Dropout, ZeroRateIsIdentityInTraining) {
+  Rng rng(7);
+  Dropout drop(0.0f, 8);
+  const Tensor x = rng.normal_tensor({3, 5}, 0, 1);
+  EXPECT_TRUE(tensor::allclose(drop.forward(x, true), x));
+}
+
+TEST(Dropout, RejectsRateOne) {
+  EXPECT_THROW(Dropout(1.0f, 9), std::invalid_argument);
+}
+
+// ---- LayerNorm ---------------------------------------------------------------
+
+TEST(LayerNorm, NormalizesRows) {
+  Rng rng(10);
+  LayerNorm ln(32);
+  const Tensor x = rng.normal_tensor({4, 32}, 3.0f, 2.0f);
+  const Tensor y = ln.forward(x, true);
+  for (int64_t i = 0; i < 4; ++i) {
+    double mean = 0, var = 0;
+    for (int64_t j = 0; j < 32; ++j) mean += y.at({i, j});
+    mean /= 32.0;
+    for (int64_t j = 0; j < 32; ++j) {
+      const double d = y.at({i, j}) - mean;
+      var += d * d;
+    }
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var / 32.0, 1.0, 2e-2);
+  }
+}
+
+TEST(LayerNorm, InputGradientMatchesNumeric) {
+  Rng rng(11);
+  LayerNorm ln(6);
+  const Tensor x = rng.normal_tensor({3, 6}, 0, 1);
+  const Tensor g = rng.normal_tensor({3, 6}, 0, 1);
+  EXPECT_LT(input_grad_error(ln, x, g), kGradTol);
+}
+
+TEST(LayerNorm, ParamGradientMatchesNumeric) {
+  Rng rng(12);
+  LayerNorm ln(5);
+  const Tensor x = rng.normal_tensor({4, 5}, 0, 1);
+  const Tensor g = rng.normal_tensor({4, 5}, 0, 1);
+  EXPECT_LT(param_grad_error(ln, x, g), kGradTol);
+}
+
+TEST(LayerNorm, RejectsWrongWidth) {
+  LayerNorm ln(8);
+  EXPECT_THROW((void)ln.forward(Tensor({2, 7}), true),
+               std::invalid_argument);
+}
+
+TEST(LayerNorm, ComposesIntoTrainableMlp) {
+  // LayerNorm inside an MLP still learns the blobs task.
+  Rng rng(13);
+  auto ds = comdml::data::make_blobs(200, 3, 8, 0.3f, rng);
+  Sequential net;
+  net.push(std::make_unique<Linear>(8, 16, rng));
+  net.push(std::make_unique<LayerNorm>(16));
+  net.push(std::make_unique<ReLU>());
+  net.push(std::make_unique<Linear>(16, 3, rng));
+  SGD opt(net.parameters(), {0.1f, 0.9f, 0.0f});
+  for (int e = 0; e < 40; ++e)
+    (void)train_batch_full(net, opt, ds.images, ds.labels);
+  EXPECT_GT(evaluate_accuracy(net, ds.images, ds.labels), 0.9f);
+}
+
+}  // namespace
+}  // namespace comdml::nn

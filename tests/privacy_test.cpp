@@ -1,0 +1,201 @@
+// Privacy toolkit tests: DP mechanisms, patch shuffling, and distance
+// correlation as a leakage metric.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "privacy/dcor.hpp"
+#include "privacy/dp.hpp"
+#include "privacy/patch_shuffle.hpp"
+#include "tensor/ops.hpp"
+
+namespace comdml::privacy {
+namespace {
+
+using tensor::Rng;
+using tensor::Tensor;
+
+// ---- clipping --------------------------------------------------------------------
+
+TEST(Clip, WithinBoundIsUntouched) {
+  std::vector<Tensor> ts{Tensor::of({0.3f, 0.4f})};  // norm 0.5
+  EXPECT_DOUBLE_EQ(clip_l2(ts, 1.0f), 1.0);
+  EXPECT_FLOAT_EQ(ts[0][0], 0.3f);
+}
+
+TEST(Clip, ScalesDownToBound) {
+  std::vector<Tensor> ts{Tensor::of({3.0f, 4.0f})};  // norm 5
+  const double scale = clip_l2(ts, 1.0f);
+  EXPECT_NEAR(scale, 0.2, 1e-6);
+  EXPECT_NEAR(tensor::l2_norm(ts[0]), 1.0f, 1e-5);
+}
+
+TEST(Clip, GlobalNormAcrossTensors) {
+  std::vector<Tensor> ts{Tensor::of({3.0f}), Tensor::of({4.0f})};
+  (void)clip_l2(ts, 1.0f);
+  const double norm = std::sqrt(ts[0][0] * ts[0][0] + ts[1][0] * ts[1][0]);
+  EXPECT_NEAR(norm, 1.0, 1e-5);
+}
+
+// ---- mechanisms -------------------------------------------------------------------
+
+TEST(Laplace, NoiseScaleMatchesEpsilon) {
+  Rng rng(1);
+  std::vector<Tensor> ts{Tensor({20000})};
+  laplace_mechanism(ts, 0.5, 1.0, rng);
+  // Laplace(b): E|X| = b = sensitivity/eps = 2.
+  double mean_abs = 0;
+  for (const float v : ts[0].flat()) mean_abs += std::fabs(v);
+  mean_abs /= static_cast<double>(ts[0].size());
+  EXPECT_NEAR(mean_abs, 2.0, 0.1);
+}
+
+TEST(Laplace, TighterEpsilonMoreNoise) {
+  Rng rng1(2), rng2(2);
+  std::vector<Tensor> weak{Tensor({5000})}, strong{Tensor({5000})};
+  laplace_mechanism(weak, 2.0, 1.0, rng1);
+  laplace_mechanism(strong, 0.2, 1.0, rng2);
+  double weak_abs = 0, strong_abs = 0;
+  for (const float v : weak[0].flat()) weak_abs += std::fabs(v);
+  for (const float v : strong[0].flat()) strong_abs += std::fabs(v);
+  EXPECT_GT(strong_abs, 5.0 * weak_abs);
+}
+
+TEST(Laplace, InvalidEpsilonThrows) {
+  Rng rng(3);
+  std::vector<Tensor> ts{Tensor({4})};
+  EXPECT_THROW(laplace_mechanism(ts, 0.0, 1.0, rng), std::invalid_argument);
+}
+
+TEST(Gaussian, SigmaFormula) {
+  EXPECT_NEAR(gaussian_sigma(1.0, 1e-5, 1.0),
+              std::sqrt(2.0 * std::log(1.25e5)), 1e-9);
+}
+
+TEST(Gaussian, NoiseVarianceMatchesSigma) {
+  Rng rng(4);
+  std::vector<Tensor> ts{Tensor({20000})};
+  gaussian_mechanism(ts, 1.0, 1e-5, 0.1, rng);
+  double s2 = 0;
+  for (const float v : ts[0].flat()) s2 += static_cast<double>(v) * v;
+  const double sigma = gaussian_sigma(1.0, 1e-5, 0.1);
+  EXPECT_NEAR(std::sqrt(s2 / ts[0].size()), sigma, 0.02);
+}
+
+// ---- patch shuffle -----------------------------------------------------------------
+
+TEST(PatchShuffle, PreservesMultisetOfPixels) {
+  Rng rng(5);
+  const Tensor x = rng.normal_tensor({2, 3, 8, 8}, 0, 1);
+  Rng srng(6);
+  const Tensor y = patch_shuffle(x, 2, srng);
+  ASSERT_EQ(y.shape(), x.shape());
+  // Per-sample pixel multisets must match.
+  for (int64_t i = 0; i < 2; ++i) {
+    std::vector<float> a, b;
+    for (int64_t k = 0; k < 3 * 64; ++k) {
+      a.push_back(x.flat()[i * 3 * 64 + k]);
+      b.push_back(y.flat()[i * 3 * 64 + k]);
+    }
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(PatchShuffle, ActuallyPermutes) {
+  Rng rng(7);
+  const Tensor x = rng.normal_tensor({1, 1, 8, 8}, 0, 1);
+  Rng srng(8);
+  const Tensor y = patch_shuffle(x, 4, srng);
+  EXPECT_FALSE(tensor::allclose(x, y, 1e-9f));
+}
+
+TEST(PatchShuffle, ChannelsMoveTogether) {
+  Rng rng(9);
+  // Make channel 1 = channel 0 + 100; the invariant must survive shuffling.
+  Tensor x({1, 2, 4, 4});
+  for (int64_t k = 0; k < 16; ++k) {
+    x.flat()[k] = static_cast<float>(k);
+    x.flat()[16 + k] = static_cast<float>(k) + 100.0f;
+  }
+  const Tensor y = patch_shuffle(x, 2, rng);
+  for (int64_t k = 0; k < 16; ++k)
+    EXPECT_FLOAT_EQ(y.flat()[16 + k], y.flat()[k] + 100.0f);
+}
+
+TEST(PatchShuffle, FullImagePatchIsIdentity) {
+  Rng rng(10);
+  const Tensor x = rng.normal_tensor({2, 3, 4, 4}, 0, 1);
+  const Tensor y = patch_shuffle(x, 4, rng);
+  EXPECT_TRUE(tensor::allclose(x, y));
+}
+
+TEST(PatchShuffle, RejectsIndivisiblePatch) {
+  Rng rng(11);
+  EXPECT_THROW((void)patch_shuffle(Tensor({1, 1, 8, 8}), 3, rng),
+               std::invalid_argument);
+}
+
+// ---- distance correlation ------------------------------------------------------------
+
+TEST(Dcor, PerfectDependenceIsOne) {
+  Rng rng(12);
+  const Tensor x = rng.normal_tensor({32, 4}, 0, 1);
+  EXPECT_NEAR(distance_correlation(x, x), 1.0, 1e-6);
+}
+
+TEST(Dcor, LinearMapKeepsHighDcor) {
+  Rng rng(13);
+  const Tensor x = rng.normal_tensor({32, 4}, 0, 1);
+  const Tensor z = tensor::scale(x, 3.0f);
+  EXPECT_GT(distance_correlation(x, z), 0.99);
+}
+
+TEST(Dcor, IndependentBatchesNearZero) {
+  // The empirical dCor estimator is positively biased at small n; with a
+  // 256-sample batch independent Gaussians stay well below dependence.
+  Rng rng(14);
+  const Tensor x = rng.normal_tensor({256, 4}, 0, 1);
+  const Tensor z = rng.normal_tensor({256, 4}, 0, 1);
+  EXPECT_LT(distance_correlation(x, z), 0.30);
+}
+
+TEST(Dcor, NoiseLowersDependence) {
+  Rng rng(15);
+  const Tensor x = rng.normal_tensor({48, 6}, 0, 1);
+  Tensor z_clean = x;
+  Tensor z_noisy = x;
+  for (float& v : z_noisy.flat()) v += rng.normal(0.0f, 3.0f);
+  EXPECT_GT(distance_correlation(x, z_clean),
+            distance_correlation(x, z_noisy));
+}
+
+TEST(Dcor, SymmetricInArguments) {
+  Rng rng(16);
+  const Tensor x = rng.normal_tensor({24, 3}, 0, 1);
+  const Tensor z = rng.normal_tensor({24, 5}, 0, 1);
+  EXPECT_NEAR(distance_correlation(x, z), distance_correlation(z, x),
+              1e-9);
+}
+
+TEST(Dcor, RejectsBatchMismatch) {
+  EXPECT_THROW(
+      (void)distance_correlation(Tensor({4, 2}), Tensor({5, 2})),
+      std::invalid_argument);
+}
+
+TEST(Dcor, PatchShuffleReducesLeakage) {
+  // The privacy claim end-to-end: shuffled images are less correlated with
+  // the originals than the originals themselves.
+  Rng rng(17);
+  const Tensor x = rng.normal_tensor({24, 1, 8, 8}, 0, 1);
+  Rng srng(18);
+  const Tensor shuffled = patch_shuffle(x, 2, srng);
+  EXPECT_LT(distance_correlation(x, shuffled),
+            distance_correlation(x, x));
+}
+
+}  // namespace
+}  // namespace comdml::privacy

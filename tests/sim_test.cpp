@@ -1,0 +1,220 @@
+// Simulator substrate tests: event queue semantics, resource profiles,
+// topology builders and graph queries.
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hpp"
+#include "sim/resources.hpp"
+#include "sim/topology.hpp"
+
+namespace comdml::sim {
+namespace {
+
+using tensor::Rng;
+
+// ---- event queue ---------------------------------------------------------------
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_in(2.0, [&] { order.push_back(2); });
+  sim.schedule_in(1.0, [&] { order.push_back(1); });
+  sim.schedule_in(3.0, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulator, TiesBreakByInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_in(1.0, [&] { order.push_back(1); });
+  sim.schedule_in(1.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Simulator, EventsMayScheduleEvents) {
+  Simulator sim;
+  double fired_at = -1;
+  sim.schedule_in(1.0, [&] {
+    sim.schedule_in(2.0, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 3.0);
+}
+
+TEST(Simulator, RunUntilStopsEarly) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_in(1.0, [&] { ++fired; });
+  sim.schedule_in(5.0, [&] { ++fired; });
+  const size_t n = sim.run(2.0);
+  EXPECT_EQ(n, 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(Simulator, NegativeDelayThrows) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule_in(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, PastAbsoluteTimeThrows) {
+  Simulator sim;
+  sim.schedule_in(2.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, ReturnsExecutedCount) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_in(i, [] {});
+  EXPECT_EQ(sim.run(), 7u);
+}
+
+// ---- resources -------------------------------------------------------------------
+
+TEST(Resources, PaperProfileSets) {
+  EXPECT_EQ(standard_cpu_profiles(),
+            (std::vector<double>{4.0, 2.0, 1.0, 0.5, 0.2}));
+  EXPECT_EQ(standard_comm_profiles(),
+            (std::vector<double>{0.0, 10.0, 20.0, 50.0, 100.0}));
+}
+
+TEST(Resources, AssignCoversCpuProfilesEvenly) {
+  Rng rng(1);
+  const auto profiles = assign_profiles(100, rng);
+  std::map<double, int> counts;
+  for (const auto& p : profiles) ++counts[p.cpu];
+  for (const double cpu : standard_cpu_profiles())
+    EXPECT_EQ(counts[cpu], 20) << "cpu profile " << cpu;
+}
+
+TEST(Resources, AssignExcludesDisconnectedByDefault) {
+  Rng rng(2);
+  const auto profiles = assign_profiles(50, rng);
+  for (const auto& p : profiles) EXPECT_GT(p.mbps, 0.0);
+}
+
+TEST(Resources, ReshuffleChangesAtMostFraction) {
+  Rng rng(3);
+  auto profiles = assign_profiles(50, rng);
+  const auto before = profiles;
+  reshuffle_profiles(profiles, 0.2, rng);
+  int changed = 0;
+  for (size_t i = 0; i < profiles.size(); ++i)
+    if (profiles[i].cpu != before[i].cpu ||
+        profiles[i].mbps != before[i].mbps)
+      ++changed;
+  EXPECT_LE(changed, 10);  // 20% of 50; redraws can land on the same value
+}
+
+TEST(Resources, ReshuffleZeroFractionIsNoop) {
+  Rng rng(4);
+  auto profiles = assign_profiles(20, rng);
+  const auto before = profiles;
+  reshuffle_profiles(profiles, 0.0, rng);
+  for (size_t i = 0; i < profiles.size(); ++i) {
+    EXPECT_EQ(profiles[i].cpu, before[i].cpu);
+    EXPECT_EQ(profiles[i].mbps, before[i].mbps);
+  }
+}
+
+TEST(Resources, SamplesPerSecScalesWithCpu) {
+  const ResourceProfile slow{0.5, 100};
+  const ResourceProfile fast{2.0, 100};
+  const double f = 1e9;
+  EXPECT_DOUBLE_EQ(samples_per_sec(fast, f) / samples_per_sec(slow, f), 4.0);
+}
+
+TEST(Resources, SamplesPerSecRejectsZeroFlops) {
+  EXPECT_THROW((void)samples_per_sec({1.0, 100}, 0.0),
+               std::invalid_argument);
+}
+
+// ---- topology --------------------------------------------------------------------
+
+std::vector<ResourceProfile> uniform_profiles(size_t k, double mbps = 100) {
+  return std::vector<ResourceProfile>(k, ResourceProfile{1.0, mbps});
+}
+
+TEST(Topology, FullMeshConnectsEveryPair) {
+  const auto topo = Topology::full_mesh(uniform_profiles(5));
+  for (int64_t i = 0; i < 5; ++i)
+    for (int64_t j = 0; j < 5; ++j)
+      EXPECT_EQ(topo.linked(i, j), i != j);
+  EXPECT_DOUBLE_EQ(topo.density(), 1.0);
+  EXPECT_TRUE(topo.is_connected());
+}
+
+TEST(Topology, LinkBandwidthIsMinOfEndpoints) {
+  std::vector<ResourceProfile> profiles{{1.0, 10.0}, {1.0, 100.0}};
+  const auto topo = Topology::full_mesh(profiles);
+  EXPECT_DOUBLE_EQ(topo.bandwidth_mbps(0, 1), 10.0);
+}
+
+TEST(Topology, DisconnectedEndpointKillsLink) {
+  std::vector<ResourceProfile> profiles{{1.0, 0.0}, {1.0, 100.0}};
+  const auto topo = Topology::full_mesh(profiles);
+  EXPECT_FALSE(topo.linked(0, 1));
+}
+
+TEST(Topology, SelfLinkIsZero) {
+  const auto topo = Topology::full_mesh(uniform_profiles(3));
+  EXPECT_DOUBLE_EQ(topo.bandwidth_mbps(1, 1), 0.0);
+}
+
+TEST(Topology, RingHasTwoNeighbors) {
+  const auto topo = Topology::ring(uniform_profiles(6));
+  for (int64_t i = 0; i < 6; ++i)
+    EXPECT_EQ(topo.neighbors(i).size(), 2u);
+  EXPECT_TRUE(topo.is_connected());
+  EXPECT_NEAR(topo.density(), 6.0 / 15.0, 1e-12);
+}
+
+TEST(Topology, RandomGraphDensityTracksP) {
+  Rng rng(5);
+  const auto topo = Topology::random_graph(uniform_profiles(60), 0.2, rng);
+  EXPECT_NEAR(topo.density(), 0.2, 0.05);
+}
+
+TEST(Topology, RandomGraphZeroPIsEdgeless) {
+  Rng rng(6);
+  const auto topo = Topology::random_graph(uniform_profiles(5), 0.0, rng);
+  EXPECT_FALSE(topo.is_connected());
+  EXPECT_FALSE(topo.min_link_bandwidth().has_value());
+}
+
+TEST(Topology, MinLinkBandwidthFindsWeakestLink) {
+  std::vector<ResourceProfile> profiles{{1, 100}, {1, 20}, {1, 50}};
+  const auto topo = Topology::full_mesh(profiles);
+  ASSERT_TRUE(topo.min_link_bandwidth().has_value());
+  EXPECT_DOUBLE_EQ(*topo.min_link_bandwidth(), 20.0);
+}
+
+TEST(Topology, SetProfilesUpdatesBandwidth) {
+  auto topo = Topology::full_mesh(uniform_profiles(2, 100));
+  topo.set_profiles({{1.0, 10.0}, {1.0, 100.0}});
+  EXPECT_DOUBLE_EQ(topo.bandwidth_mbps(0, 1), 10.0);
+}
+
+TEST(Topology, SetProfilesRejectsSizeChange) {
+  auto topo = Topology::full_mesh(uniform_profiles(3));
+  EXPECT_THROW(topo.set_profiles(uniform_profiles(2)),
+               std::invalid_argument);
+}
+
+TEST(Topology, OutOfRangeQueriesThrow) {
+  const auto topo = Topology::full_mesh(uniform_profiles(3));
+  EXPECT_THROW((void)topo.bandwidth_mbps(0, 3), std::invalid_argument);
+  EXPECT_THROW((void)topo.profile(-1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace comdml::sim
