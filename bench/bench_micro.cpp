@@ -1,12 +1,24 @@
 // Micro-benchmarks (google-benchmark): hot kernels of every substrate —
 // tensor math, conv forward/backward, the pairing scheduler, the AllReduce
 // executor, pair execution and the dCor estimator.
+//
+// Before the google-benchmark suite runs, a hand-rolled kernel suite times
+// the optimized matmul/conv kernels against the kept naive references at
+// 1/2/4/8 threads and writes the results to BENCH_kernels.json (op, shape,
+// threads, GFLOP/s, speedup vs the serial reference) so the perf
+// trajectory is tracked across PRs.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <functional>
 #include <numeric>
+#include <string>
+#include <vector>
 
 #include "comm/allreduce.hpp"
 #include "core/execution.hpp"
+#include "core/parallel.hpp"
 #include "core/trainer.hpp"
 #include "nn/conv.hpp"
 #include "privacy/dcor.hpp"
@@ -25,7 +37,18 @@ void BM_Matmul(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(tensor::matmul(a, b));
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
-BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatmulReference(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(1);
+  const Tensor a = rng.normal_tensor({n, n}, 0, 1);
+  const Tensor b = rng.normal_tensor({n, n}, 0, 1);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(tensor::matmul_reference(a, b));
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatmulReference)->Arg(128)->Arg(256);
 
 void BM_ConvForward(benchmark::State& state) {
   Rng rng(2);
@@ -127,6 +150,136 @@ void BM_SimulatedRound(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatedRound)->Arg(10)->Arg(100);
 
+// ---- kernel suite with JSON output -----------------------------------------
+
+struct KernelRecord {
+  std::string op;
+  std::string shape;
+  int threads = 0;  // 0 = serial reference kernel
+  double gflops = 0.0;
+  double speedup_vs_serial = 1.0;
+};
+
+/// Best-of-N wall time of fn, with one warmup call.
+double time_seconds(const std::function<void()>& fn) {
+  using clock = std::chrono::steady_clock;
+  fn();  // warmup
+  double best = 1e30;
+  double total = 0.0;
+  int reps = 0;
+  while ((total < 0.25 && reps < 50) || reps < 3) {
+    const auto t0 = clock::now();
+    fn();
+    const double s = std::chrono::duration<double>(clock::now() - t0).count();
+    best = std::min(best, s);
+    total += s;
+    ++reps;
+  }
+  return best;
+}
+
+const int kKernelThreadCounts[] = {1, 2, 4, 8};
+
+/// Times `reference` (serial) and `optimized` at each thread count;
+/// appends records with GFLOP/s and speedup vs the reference.
+void run_kernel_case(std::vector<KernelRecord>& out, const std::string& op,
+                     const std::string& shape, double flops,
+                     const std::function<void()>& reference,
+                     const std::function<void()>& optimized) {
+  core::set_num_threads(1);
+  const double t_ref = time_seconds(reference);
+  out.push_back({op + "_reference", shape, 0, flops / t_ref / 1e9, 1.0});
+  std::printf("  %-18s %-22s serial reference: %7.3f GFLOP/s\n", op.c_str(),
+              shape.c_str(), flops / t_ref / 1e9);
+  for (const int threads : kKernelThreadCounts) {
+    core::set_num_threads(threads);
+    const double t = time_seconds(optimized);
+    out.push_back({op, shape, threads, flops / t / 1e9, t_ref / t});
+    std::printf("  %-18s %-22s threads=%d: %7.3f GFLOP/s (%.2fx vs serial)\n",
+                op.c_str(), shape.c_str(), threads, flops / t / 1e9,
+                t_ref / t);
+  }
+  core::set_num_threads(0);
+}
+
+void write_kernel_json(const std::vector<KernelRecord>& records,
+                       const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < records.size(); ++i) {
+    const auto& r = records[i];
+    std::fprintf(f,
+                 "  {\"op\": \"%s\", \"shape\": \"%s\", \"threads\": %d, "
+                 "\"gflops\": %.4f, \"speedup_vs_serial\": %.4f}%s\n",
+                 r.op.c_str(), r.shape.c_str(), r.threads, r.gflops,
+                 r.speedup_vs_serial, i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+}
+
+void run_kernel_suite() {
+  std::printf("==== kernel suite (writes BENCH_kernels.json) ====\n");
+  std::printf("hardware threads: %d\n", core::hardware_threads());
+  std::vector<KernelRecord> records;
+
+  {
+    const int64_t n = 256;
+    Rng rng(41);
+    const Tensor a = rng.normal_tensor({n, n}, 0, 1);
+    const Tensor b = rng.normal_tensor({n, n}, 0, 1);
+    const double flops = 2.0 * static_cast<double>(n) * n * n;
+    run_kernel_case(
+        records, "matmul", "256x256x256", flops,
+        [&] { benchmark::DoNotOptimize(tensor::matmul_reference(a, b)); },
+        [&] { benchmark::DoNotOptimize(tensor::matmul(a, b)); });
+  }
+
+  {
+    // Conv2d: [8,16,32,32] * [32,16,3,3], stride 1, pad 1.
+    const int64_t bn = 8, cin = 16, cout = 32, hw = 32, k = 3;
+    Rng rng(42);
+    nn::Conv2d conv(cin, cout, k, 1, 1, rng);
+    Rng wrng(42);
+    const Tensor w = wrng.he_normal({cout, cin, k, k}, cin * k * k);
+    const Tensor x = rng.normal_tensor({bn, cin, hw, hw}, 0, 1);
+    const double fwd_flops =
+        2.0 * k * k * cin * cout * hw * hw * static_cast<double>(bn);
+    run_kernel_case(
+        records, "conv2d_forward", "8x16x32x32_k3s1p1", fwd_flops,
+        [&] {
+          benchmark::DoNotOptimize(nn::conv2d_reference_forward(x, w, 1, 1));
+        },
+        [&] { benchmark::DoNotOptimize(conv.forward(x, true)); });
+
+    const Tensor g = rng.normal_tensor({bn, cout, hw, hw}, 0, 1);
+    Tensor dw(w.shape());
+    (void)conv.forward(x, true);
+    run_kernel_case(
+        records, "conv2d_backward", "8x16x32x32_k3s1p1", 2.0 * fwd_flops,
+        [&] {
+          dw.fill(0.0f);
+          benchmark::DoNotOptimize(
+              nn::conv2d_reference_backward(x, w, g, 1, 1, dw));
+        },
+        [&] { benchmark::DoNotOptimize(conv.backward(g)); });
+  }
+
+  write_kernel_json(records, "BENCH_kernels.json");
+  std::printf("wrote BENCH_kernels.json (%zu records)\n\n", records.size());
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  run_kernel_suite();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

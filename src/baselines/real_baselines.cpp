@@ -2,6 +2,7 @@
 
 #include "comm/allreduce.hpp"
 #include "comm/gossip.hpp"
+#include "core/parallel.hpp"
 
 namespace comdml::baselines {
 
@@ -126,9 +127,20 @@ RealBaselineFleet::RoundStats RealBaselineFleet::step() {
     global = nn::state_of(*models_[0]);
 
   RoundStats stats;
+  // Agents are independent until aggregation (own replica, optimizer state
+  // and batcher; `global` is read-only), so local training fans out to the
+  // pool. Per-agent losses land in fixed slots and are reduced in agent
+  // order, keeping the round identical for every thread count.
+  std::vector<float> losses(models_.size(), 0.0f);
+  core::parallel_for(0, static_cast<int64_t>(models_.size()), 1,
+                     [&](int64_t lo, int64_t hi) {
+                       for (int64_t i = lo; i < hi; ++i)
+                         losses[static_cast<size_t>(i)] = train_locally(
+                             static_cast<size_t>(i),
+                             global ? &*global : nullptr);
+                     });
   float loss = 0.0f;
-  for (size_t i = 0; i < models_.size(); ++i)
-    loss += train_locally(i, global ? &*global : nullptr);
+  for (const float l : losses) loss += l;
   stats.mean_loss = loss / static_cast<float>(models_.size());
   aggregate();
   return stats;

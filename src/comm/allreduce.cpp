@@ -234,9 +234,12 @@ std::vector<Tensor> weighted_mean_state(
   }
   COMDML_REQUIRE(wsum > 0.0, "all aggregation weights are zero");
 
+  // Seed the accumulator from agent 0 in place (scale instead of
+  // zero-fill + axpy: one fewer pass, identical rounding).
   std::vector<Tensor> out = agent_states[0];
-  for (auto& t : out) t.fill(0.0f);
-  for (size_t a = 0; a < agent_states.size(); ++a) {
+  for (auto& t : out)
+    tensor::scale_inplace(t, static_cast<float>(weights[0] / wsum));
+  for (size_t a = 1; a < agent_states.size(); ++a) {
     const float w = static_cast<float>(weights[a] / wsum);
     COMDML_REQUIRE(agent_states[a].size() == out.size(),
                    "agent " << a << " state arity differs");

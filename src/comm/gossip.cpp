@@ -1,6 +1,7 @@
 #include "comm/gossip.hpp"
 
 #include "comm/allreduce.hpp"
+#include "tensor/ops.hpp"
 
 namespace comdml::comm {
 
@@ -38,6 +39,15 @@ std::vector<double> gossip_exchange(std::vector<std::vector<Tensor>>& states,
   }
   for (size_t i = 0; i < k; ++i) {
     if (inbox[i].empty()) continue;
+    if (inbox[i].size() == 1) {
+      // Single pusher (the common random-matching case): merge in place
+      // with the fused kernel. Bit-identical to mean_state of the pair
+      // (0.5*y + 0.5*x either way) without allocating a merged state.
+      const auto& other = *inbox[i][0];
+      for (size_t t = 0; t < states[i].size(); ++t)
+        tensor::scale_add_inplace(states[i][t], 0.5f, 0.5f, other[t]);
+      continue;
+    }
     std::vector<std::vector<Tensor>> group;
     group.push_back(snapshot[i]);
     for (const auto* s : inbox[i]) group.push_back(*s);

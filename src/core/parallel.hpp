@@ -1,0 +1,50 @@
+// Shared parallel-compute subsystem: a lazily-initialized global thread
+// pool behind a parallel_for(begin, end, grain, fn) API.
+//
+// Design rules that every caller relies on:
+//  - fn(lo, hi) is invoked on half-open sub-ranges that exactly tile
+//    [begin, end); each index is visited exactly once.
+//  - Nested parallel_for calls (a kernel invoked from inside a pool task)
+//    run inline on the calling worker, so kernels can be parallelized
+//    unconditionally without risking pool deadlock or oversubscription.
+//  - The partitioning may vary with the thread count, so kernels must keep
+//    each output element's computation independent of the partition (write
+//    disjoint outputs, fix any reduction order). Under that discipline
+//    results are bit-identical for every thread count.
+//  - Exceptions thrown by fn are captured and rethrown on the calling
+//    thread (first one wins).
+//
+// The thread count defaults to the COMDML_NUM_THREADS environment variable
+// when set, else std::thread::hardware_concurrency().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace comdml::core {
+
+/// Chunked loop body: processes the half-open index range [lo, hi).
+using RangeFn = std::function<void(int64_t lo, int64_t hi)>;
+
+/// Number of threads parallel_for will use (>= 1). First call initializes
+/// from COMDML_NUM_THREADS / hardware_concurrency.
+[[nodiscard]] int num_threads();
+
+/// Override the pool size. `n >= 1` forces that many threads; `n == 0`
+/// re-reads COMDML_NUM_THREADS (falling back to the hardware count).
+/// Safe to call between parallel regions; joins and restarts the pool.
+void set_num_threads(int n);
+
+/// Hardware concurrency as reported by the standard library (>= 1).
+[[nodiscard]] int hardware_threads();
+
+/// True when called from inside a pool worker (a nested parallel region).
+[[nodiscard]] bool in_parallel_region();
+
+/// Apply `fn` over [begin, end) in chunks of at least `grain` indices,
+/// using the global pool. Runs inline when the range is small, the pool
+/// has one thread, or the call is nested inside another parallel region.
+void parallel_for(int64_t begin, int64_t end, int64_t grain,
+                  const RangeFn& fn);
+
+}  // namespace comdml::core

@@ -2,6 +2,7 @@
 
 #include "comm/allreduce.hpp"
 #include "comm/compress.hpp"
+#include "core/parallel.hpp"
 #include "nn/arch_specs.hpp"
 #include "privacy/dcor.hpp"
 #include "privacy/dp.hpp"
@@ -66,11 +67,11 @@ std::vector<AgentInfo> RealFleet::build_infos() const {
   return infos;
 }
 
-data::Batch RealFleet::next_batch(int64_t agent) {
+data::Batch RealFleet::next_batch(int64_t agent, tensor::Rng& rng) {
   data::Batch batch = agents_[static_cast<size_t>(agent)].batcher->next();
   if (options_.privacy == learncurve::PrivacyTechnique::kPatchShuffle &&
       batch.x.rank() == 4) {
-    batch.x = privacy::patch_shuffle(batch.x, options_.shuffle_patch, rng_);
+    batch.x = privacy::patch_shuffle(batch.x, options_.shuffle_patch, rng);
   }
   return batch;
 }
@@ -87,55 +88,96 @@ RealFleet::RoundStats RealFleet::step() {
 
   RoundStats stats;
   stats.num_pairs = static_cast<int64_t>(plan.pairs.size());
+
+  // Local-training phase. Pairing is a matching, so pair tasks touch
+  // disjoint agent replicas/batchers and solo tasks the rest: every task is
+  // independent between the pairing and aggregation barriers. Each task
+  // gets an Rng forked in fixed task order before the fan-out, and results
+  // land in a pre-sized slot vector reduced serially afterwards, so the
+  // round is bit-identical for every COMDML_NUM_THREADS value.
+  struct TaskResult {
+    float slow_loss_sum = 0.0f;
+    float loss_sum = 0.0f;
+    int64_t loss_count = 0;
+    double dcor = 0.0;
+    double wire_compression = 0.0;
+    int64_t dcor_count = 0;
+  };
+  const size_t n_pairs = plan.pairs.size();
+  const size_t n_tasks = n_pairs + plan.solo.size();
+  std::vector<tensor::Rng> task_rngs;
+  task_rngs.reserve(n_tasks);
+  for (size_t t = 0; t < n_tasks; ++t) task_rngs.push_back(rng_.fork());
+  std::vector<TaskResult> results(n_tasks);
+
+  parallel_for(0, static_cast<int64_t>(n_tasks), 1,
+               [&](int64_t lo, int64_t hi) {
+    for (int64_t t = lo; t < hi; ++t) {
+      tensor::Rng& rng = task_rngs[static_cast<size_t>(t)];
+      TaskResult& out = results[static_cast<size_t>(t)];
+      if (t < static_cast<int64_t>(n_pairs)) {
+        // Paired agents: local-loss split training of the *slow* agent's
+        // replica (fast side physically runs on the fast agent; state-wise
+        // it is the slow replica's suffix), while the fast agent also
+        // trains its own replica.
+        const auto& pair = plan.pairs[static_cast<size_t>(t)];
+        auto& slow = agents_[static_cast<size_t>(pair.slow_agent)];
+        auto& fast = agents_[static_cast<size_t>(pair.fast_agent)];
+        nn::LocalLossSplitTrainer split(*slow.model, pair.cut, in_shape_,
+                                        classes_, rng, sgd);
+        for (int64_t b = 0; b < options_.batches_per_round; ++b) {
+          const auto batch = next_batch(pair.slow_agent, rng);
+          const auto step = split.train_batch(batch.x, batch.y);
+          out.slow_loss_sum += step.slow_loss;
+          out.loss_sum += step.fast_loss;
+          ++out.loss_count;
+          if (b == 0) {
+            // Privacy leakage across the cut, measured on real
+            // activations, and the actually-achieved wire compression of
+            // the same payload.
+            const auto h =
+                slow.model->forward_range(batch.x, 0, pair.cut, false);
+            out.dcor += privacy::distance_correlation(batch.x, h);
+            out.wire_compression += comm::compression_ratio(h);
+            ++out.dcor_count;
+          }
+        }
+        nn::SGD fast_opt(fast.model->parameters(), sgd);
+        for (int64_t b = 0; b < options_.batches_per_round; ++b) {
+          const auto batch = next_batch(pair.fast_agent, rng);
+          const auto res =
+              nn::train_batch_full(*fast.model, fast_opt, batch.x, batch.y);
+          out.loss_sum += res.loss;
+          ++out.loss_count;
+        }
+      } else {
+        // Solo agents train the full model.
+        const int64_t id =
+            plan.solo[static_cast<size_t>(t) - n_pairs];
+        auto& agent = agents_[static_cast<size_t>(id)];
+        nn::SGD opt(agent.model->parameters(), sgd);
+        for (int64_t b = 0; b < options_.batches_per_round; ++b) {
+          const auto batch = next_batch(id, rng);
+          const auto res =
+              nn::train_batch_full(*agent.model, opt, batch.x, batch.y);
+          out.loss_sum += res.loss;
+          ++out.loss_count;
+        }
+      }
+    }
+  });
+
   float slow_loss_sum = 0.0f, loss_sum = 0.0f;
   int64_t loss_count = 0;
   double dcor_sum = 0.0;
   int64_t dcor_count = 0;
-
-  // Paired agents: local-loss split training of the *slow* agent's replica
-  // (fast side physically runs on the fast agent; state-wise it is the slow
-  // replica's suffix), while the fast agent also trains its own replica.
-  for (const auto& pair : plan.pairs) {
-    auto& slow = agents_[static_cast<size_t>(pair.slow_agent)];
-    auto& fast = agents_[static_cast<size_t>(pair.fast_agent)];
-    nn::LocalLossSplitTrainer split(*slow.model, pair.cut, in_shape_,
-                                    classes_, rng_, sgd);
-    for (int64_t b = 0; b < options_.batches_per_round; ++b) {
-      const auto batch = next_batch(pair.slow_agent);
-      const auto step = split.train_batch(batch.x, batch.y);
-      slow_loss_sum += step.slow_loss;
-      loss_sum += step.fast_loss;
-      ++loss_count;
-      if (b == 0) {
-        // Privacy leakage across the cut, measured on real activations,
-        // and the actually-achieved wire compression of the same payload.
-        const auto h =
-            slow.model->forward_range(batch.x, 0, pair.cut, false);
-        dcor_sum += privacy::distance_correlation(batch.x, h);
-        stats.mean_wire_compression += comm::compression_ratio(h);
-        ++dcor_count;
-      }
-    }
-    nn::SGD fast_opt(fast.model->parameters(), sgd);
-    for (int64_t b = 0; b < options_.batches_per_round; ++b) {
-      const auto batch = next_batch(pair.fast_agent);
-      const auto res =
-          nn::train_batch_full(*fast.model, fast_opt, batch.x, batch.y);
-      loss_sum += res.loss;
-      ++loss_count;
-    }
-  }
-  // Solo agents train the full model.
-  for (const int64_t id : plan.solo) {
-    auto& agent = agents_[static_cast<size_t>(id)];
-    nn::SGD opt(agent.model->parameters(), sgd);
-    for (int64_t b = 0; b < options_.batches_per_round; ++b) {
-      const auto batch = next_batch(id);
-      const auto res =
-          nn::train_batch_full(*agent.model, opt, batch.x, batch.y);
-      loss_sum += res.loss;
-      ++loss_count;
-    }
+  for (const TaskResult& r : results) {
+    slow_loss_sum += r.slow_loss_sum;
+    loss_sum += r.loss_sum;
+    loss_count += r.loss_count;
+    dcor_sum += r.dcor;
+    stats.mean_wire_compression += r.wire_compression;
+    dcor_count += r.dcor_count;
   }
 
   // Optional DP on each agent's state before it leaves the device.

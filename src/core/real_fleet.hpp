@@ -101,7 +101,9 @@ class RealFleet {
   std::optional<nn::PlateauScheduler> plateau_;
 
   [[nodiscard]] std::vector<AgentInfo> build_infos() const;
-  [[nodiscard]] data::Batch next_batch(int64_t agent);
+  /// Draws from the agent's own batcher; `rng` drives any privacy
+  /// transform so concurrent tasks never share a generator.
+  [[nodiscard]] data::Batch next_batch(int64_t agent, tensor::Rng& rng);
 };
 
 }  // namespace comdml::core

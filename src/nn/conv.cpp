@@ -1,8 +1,75 @@
 #include "nn/conv.hpp"
 
+#include <cstring>
 #include <sstream>
 
+#include "core/parallel.hpp"
+
 namespace comdml::nn {
+
+namespace {
+
+/// Unrolls one sample x_c [cin,h,w] into col [ho*wo, cin*k*k] (row-major):
+/// row r = oy*wo + ox holds the receptive field of output position (oy,ox),
+/// column c = (ci*k + ky)*k + kx — the flattened-weight column order.
+void im2col(const float* xc, int64_t cin, int64_t h, int64_t w, int64_t k,
+            int64_t stride, int64_t pad, int64_t ho, int64_t wo, float* col) {
+  const int64_t ckk = cin * k * k;
+  for (int64_t oy = 0; oy < ho; ++oy) {
+    const int64_t iy0 = oy * stride - pad;
+    for (int64_t ox = 0; ox < wo; ++ox) {
+      const int64_t ix0 = ox * stride - pad;
+      float* row = col + (oy * wo + ox) * ckk;
+      for (int64_t ci = 0; ci < cin; ++ci) {
+        const float* xch = xc + ci * h * w;
+        for (int64_t ky = 0; ky < k; ++ky) {
+          const int64_t iy = iy0 + ky;
+          float* dst = row + (ci * k + ky) * k;
+          if (iy < 0 || iy >= h) {
+            for (int64_t kx = 0; kx < k; ++kx) dst[kx] = 0.0f;
+            continue;
+          }
+          const float* src = xch + iy * w;
+          for (int64_t kx = 0; kx < k; ++kx) {
+            const int64_t ix = ix0 + kx;
+            dst[kx] = (ix < 0 || ix >= w) ? 0.0f : src[ix];
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Scatter-adds dcol [ho*wo, cin*k*k] back into one sample gradient
+/// dx_c [cin,h,w]. Fixed (row, column)-ascending order keeps the
+/// overlapping-window accumulation deterministic.
+void col2im(const float* dcol, int64_t cin, int64_t h, int64_t w, int64_t k,
+            int64_t stride, int64_t pad, int64_t ho, int64_t wo, float* dxc) {
+  const int64_t ckk = cin * k * k;
+  for (int64_t oy = 0; oy < ho; ++oy) {
+    const int64_t iy0 = oy * stride - pad;
+    for (int64_t ox = 0; ox < wo; ++ox) {
+      const int64_t ix0 = ox * stride - pad;
+      const float* row = dcol + (oy * wo + ox) * ckk;
+      for (int64_t ci = 0; ci < cin; ++ci) {
+        float* dxch = dxc + ci * h * w;
+        for (int64_t ky = 0; ky < k; ++ky) {
+          const int64_t iy = iy0 + ky;
+          if (iy < 0 || iy >= h) continue;
+          const float* src = row + (ci * k + ky) * k;
+          float* dst = dxch + iy * w;
+          for (int64_t kx = 0; kx < k; ++kx) {
+            const int64_t ix = ix0 + kx;
+            if (ix < 0 || ix >= w) continue;
+            dst[ix] += src[kx];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
 
 Conv2d::Conv2d(int64_t in_channels, int64_t out_channels, int64_t kernel,
                int64_t stride, int64_t padding, Rng& rng)
@@ -34,36 +101,24 @@ Tensor Conv2d::forward(const Tensor& x, bool /*train*/) {
   COMDML_REQUIRE(ho > 0 && wo > 0, "conv: input " << h << "x" << w
                                                   << " too small for kernel");
   Tensor y({n, cout_, ho, wo});
+  const int64_t how = ho * wo;
+  const int64_t ckk = cin_ * k_ * k_;
+  const Tensor wmat = weight_.value.reshaped({cout_, ckk});
   const float* xp = x.flat().data();
-  const float* wp = weight_.value.flat().data();
   float* yp = y.flat().data();
 
-  for (int64_t in = 0; in < n; ++in) {
-    for (int64_t co = 0; co < cout_; ++co) {
-      for (int64_t oy = 0; oy < ho; ++oy) {
-        for (int64_t ox = 0; ox < wo; ++ox) {
-          double acc = 0.0;
-          const int64_t iy0 = oy * stride_ - pad_;
-          const int64_t ix0 = ox * stride_ - pad_;
-          for (int64_t ci = 0; ci < cin_; ++ci) {
-            const float* xc = xp + ((in * cin_ + ci) * h) * w;
-            const float* wc = wp + ((co * cin_ + ci) * k_) * k_;
-            for (int64_t ky = 0; ky < k_; ++ky) {
-              const int64_t iy = iy0 + ky;
-              if (iy < 0 || iy >= h) continue;
-              for (int64_t kx = 0; kx < k_; ++kx) {
-                const int64_t ix = ix0 + kx;
-                if (ix < 0 || ix >= w) continue;
-                acc += double(xc[iy * w + ix]) * wc[ky * k_ + kx];
-              }
-            }
-          }
-          yp[((in * cout_ + co) * ho + oy) * wo + ox] =
-              static_cast<float>(acc);
-        }
-      }
+  // im2col + GEMM per sample; samples fan out to the pool, the GEMM inside
+  // a worker runs inline (nested parallel regions are serial).
+  core::parallel_for(0, n, 1, [&](int64_t lo, int64_t hi) {
+    Tensor col({how, ckk});
+    for (int64_t in = lo; in < hi; ++in) {
+      im2col(xp + in * cin_ * h * w, cin_, h, w, k_, stride_, pad_, ho, wo,
+             col.flat().data());
+      const Tensor ym = tensor::matmul_nt(wmat, col);  // [cout, ho*wo]
+      std::memcpy(yp + in * cout_ * how, ym.flat().data(),
+                  static_cast<size_t>(cout_ * how) * sizeof(float));
     }
-  }
+  });
   return y;
 }
 
@@ -79,34 +134,122 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
                      << tensor::shape_str(grad_out.shape()));
 
   Tensor dx(x.shape());
+  const int64_t how = ho * wo;
+  const int64_t ckk = cin_ * k_ * k_;
+  const Tensor wmat = weight_.value.reshaped({cout_, ckk});
   const float* xp = x.flat().data();
-  const float* wp = weight_.value.flat().data();
   const float* gp = grad_out.flat().data();
   float* dxp = dx.flat().data();
-  float* dwp = weight_.grad.flat().data();
 
+  // Per-sample: dW_n = G_n @ col_n, dcol_n = G_n^T @ W, dx_n = col2im(dcol).
+  // dx rows are disjoint across samples; per-sample dW partials are reduced
+  // serially in sample order afterwards so the accumulation is independent
+  // of the thread count.
+  std::vector<Tensor> dw_partials(static_cast<size_t>(n));
+  core::parallel_for(0, n, 1, [&](int64_t lo, int64_t hi) {
+    Tensor col({how, ckk});
+    Tensor gm({cout_, how});
+    for (int64_t in = lo; in < hi; ++in) {
+      im2col(xp + in * cin_ * h * w, cin_, h, w, k_, stride_, pad_, ho, wo,
+             col.flat().data());
+      std::memcpy(gm.flat().data(), gp + in * cout_ * how,
+                  static_cast<size_t>(cout_ * how) * sizeof(float));
+      dw_partials[static_cast<size_t>(in)] =
+          tensor::matmul(gm, col);  // [cout, cin*k*k]
+      const Tensor dcol = tensor::matmul_tn(gm, wmat);  // [ho*wo, cin*k*k]
+      col2im(dcol.flat().data(), cin_, h, w, k_, stride_, pad_, ho, wo,
+             dxp + in * cin_ * h * w);
+    }
+  });
+  float* dwp = weight_.grad.flat().data();
   for (int64_t in = 0; in < n; ++in) {
-    for (int64_t co = 0; co < cout_; ++co) {
-      const float* gc = gp + ((in * cout_ + co) * ho) * wo;
+    const float* src = dw_partials[static_cast<size_t>(in)].flat().data();
+    for (int64_t i = 0; i < cout_ * ckk; ++i) dwp[i] += src[i];
+  }
+  return dx;
+}
+
+Tensor conv2d_reference_forward(const Tensor& x, const Tensor& w,
+                                int64_t stride, int64_t padding) {
+  COMDML_REQUIRE(x.rank() == 4 && w.rank() == 4 && x.dim(1) == w.dim(1),
+                 "conv reference: bad shapes "
+                     << tensor::shape_str(x.shape()) << " * "
+                     << tensor::shape_str(w.shape()));
+  const int64_t n = x.dim(0), cin = x.dim(1), h = x.dim(2), ww = x.dim(3);
+  const int64_t cout = w.dim(0), k = w.dim(2);
+  const int64_t ho = (h + 2 * padding - k) / stride + 1;
+  const int64_t wo = (ww + 2 * padding - k) / stride + 1;
+  COMDML_REQUIRE(ho > 0 && wo > 0, "conv reference: input too small");
+  Tensor y({n, cout, ho, wo});
+  const float* xp = x.flat().data();
+  const float* wp = w.flat().data();
+  float* yp = y.flat().data();
+  for (int64_t in = 0; in < n; ++in) {
+    for (int64_t co = 0; co < cout; ++co) {
+      for (int64_t oy = 0; oy < ho; ++oy) {
+        for (int64_t ox = 0; ox < wo; ++ox) {
+          double acc = 0.0;
+          const int64_t iy0 = oy * stride - padding;
+          const int64_t ix0 = ox * stride - padding;
+          for (int64_t ci = 0; ci < cin; ++ci) {
+            const float* xc = xp + ((in * cin + ci) * h) * ww;
+            const float* wc = wp + ((co * cin + ci) * k) * k;
+            for (int64_t ky = 0; ky < k; ++ky) {
+              const int64_t iy = iy0 + ky;
+              if (iy < 0 || iy >= h) continue;
+              for (int64_t kx = 0; kx < k; ++kx) {
+                const int64_t ix = ix0 + kx;
+                if (ix < 0 || ix >= ww) continue;
+                acc += double(xc[iy * ww + ix]) * wc[ky * k + kx];
+              }
+            }
+          }
+          yp[((in * cout + co) * ho + oy) * wo + ox] =
+              static_cast<float>(acc);
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor conv2d_reference_backward(const Tensor& x, const Tensor& w,
+                                 const Tensor& grad_out, int64_t stride,
+                                 int64_t padding, Tensor& dw) {
+  COMDML_REQUIRE(x.rank() == 4 && w.rank() == 4 && grad_out.rank() == 4 &&
+                     dw.shape() == w.shape(),
+                 "conv reference backward: bad shapes");
+  const int64_t n = x.dim(0), cin = x.dim(1), h = x.dim(2), ww = x.dim(3);
+  const int64_t cout = w.dim(0), k = w.dim(2);
+  const int64_t ho = grad_out.dim(2), wo = grad_out.dim(3);
+  Tensor dx(x.shape());
+  const float* xp = x.flat().data();
+  const float* wp = w.flat().data();
+  const float* gp = grad_out.flat().data();
+  float* dxp = dx.flat().data();
+  float* dwp = dw.flat().data();
+  for (int64_t in = 0; in < n; ++in) {
+    for (int64_t co = 0; co < cout; ++co) {
+      const float* gc = gp + ((in * cout + co) * ho) * wo;
       for (int64_t oy = 0; oy < ho; ++oy) {
         for (int64_t ox = 0; ox < wo; ++ox) {
           const float g = gc[oy * wo + ox];
           if (g == 0.0f) continue;
-          const int64_t iy0 = oy * stride_ - pad_;
-          const int64_t ix0 = ox * stride_ - pad_;
-          for (int64_t ci = 0; ci < cin_; ++ci) {
-            const float* xc = xp + ((in * cin_ + ci) * h) * w;
-            float* dxc = dxp + ((in * cin_ + ci) * h) * w;
-            const float* wc = wp + ((co * cin_ + ci) * k_) * k_;
-            float* dwc = dwp + ((co * cin_ + ci) * k_) * k_;
-            for (int64_t ky = 0; ky < k_; ++ky) {
+          const int64_t iy0 = oy * stride - padding;
+          const int64_t ix0 = ox * stride - padding;
+          for (int64_t ci = 0; ci < cin; ++ci) {
+            const float* xc = xp + ((in * cin + ci) * h) * ww;
+            float* dxc = dxp + ((in * cin + ci) * h) * ww;
+            const float* wc = wp + ((co * cin + ci) * k) * k;
+            float* dwc = dwp + ((co * cin + ci) * k) * k;
+            for (int64_t ky = 0; ky < k; ++ky) {
               const int64_t iy = iy0 + ky;
               if (iy < 0 || iy >= h) continue;
-              for (int64_t kx = 0; kx < k_; ++kx) {
+              for (int64_t kx = 0; kx < k; ++kx) {
                 const int64_t ix = ix0 + kx;
-                if (ix < 0 || ix >= w) continue;
-                dwc[ky * k_ + kx] += g * xc[iy * w + ix];
-                dxc[iy * w + ix] += g * wc[ky * k_ + kx];
+                if (ix < 0 || ix >= ww) continue;
+                dwc[ky * k + kx] += g * xc[iy * ww + ix];
+                dxc[iy * ww + ix] += g * wc[ky * k + kx];
               }
             }
           }

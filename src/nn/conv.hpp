@@ -1,9 +1,26 @@
 // 2-D convolution (NCHW, square kernel, zero padding, no bias — ResNet style).
+//
+// Forward and backward run as im2col + GEMM so convolution rides the
+// cache-blocked, thread-parallel matmul kernels; samples are additionally
+// processed in parallel. The direct naive kernels are kept as
+// conv2d_reference_* for parity tests and benchmark baselines.
 #pragma once
 
 #include "nn/module.hpp"
 
 namespace comdml::nn {
+
+/// Direct (non-im2col) convolution: x [N,cin,H,W] * w [cout,cin,k,k].
+[[nodiscard]] Tensor conv2d_reference_forward(const Tensor& x,
+                                              const Tensor& w, int64_t stride,
+                                              int64_t padding);
+
+/// Direct backward pass. Returns dx; accumulates into `dw` (shape of w).
+[[nodiscard]] Tensor conv2d_reference_backward(const Tensor& x,
+                                               const Tensor& w,
+                                               const Tensor& grad_out,
+                                               int64_t stride, int64_t padding,
+                                               Tensor& dw);
 
 class Conv2d : public Module {
  public:

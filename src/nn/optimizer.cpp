@@ -17,14 +17,8 @@ SGD::SGD(std::vector<Parameter*> params, Options options)
 void SGD::step() {
   for (size_t i = 0; i < params_.size(); ++i) {
     Parameter& p = *params_[i];
-    auto v = velocity_[i].flat();
-    auto w = p.value.flat();
-    auto g = p.grad.flat();
-    for (size_t k = 0; k < w.size(); ++k) {
-      const float grad = g[k] + options_.weight_decay * w[k];
-      v[k] = options_.momentum * v[k] - options_.lr * grad;
-      w[k] += v[k];
-    }
+    tensor::sgd_momentum_update(p.value, velocity_[i], p.grad, options_.lr,
+                                options_.momentum, options_.weight_decay);
   }
 }
 

@@ -22,11 +22,12 @@ Tensor BasicBlock::forward(const Tensor& x, bool train) {
   main = relu1_.forward(main, train);
   main = conv2_.forward(main, train);
   main = bn2_.forward(main, train);
-  Tensor shortcut =
+  const Tensor shortcut =
       identity_shortcut_
           ? x
           : short_bn_->forward(short_conv_->forward(x, train), train);
-  return relu_out_.forward(tensor::add(main, shortcut), train);
+  tensor::add_inplace(main, shortcut);
+  return relu_out_.forward(main, train);
 }
 
 Tensor BasicBlock::backward(const Tensor& grad_out) {

@@ -20,8 +20,20 @@ namespace comdml::tensor {
 /// y += alpha * x  (shapes must match)
 void axpy(float alpha, const Tensor& x, Tensor& y);
 
+/// In-place y += x (shapes must match).
+void add_inplace(Tensor& y, const Tensor& x);
+
 /// In-place y *= s.
 void scale_inplace(Tensor& y, float s);
+
+/// Fused in-place y = alpha * y + beta * x (shapes must match). One pass
+/// over memory instead of a scale_inplace + axpy pair.
+void scale_add_inplace(Tensor& y, float alpha, float beta, const Tensor& x);
+
+/// Fused SGD-with-momentum update, one pass over (w, v, g):
+///   v = momentum * v - lr * (g + weight_decay * w);  w += v
+void sgd_momentum_update(Tensor& w, Tensor& v, const Tensor& g, float lr,
+                         float momentum, float weight_decay);
 
 // ---- reductions ------------------------------------------------------------
 
@@ -39,6 +51,11 @@ void scale_inplace(Tensor& y, float s);
 [[nodiscard]] std::vector<int64_t> argmax_rows(const Tensor& a);
 
 // ---- linear algebra --------------------------------------------------------
+//
+// The matmul family runs cache-blocked and row-parallel on the global
+// thread pool (core/parallel.hpp). Each output row is computed by exactly
+// one task with a fixed ascending-k accumulation order, so results are
+// bit-identical for every thread count.
 
 /// C[M,N] = A[M,K] @ B[K,N]
 [[nodiscard]] Tensor matmul(const Tensor& a, const Tensor& b);
@@ -48,6 +65,13 @@ void scale_inplace(Tensor& y, float s);
 
 /// C[M,N] = A[M,K] @ B^T[K,N] where B is stored [N,K].
 [[nodiscard]] Tensor matmul_nt(const Tensor& a, const Tensor& b);
+
+// Naive single-thread reference kernels, kept for parity tests and as the
+// serial baseline of the kernel benchmarks. Semantics match the fast
+// variants above.
+[[nodiscard]] Tensor matmul_reference(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor matmul_tn_reference(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor matmul_nt_reference(const Tensor& a, const Tensor& b);
 
 /// Transpose of a rank-2 tensor.
 [[nodiscard]] Tensor transpose2d(const Tensor& a);
