@@ -4,24 +4,64 @@
 //
 // Before the google-benchmark suite runs, a hand-rolled kernel suite times
 // the optimized matmul/conv kernels against the kept naive references at
-// 1/2/4/8 threads and writes the results to BENCH_kernels.json (op, shape,
-// threads, GFLOP/s, speedup vs the serial reference) so the perf
-// trajectory is tracked across PRs.
+// 1/2/4/8 threads plus the activation wire codec, and writes the results
+// to BENCH_kernels.json (op, shape, threads, GFLOP/s — GB/s for the codec
+// entries, speedup vs the serial reference) so the perf trajectory is
+// tracked across PRs. An allocation probe then measures heap and
+// workspace-arena traffic per conv2d forward/backward step after warmup,
+// so the zero-steady-state-allocation property is a number, not a claim.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
+#include <new>
 #include <numeric>
 #include <string>
 #include <vector>
 
 #include "comm/allreduce.hpp"
+#include "comm/compress.hpp"
 #include "core/execution.hpp"
 #include "core/parallel.hpp"
 #include "core/trainer.hpp"
+#include "core/workspace.hpp"
 #include "nn/conv.hpp"
 #include "privacy/dcor.hpp"
+#include "tensor/gemm.hpp"
+
+// ---- allocation-counting hook ----------------------------------------------
+//
+// Process-wide operator new/delete counter so "zero steady-state
+// allocations" is measured, not asserted. Counts every heap allocation in
+// the process (library + benchmark harness), so probes below snapshot the
+// counter tightly around the measured region.
+
+namespace {
+std::atomic<uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(size_t size, std::align_val_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  const size_t a = static_cast<size_t>(align);
+  if (void* p = std::aligned_alloc(a, (size + a - 1) / a * a)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
 
 namespace {
 
@@ -125,6 +165,27 @@ void BM_ExecutePair(benchmark::State& state) {
 }
 BENCHMARK(BM_ExecutePair);
 
+void BM_CompressActivations(benchmark::State& state) {
+  Rng rng(8);
+  Tensor t = rng.normal_tensor({8, 16, 32, 32}, 0, 1);
+  for (float& v : t.flat()) v = std::max(v, 0.0f);  // post-ReLU profile
+  for (auto _ : state)
+    benchmark::DoNotOptimize(comm::compress_activations(t));
+  state.SetBytesProcessed(state.iterations() * t.nbytes());
+}
+BENCHMARK(BM_CompressActivations);
+
+void BM_DecompressActivations(benchmark::State& state) {
+  Rng rng(9);
+  Tensor t = rng.normal_tensor({8, 16, 32, 32}, 0, 1);
+  for (float& v : t.flat()) v = std::max(v, 0.0f);
+  const auto c = comm::compress_activations(t);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(comm::decompress_activations(c));
+  state.SetBytesProcessed(state.iterations() * t.nbytes());
+}
+BENCHMARK(BM_DecompressActivations);
+
 void BM_DistanceCorrelation(benchmark::State& state) {
   const auto n = state.range(0);
   Rng rng(6);
@@ -224,7 +285,8 @@ void write_kernel_json(const std::vector<KernelRecord>& records,
 
 void run_kernel_suite() {
   std::printf("==== kernel suite (writes BENCH_kernels.json) ====\n");
-  std::printf("hardware threads: %d\n", core::hardware_threads());
+  std::printf("hardware threads: %d, GEMM micro-kernel: %s\n",
+              core::hardware_threads(), comdml::tensor::gemm_kernel_name());
   std::vector<KernelRecord> records;
 
   {
@@ -269,14 +331,74 @@ void run_kernel_suite() {
         [&] { benchmark::DoNotOptimize(conv.backward(g)); });
   }
 
+  {
+    // Wire codec throughput (GB/s of raw activation bytes in the "gflops"
+    // field; single-threaded, speedup not applicable).
+    Rng rng(43);
+    Tensor t = rng.normal_tensor({8, 16, 32, 32}, 0, 1);
+    for (float& v : t.flat()) v = std::max(v, 0.0f);  // post-ReLU profile
+    const double gb = static_cast<double>(t.nbytes());
+    const double t_c = time_seconds(
+        [&] { benchmark::DoNotOptimize(comm::compress_activations(t)); });
+    records.push_back(
+        {"compress_activations", "8x16x32x32", 1, gb / t_c / 1e9, 1.0});
+    std::printf("  %-18s %-22s threads=1: %7.3f GB/s\n",
+                "compress", "8x16x32x32", gb / t_c / 1e9);
+    const auto c = comm::compress_activations(t);
+    const double t_d = time_seconds(
+        [&] { benchmark::DoNotOptimize(comm::decompress_activations(c)); });
+    records.push_back(
+        {"decompress_activations", "8x16x32x32", 1, gb / t_d / 1e9, 1.0});
+    std::printf("  %-18s %-22s threads=1: %7.3f GB/s\n",
+                "decompress", "8x16x32x32", gb / t_d / 1e9);
+  }
+
   write_kernel_json(records, "BENCH_kernels.json");
   std::printf("wrote BENCH_kernels.json (%zu records)\n\n", records.size());
+}
+
+/// Measures heap + arena traffic of one conv2d forward/backward step after
+/// warmup: the workspace arena must stop allocating entirely (its scratch
+/// is reused at the high-water mark), leaving only the output/grad Tensor
+/// allocations of the layer API.
+void run_allocation_probe() {
+  std::printf("==== conv2d allocation probe (micro-kernel: %s) ====\n",
+              comdml::tensor::gemm_kernel_name());
+  core::set_num_threads(1);  // single arena -> exact accounting
+  Rng rng(44);
+  nn::Conv2d conv(16, 32, 3, 1, 1, rng);
+  const Tensor x = rng.normal_tensor({8, 16, 32, 32}, 0, 1);
+  const Tensor g = rng.normal_tensor({8, 32, 32, 32}, 0, 1);
+  for (int i = 0; i < 2; ++i) {  // warmup: arenas grow to high-water
+    (void)conv.forward(x, true);
+    (void)conv.backward(g);
+  }
+  constexpr int kSteps = 10;
+  const auto ws0 = core::Workspace::aggregate_stats();
+  const uint64_t heap0 = g_alloc_count.load(std::memory_order_relaxed);
+  for (int i = 0; i < kSteps; ++i) {
+    (void)conv.forward(x, true);
+    (void)conv.backward(g);
+  }
+  const uint64_t heap1 = g_alloc_count.load(std::memory_order_relaxed);
+  const auto ws1 = core::Workspace::aggregate_stats();
+  std::printf(
+      "  steady-state per fwd+bwd step: %.1f heap allocations "
+      "(output/grad tensors), %.1f arena allocations "
+      "(%lld scratch checkouts/step, %.1f KiB process-wide arena "
+      "high-water)\n\n",
+      static_cast<double>(heap1 - heap0) / kSteps,
+      static_cast<double>(ws1.heap_allocs - ws0.heap_allocs) / kSteps,
+      static_cast<long long>((ws1.checkouts - ws0.checkouts) / kSteps),
+      static_cast<double>(ws1.high_water_bytes) / 1024.0);
+  core::set_num_threads(0);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   run_kernel_suite();
+  run_allocation_probe();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

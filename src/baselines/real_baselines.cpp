@@ -80,9 +80,10 @@ float RealBaselineFleet::train_locally(
 }
 
 void RealBaselineFleet::aggregate() {
-  std::vector<std::vector<tensor::Tensor>> states;
-  states.reserve(models_.size());
-  for (auto& m : models_) states.push_back(nn::state_of(*m));
+  std::vector<std::vector<tensor::Tensor>>& states = state_scratch_;
+  states.resize(models_.size());
+  for (size_t i = 0; i < models_.size(); ++i)
+    nn::copy_state_into(*models_[i], states[i]);
 
   switch (method_) {
     case learncurve::Method::kFedAvg:

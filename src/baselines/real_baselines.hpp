@@ -48,6 +48,8 @@ class RealBaselineFleet {
   tensor::Rng rng_;
   std::vector<std::unique_ptr<nn::Sequential>> models_;
   std::vector<std::unique_ptr<data::Batcher>> batchers_;
+  /// Per-round aggregation merge buffers, reused across rounds.
+  std::vector<std::vector<tensor::Tensor>> state_scratch_;
 
   float train_locally(size_t agent,
                       const std::vector<tensor::Tensor>* global);

@@ -1,7 +1,9 @@
 #include "comm/allreduce.hpp"
 
+#include <algorithm>
 #include <cmath>
 
+#include "core/workspace.hpp"
 #include "tensor/ops.hpp"
 
 namespace comdml::comm {
@@ -14,23 +16,21 @@ int64_t floor_log2(int64_t v) {
   return l;
 }
 
-/// Flatten an agent's state tensors into one contiguous vector.
-std::vector<double> flatten(const std::vector<Tensor>& state) {
-  std::vector<double> out;
+int64_t state_elems(const std::vector<Tensor>& state) {
   int64_t total = 0;
   for (const auto& t : state) total += t.size();
-  out.reserve(static_cast<size_t>(total));
-  for (const auto& t : state)
-    for (const float v : t.flat()) out.push_back(v);
-  return out;
+  return total;
 }
 
-void unflatten(const std::vector<double>& flat, std::vector<Tensor>& state) {
-  size_t cursor = 0;
-  for (auto& t : state) {
-    for (float& v : t.flat()) v = static_cast<float>(flat[cursor++]);
-  }
-  COMDML_CHECK(cursor == flat.size());
+/// Flatten an agent's state tensors into caller-owned scratch.
+void flatten_into(const std::vector<Tensor>& state, double* out) {
+  for (const auto& t : state)
+    for (const float v : t.flat()) *out++ = v;
+}
+
+void unflatten_from(const double* flat, std::vector<Tensor>& state) {
+  for (auto& t : state)
+    for (float& v : t.flat()) v = static_cast<float>(*flat++);
 }
 
 struct Segment {
@@ -107,10 +107,16 @@ AllReduceTrace allreduce_average(std::vector<std::vector<Tensor>>& agent_states,
           agent_states[a][t].shape() == agent_states[0][t].shape(),
           "agent " << a << " state tensor " << t << " shape differs");
   }
-  std::vector<std::vector<double>> buf;
-  buf.reserve(k);
-  for (const auto& s : agent_states) buf.push_back(flatten(s));
-  const size_t n = buf[0].size();
+  // One arena slab holds every agent's flattened double vector; the slab
+  // is released on return and its high-water backing is reused next round,
+  // so steady-state rounds do not touch the heap here.
+  const size_t n = static_cast<size_t>(state_elems(agent_states[0]));
+  core::Scratch<double> slab(static_cast<int64_t>(k * n));
+  std::vector<double*> buf(k);
+  for (size_t a = 0; a < k; ++a) {
+    buf[a] = slab.data() + a * n;
+    flatten_into(agent_states[a], buf[a]);
+  }
 
   if (algo == AllReduceAlgo::kRing) {
     const auto segs = chunk(n, k);
@@ -198,7 +204,7 @@ AllReduceTrace allreduce_average(std::vector<std::vector<Tensor>>& agent_states,
     if (rem > 0) {
       for (size_t e = p2; e < k; ++e) {
         const size_t partner = e - p2;
-        buf[e] = buf[partner];
+        std::copy(buf[partner], buf[partner] + n, buf[e]);
         trace.bytes_sent[partner] += static_cast<int64_t>(n * sizeof(float));
       }
       ++trace.steps;
@@ -208,8 +214,8 @@ AllReduceTrace allreduce_average(std::vector<std::vector<Tensor>>& agent_states,
   // Normalize the summed vectors to the mean and write back.
   const double inv_k = 1.0 / static_cast<double>(k);
   for (size_t a = 0; a < k; ++a) {
-    for (double& v : buf[a]) v *= inv_k;
-    unflatten(buf[a], agent_states[a]);
+    for (size_t i = 0; i < n; ++i) buf[a][i] *= inv_k;
+    unflatten_from(buf[a], agent_states[a]);
   }
   return trace;
 }

@@ -17,23 +17,41 @@ CompressedActivations compress_activations(const Tensor& t) {
   out.shape = t.shape();
   const auto flat = t.flat();
 
+  // Pass 1: max for the quantization scale, plus the positive count so
+  // the value stream is sized exactly once (no push_back reallocation).
   float max_val = 0.0f;
-  for (const float v : flat) max_val = std::max(max_val, v);
+  size_t n_pos = 0;
+  for (const float v : flat) {
+    max_val = std::max(max_val, v);
+    n_pos += v > 0.0f ? 1 : 0;
+  }
   out.scale = max_val > 0.0f ? max_val / 255.0f : 1.0f;
   const float inv_scale = 1.0f / out.scale;
 
-  // Presence bitmask (1 bit/element, stored in `runs`) + one int8 per
-  // present element. A value is "present" if it quantizes to a non-zero
-  // level — sub-resolution positives are dropped like zeros.
-  out.runs.assign((flat.size() + 7) / 8, 0);
-  for (size_t i = 0; i < flat.size(); ++i) {
-    if (flat[i] <= 0.0f) continue;
-    const float q = std::round(flat[i] * inv_scale);
-    if (q < 1.0f) continue;
-    out.runs[i / 8] |= static_cast<uint8_t>(1u << (i % 8));
-    out.values.push_back(
-        static_cast<uint8_t>(std::clamp(q, 1.0f, 255.0f)));
+  // Pass 2, branch-free: presence bitmask (1 bit/element, stored in
+  // `runs`) + one int8 per present element. A value is "present" if it
+  // quantizes to a non-zero level — sub-resolution positives are dropped
+  // like zeros. Each element unconditionally writes its clamped level at
+  // the stream cursor and advances the cursor by the presence bit
+  // (compaction without a branch); the extra slot absorbs the write of a
+  // trailing absent element.
+  out.runs.resize((flat.size() + 7) / 8);
+  out.values.resize(n_pos + 1);
+  size_t vi = 0;
+  for (size_t byte = 0; byte < out.runs.size(); ++byte) {
+    const size_t i0 = byte * 8;
+    const size_t lanes = std::min<size_t>(8, flat.size() - i0);
+    uint8_t mask = 0;
+    for (size_t b = 0; b < lanes; ++b) {
+      const float q = std::round(flat[i0 + b] * inv_scale);
+      const bool present = q >= 1.0f;  // implies flat[i] > 0
+      mask |= static_cast<uint8_t>(present) << b;
+      out.values[vi] = static_cast<uint8_t>(std::clamp(q, 1.0f, 255.0f));
+      vi += present;
+    }
+    out.runs[byte] = mask;
   }
+  out.values.resize(vi);  // shrink, never reallocates
   return out;
 }
 

@@ -166,31 +166,25 @@ void set_num_threads(int n) {
 
 bool in_parallel_region() { return tls_in_worker; }
 
-void parallel_for(int64_t begin, int64_t end, int64_t grain,
-                  const RangeFn& fn) {
-  if (begin >= end) return;
-  grain = std::max<int64_t>(1, grain);
-  const int64_t range = end - begin;
-  if (tls_in_worker || range <= grain) {
-    fn(begin, end);
-    return;
-  }
+namespace detail {
+
+bool plan_parallel(int64_t range, int64_t grain, int64_t& chunk) {
+  if (tls_in_worker || range <= grain) return false;
   Pool& p = pool();
   const int threads = p.threads();
-  if (threads <= 1) {
-    fn(begin, end);
-    return;
-  }
+  if (threads <= 1) return false;
   // ~4 chunks per thread for load balance, but never below the grain.
   const int64_t target_chunks =
       std::min<int64_t>(range, static_cast<int64_t>(threads) * 4);
-  const int64_t chunk =
-      std::max(grain, (range + target_chunks - 1) / target_chunks);
-  if (chunk >= range) {
-    fn(begin, end);
-    return;
-  }
-  p.run(begin, end, chunk, fn);
+  chunk = std::max(grain, (range + target_chunks - 1) / target_chunks);
+  return chunk < range;
 }
+
+void parallel_for_erased(int64_t begin, int64_t end, int64_t chunk,
+                         const RangeFn& fn) {
+  pool().run(begin, end, chunk, fn);
+}
+
+}  // namespace detail
 
 }  // namespace comdml::core

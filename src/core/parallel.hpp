@@ -18,6 +18,7 @@
 // when set, else std::thread::hardware_concurrency().
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 
@@ -41,10 +42,36 @@ void set_num_threads(int n);
 /// True when called from inside a pool worker (a nested parallel region).
 [[nodiscard]] bool in_parallel_region();
 
+namespace detail {
+
+/// Decides whether a loop of `range` indices fans out to the pool; on true
+/// `chunk` receives the per-task chunk size. False means run inline.
+[[nodiscard]] bool plan_parallel(int64_t range, int64_t grain,
+                                 int64_t& chunk);
+
+/// Pool fan-out path behind plan_parallel (type-erased).
+void parallel_for_erased(int64_t begin, int64_t end, int64_t chunk,
+                         const RangeFn& fn);
+
+}  // namespace detail
+
 /// Apply `fn` over [begin, end) in chunks of at least `grain` indices,
 /// using the global pool. Runs inline when the range is small, the pool
-/// has one thread, or the call is nested inside another parallel region.
-void parallel_for(int64_t begin, int64_t end, int64_t grain,
-                  const RangeFn& fn);
+/// has one thread, or the call is nested inside another parallel region —
+/// and only type-erases `fn` (a possible heap allocation) on the actual
+/// fan-out path, so inline invocations are allocation-free.
+template <typename F>
+void parallel_for(int64_t begin, int64_t end, int64_t grain, const F& fn) {
+  if (begin >= end) return;
+  int64_t chunk = 0;
+  if (!detail::plan_parallel(end - begin, std::max<int64_t>(1, grain),
+                             chunk)) {
+    fn(begin, end);
+    return;
+  }
+  // Wrap by reference: the wrapper's one-pointer capture fits the
+  // std::function small-buffer, so even fan-out does not allocate.
+  detail::parallel_for_erased(begin, end, chunk, std::cref(fn));
+}
 
 }  // namespace comdml::core

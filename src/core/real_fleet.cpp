@@ -180,10 +180,12 @@ RealFleet::RoundStats RealFleet::step() {
     dcor_count += r.dcor_count;
   }
 
-  // Optional DP on each agent's state before it leaves the device.
-  std::vector<std::vector<tensor::Tensor>> states;
-  states.reserve(agents_.size());
-  for (auto& a : agents_) states.push_back(nn::state_of(*a.model));
+  // Optional DP on each agent's state before it leaves the device. The
+  // merge buffers are fleet members reused round over round.
+  std::vector<std::vector<tensor::Tensor>>& states = state_scratch_;
+  states.resize(agents_.size());
+  for (size_t i = 0; i < agents_.size(); ++i)
+    nn::copy_state_into(*agents_[i].model, states[i]);
   if (options_.privacy ==
       learncurve::PrivacyTechnique::kDifferentialPrivacy) {
     for (auto& s : states)

@@ -96,6 +96,9 @@ class RealFleet {
   tensor::Shape in_shape_;
   SplitProfile profile_;
   std::vector<AgentState> agents_;
+  /// Per-round aggregation merge buffers, reused across rounds so the
+  /// collective stops heap-allocating after the first round.
+  std::vector<std::vector<tensor::Tensor>> state_scratch_;
   int64_t round_ = 0;
   float current_lr_ = 0.0f;
   std::optional<nn::PlateauScheduler> plateau_;

@@ -1,0 +1,174 @@
+#include "core/workspace.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <new>
+#include <vector>
+
+namespace comdml::core {
+
+namespace {
+
+constexpr int64_t kAlign = 64;
+constexpr int64_t kMinBlockBytes = 1 << 16;  // 64 KiB floor per block
+
+int64_t align_up(int64_t v) { return (v + kAlign - 1) & ~(kAlign - 1); }
+
+/// Registry of live thread arenas so aggregate_stats() can sum them.
+/// Arenas register on construction and unregister when their thread exits.
+std::mutex g_registry_mu;
+std::vector<const Workspace*>& registry() {
+  static std::vector<const Workspace*> r;
+  return r;
+}
+
+}  // namespace
+
+struct Workspace::Block {
+  Block* next = nullptr;
+  int64_t capacity = 0;  // usable bytes after the aligned base
+  int64_t top = 0;       // bump offset into the block
+  std::byte* base = nullptr;
+
+  static Block* create(int64_t capacity) {
+    auto* b = new Block;
+    b->capacity = capacity;
+    b->base = static_cast<std::byte*>(
+        ::operator new(static_cast<size_t>(capacity),
+                       std::align_val_t(kAlign)));
+    return b;
+  }
+  static void destroy(Block* b) {
+    ::operator delete(b->base, std::align_val_t(kAlign));
+    delete b;
+  }
+};
+
+/// One checkout record, stored inline at the front of the checked-out
+/// region so the frame stack costs no separate allocation.
+struct Workspace::Frame {
+  Frame* prev = nullptr;
+  Block* block = nullptr;
+  int64_t prev_top = 0;
+  int64_t bytes = 0;  // caller-visible size (for live accounting)
+};
+
+Workspace::Workspace() {
+  std::lock_guard<std::mutex> lk(g_registry_mu);
+  registry().push_back(this);
+}
+
+Workspace::~Workspace() {
+  COMDML_DCHECK(frames_ == nullptr);
+  {
+    std::lock_guard<std::mutex> lk(g_registry_mu);
+    auto& r = registry();
+    r.erase(std::remove(r.begin(), r.end(), this), r.end());
+  }
+  while (head_ != nullptr) {
+    Block* next = head_->next;
+    Block::destroy(head_);
+    head_ = next;
+  }
+}
+
+Workspace& Workspace::tls() {
+  thread_local Workspace ws;
+  return ws;
+}
+
+Workspace::Block* Workspace::grow(int64_t bytes) {
+  // Grow geometrically from the current capacity so a ramping workload
+  // settles after O(log) allocations.
+  const int64_t want =
+      std::max({bytes, kMinBlockBytes, stats_.capacity_bytes});
+  Block* b = Block::create(want);
+  b->next = head_;
+  head_ = b;
+  stats_.capacity_bytes += want;
+  ++stats_.heap_allocs;
+  return b;
+}
+
+void* Workspace::checkout_bytes(int64_t bytes) {
+  COMDML_CHECK(bytes >= 0);
+  const int64_t frame_bytes = align_up(static_cast<int64_t>(sizeof(Frame)));
+  const int64_t need = frame_bytes + align_up(bytes);
+  Block* b = head_;
+  if (b == nullptr || b->capacity - b->top < need) b = grow(need);
+
+  const int64_t prev_top = b->top;
+  auto* frame = new (b->base + b->top) Frame;
+  frame->prev = frames_;
+  frame->block = b;
+  frame->prev_top = prev_top;
+  frame->bytes = bytes;
+  frames_ = frame;
+  b->top += need;
+
+  ++stats_.checkouts;
+  stats_.live_bytes += bytes;
+  stats_.high_water_bytes =
+      std::max(stats_.high_water_bytes, stats_.live_bytes);
+  live_need_ += need;
+  high_water_need_ = std::max(high_water_need_, live_need_);
+  return b->base + prev_top + frame_bytes;
+}
+
+void Workspace::release_bytes(void* p) {
+  COMDML_CHECK(frames_ != nullptr);
+  Frame* frame = frames_;
+  const int64_t frame_bytes = align_up(static_cast<int64_t>(sizeof(Frame)));
+  COMDML_REQUIRE(
+      p == static_cast<void*>(frame->block->base + frame->prev_top +
+                              frame_bytes),
+      "workspace release out of LIFO order");
+  stats_.live_bytes -= frame->bytes;
+  live_need_ -= frame_bytes + align_up(frame->bytes);
+  frame->block->top = frame->prev_top;
+  frames_ = frame->prev;
+  frame->~Frame();
+  if (frames_ == nullptr && head_ != nullptr && head_->next != nullptr)
+    consolidate();
+}
+
+void Workspace::consolidate() {
+  // Everything is released and the arena is fragmented across blocks:
+  // replace the chain with one block sized to the high-water mark of
+  // actually-consumed bytes (checkouts + frame headers), so the next
+  // iteration of the same workload fits without touching the heap again.
+  // In a single block, LIFO checkouts consume exactly high_water_need_.
+  while (head_ != nullptr) {
+    Block* next = head_->next;
+    Block::destroy(head_);
+    head_ = next;
+  }
+  stats_.capacity_bytes = 0;
+  grow(std::max(high_water_need_, kMinBlockBytes));
+}
+
+void Workspace::trim() {
+  COMDML_CHECK(frames_ == nullptr);
+  while (head_ != nullptr) {
+    Block* next = head_->next;
+    Block::destroy(head_);
+    head_ = next;
+  }
+  stats_.capacity_bytes = 0;
+}
+
+Workspace::Stats Workspace::aggregate_stats() {
+  std::lock_guard<std::mutex> lk(g_registry_mu);
+  Stats total;
+  for (const Workspace* ws : registry()) {
+    const Stats& s = ws->stats_;
+    total.heap_allocs += s.heap_allocs;
+    total.checkouts += s.checkouts;
+    total.live_bytes += s.live_bytes;
+    total.capacity_bytes += s.capacity_bytes;
+    total.high_water_bytes += s.high_water_bytes;
+  }
+  return total;
+}
+
+}  // namespace comdml::core

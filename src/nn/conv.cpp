@@ -4,6 +4,8 @@
 #include <sstream>
 
 #include "core/parallel.hpp"
+#include "core/workspace.hpp"
+#include "tensor/gemm.hpp"
 
 namespace comdml::nn {
 
@@ -103,20 +105,22 @@ Tensor Conv2d::forward(const Tensor& x, bool /*train*/) {
   Tensor y({n, cout_, ho, wo});
   const int64_t how = ho * wo;
   const int64_t ckk = cin_ * k_ * k_;
-  const Tensor wmat = weight_.value.reshaped({cout_, ckk});
+  // weight is [cout, cin, k, k] row-major == [cout, ckk] flattened.
+  const float* wp = weight_.value.flat().data();
   const float* xp = x.flat().data();
   float* yp = y.flat().data();
 
   // im2col + GEMM per sample; samples fan out to the pool, the GEMM inside
-  // a worker runs inline (nested parallel regions are serial).
+  // a worker runs inline (nested parallel regions are serial). The im2col
+  // buffer comes from the worker's workspace arena and the GEMM writes the
+  // output slice directly: zero heap traffic in steady state.
   core::parallel_for(0, n, 1, [&](int64_t lo, int64_t hi) {
-    Tensor col({how, ckk});
+    core::Scratch<float> col(how * ckk);
     for (int64_t in = lo; in < hi; ++in) {
       im2col(xp + in * cin_ * h * w, cin_, h, w, k_, stride_, pad_, ho, wo,
-             col.flat().data());
-      const Tensor ym = tensor::matmul_nt(wmat, col);  // [cout, ho*wo]
-      std::memcpy(yp + in * cout_ * how, ym.flat().data(),
-                  static_cast<size_t>(cout_ * how) * sizeof(float));
+             col.data());
+      // y_n [cout, ho*wo] = W [cout, ckk] @ col^T (col stored [ho*wo, ckk])
+      tensor::gemm_nt(wp, col.data(), yp + in * cout_ * how, cout_, ckk, how);
     }
   });
   return y;
@@ -136,34 +140,37 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
   Tensor dx(x.shape());
   const int64_t how = ho * wo;
   const int64_t ckk = cin_ * k_ * k_;
-  const Tensor wmat = weight_.value.reshaped({cout_, ckk});
+  // weight is [cout, cin, k, k] row-major == [cout, ckk] flattened.
+  const float* wp = weight_.value.flat().data();
   const float* xp = x.flat().data();
   const float* gp = grad_out.flat().data();
   float* dxp = dx.flat().data();
 
-  // Per-sample: dW_n = G_n @ col_n, dcol_n = G_n^T @ W, dx_n = col2im(dcol).
-  // dx rows are disjoint across samples; per-sample dW partials are reduced
-  // serially in sample order afterwards so the accumulation is independent
-  // of the thread count.
-  std::vector<Tensor> dw_partials(static_cast<size_t>(n));
+  // Per-sample: dW_n = G_n @ col_n, dcol_n = G_n^T @ W, dx_n = col2im(dcol),
+  // where G_n is the sample's slice of grad_out used in place. dx rows are
+  // disjoint across samples; per-sample dW partials land in disjoint slices
+  // of one arena slab and are reduced serially in sample order afterwards,
+  // so the accumulation is independent of the thread count.
+  core::Scratch<float> dw_all(n * cout_ * ckk);
+  float* dw_all_p = dw_all.data();
   core::parallel_for(0, n, 1, [&](int64_t lo, int64_t hi) {
-    Tensor col({how, ckk});
-    Tensor gm({cout_, how});
+    core::Scratch<float> col(how * ckk);
+    core::Scratch<float> dcol(how * ckk);
     for (int64_t in = lo; in < hi; ++in) {
       im2col(xp + in * cin_ * h * w, cin_, h, w, k_, stride_, pad_, ho, wo,
-             col.flat().data());
-      std::memcpy(gm.flat().data(), gp + in * cout_ * how,
-                  static_cast<size_t>(cout_ * how) * sizeof(float));
-      dw_partials[static_cast<size_t>(in)] =
-          tensor::matmul(gm, col);  // [cout, cin*k*k]
-      const Tensor dcol = tensor::matmul_tn(gm, wmat);  // [ho*wo, cin*k*k]
-      col2im(dcol.flat().data(), cin_, h, w, k_, stride_, pad_, ho, wo,
+             col.data());
+      const float* gm = gp + in * cout_ * how;  // [cout, ho*wo]
+      tensor::gemm_nn(gm, col.data(), dw_all_p + in * cout_ * ckk, cout_,
+                      how, ckk);  // dW_n [cout, cin*k*k]
+      tensor::gemm_tn(gm, wp, dcol.data(), how, cout_,
+                      ckk);  // dcol [ho*wo, cin*k*k]
+      col2im(dcol.data(), cin_, h, w, k_, stride_, pad_, ho, wo,
              dxp + in * cin_ * h * w);
     }
   });
   float* dwp = weight_.grad.flat().data();
   for (int64_t in = 0; in < n; ++in) {
-    const float* src = dw_partials[static_cast<size_t>(in)].flat().data();
+    const float* src = dw_all_p + in * cout_ * ckk;
     for (int64_t i = 0; i < cout_ * ckk; ++i) dwp[i] += src[i];
   }
   return dx;

@@ -1,5 +1,7 @@
 #include "nn/layers.hpp"
 
+#include "tensor/gemm.hpp"
+
 namespace comdml::nn {
 
 using tensor::matmul;
@@ -29,6 +31,19 @@ void load_state(Module& m, const std::vector<Tensor>& state) {
                    "load_state: shape mismatch at tensor " << i);
     *ptrs[i] = state[i];
   }
+}
+
+void copy_state_into(Module& m, std::vector<Tensor>& out) {
+  // The pointer scratch keeps its capacity across calls so the round loop
+  // stays allocation-free, matching the Tensor-storage reuse below.
+  thread_local std::vector<Tensor*> ptrs;
+  ptrs.clear();
+  m.collect_state(ptrs);
+  out.resize(ptrs.size());
+  // Tensor copy-assignment reuses the destination's storage when the
+  // element count fits, so a shape-stable fleet stops allocating here
+  // after the first round.
+  for (size_t i = 0; i < ptrs.size(); ++i) out[i] = *ptrs[i];
 }
 
 int64_t parameter_count(Module& m) {
@@ -75,9 +90,11 @@ Tensor Linear::backward(const Tensor& grad_out) {
                  "linear backward: bad grad shape "
                      << tensor::shape_str(grad_out.shape()));
   COMDML_CHECK(!cached_input_.empty());
-  // dW = dY^T X, db = colsum(dY), dX = dY W.
-  Tensor dw = matmul_tn(grad_out, cached_input_);  // [out,in]
-  tensor::axpy(1.0f, dw, weight_.grad);
+  // dW = dY^T X accumulated straight into the grad tensor (no [out,in]
+  // temporary + axpy pass), db = colsum(dY), dX = dY W.
+  tensor::gemm_tn(grad_out.flat().data(), cached_input_.flat().data(),
+                  weight_.grad.flat().data(), out_, grad_out.dim(0), in_,
+                  /*accumulate=*/true);
   const int64_t n = grad_out.dim(0);
   auto go = grad_out.flat();
   auto bg = bias_.grad.flat();

@@ -100,6 +100,11 @@ using ModulePtr = std::unique_ptr<Module>;
 /// model. Throws on shape mismatch.
 void load_state(Module& m, const std::vector<Tensor>& state);
 
+/// Snapshot m's state into `out`, reusing the existing tensor storage when
+/// shapes already match — the zero-steady-state-allocation variant of
+/// state_of() for per-round merge buffers.
+void copy_state_into(Module& m, std::vector<Tensor>& out);
+
 /// Total learnable-parameter count.
 [[nodiscard]] int64_t parameter_count(Module& m);
 

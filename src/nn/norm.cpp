@@ -29,8 +29,10 @@ Tensor BatchNorm2d::forward(const Tensor& x, bool train) {
   const float* bp = beta_.value.flat().data();
 
   if (train) {
-    cached_xhat_ = Tensor(x.shape());
-    cached_inv_std_ = Tensor({c});
+    // Reuse the cached scratch storage across steps (steady-state shapes
+    // are fixed); both tensors are fully rewritten below.
+    cached_xhat_.resize(x.shape());
+    cached_inv_std_.resize({c});
     float* xh = cached_xhat_.flat().data();
     float* is = cached_inv_std_.flat().data();
     float* rm = running_mean_.flat().data();

@@ -22,11 +22,13 @@ Tensor BasicBlock::forward(const Tensor& x, bool train) {
   main = relu1_.forward(main, train);
   main = conv2_.forward(main, train);
   main = bn2_.forward(main, train);
-  const Tensor shortcut =
-      identity_shortcut_
-          ? x
-          : short_bn_->forward(short_conv_->forward(x, train), train);
-  tensor::add_inplace(main, shortcut);
+  if (identity_shortcut_) {
+    tensor::add_inplace(main, x);  // no shortcut copy on the identity path
+  } else {
+    const Tensor shortcut =
+        short_bn_->forward(short_conv_->forward(x, train), train);
+    tensor::add_inplace(main, shortcut);
+  }
   return relu_out_.forward(main, train);
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/parallel.hpp"
+#include "tensor/gemm.hpp"
 
 namespace comdml::tensor {
 
@@ -169,65 +170,10 @@ std::vector<int64_t> argmax_rows(const Tensor& a) {
   return out;
 }
 
-namespace {
-
-// Cache-blocking parameters (floats): the K x N panel of B touched by one
-// (kb, jb) tile fits comfortably in L1/L2 and is reused across the rows of
-// the task's i-block.
-constexpr int64_t kBlockM = 64;
-constexpr int64_t kBlockK = 256;
-constexpr int64_t kBlockN = 1024;
-
-/// Minimum per-task FLOP count before a matmul fans out to the pool.
-constexpr double kMatmulGrainFlops = 1 << 22;
-
-int64_t matmul_row_grain(int64_t k, int64_t n) {
-  const double row_flops = 2.0 * static_cast<double>(k) * n;
-  return std::max<int64_t>(1,
-                           static_cast<int64_t>(kMatmulGrainFlops /
-                                                std::max(row_flops, 1.0)));
-}
-
-/// Blocked C[i0:i1] += A[i0:i1,:] @ B with a 4-way k-unrolled inner kernel
-/// (one pass over the C row per 4 B rows: 4x fewer C load/stores, more
-/// independent multiplies in flight). The k accumulation order is fixed for
-/// every output element regardless of blocking or row partition, so results
-/// are identical for any thread count.
-void matmul_rows(const float* ap, const float* bp, float* op, int64_t i0,
-                 int64_t i1, int64_t k, int64_t n) {
-  for (int64_t ib = i0; ib < i1; ib += kBlockM) {
-    const int64_t ie = std::min(ib + kBlockM, i1);
-    for (int64_t kb = 0; kb < k; kb += kBlockK) {
-      const int64_t ke = std::min(kb + kBlockK, k);
-      for (int64_t jb = 0; jb < n; jb += kBlockN) {
-        const int64_t je = std::min(jb + kBlockN, n);
-        for (int64_t i = ib; i < ie; ++i) {
-          const float* arow = ap + i * k;
-          float* orow = op + i * n;
-          int64_t kk = kb;
-          for (; kk + 4 <= ke; kk += 4) {
-            const float a0 = arow[kk], a1 = arow[kk + 1];
-            const float a2 = arow[kk + 2], a3 = arow[kk + 3];
-            const float* b0 = bp + kk * n;
-            const float* b1 = b0 + n;
-            const float* b2 = b1 + n;
-            const float* b3 = b2 + n;
-            for (int64_t j = jb; j < je; ++j)
-              orow[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
-          }
-          for (; kk < ke; ++kk) {
-            const float av = arow[kk];
-            if (av == 0.0f) continue;
-            const float* brow = bp + kk * n;
-            for (int64_t j = jb; j < je; ++j) orow[j] += av * brow[j];
-          }
-        }
-      }
-    }
-  }
-}
-
-}  // namespace
+// The matmul family is a thin Tensor wrapper over the packed-panel GEMM
+// core (tensor/gemm.{hpp,cpp}): A packed into MR-row panels, B into
+// NR-column panels, register-tiled SIMD micro-kernel, row-parallel on the
+// global pool with a partition-independent accumulation order.
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
   COMDML_REQUIRE(a.rank() == 2 && b.rank() == 2 && a.dim(1) == b.dim(0),
@@ -235,12 +181,7 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
                                          << shape_str(b.shape()));
   const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   Tensor out({m, n});
-  const float* ap = a.flat().data();
-  const float* bp = b.flat().data();
-  float* op = out.flat().data();
-  parallel_for(0, m, matmul_row_grain(k, n), [=](int64_t lo, int64_t hi) {
-    matmul_rows(ap, bp, op, lo, hi, k, n);
-  });
+  gemm_nn(a.flat().data(), b.flat().data(), out.flat().data(), m, k, n);
   return out;
 }
 
@@ -250,40 +191,7 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
                                             << shape_str(b.shape()));
   const int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
   Tensor out({m, n});
-  const float* ap = a.flat().data();
-  const float* bp = b.flat().data();
-  float* op = out.flat().data();
-  // Row-parallel over C with the same 4-way k-unrolled kernel as matmul;
-  // A is read with stride m. k groups start at absolute multiples of
-  // kBlockK, so accumulation order is independent of the row partition.
-  parallel_for(0, m, matmul_row_grain(k, n), [=](int64_t lo, int64_t hi) {
-    for (int64_t ib = lo; ib < hi; ib += kBlockM) {
-      const int64_t ie = std::min(ib + kBlockM, hi);
-      for (int64_t kb = 0; kb < k; kb += kBlockK) {
-        const int64_t ke = std::min(kb + kBlockK, k);
-        for (int64_t i = ib; i < ie; ++i) {
-          float* orow = op + i * n;
-          int64_t kk = kb;
-          for (; kk + 4 <= ke; kk += 4) {
-            const float a0 = ap[kk * m + i], a1 = ap[(kk + 1) * m + i];
-            const float a2 = ap[(kk + 2) * m + i], a3 = ap[(kk + 3) * m + i];
-            const float* b0 = bp + kk * n;
-            const float* b1 = b0 + n;
-            const float* b2 = b1 + n;
-            const float* b3 = b2 + n;
-            for (int64_t j = 0; j < n; ++j)
-              orow[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
-          }
-          for (; kk < ke; ++kk) {
-            const float av = ap[kk * m + i];
-            if (av == 0.0f) continue;
-            const float* brow = bp + kk * n;
-            for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-          }
-        }
-      }
-    }
-  });
+  gemm_tn(a.flat().data(), b.flat().data(), out.flat().data(), m, k, n);
   return out;
 }
 
@@ -293,48 +201,7 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
                                             << shape_str(b.shape()));
   const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
   Tensor out({m, n});
-  const float* ap = a.flat().data();
-  const float* bp = b.flat().data();
-  float* op = out.flat().data();
-  // Dot-product form; j-blocking keeps a tile of B rows hot across the
-  // task's rows of A, and 4 dots run together so one pass over A's row
-  // feeds 4 independent accumulators. Each dot still accumulates in
-  // ascending-k order into its own double, so results match the reference
-  // kernel bit-for-bit at any thread count.
-  parallel_for(0, m, matmul_row_grain(k, n), [=](int64_t lo, int64_t hi) {
-    for (int64_t jb = 0; jb < n; jb += kBlockM) {
-      const int64_t je = std::min(jb + kBlockM, n);
-      for (int64_t i = lo; i < hi; ++i) {
-        const float* arow = ap + i * k;
-        int64_t j = jb;
-        for (; j + 4 <= je; j += 4) {
-          const float* b0 = bp + j * k;
-          const float* b1 = b0 + k;
-          const float* b2 = b1 + k;
-          const float* b3 = b2 + k;
-          double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
-          for (int64_t kk = 0; kk < k; ++kk) {
-            const double av = arow[kk];
-            acc0 += av * b0[kk];
-            acc1 += av * b1[kk];
-            acc2 += av * b2[kk];
-            acc3 += av * b3[kk];
-          }
-          op[i * n + j] = static_cast<float>(acc0);
-          op[i * n + j + 1] = static_cast<float>(acc1);
-          op[i * n + j + 2] = static_cast<float>(acc2);
-          op[i * n + j + 3] = static_cast<float>(acc3);
-        }
-        for (; j < je; ++j) {
-          const float* brow = bp + j * k;
-          double acc = 0.0;
-          for (int64_t kk = 0; kk < k; ++kk)
-            acc += double(arow[kk]) * brow[kk];
-          op[i * n + j] = static_cast<float>(acc);
-        }
-      }
-    }
-  });
+  gemm_nt(a.flat().data(), b.flat().data(), out.flat().data(), m, k, n);
   return out;
 }
 

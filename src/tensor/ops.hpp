@@ -52,10 +52,13 @@ void sgd_momentum_update(Tensor& w, Tensor& v, const Tensor& g, float lr,
 
 // ---- linear algebra --------------------------------------------------------
 //
-// The matmul family runs cache-blocked and row-parallel on the global
-// thread pool (core/parallel.hpp). Each output row is computed by exactly
-// one task with a fixed ascending-k accumulation order, so results are
-// bit-identical for every thread count.
+// The matmul family wraps the packed-panel SIMD GEMM core
+// (tensor/gemm.hpp) and runs row-parallel on the global thread pool
+// (core/parallel.hpp). Each output row is computed by exactly one task
+// with a fixed ascending-k accumulation order, so results are
+// bit-identical for every thread count. Hot paths that want to avoid
+// Tensor temporaries call the raw gemm_nn/gemm_tn/gemm_nt entry points
+// directly.
 
 /// C[M,N] = A[M,K] @ B[K,N]
 [[nodiscard]] Tensor matmul(const Tensor& a, const Tensor& b);

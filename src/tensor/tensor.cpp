@@ -87,6 +87,12 @@ Tensor Tensor::reshaped(Shape new_shape) const {
   return out;
 }
 
+void Tensor::resize(Shape new_shape) {
+  const int64_t n = shape_size(new_shape);
+  shape_ = std::move(new_shape);
+  data_.resize(static_cast<size_t>(n));
+}
+
 void Tensor::fill(float value) {
   std::fill(data_.begin(), data_.end(), value);
 }

@@ -81,6 +81,11 @@ class Tensor {
   /// Same data, new shape; element counts must match.
   [[nodiscard]] Tensor reshaped(Shape new_shape) const;
 
+  /// Re-shape in place, reusing the existing storage when it is large
+  /// enough (no heap traffic in steady state). Element contents are
+  /// unspecified afterwards — for cached scratch that is fully rewritten.
+  void resize(Shape new_shape);
+
   void fill(float value);
 
   /// Bytes occupied by the payload (float32 elements).

@@ -113,9 +113,14 @@ struct MatmulShape {
   int64_t m, k, n;
 };
 
+// Mix of tile-aligned and ragged shapes: M/N/K off the 6x16 register tile
+// and the MC/KC/NC pack blocks, plus degenerate 1xKx1 / K=1 edges, so the
+// packed-panel GEMM's zero-padded edge tiles are all exercised.
 const MatmulShape kMatmulShapes[] = {
-    {1, 1, 1}, {3, 5, 7},    {17, 1, 9},   {1, 33, 1},
-    {5, 64, 3}, {33, 65, 19}, {64, 64, 64}, {129, 31, 77},
+    {1, 1, 1},    {3, 5, 7},     {17, 1, 9},    {1, 33, 1},
+    {5, 64, 3},   {33, 65, 19},  {64, 64, 64},  {129, 31, 77},
+    {6, 16, 16},  {7, 17, 33},   {1, 300, 1},   {2, 1, 5},
+    {12, 32, 48}, {13, 259, 31}, {97, 63, 130}, {100, 80, 96},
 };
 
 TEST(KernelParity, MatmulMatchesReferenceAcrossThreads) {
@@ -176,6 +181,21 @@ TEST(KernelParity, MatmulBitIdenticalAcrossThreadCounts) {
   set_num_threads(8);
   const Tensor c8 = tensor::matmul(a, b);
   EXPECT_EQ(c1, c8);  // exact float equality, not allclose
+}
+
+TEST(KernelParity, MatmulTnNtBitIdenticalAcrossThreadCounts) {
+  ThreadCountGuard guard;
+  Rng rng(15);
+  const Tensor at = rng.normal_tensor({65, 129}, 0, 1);  // stored [K,M]
+  const Tensor b = rng.normal_tensor({65, 93}, 0, 1);
+  const Tensor a = rng.normal_tensor({129, 65}, 0, 1);
+  const Tensor bt = rng.normal_tensor({93, 65}, 0, 1);  // stored [N,K]
+  set_num_threads(1);
+  const Tensor tn1 = tensor::matmul_tn(at, b);
+  const Tensor nt1 = tensor::matmul_nt(a, bt);
+  set_num_threads(8);
+  EXPECT_EQ(tn1, tensor::matmul_tn(at, b));
+  EXPECT_EQ(nt1, tensor::matmul_nt(a, bt));
 }
 
 // ---- conv parity -----------------------------------------------------------

@@ -1,0 +1,179 @@
+// Workspace-arena tests: LIFO checkout/return, growth + high-water
+// consolidation, alignment, thread-locality under parallel_for, and the
+// zero-steady-state-allocation property of the conv hot path.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/parallel.hpp"
+#include "core/workspace.hpp"
+#include "nn/conv.hpp"
+#include "tensor/random.hpp"
+
+namespace comdml {
+namespace {
+
+using core::Scratch;
+using core::Workspace;
+using tensor::Rng;
+using tensor::Tensor;
+
+class ThreadCountGuard {
+ public:
+  ~ThreadCountGuard() { core::set_num_threads(0); }
+};
+
+/// Runs the arena checks on a fresh thread so this test's arena state is
+/// independent of whatever other tests did on the main thread.
+template <typename Fn>
+void on_fresh_thread(Fn&& fn) {
+  std::thread t(std::forward<Fn>(fn));
+  t.join();
+}
+
+TEST(Workspace, CheckoutIsAlignedAndWritable) {
+  on_fresh_thread([] {
+    Scratch<float> a(1000);
+    Scratch<double> b(7);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(a.data()) % 64, 0u);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(b.data()) % 64, 0u);
+    for (int64_t i = 0; i < a.size(); ++i) a[i] = static_cast<float>(i);
+    for (int64_t i = 0; i < a.size(); ++i)
+      ASSERT_EQ(a[i], static_cast<float>(i));
+  });
+}
+
+TEST(Workspace, HighWaterReuseMakesSteadyStateAllocationFree) {
+  on_fresh_thread([] {
+    Workspace& ws = Workspace::tls();
+    // Warmup iteration establishes the high-water mark (possibly across
+    // several chained blocks).
+    {
+      Scratch<float> a(50'000);
+      Scratch<float> b(120'000);
+      Scratch<float> c(30'000);
+    }
+    const int64_t after_warmup = ws.stats().heap_allocs;
+    EXPECT_GE(after_warmup, 1);
+    // Steady state: the same checkout pattern (any LIFO pattern within the
+    // high-water mark) must not touch the heap again.
+    for (int rep = 0; rep < 5; ++rep) {
+      Scratch<float> a(50'000);
+      Scratch<float> b(120'000);
+      Scratch<float> c(30'000);
+    }
+    EXPECT_EQ(ws.stats().heap_allocs, after_warmup);
+    EXPECT_EQ(ws.stats().live_bytes, 0);
+    EXPECT_GE(ws.stats().high_water_bytes,
+              static_cast<int64_t>(200'000 * sizeof(float)));
+  });
+}
+
+TEST(Workspace, GrowthChainsBlocksAndConsolidates) {
+  on_fresh_thread([] {
+    Workspace& ws = Workspace::tls();
+    {
+      // Second checkout overflows the first block while the first is still
+      // live, forcing a chained block.
+      Scratch<float> small(1'000);
+      Scratch<float> big(1'000'000);
+      EXPECT_GE(ws.stats().heap_allocs, 2);
+    }
+    // After release-all the arena consolidated to one block big enough for
+    // the whole pattern: repeating it is allocation-free.
+    const int64_t allocs = ws.stats().heap_allocs;
+    {
+      Scratch<float> small(1'000);
+      Scratch<float> big(1'000'000);
+    }
+    EXPECT_EQ(ws.stats().heap_allocs, allocs);
+  });
+}
+
+TEST(Workspace, ReleaseOutOfLifoOrderThrows) {
+  on_fresh_thread([] {
+    Workspace& ws = Workspace::tls();
+    float* a = ws.checkout<float>(16);
+    float* b = ws.checkout<float>(16);
+    EXPECT_THROW(ws.release(a), std::invalid_argument);
+    ws.release(b);
+    ws.release(a);
+    EXPECT_EQ(ws.stats().live_bytes, 0);
+  });
+}
+
+TEST(Workspace, TrimDropsBackingStore) {
+  on_fresh_thread([] {
+    Workspace& ws = Workspace::tls();
+    { Scratch<float> a(100'000); }
+    EXPECT_GT(ws.stats().capacity_bytes, 0);
+    ws.trim();
+    EXPECT_EQ(ws.stats().capacity_bytes, 0);
+  });
+}
+
+TEST(Workspace, ThreadLocalArenasDoNotOverlapUnderParallelFor) {
+  ThreadCountGuard guard;
+  core::set_num_threads(4);
+  constexpr int64_t kTasks = 16;
+  constexpr int64_t kElems = 4096;
+  std::atomic<int> overlap_failures{0};
+  core::parallel_for(0, kTasks, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t t = lo; t < hi; ++t) {
+      Scratch<float> buf(kElems);
+      const float tag = static_cast<float>(t + 1);
+      for (int64_t i = 0; i < kElems; ++i) buf[i] = tag;
+      // Give concurrent tasks a chance to scribble if buffers overlapped.
+      std::this_thread::yield();
+      for (int64_t i = 0; i < kElems; ++i)
+        if (buf[i] != tag) overlap_failures.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(overlap_failures.load(), 0);
+}
+
+TEST(Workspace, AggregateStatsCoverWorkerArenas) {
+  ThreadCountGuard guard;
+  core::set_num_threads(4);
+  const auto before = Workspace::aggregate_stats();
+  core::parallel_for(0, 8, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t t = lo; t < hi; ++t) {
+      Scratch<float> buf(1'000'000);
+      buf[0] = 1.0f;
+    }
+  });
+  const auto after = Workspace::aggregate_stats();
+  EXPECT_GE(after.checkouts, before.checkouts + 8);
+}
+
+// ---- the zero-steady-state-allocation property of the conv hot path -------
+
+TEST(Workspace, ConvForwardBackwardIsArenaAllocationFreeAfterWarmup) {
+  ThreadCountGuard guard;
+  core::set_num_threads(1);  // single arena -> deterministic accounting
+  Rng rng(7);
+  nn::Conv2d conv(8, 16, 3, 1, 1, rng);
+  const Tensor x = rng.normal_tensor({4, 8, 16, 16}, 0, 1);
+  const Tensor g = rng.normal_tensor({4, 16, 16, 16}, 0, 1);
+  // Warmup: grows every arena involved to its high-water mark.
+  for (int i = 0; i < 2; ++i) {
+    (void)conv.forward(x, true);
+    (void)conv.backward(g);
+  }
+  const auto warm = Workspace::aggregate_stats();
+  for (int i = 0; i < 3; ++i) {
+    (void)conv.forward(x, true);
+    (void)conv.backward(g);
+  }
+  const auto steady = Workspace::aggregate_stats();
+  EXPECT_EQ(steady.heap_allocs, warm.heap_allocs)
+      << "conv fwd/bwd still grows the workspace arena in steady state";
+  EXPECT_GT(steady.checkouts, warm.checkouts);  // scratch is being used
+}
+
+}  // namespace
+}  // namespace comdml
