@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "comm/allreduce.hpp"
+#include "comm/collective.hpp"
 #include "comm/compress.hpp"
 #include "core/execution.hpp"
 #include "core/parallel.hpp"
@@ -217,8 +218,9 @@ struct KernelRecord {
   std::string op;
   std::string shape;
   int threads = 0;  // 0 = serial reference kernel
-  double gflops = 0.0;
+  double gflops = 0.0;  ///< value in `metric` units
   double speedup_vs_serial = 1.0;
+  std::string metric = "gflops";
 };
 
 /// Best-of-N wall time of fn, with one warmup call.
@@ -275,9 +277,11 @@ void write_kernel_json(const std::vector<KernelRecord>& records,
     const auto& r = records[i];
     std::fprintf(f,
                  "  {\"op\": \"%s\", \"shape\": \"%s\", \"threads\": %d, "
-                 "\"gflops\": %.4f, \"speedup_vs_serial\": %.4f}%s\n",
+                 "\"gflops\": %.4f, \"speedup_vs_serial\": %.4f, "
+                 "\"metric\": \"%s\"}%s\n",
                  r.op.c_str(), r.shape.c_str(), r.threads, r.gflops,
-                 r.speedup_vs_serial, i + 1 < records.size() ? "," : "");
+                 r.speedup_vs_serial, r.metric.c_str(),
+                 i + 1 < records.size() ? "," : "");
   }
   std::fprintf(f, "]\n");
   std::fclose(f);
@@ -351,6 +355,71 @@ void run_kernel_suite() {
         {"decompress_activations", "8x16x32x32", 1, gb / t_d / 1e9, 1.0});
     std::printf("  %-18s %-22s threads=1: %7.3f GB/s\n",
                 "decompress", "8x16x32x32", gb / t_d / 1e9);
+  }
+
+  {
+    // Comm protocols through the Transport API: per-collective traffic and
+    // modeled time of the SimTransport schedule (K=16 agents, 4 MB model,
+    // 100 Mbps bottleneck links), plus the wall time of the real InProc
+    // executor on a 1 MB model. Simulated and executed runs are the same
+    // schedule, so the bytes are identical by construction.
+    std::printf("  -- comm protocols (Transport API, K=16, 4 MB model) --\n");
+    const int64_t k = 16;
+    const int64_t elems = 1'000'000;  // 4 MB on the fp32 wire
+    tensor::Rng grng(51);
+    const struct {
+      const char* op;
+      comm::Protocol protocol;
+    } protocols[] = {
+        {"ring_allreduce", comm::Protocol::kRingAllReduce},
+        {"halving_doubling_allreduce",
+         comm::Protocol::kHalvingDoublingAllReduce},
+        {"gossip", comm::Protocol::kGossip},
+        {"param_server", comm::Protocol::kParamServer},
+    };
+    for (const auto& p : protocols) {
+      comm::CollectiveRequest req;
+      req.elems = elems;
+      req.rng = &grng;
+      auto grid = p.protocol == comm::Protocol::kParamServer
+                      ? comm::LinkGrid::star(
+                            std::vector<double>(static_cast<size_t>(k),
+                                                100.0))
+                      : comm::LinkGrid::uniform(k, 100.0);
+      comm::SimTransport transport(std::move(grid));
+      (void)comm::collective(p.protocol).run(transport, req);
+      const auto& st = transport.stats();
+      records.push_back({p.op, "k16_4MB", 1,
+                         static_cast<double>(st.max_bytes_sent()), 1.0,
+                         "bytes_per_round"});
+      records.push_back({p.op, "k16_4MB", 1, st.seconds, 1.0,
+                         "model_seconds_per_collective"});
+      std::printf("  %-28s %-10s %8.2f MB/agent/round, %7.2f modeled s\n",
+                  p.op, "k16_4MB",
+                  static_cast<double>(st.max_bytes_sent()) / 1e6,
+                  st.seconds);
+    }
+    // Wall time of the real executor: InProc halving/doubling over a 1 MB
+    // model (the fleets' default aggregation path).
+    const int64_t exec_elems = 250'000;
+    std::vector<std::vector<double>> bufs(static_cast<size_t>(k));
+    for (size_t a = 0; a < bufs.size(); ++a)
+      bufs[a].assign(static_cast<size_t>(exec_elems),
+                     static_cast<double>(a));
+    const double t_exec = time_seconds([&] {
+      comm::InProcTransport transport(comm::LinkGrid::uniform(k, 100.0));
+      comm::CollectiveRequest req;
+      req.elems = exec_elems;
+      req.buffers.clear();
+      req.buffers.reserve(bufs.size());
+      for (auto& b : bufs) req.buffers.push_back(b.data());
+      (void)comm::collective(comm::Protocol::kHalvingDoublingAllReduce)
+          .run(transport, req);
+    });
+    records.push_back({"halving_doubling_allreduce", "k16_1MB_inproc", 1,
+                       t_exec, 1.0, "wall_seconds_per_collective"});
+    std::printf("  %-28s %-10s %.4f wall s/collective (real payloads)\n",
+                "halving_doubling_allreduce", "k16_1MB", t_exec);
   }
 
   write_kernel_json(records, "BENCH_kernels.json");

@@ -1,16 +1,24 @@
-// fleet_cli — run any ComDML/baseline timing scenario from the command
-// line. This is the "downstream user" entry point: pick a method, fleet
-// size, dataset geometry, topology and partition, and get per-round timing
-// plus time-to-target-accuracy.
+// fleet_cli — run any ComDML/baseline scenario from the command line
+// through the unified core::FleetRuntime facade. This is the "downstream
+// user" entry point: pick a method, fleet size, dataset geometry, topology
+// and partition, and get per-round timing plus time-to-target-accuracy.
+// Every method — ComDML and all five baselines — goes through the same
+// FleetBuilder/FleetRuntime interface; the facade picks the right engine.
 //
 //   ./examples/fleet_cli --method comdml --agents 20 --dataset cifar10
 //       --partition iid --target 0.85 --topology 0.5 --rounds 50
+//
+// `--real` switches from the paper-scale timing simulation to real tensor
+// training on synthetic blobs (same facade, real-execution engines):
+//
+//   ./examples/fleet_cli --real --method fedavg --agents 6 --rounds 10
 #include <cstdio>
 #include <cstring>
 #include <string>
 
-#include "baselines/baseline_fleet.hpp"
-#include "core/trainer.hpp"
+#include "core/fleet_runtime.hpp"
+#include "data/partition.hpp"
+#include "data/synthetic.hpp"
 
 namespace {
 
@@ -28,6 +36,7 @@ struct Args {
   double topology = 1.0;  // link probability; 1.0 = full mesh
   double target = 0.8;
   double dropout = 0.0;
+  bool real = false;
   uint64_t seed = 42;
 };
 
@@ -52,13 +61,14 @@ bool parse(int argc, char** argv, Args& args) {
     else if (flag == "--target" && (v = need_value("--target"))) args.target = std::stod(v);
     else if (flag == "--dropout" && (v = need_value("--dropout"))) args.dropout = std::stod(v);
     else if (flag == "--seed" && (v = need_value("--seed"))) args.seed = std::stoull(v);
+    else if (flag == "--real") { args.real = true; continue; }
     else if (flag == "--help") {
       std::printf(
           "usage: fleet_cli [--method comdml|fedavg|fedprox|gossip|"
           "braintorrent|allreduce]\n"
           "  [--dataset cifar10|cifar100|cinic10] [--partition iid|dirichlet]\n"
           "  [--agents N] [--rounds N] [--participation F] [--topology P]\n"
-          "  [--target ACC] [--dropout P] [--seed N]\n");
+          "  [--target ACC] [--dropout P] [--seed N] [--real]\n");
       return false;
     } else {
       std::fprintf(stderr, "unknown flag %s (try --help)\n", flag.c_str());
@@ -86,6 +96,53 @@ data::DatasetSpec parse_dataset(const std::string& name) {
   throw std::invalid_argument("unknown dataset " + name);
 }
 
+/// Paper-scale timing simulation through the facade.
+core::FleetRuntime build_simulated(const Args& args, Method method,
+                                   sim::Topology topology,
+                                   std::vector<int64_t> sizes) {
+  core::FleetOptions opt = core::FleetOptions::paper_defaults();
+  opt.seed = args.seed;
+  opt.scale.participation = args.participation;
+  opt.scale.agent_dropout = args.dropout;
+  opt.scale.max_split_points = 16;
+  return core::FleetBuilder()
+      .method(method)
+      .options(opt)
+      .topology(std::move(topology))
+      .architecture(nn::resnet56_spec(parse_dataset(args.dataset).classes))
+      .shard_sizes(std::move(sizes))
+      .build();
+}
+
+/// Real tensor training on synthetic blobs through the same facade.
+core::FleetRuntime build_real(const Args& args, Method method,
+                              sim::Topology topology,
+                              data::Dataset* eval_out) {
+  constexpr int64_t kClasses = 3, kFeatures = 6, kPerAgent = 60;
+  tensor::Rng rng(args.seed + 1);
+  const auto ds = data::make_blobs(args.agents * kPerAgent, kClasses,
+                                   kFeatures, 0.3f, rng);
+  const auto parts = data::iid_partition(ds.size(), args.agents, rng);
+  std::vector<data::Dataset> shards;
+  for (const auto& idx : parts) shards.push_back(ds.subset(idx));
+  *eval_out = shards[0];
+
+  core::FleetOptions opt;
+  opt.seed = args.seed;
+  opt.train.batches_per_round = 6;
+  opt.train.sgd.lr = 0.08f;
+  core::ModelFactory factory = [](tensor::Rng& r) {
+    return nn::mlp({kFeatures, 24, 24, kClasses}, r);
+  };
+  return core::FleetBuilder()
+      .method(method)
+      .options(opt)
+      .topology(std::move(topology))
+      .model(factory, kClasses)
+      .shards(std::move(shards))
+      .build();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -94,11 +151,9 @@ int main(int argc, char** argv) {
 
   try {
     const Method method = parse_method(args.method);
-    const auto dspec = parse_dataset(args.dataset);
     const PartitionKind partition = args.partition == "iid"
                                         ? PartitionKind::kIID
                                         : PartitionKind::kDirichlet05;
-    const auto mspec = nn::resnet56_spec(dspec.classes);
 
     tensor::Rng rng(args.seed);
     const auto profiles = sim::assign_profiles(args.agents, rng);
@@ -111,49 +166,47 @@ int main(int argc, char** argv) {
                    "drawn topology is disconnected; raise --topology\n");
       return 1;
     }
-    auto sizes =
-        core::shard_sizes_for(dspec, args.agents, partition, rng);
 
-    core::FleetConfig cfg;
-    cfg.agents = args.agents;
-    cfg.participation = args.participation;
-    cfg.agent_dropout = args.dropout;
-    cfg.max_split_points = 16;
-    cfg.seed = args.seed;
-
-    std::printf("method=%s dataset=%s partition=%s agents=%lld "
+    std::printf("method=%s mode=%s dataset=%s partition=%s agents=%lld "
                 "topology=%.2f seed=%llu\n",
-                args.method.c_str(), args.dataset.c_str(),
-                args.partition.c_str(), (long long)args.agents,
-                args.topology, (unsigned long long)args.seed);
-    std::printf("%6s %12s %10s %8s %8s\n", "round", "time(s)", "pairs",
-                "dropped", "idle(s)");
+                args.method.c_str(), args.real ? "real" : "simulated",
+                args.dataset.c_str(), args.partition.c_str(),
+                (long long)args.agents, args.topology,
+                (unsigned long long)args.seed);
 
-    core::RunSummary summary;
-    if (method == Method::kComDML) {
-      core::SimulatedFleet fleet(mspec, cfg, std::move(topology),
-                                 std::move(sizes));
-      for (int64_t r = 0; r < args.rounds; ++r) {
-        const auto rec = fleet.step();
-        if (r < 10 || r % 10 == 0)
-          std::printf("%6lld %12.1f %10lld %8lld %8.1f\n", (long long)r,
-                      rec.round_time, (long long)rec.num_pairs,
-                      (long long)rec.dropped_agents, rec.idle_time);
-        summary.add(rec);
+    data::Dataset eval_set;
+    auto sizes = core::shard_sizes_for(parse_dataset(args.dataset),
+                                       args.agents, partition, rng);
+    core::FleetRuntime fleet =
+        args.real
+            ? build_real(args, method, std::move(topology), &eval_set)
+            : build_simulated(args, method, std::move(topology),
+                              std::move(sizes));
+
+    std::printf("%6s %12s %10s %8s %10s %10s\n", "round", "time(s)",
+                "pairs", "dropped", "agg(B)", "loss");
+    core::RunReport report;
+    for (int64_t r = 0; r < args.rounds; ++r) {
+      const auto rep = fleet.step();
+      if (r < 10 || r % 10 == 0) {
+        std::printf("%6lld %12.2f %10lld %8lld %10lld ", (long long)r,
+                    rep.round_seconds, (long long)rep.num_pairs,
+                    (long long)rep.dropped_agents,
+                    (long long)rep.aggregation_bytes);
+        if (fleet.real())
+          std::printf("%10.4f\n", rep.mean_loss);
+        else
+          std::printf("%10s\n", "-");
       }
-    } else {
-      baselines::BaselineFleet fleet(method, mspec, cfg,
-                                     std::move(topology), std::move(sizes));
-      for (int64_t r = 0; r < args.rounds; ++r) {
-        const auto rec = fleet.step();
-        if (r < 10 || r % 10 == 0)
-          std::printf("%6lld %12.1f %10s %8s %8.1f\n", (long long)r,
-                      rec.round_time, "-", "-", rec.idle_time);
-        summary.add(rec);
-      }
+      report.rounds.push_back(rep);
     }
+    std::printf("\nmean round time: %.2fs\n", report.mean_round_seconds());
 
-    std::printf("\nmean round time: %.1fs\n", summary.mean_round_time());
+    if (fleet.real()) {
+      std::printf("accuracy on shard-0 data after %lld rounds: %.3f\n",
+                  (long long)args.rounds, fleet.evaluate(eval_set));
+      return 0;
+    }
     const std::string model_name = "resnet56";
     const auto curve = learncurve::make_accuracy_model(
         args.dataset, model_name, partition, method, args.participation);
@@ -162,7 +215,7 @@ int main(int argc, char** argv) {
           *rounds * learncurve::fleet_rounds_factor(args.agents);
       std::printf("estimated rounds to %.0f%%: %.0f  ->  total %.0fs\n",
                   100 * args.target, needed,
-                  summary.time_for_rounds(needed));
+                  report.time_for_rounds(needed));
     } else {
       std::printf("target %.0f%% exceeds the calibrated ceiling\n",
                   100 * args.target);

@@ -7,8 +7,7 @@
 //   ./examples/heterogeneous_fleet
 #include <cstdio>
 
-#include "baselines/baseline_fleet.hpp"
-#include "core/trainer.hpp"
+#include "core/fleet_runtime.hpp"
 
 int main() {
   using namespace comdml;
@@ -27,31 +26,36 @@ int main() {
                 topology.profile(i).cpu, topology.profile(i).mbps,
                 static_cast<long long>(sizes[static_cast<size_t>(i)]));
 
-  core::FleetConfig cfg;
-  cfg.agents = 10;
-  cfg.reshuffle_period = 0;
-  cfg.max_split_points = 16;
+  // Every method — ComDML included — runs through the same FleetRuntime
+  // facade; only the Method enum changes.
+  core::FleetOptions opt = core::FleetOptions::paper_defaults();
+  opt.scale.reshuffle_period = 0;
+  opt.scale.max_split_points = 16;
+  const auto make_fleet = [&](Method m) {
+    return core::FleetBuilder()
+        .method(m)
+        .options(opt)
+        .topology(topology)
+        .architecture(spec)
+        .shard_sizes(sizes)
+        .build();
+  };
 
-  core::SimulatedFleet comdml(spec, cfg, topology, sizes);
+  auto comdml = make_fleet(Method::kComDML);
   const auto rec = comdml.step();
   std::printf("\nComDML round: %.1fs (%lld pairs; without balancing the "
               "same round takes %.1fs)\n",
-              rec.round_time, static_cast<long long>(rec.num_pairs),
-              rec.unbalanced_time);
+              rec.round_seconds, static_cast<long long>(rec.num_pairs),
+              rec.unbalanced_seconds);
   std::printf("idle time reclaimed: %.1fs across the fleet\n",
-              rec.unbalanced_time * 10 - rec.idle_time);
+              rec.unbalanced_seconds * 10 - rec.idle_seconds);
 
   std::printf("\nper-method mean round time over 20 rounds:\n");
-  std::printf("  %-22s %8.1fs\n", "ComDML",
-              core::SimulatedFleet(spec, cfg, topology, sizes)
-                  .run(20)
-                  .mean_round_time());
-  for (const Method m : {Method::kGossip, Method::kBrainTorrent,
-                         Method::kAllReduceDML, Method::kFedAvg,
-                         Method::kFedProx}) {
-    baselines::BaselineFleet fleet(m, spec, cfg, topology, sizes);
+  for (const Method m : {Method::kComDML, Method::kGossip,
+                         Method::kBrainTorrent, Method::kAllReduceDML,
+                         Method::kFedAvg, Method::kFedProx}) {
     std::printf("  %-22s %8.1fs\n", learncurve::method_name(m).c_str(),
-                fleet.run(20).mean_round_time());
+                make_fleet(m).run(20).mean_round_seconds());
   }
   std::printf("\nComDML's rounds are shorter because slow agents ship the "
               "deep half of the model\n(and its gradient work) to idle fast "

@@ -5,7 +5,7 @@
 //   ./examples/noniid_dirichlet
 #include <cstdio>
 
-#include "core/real_fleet.hpp"
+#include "core/fleet_runtime.hpp"
 #include "data/partition.hpp"
 #include "data/synthetic.hpp"
 
@@ -20,12 +20,17 @@ float train_fleet(const std::vector<data::Dataset>& shards,
   core::ModelFactory factory = [](tensor::Rng& r) {
     return nn::mlp({16, 32, 32, 4}, r);
   };
-  core::RealFleet::Options options;
-  options.batch_size = 16;
-  options.batches_per_round = 4;
-  options.sgd.lr = 0.05f;
-  core::RealFleet fleet(factory, 4, shards,
-                        sim::Topology::full_mesh(profiles), options);
+  core::FleetOptions options;
+  options.train.batch_size = 16;
+  options.train.batches_per_round = 4;
+  options.train.sgd.lr = 0.05f;
+  auto fleet = core::FleetBuilder()
+                   .method(learncurve::Method::kComDML)
+                   .options(options)
+                   .topology(sim::Topology::full_mesh(profiles))
+                   .model(factory, 4)
+                   .shards(shards)
+                   .build();
   for (int r = 0; r < rounds; ++r) (void)fleet.step();
   return fleet.evaluate(eval);
 }

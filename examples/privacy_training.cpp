@@ -7,7 +7,7 @@
 //   ./examples/privacy_training
 #include <cstdio>
 
-#include "core/real_fleet.hpp"
+#include "core/fleet_runtime.hpp"
 #include "data/partition.hpp"
 #include "data/synthetic.hpp"
 #include "privacy/dcor.hpp"
@@ -40,15 +40,20 @@ int main() {
     core::ModelFactory factory = [](tensor::Rng& r) {
       return nn::small_cnn(3, 4, r);
     };
-    core::RealFleet::Options options;
-    options.batch_size = 16;
-    options.batches_per_round = 4;
-    options.privacy = row.technique;
-    options.dp_epsilon = 2.0;
-    options.dp_sensitivity = 1e-4;
-    options.shuffle_patch = 2;
-    core::RealFleet fleet(factory, 4, std::move(shards),
-                          sim::Topology::full_mesh(profiles), options);
+    core::FleetOptions options;
+    options.train.batch_size = 16;
+    options.train.batches_per_round = 4;
+    options.privacy.technique = row.technique;
+    options.privacy.dp_epsilon = 2.0;
+    options.privacy.dp_sensitivity = 1e-4;
+    options.privacy.shuffle_patch = 2;
+    auto fleet = core::FleetBuilder()
+                     .method(learncurve::Method::kComDML)
+                     .options(options)
+                     .topology(sim::Topology::full_mesh(profiles))
+                     .model(factory, 4)
+                     .shards(std::move(shards))
+                     .build();
     double dcor = 0.0;
     int dcor_rounds = 0;
     for (int r = 0; r < 15; ++r) {

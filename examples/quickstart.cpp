@@ -7,7 +7,7 @@
 //   ./examples/quickstart
 #include <cstdio>
 
-#include "core/real_fleet.hpp"
+#include "core/fleet_runtime.hpp"
 #include "data/partition.hpp"
 #include "data/synthetic.hpp"
 
@@ -31,19 +31,25 @@ int main() {
   core::ModelFactory factory = [](tensor::Rng& r) {
     return nn::small_cnn(3, 3, r);
   };
-  core::RealFleet::Options options;
-  options.batch_size = 16;
-  options.batches_per_round = 4;
-  options.sgd.lr = 0.05f;
-  core::RealFleet fleet(factory, /*classes=*/3, std::move(shards),
-                        std::move(topology), options);
+  core::FleetOptions options;
+  options.train.batch_size = 16;
+  options.train.batches_per_round = 4;
+  options.train.sgd.lr = 0.05f;
+  auto fleet = core::FleetBuilder()
+                   .method(learncurve::Method::kComDML)
+                   .options(options)
+                   .topology(std::move(topology))
+                   .model(factory, /*classes=*/3)
+                   .shards(std::move(shards))
+                   .build();
 
   std::printf("round | pairs | slow-side loss | fleet loss | sim time\n");
   for (int round = 0; round < 12; ++round) {
     const auto stats = fleet.step();
     std::printf("%5d | %5lld | %14.3f | %10.3f | %7.2fs\n", round,
                 static_cast<long long>(stats.num_pairs),
-                stats.mean_slow_loss, stats.mean_loss, stats.sim_time);
+                stats.mean_slow_loss, stats.mean_loss,
+                stats.round_seconds);
   }
 
   const float accuracy = fleet.evaluate(dataset);

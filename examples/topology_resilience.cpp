@@ -6,7 +6,7 @@
 //   ./examples/topology_resilience
 #include <cstdio>
 
-#include "core/trainer.hpp"
+#include "core/fleet_runtime.hpp"
 
 int main() {
   using namespace comdml;
@@ -17,10 +17,10 @@ int main() {
   auto sizes = core::shard_sizes_for(data::cifar10_spec(), 50,
                                      learncurve::PartitionKind::kIID, rng);
 
-  core::FleetConfig cfg;
-  cfg.agents = 50;
-  cfg.reshuffle_period = 0;
-  cfg.max_split_points = 16;
+  core::FleetOptions opt = core::FleetOptions::paper_defaults();
+  opt.seed = 13;
+  opt.scale.reshuffle_period = 0;
+  opt.scale.max_split_points = 16;
 
   const struct {
     const char* label;
@@ -47,15 +47,21 @@ int main() {
       std::printf("%-28s   (disconnected draw; skipped)\n", t.label);
       continue;
     }
-    core::SimulatedFleet fleet(spec, cfg, std::move(topo), sizes);
+    auto fleet = core::FleetBuilder()
+                     .method(learncurve::Method::kComDML)
+                     .options(opt)
+                     .topology(std::move(topo))
+                     .architecture(spec)
+                     .shard_sizes(sizes)
+                     .build();
     const auto summary = fleet.run(5);
     double pairs = 0, saving = 0;
-    for (const auto& r : summary.rounds()) {
+    for (const auto& r : summary.rounds) {
       pairs += static_cast<double>(r.num_pairs);
-      saving += 1.0 - r.round_time / r.unbalanced_time;
+      saving += 1.0 - r.round_seconds / r.unbalanced_seconds;
     }
     std::printf("%-28s %10.1f %8.1f %13.0f%%\n", t.label,
-                summary.mean_round_time(), pairs / 5.0,
+                summary.mean_round_seconds(), pairs / 5.0,
                 100.0 * saving / 5.0);
   }
   std::printf("\nsparser graphs leave fewer pairing options, so savings "

@@ -58,9 +58,7 @@ std::vector<double> BaselineFleet::solo_times(
 RoundRecord BaselineFleet::step() {
   if (config_.reshuffle_period > 0 && round_ > 0 &&
       round_ % config_.reshuffle_period == 0) {
-    std::vector<sim::ResourceProfile> profiles;
-    for (int64_t i = 0; i < config_.agents; ++i)
-      profiles.push_back(topology_.profile(i));
+    auto profiles = topology_.profiles();
     sim::reshuffle_profiles(profiles, config_.reshuffle_fraction, rng_);
     topology_.set_profiles(std::move(profiles));
   }
@@ -77,14 +75,11 @@ RoundRecord BaselineFleet::step() {
   switch (method_) {
     case Method::kFedAvg:
     case Method::kFedProx: {
+      comm::ParamServerConfig ps_cfg;
+      ps_cfg.server_mbps = config_.server_mbps;
+      ps_cfg.latency_sec = config_.latency_sec;
       const auto comm_times = comm::server_round_times(
-          [&] {
-            std::vector<sim::ResourceProfile> ps;
-            for (int64_t i = 0; i < config_.agents; ++i)
-              ps.push_back(topology_.profile(i));
-            return ps;
-          }(),
-          participants, model_bytes_);
+          topology_.profiles(), participants, model_bytes_, ps_cfg);
       double worst = 0.0;
       for (size_t i = 0; i < participants.size(); ++i)
         worst = std::max(worst, compute[i] + comm_times[i]);
@@ -97,9 +92,19 @@ RoundRecord BaselineFleet::step() {
       // for the global straggler, but an exchange blocks on its partner.
       // The effective round duration is the mean over agents of
       // max(own compute, partner compute) + model push.
-      const auto exch =
-          comm::gossip_exchange_cost(topology_, model_bytes_, rng_);
-      const auto partners = comm::gossip_partners(topology_, rng_);
+      // One collective run yields both the partner draw and the per-agent
+      // push times, so the compute-wait and transfer terms below describe
+      // the same partners (the old two-draw version paired them
+      // inconsistently).
+      comm::SimTransport transport(
+          comm::LinkGrid::from_topology(topology_, config_.latency_sec));
+      comm::CollectiveRequest req;
+      req.elems = comm::fp32_wire_elems(model_bytes_);
+      req.rng = &rng_;
+      const auto rep =
+          comm::collective(comm::Protocol::kGossip).run(transport, req);
+      const auto& partners = rep.partners;
+      const auto& exch = transport.stats().send_seconds;
       double total = 0.0;
       for (size_t i = 0; i < participants.size(); ++i) {
         const auto id = static_cast<size_t>(participants[i]);
@@ -141,7 +146,8 @@ RoundRecord BaselineFleet::step() {
         slowest_peer = std::max(
             slowest_peer,
             comm::transfer_seconds(model_bytes_,
-                                   topology_.profile(id).mbps));
+                                   topology_.profile(id).mbps,
+                                   config_.latency_sec));
       }
       const double coord_drain =
           peers * static_cast<double>(model_bytes_) /
@@ -156,7 +162,7 @@ RoundRecord BaselineFleet::step() {
       COMDML_REQUIRE(min_bw.has_value(), "topology has no usable link");
       const auto agg = comm::allreduce_cost(
           static_cast<int64_t>(participants.size()), model_bytes_, *min_bw,
-          config_.aggregation);
+          config_.aggregation, config_.latency_sec);
       rec.aggregation_time = agg.seconds;
       rec.round_time = slowest + agg.seconds;
       break;

@@ -1,8 +1,12 @@
 #include "baselines/real_baselines.hpp"
 
+#include <algorithm>
+
 #include "comm/allreduce.hpp"
 #include "comm/gossip.hpp"
+#include "comm/param_server.hpp"
 #include "core/parallel.hpp"
+#include "core/workspace.hpp"
 
 namespace comdml::baselines {
 
@@ -27,7 +31,7 @@ RealBaselineFleet::RealBaselineFleet(learncurve::Method method,
     tensor::Rng model_rng = rng_.fork();
     models_.push_back(factory(model_rng));
     batchers_.push_back(std::make_unique<data::Batcher>(
-        shards_[i], options_.batch_size, rng_.fork()));
+        shards_[i], options_.train.batch_size, rng_.fork()));
   }
   const auto init = nn::state_of(*models_[0]);
   for (size_t i = 1; i < models_.size(); ++i)
@@ -37,9 +41,9 @@ RealBaselineFleet::RealBaselineFleet(learncurve::Method method,
 float RealBaselineFleet::train_locally(
     size_t agent, const std::vector<tensor::Tensor>* global) {
   auto& model = *models_[agent];
-  nn::SGD opt(model.parameters(), options_.sgd);
+  nn::SGD opt(model.parameters(), options_.train.sgd);
   float loss_sum = 0.0f;
-  for (int64_t b = 0; b < options_.batches_per_round; ++b) {
+  for (int64_t b = 0; b < options_.train.batches_per_round; ++b) {
     const auto batch = batchers_[agent]->next();
     if (method_ == learncurve::Method::kFedProx && global != nullptr) {
       // Proximal step: gradient + mu * (w - w_global).
@@ -65,7 +69,7 @@ float RealBaselineFleet::train_locally(
           auto w = p->value.flat();
           auto a = anchor.flat();
           for (size_t k = 0; k < gr.size(); ++k)
-            gr[k] += options_.prox_mu * (w[k] - a[k]);
+            gr[k] += options_.train.prox_mu * (w[k] - a[k]);
         }
         ++g;
       }
@@ -76,25 +80,65 @@ float RealBaselineFleet::train_locally(
           nn::train_batch_full(model, opt, batch.x, batch.y).loss;
     }
   }
-  return loss_sum / static_cast<float>(options_.batches_per_round);
+  return loss_sum / static_cast<float>(options_.train.batches_per_round);
 }
 
-void RealBaselineFleet::aggregate() {
+void RealBaselineFleet::aggregate(RoundStats& stats) {
   std::vector<std::vector<tensor::Tensor>>& states = state_scratch_;
   states.resize(models_.size());
   for (size_t i = 0; i < models_.size(); ++i)
     nn::copy_state_into(*models_[i], states[i]);
+  const size_t k = models_.size();
 
   switch (method_) {
     case learncurve::Method::kFedAvg:
     case learncurve::Method::kFedProx: {
-      // Server-side N_i/N weighted average, broadcast to all.
+      // Server-side N_i/N weighted average, broadcast to all — the
+      // "param_server" collective over a star grid whose agent<->server
+      // edges share the server's aggregate bandwidth.
       std::vector<double> weights;
-      weights.reserve(shards_.size());
-      for (const auto& s : shards_)
-        weights.push_back(static_cast<double>(s.size()));
-      const auto avg = comm::weighted_mean_state(states, weights);
-      for (auto& m : models_) nn::load_state(*m, avg);
+      weights.reserve(k);
+      for (size_t i = 0; i < k; ++i)
+        weights.push_back(static_cast<double>(shards_[i].size()));
+      const bool all_connected = [&] {
+        for (const auto& p : topology_.profiles())
+          if (!p.connected()) return false;
+        return true;
+      }();
+      if (!all_connected) {
+        // An offline agent cannot reach the star; keep the historical
+        // local-average semantics (no accounted traffic) for that case.
+        const auto avg = comm::weighted_mean_state(states, weights);
+        for (auto& m : models_) nn::load_state(*m, avg);
+        break;
+      }
+      std::vector<int64_t> selected(k);
+      comm::CollectiveRequest req;
+      req.weights = weights;
+      for (size_t i = 0; i < k; ++i)
+        selected[i] = static_cast<int64_t>(i);
+      comm::ParamServerConfig cfg;
+      cfg.server_mbps = options_.comms.server_mbps;
+      cfg.latency_sec = options_.comms.latency_sec;
+      comm::InProcTransport transport(
+          comm::param_server_grid(topology_.profiles(), selected, cfg));
+
+      const int64_t n = comm::state_elems(states[0]);
+      core::Scratch<double> slab(static_cast<int64_t>(k) * n);
+      req.elems = n;
+      req.participants = selected;
+      req.buffers.resize(k);
+      for (size_t i = 0; i < k; ++i) {
+        req.buffers[i] = slab.data() + static_cast<int64_t>(i) * n;
+        comm::flatten_state(states[i], req.buffers[i]);
+      }
+      (void)comm::collective(comm::Protocol::kParamServer)
+          .run(transport, req);
+      for (size_t i = 0; i < k; ++i)
+        comm::unflatten_state(req.buffers[i], states[i]);
+      for (size_t i = 0; i < k; ++i) nn::load_state(*models_[i], states[i]);
+      stats.aggregation_seconds = transport.stats().seconds;
+      stats.aggregation_bytes = transport.stats().max_bytes_sent();
       break;
     }
     case learncurve::Method::kBrainTorrent: {
@@ -104,17 +148,27 @@ void RealBaselineFleet::aggregate() {
       break;
     }
     case learncurve::Method::kAllReduceDML: {
-      comm::allreduce_average(states);
-      for (size_t i = 0; i < models_.size(); ++i)
-        nn::load_state(*models_[i], states[i]);
+      const auto min_bw = topology_.min_link_bandwidth();
+      const auto outcome = comm::allreduce_average_over(
+          states,
+          comm::LinkGrid::uniform(static_cast<int64_t>(k),
+                                  min_bw.value_or(100.0),
+                                  options_.comms.latency_sec),
+          options_.comms.aggregation);
+      for (size_t i = 0; i < k; ++i) nn::load_state(*models_[i], states[i]);
+      stats.aggregation_seconds = outcome.cost.seconds;
+      stats.aggregation_bytes = outcome.cost.bytes_per_agent;
       break;
     }
     case learncurve::Method::kGossip: {
       const int64_t bytes =
           static_cast<int64_t>(nn::state_bytes(*models_[0]));
-      (void)comm::gossip_exchange(states, topology_, bytes, rng_);
-      for (size_t i = 0; i < models_.size(); ++i)
-        nn::load_state(*models_[i], states[i]);
+      const auto times =
+          comm::gossip_exchange(states, topology_, bytes, rng_);
+      for (size_t i = 0; i < k; ++i) nn::load_state(*models_[i], states[i]);
+      for (const double t : times)
+        stats.aggregation_seconds = std::max(stats.aggregation_seconds, t);
+      stats.aggregation_bytes = bytes;
       break;
     }
     case learncurve::Method::kComDML:
@@ -143,7 +197,7 @@ RealBaselineFleet::RoundStats RealBaselineFleet::step() {
   float loss = 0.0f;
   for (const float l : losses) loss += l;
   stats.mean_loss = loss / static_cast<float>(models_.size());
-  aggregate();
+  aggregate(stats);
   return stats;
 }
 

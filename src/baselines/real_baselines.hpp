@@ -10,14 +10,11 @@ namespace comdml::baselines {
 
 class RealBaselineFleet {
  public:
-  struct Options {
-    int64_t batch_size = 16;
-    int64_t batches_per_round = 4;
-    nn::SGD::Options sgd{0.05f, 0.9f, 0.0f};
-    /// FedProx proximal coefficient (used when method == kFedProx).
-    float prox_mu = 0.01f;
-    uint64_t seed = 7;
-  };
+  /// Alias of the shared layered fleet options (the drifted local copy of
+  /// the SGD/batch/seed fields is gone): `train.prox_mu` holds the FedProx
+  /// proximal coefficient, `comms.server_mbps` the FedAvg/FedProx server
+  /// bandwidth.
+  using Options = core::FleetOptions;
 
   RealBaselineFleet(learncurve::Method method,
                     const core::ModelFactory& factory, int64_t classes,
@@ -26,6 +23,11 @@ class RealBaselineFleet {
 
   struct RoundStats {
     float mean_loss = 0.0f;
+    /// Executed traffic of the aggregation pattern when it runs through a
+    /// comm::Transport collective (gossip, AllReduce, param-server);
+    /// 0 for the local BrainTorrent mean.
+    double aggregation_seconds = 0.0;
+    int64_t aggregation_bytes = 0;  ///< max bytes any endpoint sent
   };
 
   RoundStats step();
@@ -53,7 +55,7 @@ class RealBaselineFleet {
 
   float train_locally(size_t agent,
                       const std::vector<tensor::Tensor>* global);
-  void aggregate();
+  void aggregate(RoundStats& stats);
 };
 
 }  // namespace comdml::baselines

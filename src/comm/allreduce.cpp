@@ -1,19 +1,21 @@
 #include "comm/allreduce.hpp"
 
 #include <algorithm>
-#include <cmath>
 
 #include "core/workspace.hpp"
 #include "tensor/ops.hpp"
 
 namespace comdml::comm {
 
-namespace {
-
-int64_t floor_log2(int64_t v) {
-  int64_t l = 0;
-  while ((int64_t{1} << (l + 1)) <= v) ++l;
-  return l;
+Protocol allreduce_protocol(AllReduceAlgo algo) {
+  switch (algo) {
+    case AllReduceAlgo::kRing:
+      return Protocol::kRingAllReduce;
+    case AllReduceAlgo::kHalvingDoubling:
+      return Protocol::kHalvingDoublingAllReduce;
+  }
+  COMDML_CHECK(false);
+  return Protocol::kRingAllReduce;
 }
 
 int64_t state_elems(const std::vector<Tensor>& state) {
@@ -22,81 +24,39 @@ int64_t state_elems(const std::vector<Tensor>& state) {
   return total;
 }
 
-/// Flatten an agent's state tensors into caller-owned scratch.
-void flatten_into(const std::vector<Tensor>& state, double* out) {
+void flatten_state(const std::vector<Tensor>& state, double* out) {
   for (const auto& t : state)
     for (const float v : t.flat()) *out++ = v;
 }
 
-void unflatten_from(const double* flat, std::vector<Tensor>& state) {
+void unflatten_state(const double* flat, std::vector<Tensor>& state) {
   for (auto& t : state)
     for (float& v : t.flat()) v = static_cast<float>(*flat++);
 }
-
-struct Segment {
-  size_t begin = 0;
-  size_t end = 0;
-  [[nodiscard]] size_t size() const { return end - begin; }
-};
-
-/// Split [0, n) into `parts` nearly equal chunks.
-std::vector<Segment> chunk(size_t n, size_t parts) {
-  std::vector<Segment> segs(parts);
-  const size_t base = n / parts, extra = n % parts;
-  size_t cur = 0;
-  for (size_t i = 0; i < parts; ++i) {
-    const size_t len = base + (i < extra ? 1 : 0);
-    segs[i] = {cur, cur + len};
-    cur += len;
-  }
-  return segs;
-}
-
-int64_t seg_bytes(const Segment& s) {
-  return static_cast<int64_t>(s.size() * sizeof(float));
-}
-
-}  // namespace
 
 CollectiveCost allreduce_cost(int64_t agents, int64_t model_bytes,
                               double bottleneck_mbps, AllReduceAlgo algo,
                               double latency_sec) {
   COMDML_CHECK(agents > 0 && model_bytes >= 0);
-  CollectiveCost cost;
-  if (agents == 1) return cost;
-  const double k = static_cast<double>(agents);
-  const double b = static_cast<double>(model_bytes);
-  // Both algorithms are bandwidth-optimal: each agent moves 2(K-1)/K * b.
-  cost.bytes_per_agent = static_cast<int64_t>(2.0 * (k - 1.0) / k * b);
-  switch (algo) {
-    case AllReduceAlgo::kRing:
-      cost.steps = 2 * (agents - 1);
-      break;
-    case AllReduceAlgo::kHalvingDoubling: {
-      const int64_t l = floor_log2(agents);
-      cost.steps = 2 * l;
-      if ((int64_t{1} << l) != agents) {
-        // Non-power-of-two pre/post phase: extra agents fold into partners
-        // (one extra full-model exchange each way).
-        cost.steps += 2;
-        cost.bytes_per_agent += static_cast<int64_t>(b);
-      }
-      break;
-    }
-  }
-  cost.seconds = static_cast<double>(cost.steps) * latency_sec +
-                 static_cast<double>(cost.bytes_per_agent) /
-                     bytes_per_sec(bottleneck_mbps);
-  return cost;
+  if (agents == 1) return {};
+  SimTransport transport(
+      LinkGrid::uniform(agents, bottleneck_mbps, latency_sec));
+  CollectiveRequest req;
+  req.elems = fp32_wire_elems(model_bytes);
+  (void)collective(allreduce_protocol(algo)).run(transport, req);
+  const TransportStats& stats = transport.stats();
+  return {stats.seconds, stats.steps, stats.max_bytes_sent()};
 }
 
-AllReduceTrace allreduce_average(std::vector<std::vector<Tensor>>& agent_states,
-                                 AllReduceAlgo algo) {
+AllReduceOutcome allreduce_average_over(
+    std::vector<std::vector<Tensor>>& agent_states, const LinkGrid& grid,
+    AllReduceAlgo algo) {
   const size_t k = agent_states.size();
   COMDML_CHECK(k > 0);
-  AllReduceTrace trace;
-  trace.bytes_sent.assign(k, 0);
-  if (k == 1) return trace;
+  COMDML_CHECK(grid.endpoints() == static_cast<int64_t>(k));
+  AllReduceOutcome out;
+  out.trace.bytes_sent.assign(k, 0);
+  if (k == 1) return out;
 
   // Validate structural identity and flatten.
   for (size_t a = 1; a < k; ++a) {
@@ -110,114 +70,36 @@ AllReduceTrace allreduce_average(std::vector<std::vector<Tensor>>& agent_states,
   // One arena slab holds every agent's flattened double vector; the slab
   // is released on return and its high-water backing is reused next round,
   // so steady-state rounds do not touch the heap here.
-  const size_t n = static_cast<size_t>(state_elems(agent_states[0]));
-  core::Scratch<double> slab(static_cast<int64_t>(k * n));
-  std::vector<double*> buf(k);
-  for (size_t a = 0; a < k; ++a) {
-    buf[a] = slab.data() + a * n;
-    flatten_into(agent_states[a], buf[a]);
-  }
+  const int64_t n = state_elems(agent_states[0]);
+  core::Scratch<double> slab(static_cast<int64_t>(k) * n);
 
-  if (algo == AllReduceAlgo::kRing) {
-    const auto segs = chunk(n, k);
-    // Reduce-scatter: step s, agent a sends chunk (a - s) to agent a+1.
-    for (size_t s = 0; s < k - 1; ++s) {
-      for (size_t a = 0; a < k; ++a) {
-        const size_t dst = (a + 1) % k;
-        const size_t c = (a + k - s) % k;
-        const Segment& seg = segs[c];
-        for (size_t i = seg.begin; i < seg.end; ++i) buf[dst][i] += buf[a][i];
-        trace.bytes_sent[a] += seg_bytes(seg);
-      }
-      ++trace.steps;
-    }
-    // Each agent a now owns the full sum of chunk (a+1) mod k.
-    // All-gather: circulate owned chunks.
-    for (size_t s = 0; s < k - 1; ++s) {
-      for (size_t a = 0; a < k; ++a) {
-        const size_t dst = (a + 1) % k;
-        const size_t c = (a + 1 + k - s) % k;
-        const Segment& seg = segs[c];
-        for (size_t i = seg.begin; i < seg.end; ++i) buf[dst][i] = buf[a][i];
-        trace.bytes_sent[a] += seg_bytes(seg);
-      }
-      ++trace.steps;
-    }
-  } else {
-    // Recursive halving/doubling with non-power-of-two fold-in.
-    const int64_t l = floor_log2(static_cast<int64_t>(k));
-    const size_t p2 = size_t{1} << l;
-    const size_t rem = k - p2;
-    // Pre-phase: extras (p2..k-1) send their whole vector to partner
-    // (a - p2), which accumulates.
-    if (rem > 0) {
-      for (size_t e = p2; e < k; ++e) {
-        const size_t partner = e - p2;
-        for (size_t i = 0; i < n; ++i) buf[partner][i] += buf[e][i];
-        trace.bytes_sent[e] += static_cast<int64_t>(n * sizeof(float));
-      }
-      ++trace.steps;
-    }
-    // Reduce-scatter among the p2 core agents by recursive halving.
-    // Maintain the live segment of each core agent.
-    std::vector<Segment> live(p2, Segment{0, n});
-    for (int64_t step = 0; step < l; ++step) {
-      const size_t mask = size_t{1} << step;
-      for (size_t a = 0; a < p2; ++a) {
-        const size_t peer = a ^ mask;
-        if (peer < a) continue;  // handle each pair once
-        // Split both agents' identical live range in half; the lower-rank
-        // agent keeps the lower half.
-        const Segment range = live[a];
-        const size_t mid = range.begin + range.size() / 2;
-        const Segment low{range.begin, mid}, high{mid, range.end};
-        // a keeps low, sends high; peer keeps high, sends low.
-        for (size_t i = high.begin; i < high.end; ++i)
-          buf[peer][i] += buf[a][i];
-        for (size_t i = low.begin; i < low.end; ++i) buf[a][i] += buf[peer][i];
-        trace.bytes_sent[a] += seg_bytes(high);
-        trace.bytes_sent[peer] += seg_bytes(low);
-        live[a] = low;
-        live[peer] = high;
-      }
-      ++trace.steps;
-    }
-    // All-gather by recursive doubling (reverse order).
-    for (int64_t step = l - 1; step >= 0; --step) {
-      const size_t mask = size_t{1} << step;
-      for (size_t a = 0; a < p2; ++a) {
-        const size_t peer = a ^ mask;
-        if (peer < a) continue;
-        const Segment sa = live[a], sp = live[peer];
-        for (size_t i = sp.begin; i < sp.end; ++i) buf[a][i] = buf[peer][i];
-        for (size_t i = sa.begin; i < sa.end; ++i) buf[peer][i] = buf[a][i];
-        trace.bytes_sent[a] += seg_bytes(sa);
-        trace.bytes_sent[peer] += seg_bytes(sp);
-        const Segment merged{std::min(sa.begin, sp.begin),
-                             std::max(sa.end, sp.end)};
-        live[a] = merged;
-        live[peer] = merged;
-      }
-      ++trace.steps;
-    }
-    // Post-phase: partners push the final vector back to extras.
-    if (rem > 0) {
-      for (size_t e = p2; e < k; ++e) {
-        const size_t partner = e - p2;
-        std::copy(buf[partner], buf[partner] + n, buf[e]);
-        trace.bytes_sent[partner] += static_cast<int64_t>(n * sizeof(float));
-      }
-      ++trace.steps;
-    }
-  }
-
-  // Normalize the summed vectors to the mean and write back.
-  const double inv_k = 1.0 / static_cast<double>(k);
+  InProcTransport transport(grid);
+  CollectiveRequest req;
+  req.elems = n;
+  req.buffers.resize(k);
   for (size_t a = 0; a < k; ++a) {
-    for (size_t i = 0; i < n; ++i) buf[a][i] *= inv_k;
-    unflatten_from(buf[a], agent_states[a]);
+    req.buffers[a] = slab.data() + static_cast<int64_t>(a) * n;
+    flatten_state(agent_states[a], req.buffers[a]);
   }
-  return trace;
+  (void)collective(allreduce_protocol(algo)).run(transport, req);
+  for (size_t a = 0; a < k; ++a)
+    unflatten_state(req.buffers[a], agent_states[a]);
+
+  const TransportStats& stats = transport.stats();
+  out.trace.steps = stats.steps;
+  out.trace.bytes_sent = stats.bytes_sent;
+  out.cost = {stats.seconds, stats.steps, stats.max_bytes_sent()};
+  return out;
+}
+
+AllReduceTrace allreduce_average(std::vector<std::vector<Tensor>>& agent_states,
+                                 AllReduceAlgo algo) {
+  const size_t k = agent_states.size();
+  COMDML_CHECK(k > 0);
+  return allreduce_average_over(
+             agent_states,
+             LinkGrid::uniform(static_cast<int64_t>(k), 100.0), algo)
+      .trace;
 }
 
 std::vector<Tensor> mean_state(

@@ -4,14 +4,19 @@
 //  - ring (Goyal et al. [34]):          2(K-1) steps, 2(K-1)/K * b bytes/agent
 //  - recursive halving/doubling [35]:   2 log2 K steps, 2(K-1)/K * b bytes/agent
 // The paper picks halving/doubling for large K because of its O(log K) step
-// count. Both are provided as (a) an analytic cost model used by the timing
-// simulator and (b) a real message-level implementation that averages actual
-// agent states and accounts every byte, so tests can check the cost model
-// against executed traffic.
+// count.
+//
+// Both algorithms live in comm/collective.hpp as transport-generic
+// protocols: the analytic cost (SimTransport) and the executed real
+// collective (InProcTransport) are literally the same schedule. The
+// functions here are the byte/tensor-level entry points fleets use —
+// `allreduce_cost` and `allreduce_average` keep their historical
+// signatures as thin wrappers over that substrate.
 #pragma once
 
 #include <vector>
 
+#include "comm/collective.hpp"
 #include "comm/link.hpp"
 #include "tensor/tensor.hpp"
 
@@ -21,12 +26,16 @@ using tensor::Tensor;
 
 enum class AllReduceAlgo { kRing, kHalvingDoubling };
 
+/// Collective-registry protocol implementing an AllReduce algorithm.
+[[nodiscard]] Protocol allreduce_protocol(AllReduceAlgo algo);
+
 /// Analytic cost of one AllReduce over K agents moving a `model_bytes`
-/// model with the slowest participating link at `bottleneck_mbps`.
+/// model with the slowest participating link at `bottleneck_mbps`
+/// (a SimTransport run of the real message schedule over a uniform grid).
 struct CollectiveCost {
   double seconds = 0.0;
   int64_t steps = 0;
-  int64_t bytes_per_agent = 0;  ///< bytes each agent sends (= receives)
+  int64_t bytes_per_agent = 0;  ///< max bytes any one agent sends
 };
 
 [[nodiscard]] CollectiveCost allreduce_cost(
@@ -40,9 +49,22 @@ struct AllReduceTrace {
   std::vector<int64_t> bytes_sent;  ///< per agent
 };
 
-/// In-place averaging of per-agent state snapshots, executed with the real
-/// message schedule of the chosen algorithm. All agents must hold
-/// structurally identical state lists. Returns the traffic trace.
+/// Executed collective plus its modeled clock, over an explicit link grid.
+struct AllReduceOutcome {
+  AllReduceTrace trace;
+  CollectiveCost cost;  ///< modeled seconds/steps/max-bytes of the same run
+};
+
+/// In-place averaging of per-agent state snapshots over an
+/// InProcTransport on `grid`, executed with the real message schedule of
+/// the chosen algorithm. All agents must hold structurally identical
+/// state lists.
+AllReduceOutcome allreduce_average_over(
+    std::vector<std::vector<Tensor>>& agent_states, const LinkGrid& grid,
+    AllReduceAlgo algo = AllReduceAlgo::kHalvingDoubling);
+
+/// Historical entry point: averaging over an implicit uniform 100 Mbps
+/// grid; returns only the traffic trace.
 AllReduceTrace allreduce_average(
     std::vector<std::vector<Tensor>>& agent_states,
     AllReduceAlgo algo = AllReduceAlgo::kHalvingDoubling);
@@ -55,5 +77,12 @@ AllReduceTrace allreduce_average(
 [[nodiscard]] std::vector<Tensor> weighted_mean_state(
     const std::vector<std::vector<Tensor>>& agent_states,
     const std::vector<double>& weights);
+
+/// Total fp32 elements across one agent's state tensors.
+[[nodiscard]] int64_t state_elems(const std::vector<Tensor>& state);
+
+/// Flatten a state list into `out` (fp64 accumulator layout) and back.
+void flatten_state(const std::vector<Tensor>& state, double* out);
+void unflatten_state(const double* flat, std::vector<Tensor>& state);
 
 }  // namespace comdml::comm

@@ -1,0 +1,382 @@
+#include "comm/collective.hpp"
+
+#include <algorithm>
+
+#include "core/workspace.hpp"
+
+namespace comdml::comm {
+
+namespace {
+
+struct Segment {
+  int64_t begin = 0;
+  int64_t end = 0;
+  [[nodiscard]] int64_t size() const { return end - begin; }
+};
+
+/// Split [0, n) into `parts` nearly equal chunks.
+std::vector<Segment> chunk(int64_t n, int64_t parts) {
+  std::vector<Segment> segs(static_cast<size_t>(parts));
+  const int64_t base = n / parts, extra = n % parts;
+  int64_t cur = 0;
+  for (int64_t i = 0; i < parts; ++i) {
+    const int64_t len = base + (i < extra ? 1 : 0);
+    segs[static_cast<size_t>(i)] = {cur, cur + len};
+    cur += len;
+  }
+  return segs;
+}
+
+int64_t floor_log2(int64_t v) {
+  int64_t l = 0;
+  while ((int64_t{1} << (l + 1)) <= v) ++l;
+  return l;
+}
+
+/// Buffer of agent `a`, or nullptr on a timing-only run.
+double* buffer_of(const CollectiveRequest& req, int64_t a) {
+  if (req.buffers.empty()) return nullptr;
+  return req.buffers[static_cast<size_t>(a)];
+}
+
+void validate_buffers(const CollectiveRequest& req, int64_t agents) {
+  if (req.buffers.empty()) return;
+  COMDML_REQUIRE(static_cast<int64_t>(req.buffers.size()) == agents,
+                 "collective got " << req.buffers.size() << " buffers for "
+                                   << agents << " agents");
+}
+
+CollectiveReport report_of(const Transport& t) {
+  CollectiveReport rep;
+  rep.transport = t.stats();
+  return rep;
+}
+
+/// Fold a delivered payload into `dst + seg.begin` (add or overwrite).
+void merge_segment(const Message& msg, double* dst, const Segment& seg,
+                   bool accumulate) {
+  if (dst == nullptr || !msg.has_payload()) return;
+  COMDML_DCHECK(msg.elems == seg.size());
+  if (accumulate) {
+    for (int64_t i = 0; i < seg.size(); ++i)
+      dst[seg.begin + i] += msg.payload[static_cast<size_t>(i)];
+  } else {
+    for (int64_t i = 0; i < seg.size(); ++i)
+      dst[seg.begin + i] = msg.payload[static_cast<size_t>(i)];
+  }
+}
+
+// ---- ring -------------------------------------------------------------------
+
+class RingAllReduce final : public Collective {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "ring_allreduce";
+  }
+
+  CollectiveReport run(Transport& t,
+                       const CollectiveRequest& req) const override {
+    const int64_t k = t.endpoints();
+    validate_buffers(req, k);
+    if (k == 1) return report_of(t);
+    const auto segs = chunk(req.elems, k);
+
+    // Reduce-scatter, then all-gather: at step s agent a ships chunk
+    // (a - s) (reduce) or (a + 1 - s) (gather) one hop clockwise. The two
+    // phases differ only in the chunk rotation and whether the receiver
+    // accumulates or overwrites.
+    for (const bool gather : {false, true}) {
+      const int64_t rot = gather ? 1 : 0;
+      for (int64_t s = 0; s < k - 1; ++s) {
+        for (int64_t a = 0; a < k; ++a) {
+          const Segment& seg =
+              segs[static_cast<size_t>((a + rot + k - s) % k)];
+          const double* data = buffer_of(req, a);
+          t.send(a, (a + 1) % k, seg.size(),
+                 data != nullptr ? data + seg.begin : nullptr);
+        }
+        t.end_step();
+        for (int64_t a = 0; a < k; ++a) {
+          const int64_t prev = (a + k - 1) % k;
+          const Message msg = t.recv(a, prev);
+          const Segment& seg =
+              segs[static_cast<size_t>((prev + rot + k - s) % k)];
+          merge_segment(msg, buffer_of(req, a), seg, /*accumulate=*/!gather);
+        }
+      }
+    }
+    // Sum -> mean.
+    if (!req.buffers.empty()) {
+      const double inv_k = 1.0 / static_cast<double>(k);
+      for (int64_t a = 0; a < k; ++a) {
+        double* mine = buffer_of(req, a);
+        for (int64_t i = 0; i < req.elems; ++i) mine[i] *= inv_k;
+      }
+    }
+    return report_of(t);
+  }
+};
+
+// ---- recursive halving/doubling ---------------------------------------------
+
+class HalvingDoublingAllReduce final : public Collective {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "halving_doubling_allreduce";
+  }
+
+  CollectiveReport run(Transport& t,
+                       const CollectiveRequest& req) const override {
+    const int64_t k = t.endpoints();
+    validate_buffers(req, k);
+    if (k == 1) return report_of(t);
+    const int64_t n = req.elems;
+    const int64_t l = floor_log2(k);
+    const int64_t p2 = int64_t{1} << l;
+    const int64_t rem = k - p2;
+
+    // Pre-phase: extras (p2..k-1) fold their whole vector into partner
+    // (e - p2).
+    if (rem > 0) {
+      for (int64_t e = p2; e < k; ++e)
+        t.send(e, e - p2, n, buffer_of(req, e));
+      t.end_step();
+      for (int64_t e = p2; e < k; ++e)
+        merge_segment(t.recv(e - p2, e), buffer_of(req, e - p2),
+                      Segment{0, n}, /*accumulate=*/true);
+    }
+
+    // One pairwise exchange step; `lower_keeps`/`upper_keeps` name the
+    // segments each side retains (and therefore receives into).
+    struct Exchange {
+      int64_t a = 0, peer = 0;
+      Segment a_keeps, peer_keeps;
+    };
+    std::vector<Exchange> plan;
+    const auto exchange_step = [&](bool accumulate) {
+      for (const Exchange& x : plan) {
+        const double* da = buffer_of(req, x.a);
+        const double* dp = buffer_of(req, x.peer);
+        // Each side ships the half the *other* side keeps.
+        t.send(x.a, x.peer, x.peer_keeps.size(),
+               da != nullptr ? da + x.peer_keeps.begin : nullptr);
+        t.send(x.peer, x.a, x.a_keeps.size(),
+               dp != nullptr ? dp + x.a_keeps.begin : nullptr);
+      }
+      t.end_step();
+      for (const Exchange& x : plan) {
+        merge_segment(t.recv(x.a, x.peer), buffer_of(req, x.a), x.a_keeps,
+                      accumulate);
+        merge_segment(t.recv(x.peer, x.a), buffer_of(req, x.peer),
+                      x.peer_keeps, accumulate);
+      }
+    };
+
+    // Reduce-scatter among the p2 core agents by recursive halving.
+    std::vector<Segment> live(static_cast<size_t>(p2), Segment{0, n});
+    for (int64_t step = 0; step < l; ++step) {
+      const int64_t mask = int64_t{1} << step;
+      plan.clear();
+      for (int64_t a = 0; a < p2; ++a) {
+        const int64_t peer = a ^ mask;
+        if (peer < a) continue;
+        const Segment range = live[static_cast<size_t>(a)];
+        const int64_t mid = range.begin + range.size() / 2;
+        plan.push_back({a, peer, Segment{range.begin, mid},
+                        Segment{mid, range.end}});
+        live[static_cast<size_t>(a)] = {range.begin, mid};
+        live[static_cast<size_t>(peer)] = {mid, range.end};
+      }
+      exchange_step(/*accumulate=*/true);
+    }
+    // All-gather by recursive doubling (reverse order): peers swap their
+    // live segments wholesale and keep the union.
+    for (int64_t step = l - 1; step >= 0; --step) {
+      const int64_t mask = int64_t{1} << step;
+      plan.clear();
+      for (int64_t a = 0; a < p2; ++a) {
+        const int64_t peer = a ^ mask;
+        if (peer < a) continue;
+        const Segment sa = live[static_cast<size_t>(a)];
+        const Segment sp = live[static_cast<size_t>(peer)];
+        // a receives (keeps) peer's segment and vice versa.
+        plan.push_back({a, peer, sp, sa});
+        const Segment merged{std::min(sa.begin, sp.begin),
+                             std::max(sa.end, sp.end)};
+        live[static_cast<size_t>(a)] = merged;
+        live[static_cast<size_t>(peer)] = merged;
+      }
+      exchange_step(/*accumulate=*/false);
+    }
+    // Post-phase: partners push the final vector back to the extras.
+    if (rem > 0) {
+      for (int64_t e = p2; e < k; ++e)
+        t.send(e - p2, e, n, buffer_of(req, e - p2));
+      t.end_step();
+      for (int64_t e = p2; e < k; ++e)
+        merge_segment(t.recv(e, e - p2), buffer_of(req, e), Segment{0, n},
+                      /*accumulate=*/false);
+    }
+    // Sum -> mean.
+    if (!req.buffers.empty()) {
+      const double inv_k = 1.0 / static_cast<double>(k);
+      for (int64_t a = 0; a < k; ++a) {
+        double* mine = buffer_of(req, a);
+        for (int64_t i = 0; i < n; ++i) mine[i] *= inv_k;
+      }
+    }
+    return report_of(t);
+  }
+};
+
+// ---- gossip -----------------------------------------------------------------
+
+class GossipExchange final : public Collective {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "gossip"; }
+
+  CollectiveReport run(Transport& t,
+                       const CollectiveRequest& req) const override {
+    const int64_t k = t.endpoints();
+    validate_buffers(req, k);
+    COMDML_REQUIRE(req.rng != nullptr, "gossip needs a partner-draw Rng");
+
+    CollectiveReport rep;
+    rep.partners.assign(static_cast<size_t>(k), std::nullopt);
+    for (int64_t i = 0; i < k; ++i) {
+      const auto nbrs = t.neighbors(i);
+      if (nbrs.empty()) continue;  // isolated agents sit the round out
+      rep.partners[static_cast<size_t>(i)] =
+          nbrs[static_cast<size_t>(req.rng->below(
+              static_cast<int64_t>(nbrs.size())))];
+    }
+    // All pushes use round-start states: sends snapshot payloads before
+    // any receiver merges.
+    for (int64_t i = 0; i < k; ++i) {
+      if (!rep.partners[static_cast<size_t>(i)]) continue;
+      t.send(i, *rep.partners[static_cast<size_t>(i)], req.elems,
+             buffer_of(req, i));
+    }
+    t.end_step();
+    if (!req.buffers.empty()) {
+      // Receiver i averages its own state with every delivered push.
+      core::Scratch<double> acc(req.elems);
+      for (int64_t i = 0; i < k; ++i) {
+        std::fill(acc.data(), acc.data() + req.elems, 0.0);
+        int64_t pushes = 0;
+        while (auto msg = t.try_recv(i)) {
+          if (!msg->has_payload()) continue;
+          for (int64_t j = 0; j < req.elems; ++j)
+            acc[j] += msg->payload[static_cast<size_t>(j)];
+          ++pushes;
+        }
+        if (pushes == 0) continue;
+        double* mine = buffer_of(req, i);
+        const double inv = 1.0 / static_cast<double>(pushes + 1);
+        for (int64_t j = 0; j < req.elems; ++j)
+          mine[j] = (mine[j] + acc[j]) * inv;
+      }
+    }
+    rep.transport = t.stats();
+    return rep;
+  }
+};
+
+// ---- parameter server -------------------------------------------------------
+
+class ParamServerRound final : public Collective {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "param_server";
+  }
+
+  CollectiveReport run(Transport& t,
+                       const CollectiveRequest& req) const override {
+    const int64_t server = t.endpoints() - 1;
+    COMDML_REQUIRE(server >= 1,
+                   "param-server transport needs a server endpoint "
+                   "(LinkGrid::star)");
+    validate_buffers(req, server);
+    std::vector<int64_t> selected = req.participants;
+    if (selected.empty()) {
+      selected.resize(static_cast<size_t>(server));
+      for (int64_t i = 0; i < server; ++i)
+        selected[static_cast<size_t>(i)] = i;
+    }
+    for (const int64_t id : selected) {
+      COMDML_CHECK(id >= 0 && id < server);
+      COMDML_REQUIRE(t.linked(id, server),
+                     "selected agent " << id << " has no uplink");
+    }
+    std::vector<double> weights = req.weights;
+    if (weights.empty()) weights.assign(selected.size(), 1.0);
+    COMDML_CHECK(weights.size() == selected.size());
+    double wsum = 0.0;
+    for (const double w : weights) {
+      COMDML_CHECK(w >= 0.0);
+      wsum += w;
+    }
+    COMDML_REQUIRE(wsum > 0.0, "all aggregation weights are zero");
+
+    // Upload: every selected agent ships its state over its own uplink.
+    for (const int64_t id : selected)
+      t.send(id, server, req.elems, buffer_of(req, id));
+    t.end_step();
+    core::Scratch<double> mean(req.elems);
+    const bool real = !req.buffers.empty();
+    if (real) std::fill(mean.data(), mean.data() + req.elems, 0.0);
+    for (size_t s = 0; s < selected.size(); ++s) {
+      const Message msg = t.recv(server, selected[s]);
+      if (!real || !msg.has_payload()) continue;
+      const double w = weights[s] / wsum;
+      for (int64_t j = 0; j < req.elems; ++j)
+        mean[j] += w * msg.payload[static_cast<size_t>(j)];
+    }
+    // Download: the refreshed model returns the same way.
+    for (const int64_t id : selected)
+      t.send(server, id, req.elems, real ? mean.data() : nullptr);
+    t.end_step();
+    for (const int64_t id : selected) {
+      const Message msg = t.recv(id, server);
+      if (!msg.has_payload()) continue;
+      double* mine = buffer_of(req, id);
+      for (int64_t j = 0; j < req.elems; ++j)
+        mine[j] = msg.payload[static_cast<size_t>(j)];
+    }
+    return report_of(t);
+  }
+};
+
+// ---- registry ---------------------------------------------------------------
+
+const RingAllReduce kRing;
+const HalvingDoublingAllReduce kHalvingDoubling;
+const GossipExchange kGossip;
+const ParamServerRound kParamServer;
+
+constexpr size_t kProtocols = 4;
+const Collective* const kRegistry[kProtocols] = {&kRing, &kHalvingDoubling,
+                                                 &kGossip, &kParamServer};
+
+}  // namespace
+
+const Collective& collective(Protocol protocol) {
+  const auto idx = static_cast<size_t>(protocol);
+  COMDML_CHECK(idx < kProtocols);
+  return *kRegistry[idx];
+}
+
+const Collective* find_collective(std::string_view name) {
+  for (const Collective* c : kRegistry)
+    if (c->name() == name) return c;
+  return nullptr;
+}
+
+std::vector<std::string_view> collective_names() {
+  std::vector<std::string_view> names;
+  names.reserve(kProtocols);
+  for (const Collective* c : kRegistry) names.push_back(c->name());
+  return names;
+}
+
+}  // namespace comdml::comm

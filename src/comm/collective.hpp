@@ -1,0 +1,76 @@
+// Transport-generic collectives (one implementation per protocol family).
+//
+// Each protocol the repo models — decentralized AllReduce (§IV-B, ring and
+// recursive halving/doubling), gossip exchange (Hegedus et al. [11]), and
+// the central parameter-server round (FedAvg/FedProx baselines) — is
+// written exactly once against comm::Transport. Run it over a SimTransport
+// and you get the analytic cost (seconds / steps / bytes per agent); run
+// the identical schedule over an InProcTransport with real buffers and the
+// payloads move too. Predicted and executed traffic are the same code
+// path, so the old per-protocol cost-vs-trace checks collapse into one
+// parity test per protocol (tests/transport_test.cpp).
+//
+// Protocols are looked up through a small registry (by Protocol enum or by
+// name) so fleets, benches, and future backends select collectives as
+// interchangeable strategies instead of hard-coding free functions.
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "comm/transport.hpp"
+
+namespace comdml::comm {
+
+enum class Protocol {
+  kRingAllReduce,
+  kHalvingDoublingAllReduce,
+  kGossip,
+  kParamServer,
+};
+
+/// One collective invocation over a transport.
+struct CollectiveRequest {
+  /// Per-agent payload size in fp32 wire elements.
+  int64_t elems = 0;
+  /// One fp64 buffer of `elems` per agent endpoint; empty for timing-only
+  /// runs (the schedule and accounting are identical either way).
+  std::vector<double*> buffers;
+  /// Aggregation weights parallel to `participants` (param-server;
+  /// empty = uniform).
+  std::vector<double> weights;
+  /// Selected agents (param-server; empty = every agent endpoint).
+  std::vector<int64_t> participants;
+  /// Randomness for randomized protocols (gossip partner draw). The draw
+  /// sequence is identical with and without buffers, so a timing-only run
+  /// with an equally-seeded Rng predicts the executed schedule exactly.
+  tensor::Rng* rng = nullptr;
+};
+
+struct CollectiveReport {
+  /// Accounting snapshot of the transport after the run.
+  TransportStats transport;
+  /// Chosen partner per agent (gossip only; empty otherwise).
+  std::vector<std::optional<int64_t>> partners;
+};
+
+class Collective {
+ public:
+  virtual ~Collective() = default;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  virtual CollectiveReport run(Transport& transport,
+                               const CollectiveRequest& request) const = 0;
+};
+
+/// Registry lookup by enum (always succeeds).
+[[nodiscard]] const Collective& collective(Protocol protocol);
+
+/// Registry lookup by name ("ring_allreduce", "halving_doubling_allreduce",
+/// "gossip", "param_server"); nullptr when unknown.
+[[nodiscard]] const Collective* find_collective(std::string_view name);
+
+/// Registered protocol names, registry order.
+[[nodiscard]] std::vector<std::string_view> collective_names();
+
+}  // namespace comdml::comm

@@ -1,9 +1,31 @@
 #include "comm/gossip.hpp"
 
 #include "comm/allreduce.hpp"
-#include "tensor/ops.hpp"
+#include "core/workspace.hpp"
 
 namespace comdml::comm {
+
+namespace {
+
+/// Per-agent push time of `model_bytes` over each agent's chosen link.
+/// (Kept on `model_bytes` rather than the executed wire bytes so the
+/// historical timing semantics of the shims survive: fleets pass the full
+/// serialized model size here.)
+std::vector<double> partner_times(
+    const Topology& topology,
+    const std::vector<std::optional<int64_t>>& partners,
+    int64_t model_bytes) {
+  std::vector<double> times(partners.size(), 0.0);
+  for (size_t i = 0; i < partners.size(); ++i) {
+    if (!partners[i]) continue;
+    times[i] = transfer_seconds(
+        model_bytes,
+        topology.bandwidth_mbps(static_cast<int64_t>(i), *partners[i]));
+  }
+  return times;
+}
+
+}  // namespace
 
 std::vector<std::optional<int64_t>> gossip_partners(const Topology& topology,
                                                     Rng& rng) {
@@ -22,51 +44,35 @@ std::vector<double> gossip_exchange(std::vector<std::vector<Tensor>>& states,
                                     const Topology& topology,
                                     int64_t model_bytes, Rng& rng) {
   COMDML_CHECK(static_cast<int64_t>(states.size()) == topology.agents());
-  const auto partners = gossip_partners(topology, rng);
   const size_t k = states.size();
+  const int64_t n = state_elems(states[0]);
+  core::Scratch<double> slab(static_cast<int64_t>(k) * n);
 
-  // Collect pushes first so all sends use the round-start states.
-  std::vector<std::vector<const std::vector<Tensor>*>> inbox(k);
-  std::vector<double> times(k, 0.0);
-  const auto snapshot = states;  // round-start copies
-  for (size_t i = 0; i < k; ++i) {
-    if (!partners[i]) continue;
-    const auto dst = static_cast<size_t>(*partners[i]);
-    inbox[dst].push_back(&snapshot[i]);
-    times[i] = transfer_seconds(
-        model_bytes,
-        topology.bandwidth_mbps(static_cast<int64_t>(i), *partners[i]));
+  InProcTransport transport(LinkGrid::from_topology(topology));
+  CollectiveRequest req;
+  req.elems = n;
+  req.rng = &rng;
+  req.buffers.resize(k);
+  for (size_t a = 0; a < k; ++a) {
+    req.buffers[a] = slab.data() + static_cast<int64_t>(a) * n;
+    flatten_state(states[a], req.buffers[a]);
   }
-  for (size_t i = 0; i < k; ++i) {
-    if (inbox[i].empty()) continue;
-    if (inbox[i].size() == 1) {
-      // Single pusher (the common random-matching case): merge in place
-      // with the fused kernel. Bit-identical to mean_state of the pair
-      // (0.5*y + 0.5*x either way) without allocating a merged state.
-      const auto& other = *inbox[i][0];
-      for (size_t t = 0; t < states[i].size(); ++t)
-        tensor::scale_add_inplace(states[i][t], 0.5f, 0.5f, other[t]);
-      continue;
-    }
-    std::vector<std::vector<Tensor>> group;
-    group.push_back(snapshot[i]);
-    for (const auto* s : inbox[i]) group.push_back(*s);
-    states[i] = mean_state(group);
-  }
-  return times;
+  const CollectiveReport rep =
+      collective(Protocol::kGossip).run(transport, req);
+  for (size_t a = 0; a < k; ++a)
+    unflatten_state(req.buffers[a], states[a]);
+  return partner_times(topology, rep.partners, model_bytes);
 }
 
 std::vector<double> gossip_exchange_cost(const Topology& topology,
                                          int64_t model_bytes, Rng& rng) {
-  const auto partners = gossip_partners(topology, rng);
-  std::vector<double> times(static_cast<size_t>(topology.agents()), 0.0);
-  for (size_t i = 0; i < times.size(); ++i) {
-    if (!partners[i]) continue;
-    times[i] = transfer_seconds(
-        model_bytes,
-        topology.bandwidth_mbps(static_cast<int64_t>(i), *partners[i]));
-  }
-  return times;
+  SimTransport transport(LinkGrid::from_topology(topology));
+  CollectiveRequest req;
+  req.elems = fp32_wire_elems(model_bytes);
+  req.rng = &rng;
+  const CollectiveReport rep =
+      collective(Protocol::kGossip).run(transport, req);
+  return partner_times(topology, rep.partners, model_bytes);
 }
 
 }  // namespace comdml::comm

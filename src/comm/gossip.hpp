@@ -1,10 +1,15 @@
 // Gossip model exchange (Hegedus et al. [11]): each agent sends its model to
 // one randomly chosen neighbor per round and averages what it receives.
+//
+// The protocol itself lives in comm/collective.hpp ("gossip") and runs over
+// any comm::Transport; these wrappers keep the historical topology/tensor
+// signatures used by fleets and tests.
 #pragma once
 
 #include <optional>
 #include <vector>
 
+#include "comm/collective.hpp"
 #include "comm/link.hpp"
 #include "sim/topology.hpp"
 #include "tensor/tensor.hpp"
@@ -20,13 +25,15 @@ using tensor::Tensor;
     const Topology& topology, Rng& rng);
 
 /// One gossip round on real states: agent i's new state is the average of
-/// its own state and every state pushed to it this round. Returns per-agent
-/// exchange time (model push over the chosen link).
+/// its own state and every state pushed to it this round, executed over an
+/// InProcTransport on the topology's per-edge links. Returns per-agent
+/// exchange time (one `model_bytes` push over the chosen link).
 std::vector<double> gossip_exchange(std::vector<std::vector<Tensor>>& states,
                                     const Topology& topology,
                                     int64_t model_bytes, Rng& rng);
 
-/// Timing-only variant (used by the paper-scale simulator).
+/// Timing-only variant (used by the paper-scale simulator): the identical
+/// schedule over a SimTransport.
 [[nodiscard]] std::vector<double> gossip_exchange_cost(
     const Topology& topology, int64_t model_bytes, Rng& rng);
 

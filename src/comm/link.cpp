@@ -1,5 +1,7 @@
 #include "comm/link.hpp"
 
+#include <limits>
+
 namespace comdml::comm {
 
 double bytes_per_sec(double mbps) {
@@ -11,6 +13,21 @@ double transfer_seconds(int64_t bytes, double mbps, double latency_sec) {
   COMDML_CHECK(bytes >= 0);
   COMDML_CHECK(latency_sec >= 0.0);
   return latency_sec + static_cast<double>(bytes) / bytes_per_sec(mbps);
+}
+
+int64_t fp32_wire_bytes(int64_t elems) {
+  COMDML_CHECK(elems >= 0);
+  constexpr auto kBytes = static_cast<int64_t>(sizeof(float));
+  COMDML_REQUIRE(elems <= std::numeric_limits<int64_t>::max() / kBytes,
+                 "payload of " << elems << " fp32 elements overflows the "
+                               << "byte counter");
+  return elems * kBytes;
+}
+
+int64_t fp32_wire_elems(int64_t bytes) {
+  COMDML_CHECK(bytes >= 0);
+  constexpr auto kBytes = static_cast<int64_t>(sizeof(float));
+  return bytes / kBytes + (bytes % kBytes != 0 ? 1 : 0);
 }
 
 }  // namespace comdml::comm

@@ -11,11 +11,21 @@ namespace comdml::comm {
 inline constexpr double kDefaultLatencySec = 5e-3;
 
 /// Seconds to move `bytes` over a `mbps` link: latency + bytes*8 / (mbps*1e6).
-/// Throws if the link is unusable (mbps <= 0).
+/// Zero-byte messages still pay the latency term (a handshake crosses the
+/// wire even when no payload does). The payload term is computed entirely
+/// in double precision, so multi-GB (up to INT64_MAX-byte) payloads are
+/// overflow-safe. Throws if the link is unusable (mbps <= 0).
 [[nodiscard]] double transfer_seconds(int64_t bytes, double mbps,
                                       double latency_sec = kDefaultLatencySec);
 
 /// Sustainable bytes/sec of a link (no latency term).
 [[nodiscard]] double bytes_per_sec(double mbps);
+
+/// Wire bytes of `elems` fp32 values, with an explicit overflow guard for
+/// absurdly large element counts (throws instead of wrapping).
+[[nodiscard]] int64_t fp32_wire_bytes(int64_t elems);
+
+/// fp32 wire elements covering `bytes` payload bytes (rounds up).
+[[nodiscard]] int64_t fp32_wire_elems(int64_t bytes);
 
 }  // namespace comdml::comm

@@ -4,27 +4,39 @@
 
 namespace comdml::comm {
 
-std::vector<double> server_round_times(
-    const std::vector<sim::ResourceProfile>& profiles,
-    const std::vector<int64_t>& selected, int64_t model_bytes,
-    const ParamServerConfig& config) {
+LinkGrid param_server_grid(const std::vector<sim::ResourceProfile>& profiles,
+                           const std::vector<int64_t>& selected,
+                           const ParamServerConfig& config) {
   COMDML_CHECK(!selected.empty());
   COMDML_CHECK(config.server_mbps > 0.0);
   const double share =
       config.server_mbps / static_cast<double>(selected.size());
-  std::vector<double> times;
-  times.reserve(selected.size());
+  std::vector<double> rates(profiles.size(), 0.0);
   for (const int64_t idx : selected) {
-    COMDML_CHECK(idx >= 0 &&
-                 idx < static_cast<int64_t>(profiles.size()));
+    COMDML_CHECK(idx >= 0 && idx < static_cast<int64_t>(profiles.size()));
     const auto& p = profiles[static_cast<size_t>(idx)];
     COMDML_REQUIRE(p.connected(), "selected agent " << idx
                                                     << " has no uplink");
-    const double rate = std::min(p.mbps, share);
-    // Download + upload of the full model.
-    times.push_back(2.0 *
-                    transfer_seconds(model_bytes, rate, config.latency_sec));
+    rates[static_cast<size_t>(idx)] = std::min(p.mbps, share);
   }
+  return LinkGrid::star(rates, config.latency_sec);
+}
+
+std::vector<double> server_round_times(
+    const std::vector<sim::ResourceProfile>& profiles,
+    const std::vector<int64_t>& selected, int64_t model_bytes,
+    const ParamServerConfig& config) {
+  SimTransport transport(param_server_grid(profiles, selected, config));
+  CollectiveRequest req;
+  req.elems = fp32_wire_elems(model_bytes);
+  req.participants = selected;
+  (void)collective(Protocol::kParamServer).run(transport, req);
+  const TransportStats& stats = transport.stats();
+  std::vector<double> times;
+  times.reserve(selected.size());
+  for (const int64_t idx : selected)
+    times.push_back(stats.send_seconds[static_cast<size_t>(idx)] +
+                    stats.recv_seconds[static_cast<size_t>(idx)]);
   return times;
 }
 

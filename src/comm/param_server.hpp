@@ -1,14 +1,19 @@
-// Central parameter-server communication cost (FedAvg / FedProx baselines).
+// Central parameter-server communication (FedAvg / FedProx baselines).
 //
 // Each selected agent downloads the global model and uploads its update
 // through its own access link; the server's aggregate bandwidth is shared
 // across concurrent transfers, which is exactly the central-bottleneck
 // effect the paper attributes to server-based FL (§V-B-2).
+//
+// The round itself is the "param_server" protocol of comm/collective.hpp
+// run over a star LinkGrid whose agent<->server edges already carry the
+// min(link, server_share) effective rate.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "comm/collective.hpp"
 #include "comm/link.hpp"
 #include "sim/resources.hpp"
 
@@ -19,8 +24,16 @@ struct ParamServerConfig {
   double latency_sec = kDefaultLatencySec;
 };
 
-/// Per-agent down+up time for the selected agents; the effective rate of
-/// agent i is min(link_i, server_mbps / #selected).
+/// Star grid for one server round: endpoints 0..K-1 are the agents,
+/// endpoint K the server; agent i's edge runs at
+/// min(link_i, server_mbps / #selected). Throws if a selected agent has
+/// no uplink.
+[[nodiscard]] LinkGrid param_server_grid(
+    const std::vector<sim::ResourceProfile>& profiles,
+    const std::vector<int64_t>& selected, const ParamServerConfig& config = {});
+
+/// Per-agent down+up time for the selected agents (SimTransport run of the
+/// real round schedule).
 [[nodiscard]] std::vector<double> server_round_times(
     const std::vector<sim::ResourceProfile>& profiles,
     const std::vector<int64_t>& selected, int64_t model_bytes,

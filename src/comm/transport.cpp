@@ -1,0 +1,255 @@
+#include "comm/transport.hpp"
+
+#include <algorithm>
+
+#include "comm/compress.hpp"
+#include "tensor/tensor.hpp"
+
+namespace comdml::comm {
+
+// ---- LinkGrid ---------------------------------------------------------------
+
+LinkGrid::LinkGrid(int64_t n, LinkModel fill)
+    : n_(n), links_(static_cast<size_t>(n * n), fill) {
+  COMDML_CHECK(n > 0);
+  for (int64_t i = 0; i < n_; ++i)
+    link(i, i) = LinkModel{0.0, fill.latency_sec};  // no self-links
+}
+
+LinkGrid LinkGrid::uniform(int64_t endpoints, double mbps,
+                           double latency_sec) {
+  COMDML_REQUIRE(mbps > 0.0, "unusable uniform link: " << mbps << " Mbps");
+  COMDML_CHECK(latency_sec >= 0.0);
+  return LinkGrid(endpoints, LinkModel{mbps, latency_sec});
+}
+
+LinkGrid LinkGrid::from_topology(const sim::Topology& topology,
+                                 double latency_sec) {
+  COMDML_CHECK(latency_sec >= 0.0);
+  LinkGrid grid(topology.agents(), LinkModel{0.0, latency_sec});
+  for (int64_t i = 0; i < topology.agents(); ++i)
+    for (int64_t j = 0; j < topology.agents(); ++j)
+      if (i != j)
+        grid.link(i, j) =
+            LinkModel{topology.bandwidth_mbps(i, j), latency_sec};
+  return grid;
+}
+
+LinkGrid LinkGrid::star(const std::vector<double>& agent_mbps,
+                        double latency_sec) {
+  COMDML_CHECK(!agent_mbps.empty());
+  COMDML_CHECK(latency_sec >= 0.0);
+  const auto k = static_cast<int64_t>(agent_mbps.size());
+  LinkGrid grid(k + 1, LinkModel{0.0, latency_sec});
+  for (int64_t i = 0; i < k; ++i) {
+    const LinkModel l{agent_mbps[static_cast<size_t>(i)], latency_sec};
+    grid.link(i, k) = l;
+    grid.link(k, i) = l;
+  }
+  return grid;
+}
+
+const LinkModel& LinkGrid::link(int64_t src, int64_t dst) const {
+  COMDML_CHECK(src >= 0 && src < n_ && dst >= 0 && dst < n_);
+  return links_[static_cast<size_t>(src * n_ + dst)];
+}
+
+LinkModel& LinkGrid::link(int64_t src, int64_t dst) {
+  COMDML_CHECK(src >= 0 && src < n_ && dst >= 0 && dst < n_);
+  return links_[static_cast<size_t>(src * n_ + dst)];
+}
+
+// ---- codecs -----------------------------------------------------------------
+
+namespace {
+
+class IdentityCodec final : public Codec {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "fp32"; }
+  [[nodiscard]] int64_t wire_bytes(int64_t elems,
+                                   const double* /*data*/) const override {
+    return fp32_wire_bytes(elems);
+  }
+};
+
+}  // namespace
+
+const Codec& identity_codec() {
+  static const IdentityCodec codec;
+  return codec;
+}
+
+QuantizingCodec::QuantizingCodec(double assumed_ratio)
+    : assumed_ratio_(assumed_ratio) {
+  COMDML_CHECK(assumed_ratio > 0.0);
+}
+
+int64_t QuantizingCodec::wire_bytes(int64_t elems,
+                                    const double* data) const {
+  if (data == nullptr) {
+    // Timing-only message: the analytic ratio the timing model assumes.
+    const double raw = static_cast<double>(elems) * sizeof(float);
+    return static_cast<int64_t>(raw / assumed_ratio_);
+  }
+  tensor::Tensor t({elems});
+  auto flat = t.flat();
+  for (int64_t i = 0; i < elems; ++i)
+    flat[static_cast<size_t>(i)] = static_cast<float>(data[i]);
+  return compress_activations(t).wire_bytes();
+}
+
+void QuantizingCodec::transform(double* data, int64_t elems) const {
+  (void)encode(data, elems);
+}
+
+int64_t QuantizingCodec::encode(double* data, int64_t elems) const {
+  if (elems == 0) return 0;
+  tensor::Tensor t({elems});
+  auto flat = t.flat();
+  for (int64_t i = 0; i < elems; ++i)
+    flat[static_cast<size_t>(i)] = static_cast<float>(data[i]);
+  // One compression pass yields both the measured wire size and the lossy
+  // round trip.
+  const CompressedActivations c = compress_activations(t);
+  const tensor::Tensor rt = decompress_activations(c);
+  const auto out = rt.flat();
+  for (int64_t i = 0; i < elems; ++i)
+    data[i] = static_cast<double>(out[static_cast<size_t>(i)]);
+  return c.wire_bytes();
+}
+
+// ---- TransportStats ---------------------------------------------------------
+
+int64_t TransportStats::max_bytes_sent() const {
+  int64_t best = 0;
+  for (const int64_t b : bytes_sent) best = std::max(best, b);
+  return best;
+}
+
+double TransportStats::mean_bytes_sent() const {
+  if (bytes_sent.empty()) return 0.0;
+  double total = 0.0;
+  for (const int64_t b : bytes_sent) total += static_cast<double>(b);
+  return total / static_cast<double>(bytes_sent.size());
+}
+
+// ---- Transport --------------------------------------------------------------
+
+Transport::Transport(LinkGrid grid, const Codec* codec, FaultPlan faults)
+    : grid_(std::move(grid)),
+      codec_(codec != nullptr ? codec : &identity_codec()),
+      faults_(faults),
+      fault_rng_(faults.seed),
+      mailboxes_(static_cast<size_t>(grid_.endpoints())) {
+  COMDML_CHECK(faults_.drop_prob >= 0.0 && faults_.drop_prob <= 1.0);
+  const auto n = static_cast<size_t>(grid_.endpoints());
+  stats_.bytes_sent.assign(n, 0);
+  stats_.bytes_received.assign(n, 0);
+  stats_.send_seconds.assign(n, 0.0);
+  stats_.recv_seconds.assign(n, 0.0);
+}
+
+std::vector<int64_t> Transport::neighbors(int64_t i) const {
+  COMDML_CHECK(i >= 0 && i < endpoints());
+  std::vector<int64_t> out;
+  for (int64_t j = 0; j < endpoints(); ++j)
+    if (j != i && linked(i, j)) out.push_back(j);
+  return out;
+}
+
+void Transport::send(int64_t src, int64_t dst, int64_t elems,
+                     const double* data) {
+  COMDML_CHECK(elems >= 0);
+  COMDML_CHECK(src != dst);
+  const LinkModel& link = grid_.link(src, dst);
+  COMDML_REQUIRE(link.usable(),
+                 "send over unusable link " << src << " -> " << dst);
+  // Payload-moving sends encode the copy once (measure + lossy round trip
+  // in one codec pass); timing-only sends just measure.
+  std::vector<double> payload;
+  int64_t wire = 0;
+  if (delivers_payload() && data != nullptr && elems > 0) {
+    payload.assign(data, data + elems);
+    wire = codec_->encode(payload.data(), elems);
+  } else {
+    wire = codec_->wire_bytes(elems, data);
+  }
+  const double span = transfer_seconds(wire, link.mbps, link.latency_sec);
+
+  std::lock_guard<std::mutex> guard(mutex_);
+  ++stats_.messages;
+  ++step_messages_;
+  stats_.total_wire_bytes += wire;
+  stats_.bytes_sent[static_cast<size_t>(src)] += wire;
+  stats_.send_seconds[static_cast<size_t>(src)] += span;
+  step_span_ = std::max(step_span_, span);
+
+  const bool dropped =
+      faults_.drop_prob > 0.0 &&
+      static_cast<double>(fault_rng_.uniform()) < faults_.drop_prob;
+  if (dropped) {
+    ++stats_.dropped_messages;
+    return;  // the sender's link was busy, but nothing arrives
+  }
+  stats_.bytes_received[static_cast<size_t>(dst)] += wire;
+  stats_.recv_seconds[static_cast<size_t>(dst)] += span;
+
+  Message msg;
+  msg.src = src;
+  msg.dst = dst;
+  msg.elems = elems;
+  msg.wire_bytes = wire;
+  msg.payload = std::move(payload);
+  mailboxes_[static_cast<size_t>(dst)].push_back(std::move(msg));
+}
+
+Message Transport::recv(int64_t dst, int64_t src) {
+  COMDML_CHECK(dst >= 0 && dst < endpoints());
+  std::lock_guard<std::mutex> guard(mutex_);
+  auto& box = mailboxes_[static_cast<size_t>(dst)];
+  for (auto it = box.begin(); it != box.end(); ++it) {
+    if (it->src != src) continue;
+    Message msg = std::move(*it);
+    box.erase(it);
+    return msg;
+  }
+  COMDML_REQUIRE(false, "no in-flight message " << src << " -> " << dst
+                                                << " (schedule bug, or a "
+                                                   "dropped message under "
+                                                   "fault injection)");
+  return {};
+}
+
+std::optional<Message> Transport::try_recv(int64_t dst) {
+  COMDML_CHECK(dst >= 0 && dst < endpoints());
+  std::lock_guard<std::mutex> guard(mutex_);
+  auto& box = mailboxes_[static_cast<size_t>(dst)];
+  if (box.empty()) return std::nullopt;
+  Message msg = std::move(box.front());
+  box.pop_front();
+  return msg;
+}
+
+void Transport::end_step() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  if (step_messages_ == 0) return;
+  ++stats_.steps;
+  stats_.seconds += step_span_;
+  step_span_ = 0.0;
+  step_messages_ = 0;
+}
+
+void Transport::reset() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  const auto n = static_cast<size_t>(grid_.endpoints());
+  stats_ = TransportStats{};
+  stats_.bytes_sent.assign(n, 0);
+  stats_.bytes_received.assign(n, 0);
+  stats_.send_seconds.assign(n, 0.0);
+  stats_.recv_seconds.assign(n, 0.0);
+  step_span_ = 0.0;
+  step_messages_ = 0;
+  for (auto& box : mailboxes_) box.clear();
+}
+
+}  // namespace comdml::comm

@@ -1,0 +1,263 @@
+// Message-level communication substrate (the seam under every collective).
+//
+// The paper's claim is byte-level accounting of *every* protocol family —
+// pairwise offloading, decentralized AllReduce (§IV-B), gossip, and the
+// parameter-server baselines. Historically each protocol carried its own
+// analytic cost function next to an ad-hoc real implementation; this header
+// replaces that N-times pattern with one transport:
+//
+//   Collective (ring / halving-doubling / gossip / param-server)
+//        |  send(src, dst, elems [, payload]) / recv / end_step
+//        v
+//   Transport  — per-edge LinkModel, byte/step/latency accounting,
+//                optional per-message Codec, fault injection
+//        |                |
+//   SimTransport     InProcTransport
+//   (timing-only)    (moves real payloads, thread-safe)
+//
+// Both transports share one accounting core, so a protocol written once
+// against this interface yields *identical* predicted (SimTransport) and
+// executed (InProcTransport) traffic — the cost-vs-trace parity the tests
+// used to re-derive per protocol now holds by construction and is checked
+// once per protocol in tests/transport_test.cpp.
+//
+// Wire format: payload elements are fp32 on the wire (elems * 4 bytes
+// through the default codec); in-process math keeps fp64 accumulators, the
+// same precision split the original AllReduce executor used.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "comm/link.hpp"
+#include "sim/topology.hpp"
+#include "tensor/random.hpp"
+
+namespace comdml::comm {
+
+/// One directed edge of the transport graph.
+struct LinkModel {
+  double mbps = 0.0;  ///< sustainable rate; 0 = no link
+  double latency_sec = kDefaultLatencySec;
+
+  [[nodiscard]] bool usable() const noexcept { return mbps > 0.0; }
+};
+
+/// Dense per-edge link table over `endpoints()` communication endpoints
+/// (agents, plus optionally a virtual server node).
+class LinkGrid {
+ public:
+  /// All-to-all links at one rate (collectives routed through an overlay
+  /// at the bottleneck rate — the seed cost models' assumption).
+  [[nodiscard]] static LinkGrid uniform(
+      int64_t endpoints, double mbps,
+      double latency_sec = kDefaultLatencySec);
+
+  /// Per-edge bandwidths of a peer-to-peer topology (absent edges and
+  /// disconnected endpoints become unusable links).
+  [[nodiscard]] static LinkGrid from_topology(
+      const sim::Topology& topology,
+      double latency_sec = kDefaultLatencySec);
+
+  /// Star: endpoints 0..K-1 are agents, endpoint K (== `server_rank()`)
+  /// is a central server reachable at `agent_mbps[i]` from agent i.
+  [[nodiscard]] static LinkGrid star(const std::vector<double>& agent_mbps,
+                                     double latency_sec = kDefaultLatencySec);
+
+  [[nodiscard]] int64_t endpoints() const noexcept { return n_; }
+  [[nodiscard]] int64_t server_rank() const noexcept { return n_ - 1; }
+
+  [[nodiscard]] const LinkModel& link(int64_t src, int64_t dst) const;
+  /// Mutable per-edge access (lossy/per-edge-bandwidth scenarios).
+  [[nodiscard]] LinkModel& link(int64_t src, int64_t dst);
+
+ private:
+  LinkGrid(int64_t n, LinkModel fill);
+
+  int64_t n_ = 0;
+  std::vector<LinkModel> links_;  // n_ * n_, row-major [src][dst]
+};
+
+/// Per-message wire codec. `wire_bytes` must return the same value for a
+/// timing-only message (`data == nullptr`) as its analytic estimate, so
+/// simulated and executed traffic stay comparable; `transform` applies the
+/// lossy round trip to delivered payloads.
+class Codec {
+ public:
+  virtual ~Codec() = default;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  [[nodiscard]] virtual int64_t wire_bytes(int64_t elems,
+                                           const double* data) const = 0;
+  virtual void transform(double* /*data*/, int64_t /*elems*/) const {}
+  /// One-pass encode for delivered payloads: applies the lossy round trip
+  /// in place and returns the wire bytes. The default composes
+  /// wire_bytes + transform; compressing codecs override it so a send
+  /// compresses each payload once, not twice.
+  [[nodiscard]] virtual int64_t encode(double* data, int64_t elems) const {
+    const int64_t wire = wire_bytes(elems, data);
+    transform(data, elems);
+    return wire;
+  }
+};
+
+/// fp32 on the wire, lossless in fp64 accumulators: elems * 4 bytes.
+[[nodiscard]] const Codec& identity_codec();
+
+/// Sparse int8 wire codec over comm/compress.hpp (presence bitmask +
+/// affine-quantized magnitudes). Intended for non-negative payloads
+/// (post-ReLU activations); negative values quantize to zero. With a real
+/// payload it measures the achieved wire bytes and applies the lossy round
+/// trip; timing-only messages are charged elems*4 / `assumed_ratio`.
+class QuantizingCodec final : public Codec {
+ public:
+  explicit QuantizingCodec(double assumed_ratio = 6.4);
+
+  [[nodiscard]] std::string_view name() const override {
+    return "int8-sparse";
+  }
+  [[nodiscard]] int64_t wire_bytes(int64_t elems,
+                                   const double* data) const override;
+  void transform(double* data, int64_t elems) const override;
+  [[nodiscard]] int64_t encode(double* data, int64_t elems) const override;
+
+ private:
+  double assumed_ratio_;
+};
+
+/// Message-loss injection: each message is dropped independently with
+/// `drop_prob` from a deterministic per-transport stream. Dropped messages
+/// still occupy the sender's link (the bytes were transmitted) but are
+/// never delivered. Lossy transports suit best-effort protocols (gossip,
+/// param-server retries); the stepped AllReduce schedules assume lossless
+/// delivery and throw on the missing matched receive.
+struct FaultPlan {
+  double drop_prob = 0.0;
+  uint64_t seed = 0;
+};
+
+/// One in-flight (or delivered) message.
+struct Message {
+  int64_t src = -1;
+  int64_t dst = -1;
+  int64_t elems = 0;       ///< fp32 values on the wire
+  int64_t wire_bytes = 0;  ///< after the codec
+  std::vector<double> payload;  ///< empty on timing-only transports
+
+  [[nodiscard]] bool has_payload() const noexcept { return !payload.empty(); }
+};
+
+/// Byte/step/latency accounting shared by every transport.
+struct TransportStats {
+  int64_t steps = 0;     ///< synchronous steps closed by end_step()
+  int64_t messages = 0;
+  int64_t dropped_messages = 0;
+  int64_t total_wire_bytes = 0;
+  /// Modeled wall clock: sum over steps of the slowest transfer in the
+  /// step (messages within a step run concurrently).
+  double seconds = 0.0;
+  std::vector<int64_t> bytes_sent;      ///< per endpoint
+  std::vector<int64_t> bytes_received;  ///< per endpoint (delivered only)
+  std::vector<double> send_seconds;     ///< per endpoint, own sends
+  std::vector<double> recv_seconds;     ///< per endpoint, delivered inbound
+
+  [[nodiscard]] int64_t max_bytes_sent() const;
+  [[nodiscard]] double mean_bytes_sent() const;
+};
+
+/// Message-level transport. Thread-safe: send/recv/try_recv/end_step may be
+/// called concurrently (collectives run single-threaded today, but the
+/// fleet's concurrent per-agent rounds may drive point-to-point traffic).
+class Transport {
+ public:
+  /// `codec` is borrowed (nullptr = identity) and must outlive the
+  /// transport.
+  explicit Transport(LinkGrid grid, const Codec* codec = nullptr,
+                     FaultPlan faults = {});
+  virtual ~Transport() = default;
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  [[nodiscard]] int64_t endpoints() const noexcept {
+    return grid_.endpoints();
+  }
+  [[nodiscard]] const LinkGrid& grid() const noexcept { return grid_; }
+  [[nodiscard]] bool linked(int64_t src, int64_t dst) const {
+    return grid_.link(src, dst).usable();
+  }
+  /// Endpoints with a usable outbound link from `i`, ascending.
+  [[nodiscard]] std::vector<int64_t> neighbors(int64_t i) const;
+
+  /// Post `elems` fp32-wire values from src to dst. `data` (fp64, length
+  /// `elems`) may be null for timing-only traffic; payload-moving
+  /// transports copy it through the codec. Zero-element messages are legal
+  /// and still pay the link latency. Throws on an unusable link.
+  void send(int64_t src, int64_t dst, int64_t elems,
+            const double* data = nullptr);
+
+  /// Matched receive: the oldest in-flight message src -> dst. Throws if
+  /// none is pending (a protocol schedule bug, or a dropped message under
+  /// fault injection).
+  [[nodiscard]] Message recv(int64_t dst, int64_t src);
+
+  /// Any-source receive in arrival order; nullopt when dst's mailbox is
+  /// empty. Used by protocols with data-dependent fan-in (gossip).
+  [[nodiscard]] std::optional<Message> try_recv(int64_t dst);
+
+  /// Close a synchronous step: everything posted since the last end_step
+  /// ran concurrently, so the modeled clock advances by the span of the
+  /// slowest message. A step with no traffic is not counted.
+  void end_step();
+
+  /// Accounting snapshot. Not synchronized against concurrent sends; read
+  /// it from the coordinating thread between phases.
+  [[nodiscard]] const TransportStats& stats() const noexcept {
+    return stats_;
+  }
+  void reset();
+
+ protected:
+  /// Payload-moving transports return true; timing-only ones false.
+  [[nodiscard]] virtual bool delivers_payload() const noexcept = 0;
+
+ private:
+  LinkGrid grid_;
+  const Codec* codec_;  // never null after construction
+  FaultPlan faults_;
+  tensor::Rng fault_rng_;
+  TransportStats stats_;
+  double step_span_ = 0.0;
+  int64_t step_messages_ = 0;
+  std::vector<std::deque<Message>> mailboxes_;  // per dst, arrival order
+  mutable std::mutex mutex_;
+};
+
+/// Analytic clock only: accounts every byte/step/second of the schedule,
+/// never moves data. This is the cost model that used to be scattered
+/// across `allreduce_cost`, `gossip_exchange_cost`, `server_round_times`.
+class SimTransport final : public Transport {
+ public:
+  using Transport::Transport;
+
+ protected:
+  [[nodiscard]] bool delivers_payload() const noexcept override {
+    return false;
+  }
+};
+
+/// Moves real payloads between in-process agents through per-destination
+/// mailboxes while keeping the exact same accounting as SimTransport.
+class InProcTransport final : public Transport {
+ public:
+  using Transport::Transport;
+
+ protected:
+  [[nodiscard]] bool delivers_payload() const noexcept override {
+    return true;
+  }
+};
+
+}  // namespace comdml::comm

@@ -5,9 +5,14 @@
 
 #include "comm/allreduce.hpp"
 #include "learncurve/curves.hpp"
+#include "nn/optimizer.hpp"
 
 namespace comdml::core {
 
+/// Flat paper-scale simulation config (historical). New code should build
+/// fleets through core::FleetBuilder with the layered FleetOptions below;
+/// this struct survives as the internal currency of SimulatedFleet /
+/// BaselineFleet and for the benches that predate the facade.
 struct FleetConfig {
   int64_t agents = 10;
   int64_t batch_size = 100;  ///< paper: local batch size 100
@@ -26,6 +31,10 @@ struct FleetConfig {
   /// parameters always travel uncompressed.
   double activation_compression = 8.0;
   comm::AllReduceAlgo aggregation = comm::AllReduceAlgo::kHalvingDoubling;
+  /// Aggregate server bandwidth for parameter-server methods (shared
+  /// across concurrent transfers) and the per-message link latency.
+  double server_mbps = 1000.0;
+  double latency_sec = comm::kDefaultLatencySec;
   learncurve::PrivacyTechnique privacy = learncurve::PrivacyTechnique::kNone;
   /// Per-round probability that a sampled agent fails before training
   /// (device churn). Failed agents skip the round; the fleet re-pairs among
@@ -33,6 +42,101 @@ struct FleetConfig {
   /// -failure claim as an executable property.
   double agent_dropout = 0.0;
   uint64_t seed = 42;
+};
+
+/// Layered options for every fleet the repo can run — the one structure
+/// behind core::FleetBuilder, core::RealFleet, and
+/// baselines::RealBaselineFleet (whose Options types alias this). It
+/// replaces the three drifted copies of the SGD/batch/seed fields that
+/// used to live in FleetConfig, RealFleet::Options and
+/// RealBaselineFleet::Options.
+///
+/// Defaults suit the real-execution fleets (small models, short rounds);
+/// `paper_defaults()` switches the training geometry to the paper-scale
+/// simulation values (batch 100, seed 42).
+struct FleetOptions {
+  uint64_t seed = 7;
+
+  /// Local-training knobs (real-execution fleets; `batch_size` also drives
+  /// the simulated batch-level schedule).
+  struct TrainOptions {
+    int64_t batch_size = 16;
+    /// Mini-batches each agent trains per round (keeps tests fast while
+    /// the timing model still uses full shard sizes).
+    int64_t batches_per_round = 4;
+    nn::SGD::Options sgd{0.05f, 0.9f, 0.0f};
+    /// FedProx proximal coefficient (used when method == kFedProx).
+    float prox_mu = 0.01f;
+    /// Plateau LR schedule (the paper reduces LR by 0.2/0.5 when accuracy
+    /// plateaus). 0 disables; otherwise the LR is multiplied by this
+    /// factor when the fleet loss stops improving for `plateau_patience`
+    /// rounds.
+    float plateau_factor = 0.0f;
+    int plateau_patience = 5;
+    /// Reference FLOP/s of a cpu=1.0 agent for the *simulated clock* of
+    /// real-execution fleets. Deliberately small: real-mode models are
+    /// tiny, and the paper's offloading regime (compute >> per-batch comm)
+    /// only appears when the simulated compute time is scaled to match.
+    double reference_flops = 1e6;
+  } train;
+
+  /// Communication-substrate knobs (transport + collectives).
+  struct CommOptions {
+    comm::AllReduceAlgo aggregation = comm::AllReduceAlgo::kHalvingDoubling;
+    /// Wire compression applied to intermediate activations (see
+    /// FleetConfig::activation_compression).
+    double activation_compression = 8.0;
+    /// Aggregate server bandwidth for parameter-server methods, shared
+    /// across concurrent transfers.
+    double server_mbps = 1000.0;
+    double latency_sec = comm::kDefaultLatencySec;
+  } comms;
+
+  /// Privacy techniques applied before state leaves the device (§V-B-4).
+  struct PrivacyOptions {
+    learncurve::PrivacyTechnique technique =
+        learncurve::PrivacyTechnique::kNone;
+    double dp_epsilon = 0.5;
+    double dp_sensitivity = 1e-3;
+    int64_t shuffle_patch = 2;
+  } privacy;
+
+  /// Paper-scale simulation knobs (participation sampling, dynamic
+  /// profiles, churn).
+  struct ScaleOptions {
+    double participation = 1.0;
+    double reshuffle_fraction = 0.2;
+    int64_t reshuffle_period = 100;  ///< 0 disables profile dynamics
+    size_t max_split_points = 0;
+    double agent_dropout = 0.0;
+  } scale;
+
+  /// Paper-scale simulation preset (batch 100, seed 42).
+  [[nodiscard]] static FleetOptions paper_defaults() {
+    FleetOptions o;
+    o.seed = 42;
+    o.train.batch_size = 100;
+    return o;
+  }
+
+  /// Flattened view for the simulation engines.
+  [[nodiscard]] FleetConfig to_fleet_config(int64_t agents) const {
+    FleetConfig cfg;
+    cfg.agents = agents;
+    cfg.batch_size = train.batch_size;
+    cfg.participation = scale.participation;
+    cfg.reshuffle_fraction = scale.reshuffle_fraction;
+    cfg.reshuffle_period = scale.reshuffle_period;
+    cfg.max_split_points = scale.max_split_points;
+    cfg.activation_compression = comms.activation_compression;
+    cfg.aggregation = comms.aggregation;
+    cfg.server_mbps = comms.server_mbps;
+    cfg.latency_sec = comms.latency_sec;
+    cfg.privacy = privacy.technique;
+    cfg.agent_dropout = scale.agent_dropout;
+    cfg.seed = seed;
+    return cfg;
+  }
 };
 
 }  // namespace comdml::core

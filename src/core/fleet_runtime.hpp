@@ -1,0 +1,146 @@
+// Unified fleet facade: one step()/run()/evaluate() interface over every
+// engine the repo has — the paper-scale timing simulators (SimulatedFleet,
+// BaselineFleet) and the real-execution fleets (RealFleet,
+// RealBaselineFleet) — for ComDML and all comparison methods.
+//
+//   auto fleet = core::FleetBuilder()
+//                    .method(learncurve::Method::kComDML)
+//                    .options(core::FleetOptions::paper_defaults())
+//                    .topology(topology)
+//                    .architecture(nn::resnet56_spec())
+//                    .shard_sizes(sizes)
+//                    .build();               // timing simulation
+//
+//   auto fleet = core::FleetBuilder()
+//                    .method(learncurve::Method::kFedAvg)
+//                    .topology(topology)
+//                    .model(factory, classes)
+//                    .shards(std::move(datasets))
+//                    .build();               // real execution
+//
+// The builder picks the engine from (method, real-vs-simulated inputs);
+// RoundReport is the union of every engine's per-round stats, so callers
+// stop caring which engine is underneath. This is the entry point new
+// scenarios (async rounds, sharded fleets, alternative backends) extend.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "baselines/baseline_fleet.hpp"
+#include "baselines/real_baselines.hpp"
+#include "core/real_fleet.hpp"
+#include "core/trainer.hpp"
+
+namespace comdml::core {
+
+/// Union of the per-round stats of every fleet engine. Which fields are
+/// filled depends on the engine underneath:
+///  - paper-scale simulators: the full timing breakdown (compute / comm /
+///    aggregation / idle / unbalanced) plus pairs and churn;
+///  - real ComDML (RealFleet): round_seconds (balanced span + collective),
+///    the aggregation clock and executed bytes, pairs, and the
+///    loss/privacy fields;
+///  - real baselines: only the aggregation clock/bytes (round_seconds
+///    equals aggregation_seconds — communication is all their clock
+///    models, so a local BrainTorrent mean reports 0) and mean_loss.
+/// Unfilled fields are zero.
+struct RoundReport {
+  int64_t round = 0;
+  double round_seconds = 0.0;        ///< modeled wall-clock of the round
+  double compute_seconds = 0.0;
+  double comm_seconds = 0.0;         ///< largest pair communication time
+  double aggregation_seconds = 0.0;  ///< collective / server exchange
+  double idle_seconds = 0.0;
+  double unbalanced_seconds = 0.0;   ///< counterfactual without offloading
+  int64_t aggregation_bytes = 0;     ///< executed collective traffic (real)
+  int64_t num_pairs = 0;
+  int64_t dropped_agents = 0;
+  // Real-execution only:
+  float mean_loss = 0.0f;
+  float mean_slow_loss = 0.0f;
+  double mean_dcor = 0.0;
+  double mean_wire_compression = 0.0;
+};
+
+struct RunReport {
+  std::vector<RoundReport> rounds;
+
+  [[nodiscard]] double total_seconds() const;
+  [[nodiscard]] double mean_round_seconds() const;
+  /// Wall-clock until `rounds` (fractional) rounds have completed; rounds
+  /// beyond the recorded horizon extrapolate at the mean recorded rate.
+  [[nodiscard]] double time_for_rounds(double target_rounds) const;
+};
+
+class FleetRuntime {
+ public:
+  /// One fleet round on whatever engine is underneath.
+  RoundReport step();
+  RunReport run(int64_t rounds);
+
+  [[nodiscard]] learncurve::Method method() const noexcept {
+    return method_;
+  }
+  /// True when the fleet trains real tensors (evaluate()/model() legal).
+  [[nodiscard]] bool real() const noexcept {
+    return real_comdml_ != nullptr || real_baseline_ != nullptr;
+  }
+  [[nodiscard]] int64_t agents() const noexcept { return agents_; }
+  [[nodiscard]] int64_t rounds_executed() const noexcept { return round_; }
+
+  /// Accuracy of the shared model on a held-out set (real fleets only).
+  [[nodiscard]] float evaluate(const data::Dataset& test);
+  /// Agent replica access (real fleets only).
+  [[nodiscard]] nn::Sequential& model(int64_t agent);
+
+ private:
+  friend class FleetBuilder;
+  FleetRuntime() = default;
+
+  learncurve::Method method_ = learncurve::Method::kComDML;
+  int64_t agents_ = 0;
+  int64_t round_ = 0;
+  // Exactly one engine is non-null.
+  std::unique_ptr<SimulatedFleet> sim_comdml_;
+  std::unique_ptr<baselines::BaselineFleet> sim_baseline_;
+  std::unique_ptr<RealFleet> real_comdml_;
+  std::unique_ptr<baselines::RealBaselineFleet> real_baseline_;
+};
+
+/// Collects the inputs for a FleetRuntime and validates the combination.
+/// `method`, `topology`, and exactly one of {architecture+shard_sizes,
+/// model+shards} are required.
+class FleetBuilder {
+ public:
+  FleetBuilder& method(learncurve::Method m);
+  FleetBuilder& options(FleetOptions o);
+  FleetBuilder& topology(sim::Topology t);
+
+  // Paper-scale timing simulation inputs.
+  FleetBuilder& architecture(nn::ArchitectureSpec spec);
+  FleetBuilder& shard_sizes(std::vector<int64_t> sizes);
+  /// Scheduler ablation (ComDML simulation only).
+  FleetBuilder& scheduler(Scheduler s);
+
+  // Real-execution inputs.
+  FleetBuilder& model(ModelFactory factory, int64_t classes);
+  FleetBuilder& shards(std::vector<data::Dataset> datasets);
+
+  [[nodiscard]] FleetRuntime build();
+
+ private:
+  learncurve::Method method_ = learncurve::Method::kComDML;
+  FleetOptions options_;
+  bool options_set_ = false;
+  std::optional<sim::Topology> topology_;
+  std::optional<nn::ArchitectureSpec> spec_;
+  std::optional<std::vector<int64_t>> shard_sizes_;
+  Scheduler scheduler_ = Scheduler::kComDML;
+  ModelFactory factory_;
+  int64_t classes_ = 0;
+  std::optional<std::vector<data::Dataset>> shards_;
+  bool consumed_ = false;  ///< build() moves the inputs out exactly once
+};
+
+}  // namespace comdml::core

@@ -35,7 +35,7 @@ RealFleet::RealFleet(const ModelFactory& factory, int64_t classes,
     COMDML_REQUIRE(agents_[i].model->size() >= 2,
                    "models need >= 2 units for split training");
     agents_[i].batcher = std::make_unique<data::Batcher>(
-        shards_[i], options_.batch_size, rng_.fork());
+        shards_[i], options_.train.batch_size, rng_.fork());
   }
   const auto init = nn::state_of(*agents_[0].model);
   for (size_t i = 1; i < agents_.size(); ++i)
@@ -45,9 +45,9 @@ RealFleet::RealFleet(const ModelFactory& factory, int64_t classes,
                                         "real-model", classes_);
   profile_ = SplitProfile::from_spec(spec);
 
-  current_lr_ = options_.sgd.lr;
-  if (options_.plateau_factor > 0.0f) {
-    plateau_.emplace(options_.plateau_factor, options_.plateau_patience);
+  current_lr_ = options_.train.sgd.lr;
+  if (options_.train.plateau_factor > 0.0f) {
+    plateau_.emplace(options_.train.plateau_factor, options_.train.plateau_patience);
   }
 }
 
@@ -59,9 +59,9 @@ std::vector<AgentInfo> RealFleet::build_infos() const {
     a.id = static_cast<int64_t>(i);
     const double sps =
         topology_.profile(static_cast<int64_t>(i)).cpu *
-        options_.reference_flops / flops;
-    a.proc_speed = sps / static_cast<double>(options_.batch_size);
-    a.num_batches = options_.batches_per_round;
+        options_.train.reference_flops / flops;
+    a.proc_speed = sps / static_cast<double>(options_.train.batch_size);
+    a.num_batches = options_.train.batches_per_round;
     a.tau_solo = static_cast<double>(a.num_batches) / a.proc_speed;
   }
   return infos;
@@ -69,22 +69,22 @@ std::vector<AgentInfo> RealFleet::build_infos() const {
 
 data::Batch RealFleet::next_batch(int64_t agent, tensor::Rng& rng) {
   data::Batch batch = agents_[static_cast<size_t>(agent)].batcher->next();
-  if (options_.privacy == learncurve::PrivacyTechnique::kPatchShuffle &&
+  if (options_.privacy.technique == learncurve::PrivacyTechnique::kPatchShuffle &&
       batch.x.rank() == 4) {
-    batch.x = privacy::patch_shuffle(batch.x, options_.shuffle_patch, rng);
+    batch.x = privacy::patch_shuffle(batch.x, options_.privacy.shuffle_patch, rng);
   }
   return batch;
 }
 
 RealFleet::RoundStats RealFleet::step() {
-  nn::SGD::Options sgd = options_.sgd;
+  nn::SGD::Options sgd = options_.train.sgd;
   sgd.lr = current_lr_;
   const auto infos = build_infos();
   std::vector<int64_t> participants(agents_.size());
   for (size_t i = 0; i < participants.size(); ++i)
     participants[i] = static_cast<int64_t>(i);
   const PairingResult plan = pair_agents(profile_, infos, topology_,
-                                         options_.batch_size, participants);
+                                         options_.train.batch_size, participants);
 
   RoundStats stats;
   stats.num_pairs = static_cast<int64_t>(plan.pairs.size());
@@ -125,7 +125,7 @@ RealFleet::RoundStats RealFleet::step() {
         auto& fast = agents_[static_cast<size_t>(pair.fast_agent)];
         nn::LocalLossSplitTrainer split(*slow.model, pair.cut, in_shape_,
                                         classes_, rng, sgd);
-        for (int64_t b = 0; b < options_.batches_per_round; ++b) {
+        for (int64_t b = 0; b < options_.train.batches_per_round; ++b) {
           const auto batch = next_batch(pair.slow_agent, rng);
           const auto step = split.train_batch(batch.x, batch.y);
           out.slow_loss_sum += step.slow_loss;
@@ -143,7 +143,7 @@ RealFleet::RoundStats RealFleet::step() {
           }
         }
         nn::SGD fast_opt(fast.model->parameters(), sgd);
-        for (int64_t b = 0; b < options_.batches_per_round; ++b) {
+        for (int64_t b = 0; b < options_.train.batches_per_round; ++b) {
           const auto batch = next_batch(pair.fast_agent, rng);
           const auto res =
               nn::train_batch_full(*fast.model, fast_opt, batch.x, batch.y);
@@ -156,7 +156,7 @@ RealFleet::RoundStats RealFleet::step() {
             plan.solo[static_cast<size_t>(t) - n_pairs];
         auto& agent = agents_[static_cast<size_t>(id)];
         nn::SGD opt(agent.model->parameters(), sgd);
-        for (int64_t b = 0; b < options_.batches_per_round; ++b) {
+        for (int64_t b = 0; b < options_.train.batches_per_round; ++b) {
           const auto batch = next_batch(id, rng);
           const auto res =
               nn::train_batch_full(*agent.model, opt, batch.x, batch.y);
@@ -186,30 +186,38 @@ RealFleet::RoundStats RealFleet::step() {
   states.resize(agents_.size());
   for (size_t i = 0; i < agents_.size(); ++i)
     nn::copy_state_into(*agents_[i].model, states[i]);
-  if (options_.privacy ==
+  if (options_.privacy.technique ==
       learncurve::PrivacyTechnique::kDifferentialPrivacy) {
     for (auto& s : states)
-      privacy::laplace_mechanism(s, options_.dp_epsilon,
-                                 options_.dp_sensitivity, rng_);
+      privacy::laplace_mechanism(s, options_.privacy.dp_epsilon,
+                                 options_.privacy.dp_sensitivity, rng_);
   }
 
-  // Real message-level decentralized aggregation.
-  comm::allreduce_average(states, options_.aggregation);
+  // Real message-level decentralized aggregation over an InProcTransport.
+  // The collective routes through the overlay at the bottleneck rate (the
+  // seed cost models' assumption), and one run yields both the executed
+  // traffic and the modeled clock — predicted cost and real bytes are the
+  // same schedule by construction.
+  const auto min_bw = topology_.min_link_bandwidth();
+  COMDML_REQUIRE(min_bw.has_value() || agents_.size() == 1,
+                 "topology has no usable link");
+  const auto grid = comm::LinkGrid::uniform(
+      static_cast<int64_t>(agents_.size()), min_bw.value_or(100.0),
+      options_.comms.latency_sec);
+  const auto agg =
+      comm::allreduce_average_over(states, grid, options_.comms.aggregation);
   for (size_t i = 0; i < agents_.size(); ++i)
     nn::load_state(*agents_[i].model, states[i]);
 
   // Simulated wall-clock: balanced round span + the collective.
-  const auto min_bw = topology_.min_link_bandwidth();
-  COMDML_REQUIRE(min_bw.has_value(), "topology has no usable link");
-  const auto agg = comm::allreduce_cost(
-      static_cast<int64_t>(agents_.size()), profile_.model_state_bytes(),
-      *min_bw, options_.aggregation);
-  stats.sim_time = plan.estimated_round_time + agg.seconds;
+  stats.aggregation_seconds = agg.cost.seconds;
+  stats.aggregation_bytes = agg.cost.bytes_per_agent;
+  stats.sim_time = plan.estimated_round_time + agg.cost.seconds;
   stats.mean_slow_loss =
       plan.pairs.empty()
           ? 0.0f
           : slow_loss_sum / static_cast<float>(plan.pairs.size() *
-                                               options_.batches_per_round);
+                                               options_.train.batches_per_round);
   stats.mean_loss =
       loss_count == 0 ? 0.0f : loss_sum / static_cast<float>(loss_count);
   stats.mean_dcor =

@@ -22,31 +22,9 @@ using ModelFactory =
 
 class RealFleet {
  public:
-  struct Options {
-    int64_t batch_size = 16;
-    /// Mini-batches each agent trains per round (keeps tests fast while the
-    /// timing model still uses full shard sizes).
-    int64_t batches_per_round = 4;
-    nn::SGD::Options sgd{0.05f, 0.9f, 0.0f};
-    /// Reference FLOP/s of a cpu=1.0 agent for the *simulated clock* of the
-    /// real fleet. Deliberately small: real-mode models are tiny, and the
-    /// paper's offloading regime (compute >> per-batch comm) only appears
-    /// when the simulated compute time is scaled to match.
-    double reference_flops = 1e6;
-    comm::AllReduceAlgo aggregation = comm::AllReduceAlgo::kHalvingDoubling;
-    learncurve::PrivacyTechnique privacy =
-        learncurve::PrivacyTechnique::kNone;
-    double dp_epsilon = 0.5;
-    double dp_sensitivity = 1e-3;
-    int64_t shuffle_patch = 2;
-    /// Plateau LR schedule (the paper reduces LR by 0.2/0.5 when accuracy
-    /// plateaus). 0 disables; otherwise the LR is multiplied by this
-    /// factor when the fleet loss stops improving for `plateau_patience`
-    /// rounds.
-    float plateau_factor = 0.0f;
-    int plateau_patience = 5;
-    uint64_t seed = 7;
-  };
+  /// The layered fleet options; training fields live under `.train`,
+  /// aggregation under `.comms`, privacy under `.privacy`.
+  using Options = FleetOptions;
 
   /// One shard per agent; all shards must share classes and sample shape.
   RealFleet(const ModelFactory& factory, int64_t classes,
@@ -62,6 +40,9 @@ class RealFleet {
     /// Measured wire compression of the real activations crossing the cut
     /// (bitmask + int8 codec; see comm/compress.hpp). 0 when no pairs.
     double mean_wire_compression = 0.0;
+    /// Executed traffic of the aggregation collective (InProcTransport).
+    double aggregation_seconds = 0.0;  ///< modeled clock of the collective
+    int64_t aggregation_bytes = 0;     ///< max bytes any agent sent
   };
 
   /// One complete ComDML round (pair -> train -> aggregate).

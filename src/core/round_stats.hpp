@@ -1,6 +1,7 @@
 // Per-round and per-run timing records produced by the simulators.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -20,6 +21,31 @@ struct RoundRecord {
   int64_t dropped_agents = 0;     ///< sampled agents that failed this round
 };
 
+/// Wall-clock until `rounds` (fractional) rounds have completed, where
+/// `seconds_of(records[i])` is round i's duration; rounds beyond the
+/// recorded horizon extrapolate at the mean recorded rate. Shared by
+/// RunSummary and core::RunReport.
+template <typename Records, typename Seconds>
+[[nodiscard]] double time_for_fractional_rounds(const Records& records,
+                                                Seconds seconds_of,
+                                                double rounds) {
+  COMDML_CHECK(rounds >= 0.0);
+  COMDML_REQUIRE(!records.empty(), "no rounds recorded");
+  double total = 0.0;
+  for (const auto& r : records) total += seconds_of(r);
+  double t = 0.0;
+  double remaining = rounds;
+  for (const auto& r : records) {
+    if (remaining <= 0.0) return t;
+    const double take = std::min(remaining, 1.0);
+    t += take * seconds_of(r);
+    remaining -= take;
+  }
+  if (remaining > 0.0)
+    t += remaining * (total / static_cast<double>(records.size()));
+  return t;
+}
+
 class RunSummary {
  public:
   void add(RoundRecord record) { rounds_.push_back(record); }
@@ -37,19 +63,8 @@ class RunSummary {
   /// Wall-clock until `rounds` (fractional) rounds have completed; rounds
   /// beyond the recorded horizon extrapolate at the mean recorded rate.
   [[nodiscard]] double time_for_rounds(double rounds) const {
-    COMDML_CHECK(rounds >= 0.0);
-    COMDML_REQUIRE(!rounds_.empty(), "no rounds recorded");
-    double t = 0.0;
-    double remaining = rounds;
-    for (const auto& r : rounds_) {
-      if (remaining <= 0.0) return t;
-      const double take = std::min(remaining, 1.0);
-      t += take * r.round_time;
-      remaining -= take;
-    }
-    if (remaining > 0.0)
-      t += remaining * (total_time() / static_cast<double>(rounds_.size()));
-    return t;
+    return time_for_fractional_rounds(
+        rounds_, [](const RoundRecord& r) { return r.round_time; }, rounds);
   }
 
   [[nodiscard]] double mean_round_time() const {

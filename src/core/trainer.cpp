@@ -98,10 +98,7 @@ RoundRecord SimulatedFleet::step() {
   // (the paper re-randomizes after round 100).
   if (config_.reshuffle_period > 0 && round_ > 0 &&
       round_ % config_.reshuffle_period == 0) {
-    std::vector<sim::ResourceProfile> profiles;
-    profiles.reserve(static_cast<size_t>(config_.agents));
-    for (int64_t i = 0; i < config_.agents; ++i)
-      profiles.push_back(topology_.profile(i));
+    auto profiles = topology_.profiles();
     sim::reshuffle_profiles(profiles, config_.reshuffle_fraction, rng_);
     topology_.set_profiles(std::move(profiles));
   }
@@ -169,7 +166,8 @@ RoundRecord SimulatedFleet::step() {
   COMDML_REQUIRE(min_bw.has_value(), "fleet topology has no usable link");
   const auto agg =
       comm::allreduce_cost(static_cast<int64_t>(participants.size()),
-                           model_bytes, *min_bw, config_.aggregation);
+                           model_bytes, *min_bw, config_.aggregation,
+                           config_.latency_sec);
   des.schedule_at(last_finish, [&des, &rec, &agg] {
     des.schedule_in(agg.seconds, [&rec, &agg] {
       rec.aggregation_time = agg.seconds;

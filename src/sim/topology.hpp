@@ -52,6 +52,13 @@ class Topology {
 
   [[nodiscard]] const ResourceProfile& profile(int64_t i) const;
 
+  /// All endpoint profiles (e.g. to build a comm::LinkGrid star for the
+  /// parameter-server collective).
+  [[nodiscard]] const std::vector<ResourceProfile>& profiles()
+      const noexcept {
+    return profiles_;
+  }
+
   /// Replace the endpoint profiles (dynamic environments); adjacency keeps.
   void set_profiles(std::vector<ResourceProfile> profiles);
 

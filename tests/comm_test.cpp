@@ -3,6 +3,8 @@
 // non-power-of-two fleets), gossip exchange, parameter-server sharing.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <numeric>
 
 #include "comm/allreduce.hpp"
@@ -34,6 +36,31 @@ TEST(Link, UnusableLinkThrows) {
   EXPECT_THROW((void)bytes_per_sec(-5.0), std::invalid_argument);
 }
 
+TEST(Link, MultiGigabytePayloadIsOverflowSafe) {
+  // 8 GB over 1 Gbps: 64 s of payload time, computed entirely in double.
+  EXPECT_NEAR(transfer_seconds(8'000'000'000, 1000.0, 0.0), 64.0, 1e-9);
+  // Payloads near INT64_MAX stay finite and monotone.
+  const double t1 =
+      transfer_seconds(std::numeric_limits<int64_t>::max() / 2, 100.0);
+  const double t2 =
+      transfer_seconds(std::numeric_limits<int64_t>::max(), 100.0);
+  EXPECT_TRUE(std::isfinite(t1));
+  EXPECT_TRUE(std::isfinite(t2));
+  EXPECT_LT(t1, t2);
+  EXPECT_THROW((void)transfer_seconds(-1, 100.0), std::invalid_argument);
+}
+
+TEST(Link, Fp32WireConversionsGuardOverflow) {
+  EXPECT_EQ(fp32_wire_bytes(10), 40);
+  EXPECT_EQ(fp32_wire_elems(10), 3);  // rounds up to whole fp32 values
+  EXPECT_EQ(fp32_wire_elems(8), 2);
+  EXPECT_EQ(fp32_wire_elems(0), 0);
+  EXPECT_THROW(
+      (void)fp32_wire_bytes(std::numeric_limits<int64_t>::max() / 2),
+      std::invalid_argument);
+  EXPECT_THROW((void)fp32_wire_bytes(-1), std::invalid_argument);
+}
+
 // ---- allreduce cost model ----------------------------------------------------------
 
 TEST(AllReduceCost, SingleAgentIsFree) {
@@ -58,6 +85,13 @@ TEST(AllReduceCost, HalvingDoublingFewerStepsAtScale) {
   EXPECT_EQ(ring.steps, 2 * 63);
   EXPECT_EQ(hd.steps, 2 * 6);
   EXPECT_LT(hd.seconds, ring.seconds);  // latency dominates for tiny models
+}
+
+TEST(AllReduceCost, MultiGigabyteModelIsFinite) {
+  const auto c = allreduce_cost(16, 10'000'000'000, 100.0);  // 10 GB model
+  EXPECT_TRUE(std::isfinite(c.seconds));
+  EXPECT_GT(c.seconds, 0.0);
+  EXPECT_GT(c.bytes_per_agent, 10'000'000'000 / 16 * 15);
 }
 
 TEST(AllReduceCost, NonPowerOfTwoPaysExtra) {

@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "baselines/baseline_fleet.hpp"
+#include "core/fleet_runtime.hpp"
 #include "core/trainer.hpp"
 
 namespace comdml::core {
@@ -168,11 +169,17 @@ TEST_P(BaselineP, StragglerDominatesRound) {
   BaselineFleet fleet(GetParam(), nn::resnet56_spec(), small_config(10),
                       mesh(10), iid_sizes(10));
   const auto rec = fleet.step();
-  // All baselines train the full model: compute time must equal the
-  // slowest agent's full-model time, which exceeds ComDML's balanced round.
+  // All baselines train the full model: the straggler's full-model time
+  // exceeds ComDML's balanced round. Synchronous baselines expose the
+  // straggler in round_time; asynchronous gossip (whose "round" is a mean
+  // over agents) only in compute_time.
   SimulatedFleet comdml(nn::resnet56_spec(), small_config(10), mesh(10),
                         iid_sizes(10));
-  EXPECT_GT(rec.round_time, comdml.step().round_time);
+  const double comdml_round = comdml.step().round_time;
+  if (GetParam() == Method::kGossip)
+    EXPECT_GT(rec.compute_time, comdml_round);
+  else
+    EXPECT_GT(rec.round_time, comdml_round);
 }
 
 INSTANTIATE_TEST_SUITE_P(Methods, BaselineP,
@@ -210,6 +217,146 @@ TEST(Baselines, FedProxSlowerComputeThanFedAvg) {
   BaselineFleet avg(Method::kFedAvg, nn::resnet56_spec(), small_config(10),
                     mesh(10, 11), iid_sizes(10));
   EXPECT_GT(prox.step().compute_time, avg.step().compute_time);
+}
+
+// ---- FleetRuntime facade (simulation engines) -------------------------------
+
+TEST(FleetRuntimeSim, DrivesComDMLSimulation) {
+  auto fleet = FleetBuilder()
+                   .method(Method::kComDML)
+                   .topology(mesh(10))
+                   .architecture(nn::resnet56_spec())
+                   .shard_sizes(iid_sizes(10))
+                   .build();
+  EXPECT_FALSE(fleet.real());
+  EXPECT_EQ(fleet.agents(), 10);
+  const auto rep = fleet.step();
+  EXPECT_GT(rep.round_seconds, 0.0);
+  EXPECT_GT(rep.num_pairs, 0);
+  EXPECT_LT(rep.round_seconds, rep.unbalanced_seconds);
+}
+
+TEST(FleetRuntimeSim, DrivesEveryBaselineSimulation) {
+  for (const Method m : {Method::kFedAvg, Method::kFedProx, Method::kGossip,
+                         Method::kBrainTorrent, Method::kAllReduceDML}) {
+    auto fleet = FleetBuilder()
+                     .method(m)
+                     .topology(mesh(10))
+                     .architecture(nn::resnet56_spec())
+                     .shard_sizes(iid_sizes(10))
+                     .build();
+    const auto rep = fleet.step();
+    EXPECT_GT(rep.round_seconds, 0.0) << learncurve::method_name(m);
+    EXPECT_EQ(rep.num_pairs, 0) << learncurve::method_name(m);
+  }
+}
+
+TEST(FleetRuntimeSim, RunAccumulatesAndInterpolates) {
+  auto fleet = FleetBuilder()
+                   .method(Method::kComDML)
+                   .topology(mesh(10))
+                   .architecture(nn::resnet56_spec())
+                   .shard_sizes(iid_sizes(10))
+                   .build();
+  const auto report = fleet.run(4);
+  EXPECT_EQ(report.rounds.size(), 4u);
+  EXPECT_EQ(fleet.rounds_executed(), 4);
+  EXPECT_GT(report.total_seconds(), 0.0);
+  EXPECT_LT(report.time_for_rounds(2.0), report.time_for_rounds(2.5));
+  EXPECT_GT(report.time_for_rounds(10.0), report.total_seconds());
+}
+
+TEST(FleetRuntimeSim, LayeredOptionsFlattenToFleetConfig) {
+  FleetOptions o = FleetOptions::paper_defaults();
+  o.scale.participation = 0.2;
+  o.scale.max_split_points = 16;
+  o.comms.aggregation = comm::AllReduceAlgo::kRing;
+  o.privacy.technique = learncurve::PrivacyTechnique::kPatchShuffle;
+  const FleetConfig cfg = o.to_fleet_config(50);
+  EXPECT_EQ(cfg.agents, 50);
+  EXPECT_EQ(cfg.batch_size, 100);  // paper preset
+  EXPECT_EQ(cfg.seed, 42u);
+  EXPECT_DOUBLE_EQ(cfg.participation, 0.2);
+  EXPECT_EQ(cfg.max_split_points, 16u);
+  EXPECT_EQ(cfg.aggregation, comm::AllReduceAlgo::kRing);
+  EXPECT_EQ(cfg.privacy, learncurve::PrivacyTechnique::kPatchShuffle);
+}
+
+TEST(FleetRuntimeSim, SchedulerAblationRunsThroughFacade) {
+  auto none = FleetBuilder()
+                  .method(Method::kComDML)
+                  .scheduler(Scheduler::kNoOffloading)
+                  .topology(mesh(10))
+                  .architecture(nn::resnet56_spec())
+                  .shard_sizes(iid_sizes(10))
+                  .build();
+  auto comdml = FleetBuilder()
+                    .method(Method::kComDML)
+                    .topology(mesh(10))
+                    .architecture(nn::resnet56_spec())
+                    .shard_sizes(iid_sizes(10))
+                    .build();
+  EXPECT_LT(comdml.step().round_seconds, none.step().round_seconds);
+}
+
+TEST(FleetRuntimeSim, ServerBandwidthOptionReachesSimulatedFedAvg) {
+  // comms.server_mbps must flow through FleetConfig into the simulated
+  // param-server round, not just the real-execution path.
+  auto slow_opt = FleetOptions::paper_defaults();
+  slow_opt.comms.server_mbps = 10.0;  // congested server: 1 Mbps/agent
+  auto fast = FleetBuilder()
+                  .method(Method::kFedAvg)
+                  .topology(mesh(10))
+                  .architecture(nn::resnet56_spec())
+                  .shard_sizes(iid_sizes(10))
+                  .build();
+  auto slow = FleetBuilder()
+                  .method(Method::kFedAvg)
+                  .options(slow_opt)
+                  .topology(mesh(10))
+                  .architecture(nn::resnet56_spec())
+                  .shard_sizes(iid_sizes(10))
+                  .build();
+  EXPECT_GT(slow.step().aggregation_seconds,
+            fast.step().aggregation_seconds);
+}
+
+TEST(FleetRuntimeSim, BuilderRefusesReuseAfterBuild) {
+  FleetBuilder builder;
+  builder.method(Method::kComDML)
+      .topology(mesh(4))
+      .architecture(nn::resnet56_spec())
+      .shard_sizes(iid_sizes(4));
+  (void)builder.build();
+  // build() moved the inputs out; a second build must fail loudly instead
+  // of constructing a fleet over moved-from state.
+  EXPECT_THROW((void)builder.build(), std::invalid_argument);
+}
+
+TEST(FleetRuntimeSim, BuilderRejectsInvalidCombinations) {
+  // Mixed real + simulated inputs.
+  EXPECT_THROW((void)FleetBuilder()
+                   .topology(mesh(4))
+                   .architecture(nn::resnet56_spec())
+                   .shard_sizes(iid_sizes(4))
+                   .shards({})
+                   .build(),
+               std::invalid_argument);
+  // Missing topology.
+  EXPECT_THROW((void)FleetBuilder()
+                   .architecture(nn::resnet56_spec())
+                   .shard_sizes(iid_sizes(4))
+                   .build(),
+               std::invalid_argument);
+  // Scheduler ablations are ComDML-only.
+  EXPECT_THROW((void)FleetBuilder()
+                   .method(Method::kFedAvg)
+                   .scheduler(Scheduler::kRandom)
+                   .topology(mesh(4))
+                   .architecture(nn::resnet56_spec())
+                   .shard_sizes(iid_sizes(4))
+                   .build(),
+               std::invalid_argument);
 }
 
 }  // namespace

@@ -363,7 +363,7 @@ TEST(RealComparison, AllMethodsReachSimilarAccuracy) {
   std::vector<float> accs;
   {
     core::RealFleet::Options opt;
-    opt.batches_per_round = 5;
+    opt.train.batches_per_round = 5;
     core::RealFleet fleet(factory, 3, shards(),
                           Topology::full_mesh(profiles), opt);
     for (int r = 0; r < 12; ++r) (void)fleet.step();
@@ -372,7 +372,7 @@ TEST(RealComparison, AllMethodsReachSimilarAccuracy) {
   for (const Method m : {Method::kFedAvg, Method::kAllReduceDML,
                          Method::kBrainTorrent}) {
     baselines::RealBaselineFleet::Options opt;
-    opt.batches_per_round = 5;
+    opt.train.batches_per_round = 5;
     baselines::RealBaselineFleet fleet(m, factory, 3, shards(),
                                        Topology::full_mesh(profiles), opt);
     for (int r = 0; r < 12; ++r) (void)fleet.step();

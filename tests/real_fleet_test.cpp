@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "baselines/real_baselines.hpp"
+#include "core/fleet_runtime.hpp"
 #include "core/real_fleet.hpp"
 #include "data/partition.hpp"
 #include "data/synthetic.hpp"
@@ -77,8 +78,8 @@ TEST(RealFleet, AggregationRestoresConsensus) {
 
 TEST(RealFleet, TrainingImprovesAccuracy) {
   RealFleet::Options opt;
-  opt.batches_per_round = 6;
-  opt.sgd.lr = 0.08f;
+  opt.train.batches_per_round = 6;
+  opt.train.sgd.lr = 0.08f;
   auto shards = blob_shards(4, 60, 3, 6, 6);
   Rng rng(7);
   const auto test = data::make_blobs(120, 3, 6, 0.3f, rng);
@@ -109,10 +110,10 @@ TEST(RealFleet, ReportsDcorForPairs) {
 
 TEST(RealFleet, DifferentialPrivacyStillLearns) {
   RealFleet::Options opt;
-  opt.privacy = learncurve::PrivacyTechnique::kDifferentialPrivacy;
-  opt.dp_epsilon = 2.0;
-  opt.dp_sensitivity = 1e-4;
-  opt.batches_per_round = 6;
+  opt.privacy.technique = learncurve::PrivacyTechnique::kDifferentialPrivacy;
+  opt.privacy.dp_epsilon = 2.0;
+  opt.privacy.dp_sensitivity = 1e-4;
+  opt.train.batches_per_round = 6;
   auto shards = blob_shards(4, 60, 3, 6, 9);
   data::Dataset pooled = shards[0];
   RealFleet fleet(mlp_factory(6, 3), 3, std::move(shards), hetero_mesh(4),
@@ -123,10 +124,10 @@ TEST(RealFleet, DifferentialPrivacyStillLearns) {
 
 TEST(RealFleet, PatchShufflePathRunsOnImages) {
   RealFleet::Options opt;
-  opt.privacy = learncurve::PrivacyTechnique::kPatchShuffle;
-  opt.shuffle_patch = 2;
-  opt.batch_size = 8;
-  opt.batches_per_round = 2;
+  opt.privacy.technique = learncurve::PrivacyTechnique::kPatchShuffle;
+  opt.privacy.shuffle_patch = 2;
+  opt.train.batch_size = 8;
+  opt.train.batches_per_round = 2;
   Rng rng(10);
   const auto ds = data::make_synthetic_images(64, 3, {3, 8, 8}, 0.3f, rng);
   const auto parts = data::iid_partition(ds.size(), 2, rng);
@@ -142,12 +143,12 @@ TEST(RealFleet, PatchShufflePathRunsOnImages) {
 
 TEST(RealFleet, PlateauScheduleDecaysLearningRate) {
   RealFleet::Options opt;
-  opt.plateau_factor = 0.5f;
-  opt.plateau_patience = 2;
+  opt.train.plateau_factor = 0.5f;
+  opt.train.plateau_patience = 2;
   // An LR this small cannot move the loss, so the metric plateaus from
   // round one and the schedule must fire after `patience` rounds.
-  opt.sgd.lr = 1e-6f;
-  opt.batches_per_round = 2;
+  opt.train.sgd.lr = 1e-6f;
+  opt.train.batches_per_round = 2;
   RealFleet fleet(mlp_factory(6, 3), 3, blob_shards(4, 12, 3, 6, 19),
                   hetero_mesh(4), opt);
   EXPECT_FLOAT_EQ(fleet.current_lr(), 1e-6f);
@@ -168,8 +169,8 @@ class RealBaselineP : public ::testing::TestWithParam<Method> {};
 
 TEST_P(RealBaselineP, LearnsBlobs) {
   RealBaselineFleet::Options opt;
-  opt.batches_per_round = 6;
-  opt.sgd.lr = 0.08f;
+  opt.train.batches_per_round = 6;
+  opt.train.sgd.lr = 0.08f;
   auto shards = blob_shards(4, 60, 3, 6, 12);
   data::Dataset pooled = shards[0];
   RealBaselineFleet fleet(GetParam(), mlp_factory(6, 3), 3,
@@ -213,12 +214,91 @@ TEST(RealBaselines, GossipReplicasMayDiverge) {
   EXPECT_GT(diverged, 0);
 }
 
+TEST(RealBaselines, FedAvgToleratesDisconnectedAgent) {
+  // An offline agent cannot reach the param-server star; aggregation must
+  // fall back to the historical local weighted mean instead of throwing.
+  std::vector<ResourceProfile> profiles{
+      {4.0, 100.0}, {0.2, 100.0}, {2.0, 0.0}};
+  RealBaselineFleet::Options opt;
+  RealBaselineFleet fleet(Method::kFedAvg, mlp_factory(6, 3), 3,
+                          blob_shards(3, 20, 3, 6, 25),
+                          Topology::full_mesh(profiles), opt);
+  const auto stats = fleet.step();
+  EXPECT_EQ(stats.aggregation_bytes, 0);  // no transport traffic accounted
+  Rng rng(26);
+  const auto x = rng.normal_tensor({5, 6}, 0, 1);
+  const auto y0 = fleet.model(0).forward(x, false);
+  for (int64_t a = 1; a < 3; ++a)
+    EXPECT_TRUE(
+        tensor::allclose(fleet.model(a).forward(x, false), y0, 1e-4f));
+}
+
 TEST(RealBaselines, RejectsComDML) {
   RealBaselineFleet::Options opt;
   EXPECT_THROW(RealBaselineFleet(Method::kComDML, mlp_factory(6, 3), 3,
                                  blob_shards(2, 20, 3, 6, 17),
                                  hetero_mesh(2), opt),
                std::invalid_argument);
+}
+
+// ---- FleetRuntime facade (real-execution engines) ---------------------------
+
+TEST(FleetRuntimeReal, ComDMLTrainsAndEvaluatesThroughFacade) {
+  auto shards = blob_shards(4, 60, 3, 6, 21);
+  data::Dataset pooled = shards[0];
+  FleetOptions opt;
+  opt.train.batches_per_round = 6;
+  opt.train.sgd.lr = 0.08f;
+  auto fleet = FleetBuilder()
+                   .method(Method::kComDML)
+                   .options(opt)
+                   .topology(hetero_mesh(4))
+                   .model(mlp_factory(6, 3), 3)
+                   .shards(std::move(shards))
+                   .build();
+  EXPECT_TRUE(fleet.real());
+  EXPECT_EQ(fleet.agents(), 4);
+  for (int r = 0; r < 15; ++r) {
+    const auto rep = fleet.step();
+    EXPECT_GT(rep.round_seconds, 0.0);
+    // The collective executed for real: traffic was accounted.
+    EXPECT_GT(rep.aggregation_bytes, 0);
+    EXPECT_GT(rep.aggregation_seconds, 0.0);
+  }
+  EXPECT_GT(fleet.evaluate(pooled), 0.8f);
+}
+
+TEST(FleetRuntimeReal, BaselineReportsExecutedCollectiveTraffic) {
+  auto shards = blob_shards(4, 40, 3, 6, 22);
+  auto fleet = FleetBuilder()
+                   .method(Method::kFedAvg)
+                   .topology(hetero_mesh(4))
+                   .model(mlp_factory(6, 3), 3)
+                   .shards(std::move(shards))
+                   .build();
+  const auto rep = fleet.step();
+  EXPECT_GT(rep.aggregation_bytes, 0);
+  EXPECT_GT(rep.aggregation_seconds, 0.0);
+  EXPECT_GT(rep.mean_loss, 0.0f);
+  // Param-server aggregation leaves all replicas in consensus.
+  Rng rng(23);
+  const auto x = rng.normal_tensor({5, 6}, 0, 1);
+  const auto y0 = fleet.model(0).forward(x, false);
+  for (int64_t a = 1; a < 4; ++a)
+    EXPECT_TRUE(tensor::allclose(fleet.model(a).forward(x, false), y0));
+}
+
+TEST(FleetRuntimeReal, EvaluateRejectsSimulatedFleets) {
+  Rng rng(24);
+  auto sim = FleetBuilder()
+                 .method(Method::kComDML)
+                 .topology(hetero_mesh(4))
+                 .architecture(nn::resnet56_spec())
+                 .shard_sizes({100, 100, 100, 100})
+                 .build();
+  const auto test = data::make_blobs(12, 3, 6, 0.3f, rng);
+  EXPECT_THROW((void)sim.evaluate(test), std::invalid_argument);
+  EXPECT_THROW((void)sim.model(0), std::invalid_argument);
 }
 
 }  // namespace
