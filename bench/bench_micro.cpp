@@ -27,8 +27,11 @@
 #include "comm/compress.hpp"
 #include "core/execution.hpp"
 #include "core/parallel.hpp"
+#include "core/real_fleet.hpp"
 #include "core/trainer.hpp"
 #include "core/workspace.hpp"
+#include "data/partition.hpp"
+#include "data/synthetic.hpp"
 #include "nn/conv.hpp"
 #include "privacy/dcor.hpp"
 #include "tensor/gemm.hpp"
@@ -420,6 +423,65 @@ void run_kernel_suite() {
                        t_exec, 1.0, "wall_seconds_per_collective"});
     std::printf("  %-28s %-10s %.4f wall s/collective (real payloads)\n",
                 "halving_doubling_allreduce", "k16_1MB", t_exec);
+  }
+
+  {
+    // Fleet rounds: sequential vs overlapped bucketed aggregation through
+    // the real ComDML engine (InProc collectives, mlp replicas). The
+    // "round_seconds" rows are measured wall time of one RealFleet round;
+    // the "model_round_seconds" rows are the modeled clock of the same
+    // round (SimTransport-equivalent schedule + overlap timeline), so both
+    // the executed and the predicted win are tracked. Overlap needs real
+    // concurrency: expect parity at 1 thread and the gap to open with
+    // cores.
+    std::printf("  -- fleet rounds: sequential vs overlapped buckets --\n");
+    for (const int64_t k : {int64_t{4}, int64_t{16}}) {
+      for (const bool overlap : {false, true}) {
+        for (const int threads : {1, 2, 4}) {
+          core::set_num_threads(threads);
+          core::FleetOptions opt;
+          opt.seed = 71;
+          opt.train.batch_size = 16;
+          opt.train.batches_per_round = 2;
+          opt.comms.bucket_bytes = 64 * 1024;
+          opt.comms.overlap = overlap;
+          Rng rng(61);
+          const int64_t features = 32, classes = 10;
+          const auto ds =
+              data::make_blobs(k * 32, classes, features, 0.3f, rng);
+          const auto parts = data::iid_partition(ds.size(), k, rng);
+          std::vector<data::Dataset> shards;
+          for (const auto& idx : parts) shards.push_back(ds.subset(idx));
+          std::vector<sim::ResourceProfile> profiles;
+          const std::vector<double> cpus{4.0, 0.2, 2.0, 0.5};
+          for (int64_t i = 0; i < k; ++i)
+            profiles.push_back(
+                {cpus[static_cast<size_t>(i) % cpus.size()], 100.0});
+          core::RealFleet fleet(
+              [&](Rng& r) {
+                return nn::mlp({features, 256, 256, classes}, r);
+              },
+              classes, std::move(shards),
+              sim::Topology::full_mesh(profiles), opt);
+          double model_seconds = 0.0;
+          const double wall = time_seconds([&] {
+            const auto stats = fleet.step();
+            model_seconds = stats.sim_time;
+          });
+          const std::string shape = "k" + std::to_string(k) +
+                                    (overlap ? "_overlap" : "_sequential");
+          records.push_back(
+              {"comdml_round", shape, threads, wall, 1.0, "round_seconds"});
+          records.push_back({"comdml_round", shape, threads, model_seconds,
+                             1.0, "model_round_seconds"});
+          std::printf(
+              "  %-18s %-22s threads=%d: %8.4f wall s/round, %7.2f "
+              "modeled s\n",
+              "comdml_round", shape.c_str(), threads, wall, model_seconds);
+        }
+      }
+    }
+    core::set_num_threads(0);
   }
 
   write_kernel_json(records, "BENCH_kernels.json");

@@ -37,6 +37,11 @@ struct Args {
   double target = 0.8;
   double dropout = 0.0;
   bool real = false;
+  /// Bucketed/overlapped aggregation (real mode): state bucket size in
+  /// bytes (0 = one flat collective) and whether bucket collectives
+  /// overlap the compute tail.
+  int64_t bucket_bytes = 0;
+  bool overlap = false;
   uint64_t seed = 42;
 };
 
@@ -62,13 +67,17 @@ bool parse(int argc, char** argv, Args& args) {
     else if (flag == "--dropout" && (v = need_value("--dropout"))) args.dropout = std::stod(v);
     else if (flag == "--seed" && (v = need_value("--seed"))) args.seed = std::stoull(v);
     else if (flag == "--real") { args.real = true; continue; }
+    else if (flag == "--bucket-bytes" && (v = need_value("--bucket-bytes"))) args.bucket_bytes = std::stoll(v);
+    else if (flag == "--overlap") { args.overlap = true; continue; }
     else if (flag == "--help") {
       std::printf(
           "usage: fleet_cli [--method comdml|fedavg|fedprox|gossip|"
           "braintorrent|allreduce]\n"
           "  [--dataset cifar10|cifar100|cinic10] [--partition iid|dirichlet]\n"
           "  [--agents N] [--rounds N] [--participation F] [--topology P]\n"
-          "  [--target ACC] [--dropout P] [--seed N] [--real]\n");
+          "  [--target ACC] [--dropout P] [--seed N] [--real]\n"
+          "  [--bucket-bytes N] [--overlap]   (real mode: bucketed /\n"
+          "   overlapped aggregation through the round pipeline)\n");
       return false;
     } else {
       std::fprintf(stderr, "unknown flag %s (try --help)\n", flag.c_str());
@@ -131,6 +140,16 @@ core::FleetRuntime build_real(const Args& args, Method method,
   opt.seed = args.seed;
   opt.train.batches_per_round = 6;
   opt.train.sgd.lr = 0.08f;
+  opt.comms.bucket_bytes = args.bucket_bytes;
+  opt.comms.overlap = args.overlap;
+  if (args.bucket_bytes > 0 && method != Method::kComDML &&
+      method != Method::kAllReduceDML) {
+    std::fprintf(stderr,
+                 "note: --bucket-bytes/--overlap only affect methods that "
+                 "aggregate through an allreduce (comdml, allreduce); "
+                 "%s runs its normal aggregation\n",
+                 args.method.c_str());
+  }
   core::ModelFactory factory = [](tensor::Rng& r) {
     return nn::mlp({kFeatures, 24, 24, kClasses}, r);
   };

@@ -21,6 +21,7 @@ RealBaselineFleet::RealBaselineFleet(learncurve::Method method,
       topology_(std::move(topology)),
       rng_(options.seed) {
   (void)classes;
+  options_.validate();
   COMDML_REQUIRE(method != learncurve::Method::kComDML,
                  "use core::RealFleet for ComDML");
   COMDML_CHECK(static_cast<int64_t>(shards_.size()) == topology_.agents());
@@ -36,6 +37,16 @@ RealBaselineFleet::RealBaselineFleet(learncurve::Method method,
   const auto init = nn::state_of(*models_[0]);
   for (size_t i = 1; i < models_.size(); ++i)
     nn::load_state(*models_[i], init);
+
+  if (method_ == learncurve::Method::kAllReduceDML &&
+      options_.comms.bucket_bytes > 0) {
+    bucket_plan_ =
+        nn::BucketPlan::build(*models_[0], options_.comms.bucket_bytes);
+    pipeline_ = std::make_unique<core::RoundPipeline>(
+        static_cast<int64_t>(models_.size()), *bucket_plan_,
+        core::bottleneck_grid(topology_, options_.comms.latency_sec),
+        options_.comms.aggregation);
+  }
 }
 
 float RealBaselineFleet::train_locally(
@@ -148,12 +159,10 @@ void RealBaselineFleet::aggregate(RoundStats& stats) {
       break;
     }
     case learncurve::Method::kAllReduceDML: {
-      const auto min_bw = topology_.min_link_bandwidth();
+      COMDML_CHECK(pipeline_ == nullptr);  // bucketed rounds skip aggregate()
       const auto outcome = comm::allreduce_average_over(
           states,
-          comm::LinkGrid::uniform(static_cast<int64_t>(k),
-                                  min_bw.value_or(100.0),
-                                  options_.comms.latency_sec),
+          core::bottleneck_grid(topology_, options_.comms.latency_sec),
           options_.comms.aggregation);
       for (size_t i = 0; i < k; ++i) nn::load_state(*models_[i], states[i]);
       stats.aggregation_seconds = outcome.cost.seconds;
@@ -186,17 +195,53 @@ RealBaselineFleet::RoundStats RealBaselineFleet::step() {
   // and batcher; `global` is read-only), so local training fans out to the
   // pool. Per-agent losses land in fixed slots and are reduced in agent
   // order, keeping the round identical for every thread count.
+  //
+  // Bucketed AllReduce-DML: each agent publishes its buckets as its local
+  // training ends, and (overlap) one collector slot per pool thread lets
+  // idle workers reduce ready buckets while slower agents still train.
+  const bool bucketed = pipeline_ != nullptr;
+  const bool overlap = bucketed && options_.comms.overlap;
+  if (bucketed) pipeline_->begin_round();
+  const int64_t n_agents = static_cast<int64_t>(models_.size());
+  const int64_t n_collectors = overlap ? core::num_threads() : 0;
   std::vector<float> losses(models_.size(), 0.0f);
-  core::parallel_for(0, static_cast<int64_t>(models_.size()), 1,
+  core::parallel_for(0, n_agents + n_collectors, 1,
                      [&](int64_t lo, int64_t hi) {
-                       for (int64_t i = lo; i < hi; ++i)
-                         losses[static_cast<size_t>(i)] = train_locally(
-                             static_cast<size_t>(i),
-                             global ? &*global : nullptr);
-                     });
+    for (int64_t i = lo; i < hi; ++i) {
+      if (i >= n_agents) {
+        pipeline_->drain();
+        continue;
+      }
+      try {
+        losses[static_cast<size_t>(i)] = train_locally(
+            static_cast<size_t>(i), global ? &*global : nullptr);
+        if (bucketed) {
+          std::vector<tensor::Tensor*> ptrs;
+          models_[static_cast<size_t>(i)]->collect_state(ptrs);
+          pipeline_->publish_state(i, ptrs);
+        }
+      } catch (...) {
+        if (bucketed) pipeline_->abort();
+        throw;
+      }
+    }
+  });
   float loss = 0.0f;
   for (const float l : losses) loss += l;
   stats.mean_loss = loss / static_cast<float>(models_.size());
+
+  if (bucketed) {
+    if (!overlap) pipeline_->drain();
+    for (size_t i = 0; i < models_.size(); ++i) {
+      std::vector<tensor::Tensor*> ptrs;
+      models_[i]->collect_state(ptrs);
+      pipeline_->restore_state(static_cast<int64_t>(i), ptrs);
+    }
+    const core::PipelineStats ps = pipeline_->stats();
+    stats.aggregation_seconds = ps.comm_seconds;
+    stats.aggregation_bytes = ps.max_bytes_sent;
+    return stats;
+  }
   aggregate(stats);
   return stats;
 }

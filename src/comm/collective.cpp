@@ -8,11 +8,7 @@ namespace comdml::comm {
 
 namespace {
 
-struct Segment {
-  int64_t begin = 0;
-  int64_t end = 0;
-  [[nodiscard]] int64_t size() const { return end - begin; }
-};
+using Segment = Span;
 
 /// Split [0, n) into `parts` nearly equal chunks.
 std::vector<Segment> chunk(int64_t n, int64_t parts) {
@@ -66,6 +62,174 @@ void merge_segment(const Message& msg, double* dst, const Segment& seg,
   }
 }
 
+// ---- stepped allreduce schedules --------------------------------------------
+//
+// Ring and halving/doubling are *deterministic* message patterns: every
+// send/recv is known from (k, elems) alone. Each protocol therefore builds
+// a SteppedSchedule once, and both the blocking Collective::run and the
+// non-blocking AsyncCollective execute that same object step by step —
+// predicted (SimTransport) and executed (InProcTransport) traffic remain
+// one code path no matter which driver runs the schedule.
+
+/// Ring: reduce-scatter then all-gather. At step s agent a ships chunk
+/// (a - s) (reduce) or (a + 1 - s) (gather) one hop clockwise. The two
+/// phases differ only in the chunk rotation and whether the receiver
+/// accumulates or overwrites.
+SteppedSchedule ring_schedule(int64_t k, int64_t elems) {
+  SteppedSchedule sched;
+  if (k == 1) return sched;
+  sched.scale_to_mean = true;
+  const auto segs = chunk(elems, k);
+  for (const bool gather : {false, true}) {
+    const int64_t rot = gather ? 1 : 0;
+    for (int64_t s = 0; s < k - 1; ++s) {
+      ScheduleStep step;
+      for (int64_t a = 0; a < k; ++a) {
+        const Segment& seg = segs[static_cast<size_t>((a + rot + k - s) % k)];
+        step.sends.push_back({a, (a + 1) % k, seg});
+      }
+      for (int64_t a = 0; a < k; ++a) {
+        const int64_t prev = (a + k - 1) % k;
+        const Segment& seg =
+            segs[static_cast<size_t>((prev + rot + k - s) % k)];
+        step.recvs.push_back({a, prev, seg, /*accumulate=*/!gather});
+      }
+      sched.steps.push_back(std::move(step));
+    }
+  }
+  return sched;
+}
+
+/// Recursive halving/doubling with the non-power-of-two pre/post phases:
+/// extras fold into a partner first, the 2^l core reduce-scatters by
+/// recursive halving and all-gathers by recursive doubling, then partners
+/// push the final vector back to the extras. Note the element-wise sum is
+/// a balanced binary tree over agent-index blocks regardless of where the
+/// segment boundaries fall — which is why a bucketed halving/doubling
+/// allreduce is bit-identical to one flat collective (nn/bucket.hpp relies
+/// on this).
+SteppedSchedule halving_doubling_schedule(int64_t k, int64_t elems) {
+  SteppedSchedule sched;
+  if (k == 1) return sched;
+  sched.scale_to_mean = true;
+  const int64_t n = elems;
+  const int64_t l = floor_log2(k);
+  const int64_t p2 = int64_t{1} << l;
+  const int64_t rem = k - p2;
+
+  if (rem > 0) {
+    ScheduleStep pre;
+    for (int64_t e = p2; e < k; ++e)
+      pre.sends.push_back({e, e - p2, Segment{0, n}});
+    for (int64_t e = p2; e < k; ++e)
+      pre.recvs.push_back({e - p2, e, Segment{0, n}, /*accumulate=*/true});
+    sched.steps.push_back(std::move(pre));
+  }
+
+  // One pairwise exchange step; each side ships the half the *other* side
+  // keeps (and therefore receives into).
+  struct Exchange {
+    int64_t a = 0, peer = 0;
+    Segment a_keeps, peer_keeps;
+  };
+  std::vector<Exchange> plan;
+  const auto exchange_step = [&](bool accumulate) {
+    ScheduleStep step;
+    for (const Exchange& x : plan) {
+      step.sends.push_back({x.a, x.peer, x.peer_keeps});
+      step.sends.push_back({x.peer, x.a, x.a_keeps});
+    }
+    for (const Exchange& x : plan) {
+      step.recvs.push_back({x.a, x.peer, x.a_keeps, accumulate});
+      step.recvs.push_back({x.peer, x.a, x.peer_keeps, accumulate});
+    }
+    sched.steps.push_back(std::move(step));
+  };
+
+  // Reduce-scatter among the p2 core agents by recursive halving.
+  std::vector<Segment> live(static_cast<size_t>(p2), Segment{0, n});
+  for (int64_t step = 0; step < l; ++step) {
+    const int64_t mask = int64_t{1} << step;
+    plan.clear();
+    for (int64_t a = 0; a < p2; ++a) {
+      const int64_t peer = a ^ mask;
+      if (peer < a) continue;
+      const Segment range = live[static_cast<size_t>(a)];
+      const int64_t mid = range.begin + range.size() / 2;
+      plan.push_back(
+          {a, peer, Segment{range.begin, mid}, Segment{mid, range.end}});
+      live[static_cast<size_t>(a)] = {range.begin, mid};
+      live[static_cast<size_t>(peer)] = {mid, range.end};
+    }
+    exchange_step(/*accumulate=*/true);
+  }
+  // All-gather by recursive doubling (reverse order): peers swap their
+  // live segments wholesale and keep the union.
+  for (int64_t step = l - 1; step >= 0; --step) {
+    const int64_t mask = int64_t{1} << step;
+    plan.clear();
+    for (int64_t a = 0; a < p2; ++a) {
+      const int64_t peer = a ^ mask;
+      if (peer < a) continue;
+      const Segment sa = live[static_cast<size_t>(a)];
+      const Segment sp = live[static_cast<size_t>(peer)];
+      // a receives (keeps) peer's segment and vice versa.
+      plan.push_back({a, peer, sp, sa});
+      const Segment merged{std::min(sa.begin, sp.begin),
+                           std::max(sa.end, sp.end)};
+      live[static_cast<size_t>(a)] = merged;
+      live[static_cast<size_t>(peer)] = merged;
+    }
+    exchange_step(/*accumulate=*/false);
+  }
+  if (rem > 0) {
+    ScheduleStep post;
+    for (int64_t e = p2; e < k; ++e)
+      post.sends.push_back({e - p2, e, Segment{0, n}});
+    for (int64_t e = p2; e < k; ++e)
+      post.recvs.push_back({e, e - p2, Segment{0, n}, /*accumulate=*/false});
+    sched.steps.push_back(std::move(post));
+  }
+  return sched;
+}
+
+/// Execute one schedule step: post every send, close the transport step,
+/// fold every delivered payload.
+void execute_schedule_step(Transport& t, const CollectiveRequest& req,
+                           const ScheduleStep& step) {
+  for (const ScheduleStep::Send& s : step.sends) {
+    const double* data = buffer_of(req, s.src);
+    t.send(s.src, s.dst, s.span.size(),
+           data != nullptr ? data + s.span.begin : nullptr);
+  }
+  t.end_step();
+  for (const ScheduleStep::Recv& r : step.recvs) {
+    const Message msg = t.recv(r.dst, r.src);
+    merge_segment(msg, buffer_of(req, r.dst), r.span, r.accumulate);
+  }
+}
+
+/// Sum -> mean after the last step.
+void finalize_mean(const CollectiveRequest& req, int64_t agents) {
+  if (req.buffers.empty()) return;
+  const double inv_k = 1.0 / static_cast<double>(agents);
+  for (int64_t a = 0; a < agents; ++a) {
+    double* mine = buffer_of(req, a);
+    for (int64_t i = 0; i < req.elems; ++i) mine[i] *= inv_k;
+  }
+}
+
+/// Blocking allreduce over a prebuilt schedule (ring and halving/doubling
+/// share everything but the schedule builder).
+CollectiveReport run_stepped(const SteppedSchedule& sched, Transport& t,
+                             const CollectiveRequest& req) {
+  validate_buffers(req, t.endpoints());
+  for (const ScheduleStep& step : sched.steps)
+    execute_schedule_step(t, req, step);
+  if (sched.scale_to_mean) finalize_mean(req, t.endpoints());
+  return report_of(t);
+}
+
 // ---- ring -------------------------------------------------------------------
 
 class RingAllReduce final : public Collective {
@@ -76,44 +240,7 @@ class RingAllReduce final : public Collective {
 
   CollectiveReport run(Transport& t,
                        const CollectiveRequest& req) const override {
-    const int64_t k = t.endpoints();
-    validate_buffers(req, k);
-    if (k == 1) return report_of(t);
-    const auto segs = chunk(req.elems, k);
-
-    // Reduce-scatter, then all-gather: at step s agent a ships chunk
-    // (a - s) (reduce) or (a + 1 - s) (gather) one hop clockwise. The two
-    // phases differ only in the chunk rotation and whether the receiver
-    // accumulates or overwrites.
-    for (const bool gather : {false, true}) {
-      const int64_t rot = gather ? 1 : 0;
-      for (int64_t s = 0; s < k - 1; ++s) {
-        for (int64_t a = 0; a < k; ++a) {
-          const Segment& seg =
-              segs[static_cast<size_t>((a + rot + k - s) % k)];
-          const double* data = buffer_of(req, a);
-          t.send(a, (a + 1) % k, seg.size(),
-                 data != nullptr ? data + seg.begin : nullptr);
-        }
-        t.end_step();
-        for (int64_t a = 0; a < k; ++a) {
-          const int64_t prev = (a + k - 1) % k;
-          const Message msg = t.recv(a, prev);
-          const Segment& seg =
-              segs[static_cast<size_t>((prev + rot + k - s) % k)];
-          merge_segment(msg, buffer_of(req, a), seg, /*accumulate=*/!gather);
-        }
-      }
-    }
-    // Sum -> mean.
-    if (!req.buffers.empty()) {
-      const double inv_k = 1.0 / static_cast<double>(k);
-      for (int64_t a = 0; a < k; ++a) {
-        double* mine = buffer_of(req, a);
-        for (int64_t i = 0; i < req.elems; ++i) mine[i] *= inv_k;
-      }
-    }
-    return report_of(t);
+    return run_stepped(ring_schedule(t.endpoints(), req.elems), t, req);
   }
 };
 
@@ -127,105 +254,8 @@ class HalvingDoublingAllReduce final : public Collective {
 
   CollectiveReport run(Transport& t,
                        const CollectiveRequest& req) const override {
-    const int64_t k = t.endpoints();
-    validate_buffers(req, k);
-    if (k == 1) return report_of(t);
-    const int64_t n = req.elems;
-    const int64_t l = floor_log2(k);
-    const int64_t p2 = int64_t{1} << l;
-    const int64_t rem = k - p2;
-
-    // Pre-phase: extras (p2..k-1) fold their whole vector into partner
-    // (e - p2).
-    if (rem > 0) {
-      for (int64_t e = p2; e < k; ++e)
-        t.send(e, e - p2, n, buffer_of(req, e));
-      t.end_step();
-      for (int64_t e = p2; e < k; ++e)
-        merge_segment(t.recv(e - p2, e), buffer_of(req, e - p2),
-                      Segment{0, n}, /*accumulate=*/true);
-    }
-
-    // One pairwise exchange step; `lower_keeps`/`upper_keeps` name the
-    // segments each side retains (and therefore receives into).
-    struct Exchange {
-      int64_t a = 0, peer = 0;
-      Segment a_keeps, peer_keeps;
-    };
-    std::vector<Exchange> plan;
-    const auto exchange_step = [&](bool accumulate) {
-      for (const Exchange& x : plan) {
-        const double* da = buffer_of(req, x.a);
-        const double* dp = buffer_of(req, x.peer);
-        // Each side ships the half the *other* side keeps.
-        t.send(x.a, x.peer, x.peer_keeps.size(),
-               da != nullptr ? da + x.peer_keeps.begin : nullptr);
-        t.send(x.peer, x.a, x.a_keeps.size(),
-               dp != nullptr ? dp + x.a_keeps.begin : nullptr);
-      }
-      t.end_step();
-      for (const Exchange& x : plan) {
-        merge_segment(t.recv(x.a, x.peer), buffer_of(req, x.a), x.a_keeps,
-                      accumulate);
-        merge_segment(t.recv(x.peer, x.a), buffer_of(req, x.peer),
-                      x.peer_keeps, accumulate);
-      }
-    };
-
-    // Reduce-scatter among the p2 core agents by recursive halving.
-    std::vector<Segment> live(static_cast<size_t>(p2), Segment{0, n});
-    for (int64_t step = 0; step < l; ++step) {
-      const int64_t mask = int64_t{1} << step;
-      plan.clear();
-      for (int64_t a = 0; a < p2; ++a) {
-        const int64_t peer = a ^ mask;
-        if (peer < a) continue;
-        const Segment range = live[static_cast<size_t>(a)];
-        const int64_t mid = range.begin + range.size() / 2;
-        plan.push_back({a, peer, Segment{range.begin, mid},
-                        Segment{mid, range.end}});
-        live[static_cast<size_t>(a)] = {range.begin, mid};
-        live[static_cast<size_t>(peer)] = {mid, range.end};
-      }
-      exchange_step(/*accumulate=*/true);
-    }
-    // All-gather by recursive doubling (reverse order): peers swap their
-    // live segments wholesale and keep the union.
-    for (int64_t step = l - 1; step >= 0; --step) {
-      const int64_t mask = int64_t{1} << step;
-      plan.clear();
-      for (int64_t a = 0; a < p2; ++a) {
-        const int64_t peer = a ^ mask;
-        if (peer < a) continue;
-        const Segment sa = live[static_cast<size_t>(a)];
-        const Segment sp = live[static_cast<size_t>(peer)];
-        // a receives (keeps) peer's segment and vice versa.
-        plan.push_back({a, peer, sp, sa});
-        const Segment merged{std::min(sa.begin, sp.begin),
-                             std::max(sa.end, sp.end)};
-        live[static_cast<size_t>(a)] = merged;
-        live[static_cast<size_t>(peer)] = merged;
-      }
-      exchange_step(/*accumulate=*/false);
-    }
-    // Post-phase: partners push the final vector back to the extras.
-    if (rem > 0) {
-      for (int64_t e = p2; e < k; ++e)
-        t.send(e - p2, e, n, buffer_of(req, e - p2));
-      t.end_step();
-      for (int64_t e = p2; e < k; ++e)
-        merge_segment(t.recv(e, e - p2), buffer_of(req, e), Segment{0, n},
-                      /*accumulate=*/false);
-    }
-    // Sum -> mean.
-    if (!req.buffers.empty()) {
-      const double inv_k = 1.0 / static_cast<double>(k);
-      for (int64_t a = 0; a < k; ++a) {
-        double* mine = buffer_of(req, a);
-        for (int64_t i = 0; i < n; ++i) mine[i] *= inv_k;
-      }
-    }
-    return report_of(t);
+    return run_stepped(halving_doubling_schedule(t.endpoints(), req.elems),
+                       t, req);
   }
 };
 
@@ -359,6 +389,63 @@ const Collective* const kRegistry[kProtocols] = {&kRing, &kHalvingDoubling,
                                                  &kGossip, &kParamServer};
 
 }  // namespace
+
+SteppedSchedule allreduce_schedule(Protocol protocol, int64_t agents,
+                                   int64_t elems) {
+  COMDML_CHECK(agents > 0 && elems >= 0);
+  switch (protocol) {
+    case Protocol::kRingAllReduce:
+      return ring_schedule(agents, elems);
+    case Protocol::kHalvingDoublingAllReduce:
+      return halving_doubling_schedule(agents, elems);
+    case Protocol::kGossip:
+    case Protocol::kParamServer:
+      break;
+  }
+  COMDML_REQUIRE(false, "protocol '" << collective(protocol).name()
+                                     << "' has no stepped schedule");
+  return {};
+}
+
+AsyncCollective::AsyncCollective(Protocol protocol, Transport& transport,
+                                 CollectiveRequest request)
+    : transport_(&transport),
+      request_(std::move(request)),
+      owned_(
+          allreduce_schedule(protocol, transport.endpoints(), request_.elems)),
+      schedule_(&owned_) {
+  validate_buffers(request_, transport.endpoints());
+  if (schedule_->steps.empty()) finalized_ = true;  // k == 1: nothing to do
+}
+
+AsyncCollective::AsyncCollective(const SteppedSchedule& schedule,
+                                 Transport& transport,
+                                 CollectiveRequest request)
+    : transport_(&transport),
+      request_(std::move(request)),
+      schedule_(&schedule) {
+  validate_buffers(request_, transport.endpoints());
+  if (schedule_->steps.empty()) finalized_ = true;  // k == 1: nothing to do
+}
+
+bool AsyncCollective::poll() {
+  if (next_step_ < schedule_->steps.size()) {
+    execute_schedule_step(*transport_, request_,
+                          schedule_->steps[next_step_]);
+    ++next_step_;
+  }
+  if (done() && !finalized_) {
+    if (schedule_->scale_to_mean)
+      finalize_mean(request_, transport_->endpoints());
+    finalized_ = true;
+  }
+  return done();
+}
+
+void AsyncCollective::wait() {
+  while (!poll()) {
+  }
+}
 
 const Collective& collective(Protocol protocol) {
   const auto idx = static_cast<size_t>(protocol);

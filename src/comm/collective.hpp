@@ -63,6 +63,103 @@ class Collective {
                                const CollectiveRequest& request) const = 0;
 };
 
+// ---- stepped schedules / non-blocking collectives ---------------------------
+
+/// Contiguous element range of a collective payload.
+struct Span {
+  int64_t begin = 0;
+  int64_t end = 0;
+  [[nodiscard]] int64_t size() const noexcept { return end - begin; }
+};
+
+/// One synchronous exchange step of a stepped collective: every send in the
+/// step is posted, the transport step closes (modeled span = slowest
+/// message), then each receive folds its payload into the destination
+/// buffer (accumulate) or overwrites it (gather).
+struct ScheduleStep {
+  struct Send {
+    int64_t src = 0;
+    int64_t dst = 0;
+    Span span;
+  };
+  struct Recv {
+    int64_t dst = 0;
+    int64_t src = 0;
+    Span span;
+    bool accumulate = false;
+  };
+  std::vector<Send> sends;
+  std::vector<Recv> recvs;
+};
+
+/// The full message schedule of a deterministic stepped protocol. Both the
+/// blocking Collective::run and the non-blocking AsyncCollective execute
+/// this same object, so predicted and executed traffic cannot drift no
+/// matter which driver runs it.
+struct SteppedSchedule {
+  std::vector<ScheduleStep> steps;
+  /// Scale every buffer by 1/agents after the last step (sum -> mean).
+  bool scale_to_mean = false;
+};
+
+/// Schedule of an AllReduce protocol (kRingAllReduce or
+/// kHalvingDoublingAllReduce) over `agents` endpoints moving `elems`
+/// fp32-wire elements per agent. Throws for protocols without a stepped
+/// schedule (gossip's fan-in is data-dependent; param_server needs the
+/// star's server endpoint).
+[[nodiscard]] SteppedSchedule allreduce_schedule(Protocol protocol,
+                                                 int64_t agents,
+                                                 int64_t elems);
+
+/// Non-blocking stepped collective: construction starts the operation (no
+/// traffic yet), each poll() executes exactly one schedule step over the
+/// transport, wait() drives it to completion. This is what lets a bucket
+/// collective run concurrently with compute: a driver thread polls
+/// in-flight buckets while training produces the next one. One
+/// AsyncCollective must only be polled from one thread at a time; distinct
+/// AsyncCollectives over distinct transports are independent.
+class AsyncCollective {
+ public:
+  /// `transport` and the request's buffers must outlive the operation.
+  AsyncCollective(Protocol protocol, Transport& transport,
+                  CollectiveRequest request);
+  /// Borrow a prebuilt schedule (must outlive the operation and match the
+  /// transport's endpoints / the request's elems) — repeated collectives
+  /// over the same geometry (the round pipeline's per-bucket allreduces)
+  /// build their schedules once instead of once per round.
+  AsyncCollective(const SteppedSchedule& schedule, Transport& transport,
+                  CollectiveRequest request);
+
+  // Non-copyable/movable: schedule_ may point at this object's own
+  // owned_ schedule, which a copy or move would leave dangling.
+  AsyncCollective(const AsyncCollective&) = delete;
+  AsyncCollective& operator=(const AsyncCollective&) = delete;
+
+  [[nodiscard]] bool done() const noexcept {
+    return next_step_ >= schedule_->steps.size();
+  }
+  /// Executes the next schedule step (and the final mean scaling after the
+  /// last one); returns done().
+  bool poll();
+  /// Polls until done.
+  void wait();
+
+  [[nodiscard]] int64_t steps_executed() const noexcept {
+    return static_cast<int64_t>(next_step_);
+  }
+  [[nodiscard]] int64_t total_steps() const noexcept {
+    return static_cast<int64_t>(schedule_->steps.size());
+  }
+
+ private:
+  Transport* transport_;
+  CollectiveRequest request_;
+  SteppedSchedule owned_;  ///< empty when the schedule is borrowed
+  const SteppedSchedule* schedule_;
+  size_t next_step_ = 0;
+  bool finalized_ = false;
+};
+
 /// Registry lookup by enum (always succeeds).
 [[nodiscard]] const Collective& collective(Protocol protocol);
 

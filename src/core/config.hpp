@@ -90,6 +90,22 @@ struct FleetOptions {
     /// across concurrent transfers.
     double server_mbps = 1000.0;
     double latency_sec = comm::kDefaultLatencySec;
+    /// Bucketed aggregation: partition model state into buckets of about
+    /// this many fp32 wire bytes and aggregate per bucket through the
+    /// round pipeline (core/round_pipeline.hpp). 0 keeps the historical
+    /// single flat collective.
+    int64_t bucket_bytes = 0;
+    /// Overlapped rounds: run bucket collectives concurrently with the
+    /// tail of local training (requires bucket_bytes > 0). Off, the same
+    /// buckets reduce sequentially after the training barrier — the two
+    /// modes are bit-identical; overlap only changes the wall-clock
+    /// schedule. With differential privacy the overlap window closes:
+    /// noise draws are serialized on the fleet RNG after training, so
+    /// buckets publish post-noising and rounds report the full
+    /// aggregation time as exposed. Real baseline fleets honor these
+    /// knobs only for the AllReduce-DML method (the other baselines do
+    /// not aggregate through an allreduce).
+    bool overlap = false;
   } comms;
 
   /// Privacy techniques applied before state leaves the device (§V-B-4).
@@ -110,6 +126,68 @@ struct FleetOptions {
     size_t max_split_points = 0;
     double agent_dropout = 0.0;
   } scale;
+
+  /// Reject out-of-range knobs with a descriptive error instead of letting
+  /// a zero batch size or negative bandwidth surface as a hang, a
+  /// divide-by-zero clock, or silent misbehavior deep inside a round.
+  /// Every fleet entry point (RealFleet, RealBaselineFleet,
+  /// FleetBuilder::build) calls this.
+  void validate() const {
+    COMDML_REQUIRE(train.batch_size > 0,
+                   "batch_size must be positive, got " << train.batch_size);
+    COMDML_REQUIRE(train.batches_per_round > 0,
+                   "batches_per_round must be positive, got "
+                       << train.batches_per_round);
+    COMDML_REQUIRE(train.sgd.lr > 0.0f,
+                   "sgd.lr must be positive, got " << train.sgd.lr);
+    COMDML_REQUIRE(
+        train.sgd.momentum >= 0.0f && train.sgd.momentum < 1.0f,
+        "sgd.momentum must be in [0, 1), got " << train.sgd.momentum);
+    COMDML_REQUIRE(train.sgd.weight_decay >= 0.0f,
+                   "sgd.weight_decay must be non-negative");
+    COMDML_REQUIRE(train.prox_mu >= 0.0f, "prox_mu must be non-negative");
+    COMDML_REQUIRE(
+        train.plateau_factor >= 0.0f && train.plateau_factor < 1.0f,
+        "plateau_factor must be in [0, 1), got " << train.plateau_factor);
+    COMDML_REQUIRE(train.plateau_factor == 0.0f || train.plateau_patience > 0,
+                   "plateau_patience must be positive when the plateau "
+                   "schedule is enabled");
+    COMDML_REQUIRE(train.reference_flops > 0.0,
+                   "reference_flops must be positive, got "
+                       << train.reference_flops);
+    COMDML_REQUIRE(comms.activation_compression >= 1.0,
+                   "activation_compression must be >= 1, got "
+                       << comms.activation_compression);
+    COMDML_REQUIRE(comms.server_mbps > 0.0,
+                   "server_mbps must be positive, got " << comms.server_mbps);
+    COMDML_REQUIRE(comms.latency_sec >= 0.0,
+                   "latency_sec must be non-negative, got "
+                       << comms.latency_sec);
+    COMDML_REQUIRE(comms.bucket_bytes >= 0,
+                   "bucket_bytes must be non-negative, got "
+                       << comms.bucket_bytes);
+    COMDML_REQUIRE(!comms.overlap || comms.bucket_bytes > 0,
+                   "overlapped rounds need bucket_bytes > 0 (overlap "
+                   "pipelines per-bucket collectives)");
+    COMDML_REQUIRE(privacy.dp_epsilon > 0.0,
+                   "dp_epsilon must be positive, got " << privacy.dp_epsilon);
+    COMDML_REQUIRE(privacy.dp_sensitivity > 0.0,
+                   "dp_sensitivity must be positive");
+    COMDML_REQUIRE(privacy.shuffle_patch > 0,
+                   "shuffle_patch must be positive, got "
+                       << privacy.shuffle_patch);
+    COMDML_REQUIRE(scale.participation > 0.0 && scale.participation <= 1.0,
+                   "participation must be in (0, 1], got "
+                       << scale.participation);
+    COMDML_REQUIRE(
+        scale.reshuffle_fraction >= 0.0 && scale.reshuffle_fraction <= 1.0,
+        "reshuffle_fraction must be in [0, 1]");
+    COMDML_REQUIRE(scale.reshuffle_period >= 0,
+                   "reshuffle_period must be non-negative");
+    COMDML_REQUIRE(scale.agent_dropout >= 0.0 && scale.agent_dropout < 1.0,
+                   "agent_dropout must be in [0, 1), got "
+                       << scale.agent_dropout);
+  }
 
   /// Paper-scale simulation preset (batch 100, seed 42).
   [[nodiscard]] static FleetOptions paper_defaults() {

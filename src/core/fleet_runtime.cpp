@@ -54,6 +54,8 @@ RoundReport FleetRuntime::step() {
     rep.round_seconds = stats.sim_time;
     rep.aggregation_seconds = stats.aggregation_seconds;
     rep.aggregation_bytes = stats.aggregation_bytes;
+    rep.buckets = stats.buckets;
+    rep.exposed_comm_seconds = stats.exposed_comm_seconds;
     rep.num_pairs = stats.num_pairs;
     rep.mean_loss = stats.mean_loss;
     rep.mean_slow_loss = stats.mean_slow_loss;
@@ -141,7 +143,10 @@ FleetRuntime FleetBuilder::build() {
                  "FleetBuilder::build() already consumed this builder's "
                  "inputs; configure a fresh builder per fleet");
   consumed_ = true;
+  if (options_set_) options_.validate();
   COMDML_REQUIRE(topology_.has_value(), "FleetBuilder needs a topology()");
+  COMDML_REQUIRE(topology_->agents() > 0,
+                 "FleetBuilder needs a topology with at least one agent");
   const bool wants_real = shards_.has_value() || factory_ != nullptr;
   const bool wants_sim = spec_.has_value() || shard_sizes_.has_value();
   COMDML_REQUIRE(wants_real != wants_sim,

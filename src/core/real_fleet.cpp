@@ -1,5 +1,7 @@
 #include "core/real_fleet.hpp"
 
+#include <algorithm>
+
 #include "comm/allreduce.hpp"
 #include "comm/compress.hpp"
 #include "core/parallel.hpp"
@@ -21,6 +23,7 @@ RealFleet::RealFleet(const ModelFactory& factory, int64_t classes,
       classes_(classes),
       in_shape_(),
       profile_() {
+  options_.validate();
   COMDML_REQUIRE(!shards_.empty(), "fleet needs at least one shard");
   COMDML_CHECK(static_cast<int64_t>(shards_.size()) == topology_.agents());
   for (auto& s : shards_) s.validate();
@@ -48,6 +51,33 @@ RealFleet::RealFleet(const ModelFactory& factory, int64_t classes,
   current_lr_ = options_.train.sgd.lr;
   if (options_.train.plateau_factor > 0.0f) {
     plateau_.emplace(options_.train.plateau_factor, options_.train.plateau_patience);
+  }
+
+  if (options_.comms.bucket_bytes > 0) {
+    // Bucketed aggregation: one plan and one pipeline for the fleet's
+    // lifetime (all replicas are structurally identical).
+    bucket_plan_ =
+        nn::BucketPlan::build(*agents_[0].model, options_.comms.bucket_bytes);
+    pipeline_ = std::make_unique<RoundPipeline>(
+        static_cast<int64_t>(agents_.size()), *bucket_plan_,
+        bottleneck_grid(topology_, options_.comms.latency_sec),
+        options_.comms.aggregation);
+    // Modeled backward-tail fraction per bucket: the share of one batch's
+    // work still ahead of the final backward sweep when the bucket's
+    // lowest unit has finished — this is the compute window the bucket's
+    // collective can hide inside.
+    const auto costs = agents_[0].model->unit_costs(in_shape_);
+    double total = 0.0;
+    for (const auto& c : costs) total += c.flops_forward + c.flops_backward;
+    std::vector<double> below(costs.size() + 1, 0.0);
+    for (size_t u = 0; u < costs.size(); ++u)
+      below[u + 1] = below[u] + costs[u].flops_backward;
+    bucket_back_frac_.resize(static_cast<size_t>(bucket_plan_->buckets()));
+    for (int64_t b = 0; b < bucket_plan_->buckets(); ++b)
+      bucket_back_frac_[static_cast<size_t>(b)] =
+          total > 0.0
+              ? below[bucket_plan_->bucket(b).first_unit] / total
+              : 0.0;
   }
 }
 
@@ -110,59 +140,122 @@ RealFleet::RoundStats RealFleet::step() {
   for (size_t t = 0; t < n_tasks; ++t) task_rngs.push_back(rng_.fork());
   std::vector<TaskResult> results(n_tasks);
 
-  parallel_for(0, static_cast<int64_t>(n_tasks), 1,
+  // Bucketed aggregation modes. DP noise draws from the fleet Rng in agent
+  // order after training (historical semantics), so with DP the buckets are
+  // published after the noising pass instead of from inside the tasks, and
+  // the layerwise overlap window closes.
+  const bool bucketed = pipeline_ != nullptr;
+  const bool dp = options_.privacy.technique ==
+                  learncurve::PrivacyTechnique::kDifferentialPrivacy;
+  const bool publish_in_task = bucketed && !dp;
+  const bool overlap = publish_in_task && options_.comms.overlap;
+  if (bucketed) pipeline_->begin_round();
+
+  // Publish every bucket of `agent`'s replica (already final).
+  const auto publish_all = [&](int64_t agent) {
+    std::vector<tensor::Tensor*> ptrs;
+    agents_[static_cast<size_t>(agent)].model->collect_state(ptrs);
+    pipeline_->publish_state(agent, ptrs);
+  };
+
+  // Full-model local training for one agent. When publishing from inside
+  // the task, the round's last batch steps each unit as its backward
+  // completes, so output-side buckets enter the pipeline while input-side
+  // backward compute is still running (bit-identical math either way).
+  const auto train_full = [&](int64_t agent, tensor::Rng& rng,
+                              TaskResult& out) {
+    auto& st = agents_[static_cast<size_t>(agent)];
+    nn::SGD opt(st.model->parameters(), sgd);
+    const int64_t batches = options_.train.batches_per_round;
+    for (int64_t b = 0; b < batches; ++b) {
+      const auto batch = next_batch(agent, rng);
+      if (publish_in_task && b == batches - 1) {
+        std::vector<tensor::Tensor*> ptrs;
+        st.model->collect_state(ptrs);
+        nn::BucketReadyTracker tracker(*bucket_plan_);
+        const auto res = nn::train_batch_full_notify(
+            *st.model, opt, batch.x, batch.y,
+            bucket_plan_->unit_param_counts(), [&](size_t u) {
+              tracker.unit_done(u, [&](int64_t bk) {
+                bucket_plan_->flatten_bucket(ptrs, bk,
+                                             pipeline_->slot(agent, bk));
+                pipeline_->contribute(agent, bk);
+              });
+            });
+        out.loss_sum += res.loss;
+        ++out.loss_count;
+      } else {
+        const auto res =
+            nn::train_batch_full(*st.model, opt, batch.x, batch.y);
+        out.loss_sum += res.loss;
+        ++out.loss_count;
+      }
+    }
+  };
+
+  const auto run_task = [&](int64_t t) {
+    tensor::Rng& rng = task_rngs[static_cast<size_t>(t)];
+    TaskResult& out = results[static_cast<size_t>(t)];
+    if (t < static_cast<int64_t>(n_pairs)) {
+      // Paired agents: local-loss split training of the *slow* agent's
+      // replica (fast side physically runs on the fast agent; state-wise
+      // it is the slow replica's suffix), while the fast agent also
+      // trains its own replica.
+      const auto& pair = plan.pairs[static_cast<size_t>(t)];
+      auto& slow = agents_[static_cast<size_t>(pair.slow_agent)];
+      nn::LocalLossSplitTrainer split(*slow.model, pair.cut, in_shape_,
+                                      classes_, rng, sgd);
+      for (int64_t b = 0; b < options_.train.batches_per_round; ++b) {
+        const auto batch = next_batch(pair.slow_agent, rng);
+        const auto step = split.train_batch(batch.x, batch.y);
+        out.slow_loss_sum += step.slow_loss;
+        out.loss_sum += step.fast_loss;
+        ++out.loss_count;
+        if (b == 0) {
+          // Privacy leakage across the cut, measured on real
+          // activations, and the actually-achieved wire compression of
+          // the same payload.
+          const auto h =
+              slow.model->forward_range(batch.x, 0, pair.cut, false);
+          out.dcor += privacy::distance_correlation(batch.x, h);
+          out.wire_compression += comm::compression_ratio(h);
+          ++out.dcor_count;
+        }
+      }
+      // The slow replica is final once split training ends; its buckets
+      // can ship while the fast agent's own replica still trains below.
+      if (publish_in_task) publish_all(pair.slow_agent);
+      train_full(pair.fast_agent, rng, out);
+    } else {
+      // Solo agents train the full model.
+      const int64_t id = plan.solo[static_cast<size_t>(t) - n_pairs];
+      train_full(id, rng, out);
+    }
+  };
+
+  // Work items: the training tasks plus (overlapped mode) one collector
+  // slot per pool thread. Chunks are claimed in index order, so collector
+  // slots are only picked up by workers with no training work left; those
+  // workers execute ready bucket collectives concurrently with the
+  // remaining compute. A task failure aborts the pipeline so waiting
+  // collectors exit before the exception propagates.
+  const int64_t n_collectors = overlap ? num_threads() : 0;
+  parallel_for(0, static_cast<int64_t>(n_tasks) + n_collectors, 1,
                [&](int64_t lo, int64_t hi) {
     for (int64_t t = lo; t < hi; ++t) {
-      tensor::Rng& rng = task_rngs[static_cast<size_t>(t)];
-      TaskResult& out = results[static_cast<size_t>(t)];
-      if (t < static_cast<int64_t>(n_pairs)) {
-        // Paired agents: local-loss split training of the *slow* agent's
-        // replica (fast side physically runs on the fast agent; state-wise
-        // it is the slow replica's suffix), while the fast agent also
-        // trains its own replica.
-        const auto& pair = plan.pairs[static_cast<size_t>(t)];
-        auto& slow = agents_[static_cast<size_t>(pair.slow_agent)];
-        auto& fast = agents_[static_cast<size_t>(pair.fast_agent)];
-        nn::LocalLossSplitTrainer split(*slow.model, pair.cut, in_shape_,
-                                        classes_, rng, sgd);
-        for (int64_t b = 0; b < options_.train.batches_per_round; ++b) {
-          const auto batch = next_batch(pair.slow_agent, rng);
-          const auto step = split.train_batch(batch.x, batch.y);
-          out.slow_loss_sum += step.slow_loss;
-          out.loss_sum += step.fast_loss;
-          ++out.loss_count;
-          if (b == 0) {
-            // Privacy leakage across the cut, measured on real
-            // activations, and the actually-achieved wire compression of
-            // the same payload.
-            const auto h =
-                slow.model->forward_range(batch.x, 0, pair.cut, false);
-            out.dcor += privacy::distance_correlation(batch.x, h);
-            out.wire_compression += comm::compression_ratio(h);
-            ++out.dcor_count;
-          }
-        }
-        nn::SGD fast_opt(fast.model->parameters(), sgd);
-        for (int64_t b = 0; b < options_.train.batches_per_round; ++b) {
-          const auto batch = next_batch(pair.fast_agent, rng);
-          const auto res =
-              nn::train_batch_full(*fast.model, fast_opt, batch.x, batch.y);
-          out.loss_sum += res.loss;
-          ++out.loss_count;
-        }
-      } else {
-        // Solo agents train the full model.
-        const int64_t id =
-            plan.solo[static_cast<size_t>(t) - n_pairs];
-        auto& agent = agents_[static_cast<size_t>(id)];
-        nn::SGD opt(agent.model->parameters(), sgd);
-        for (int64_t b = 0; b < options_.train.batches_per_round; ++b) {
-          const auto batch = next_batch(id, rng);
-          const auto res =
-              nn::train_batch_full(*agent.model, opt, batch.x, batch.y);
-          out.loss_sum += res.loss;
-          ++out.loss_count;
-        }
+      if (t >= static_cast<int64_t>(n_tasks)) {
+        pipeline_->drain();
+        continue;
+      }
+      if (!bucketed) {
+        run_task(t);
+        continue;
+      }
+      try {
+        run_task(t);
+      } catch (...) {
+        pipeline_->abort();
+        throw;
       }
     }
   });
@@ -180,39 +273,92 @@ RealFleet::RoundStats RealFleet::step() {
     dcor_count += r.dcor_count;
   }
 
-  // Optional DP on each agent's state before it leaves the device. The
-  // merge buffers are fleet members reused round over round.
-  std::vector<std::vector<tensor::Tensor>>& states = state_scratch_;
-  states.resize(agents_.size());
-  for (size_t i = 0; i < agents_.size(); ++i)
-    nn::copy_state_into(*agents_[i].model, states[i]);
-  if (options_.privacy.technique ==
-      learncurve::PrivacyTechnique::kDifferentialPrivacy) {
-    for (auto& s : states)
-      privacy::laplace_mechanism(s, options_.privacy.dp_epsilon,
-                                 options_.privacy.dp_sensitivity, rng_);
+  const double t_comp = plan.estimated_round_time;
+  if (!bucketed) {
+    // Optional DP on each agent's state before it leaves the device. The
+    // merge buffers are fleet members reused round over round.
+    std::vector<std::vector<tensor::Tensor>>& states = state_scratch_;
+    states.resize(agents_.size());
+    for (size_t i = 0; i < agents_.size(); ++i)
+      nn::copy_state_into(*agents_[i].model, states[i]);
+    if (dp) {
+      for (auto& s : states)
+        privacy::laplace_mechanism(s, options_.privacy.dp_epsilon,
+                                   options_.privacy.dp_sensitivity, rng_);
+    }
+
+    // Real message-level decentralized aggregation over an InProcTransport.
+    // The collective routes through the overlay at the bottleneck rate (the
+    // seed cost models' assumption), and one run yields both the executed
+    // traffic and the modeled clock — predicted cost and real bytes are the
+    // same schedule by construction.
+    const auto agg = comm::allreduce_average_over(
+        states, bottleneck_grid(topology_, options_.comms.latency_sec),
+        options_.comms.aggregation);
+    for (size_t i = 0; i < agents_.size(); ++i)
+      nn::load_state(*agents_[i].model, states[i]);
+
+    // Simulated wall-clock: balanced round span + the collective.
+    stats.aggregation_seconds = agg.cost.seconds;
+    stats.aggregation_bytes = agg.cost.bytes_per_agent;
+    stats.exposed_comm_seconds = agg.cost.seconds;
+    stats.sim_time = t_comp + agg.cost.seconds;
+  } else {
+    if (dp) {
+      // Snapshot + noise in agent order with the fleet Rng (same draw
+      // sequence as the flat path), then publish every bucket.
+      std::vector<std::vector<tensor::Tensor>>& states = state_scratch_;
+      states.resize(agents_.size());
+      for (size_t i = 0; i < agents_.size(); ++i)
+        nn::copy_state_into(*agents_[i].model, states[i]);
+      for (auto& s : states)
+        privacy::laplace_mechanism(s, options_.privacy.dp_epsilon,
+                                   options_.privacy.dp_sensitivity, rng_);
+      for (size_t i = 0; i < agents_.size(); ++i)
+        pipeline_->publish_state(static_cast<int64_t>(i), states[i]);
+    }
+    // Overlapped rounds drained inside the training fan-out; sequential
+    // bucketed rounds reduce here, in ready order on this thread.
+    if (!overlap) pipeline_->drain();
+
+    // Every agent's slots now hold the bucket means; write them back.
+    for (size_t i = 0; i < agents_.size(); ++i) {
+      std::vector<tensor::Tensor*> ptrs;
+      agents_[i].model->collect_state(ptrs);
+      pipeline_->restore_state(static_cast<int64_t>(i), ptrs);
+    }
+
+    const PipelineStats ps = pipeline_->stats();
+    stats.aggregation_seconds = ps.comm_seconds;
+    stats.aggregation_bytes = ps.max_bytes_sent;
+    stats.buckets = ps.buckets;
+
+    // Modeled clock. Overlapped: bucket b is producible no earlier than
+    // the fastest agent's backward tail allows (the last agent to finalize
+    // a bucket gates it, and agents finish the balanced round together),
+    // so ready(b) = t_comp - tau_batch_min * back_frac(b). Sequential:
+    // everything is ready at the training barrier. Either way the bucket
+    // collectives serialize on the shared link from their ready times —
+    // the same composition the parity tests run on SimTransport-predicted
+    // bucket costs.
+    double tau_min = 0.0;
+    if (overlap) {
+      tau_min = 1e300;
+      for (const AgentInfo& a : infos)
+        tau_min = std::min(tau_min, 1.0 / a.proc_speed);
+    }
+    std::vector<double> ready(static_cast<size_t>(ps.buckets), t_comp);
+    if (overlap) {
+      for (int64_t b = 0; b < ps.buckets; ++b)
+        ready[static_cast<size_t>(b)] = std::max(
+            0.0,
+            t_comp - tau_min * bucket_back_frac_[static_cast<size_t>(b)]);
+    }
+    const OverlapTimeline timeline =
+        compose_overlap_timeline(ready, ps.bucket_seconds);
+    stats.sim_time = std::max(t_comp, timeline.span);
+    stats.exposed_comm_seconds = stats.sim_time - t_comp;
   }
-
-  // Real message-level decentralized aggregation over an InProcTransport.
-  // The collective routes through the overlay at the bottleneck rate (the
-  // seed cost models' assumption), and one run yields both the executed
-  // traffic and the modeled clock — predicted cost and real bytes are the
-  // same schedule by construction.
-  const auto min_bw = topology_.min_link_bandwidth();
-  COMDML_REQUIRE(min_bw.has_value() || agents_.size() == 1,
-                 "topology has no usable link");
-  const auto grid = comm::LinkGrid::uniform(
-      static_cast<int64_t>(agents_.size()), min_bw.value_or(100.0),
-      options_.comms.latency_sec);
-  const auto agg =
-      comm::allreduce_average_over(states, grid, options_.comms.aggregation);
-  for (size_t i = 0; i < agents_.size(); ++i)
-    nn::load_state(*agents_[i].model, states[i]);
-
-  // Simulated wall-clock: balanced round span + the collective.
-  stats.aggregation_seconds = agg.cost.seconds;
-  stats.aggregation_bytes = agg.cost.bytes_per_agent;
-  stats.sim_time = plan.estimated_round_time + agg.cost.seconds;
   stats.mean_slow_loss =
       plan.pairs.empty()
           ? 0.0f

@@ -11,6 +11,7 @@
 
 #include "core/config.hpp"
 #include "core/pairing.hpp"
+#include "core/round_pipeline.hpp"
 #include "data/batcher.hpp"
 #include "nn/split.hpp"
 
@@ -43,6 +44,12 @@ class RealFleet {
     /// Executed traffic of the aggregation collective (InProcTransport).
     double aggregation_seconds = 0.0;  ///< modeled clock of the collective
     int64_t aggregation_bytes = 0;     ///< max bytes any agent sent
+    /// Bucketed aggregation (comms.bucket_bytes > 0): bucket count and the
+    /// aggregation time left on the round's critical path after overlap
+    /// (== aggregation_seconds when nothing is hidden; sequential and flat
+    /// rounds expose everything).
+    int64_t buckets = 0;
+    double exposed_comm_seconds = 0.0;
   };
 
   /// One complete ComDML round (pair -> train -> aggregate).
@@ -80,6 +87,12 @@ class RealFleet {
   /// Per-round aggregation merge buffers, reused across rounds so the
   /// collective stops heap-allocating after the first round.
   std::vector<std::vector<tensor::Tensor>> state_scratch_;
+  /// Bucketed aggregation (comms.bucket_bytes > 0): the shared state
+  /// partition, the concurrent collective engine, and the modeled
+  /// backward-tail fraction per bucket (for the overlapped clock).
+  std::optional<nn::BucketPlan> bucket_plan_;
+  std::unique_ptr<RoundPipeline> pipeline_;
+  std::vector<double> bucket_back_frac_;
   int64_t round_ = 0;
   float current_lr_ = 0.0f;
   std::optional<nn::PlateauScheduler> plateau_;

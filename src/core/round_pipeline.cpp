@@ -1,0 +1,191 @@
+#include "core/round_pipeline.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace comdml::core {
+
+OverlapTimeline compose_overlap_timeline(
+    const std::vector<double>& ready_seconds,
+    const std::vector<double>& bucket_seconds) {
+  COMDML_CHECK(ready_seconds.size() == bucket_seconds.size());
+  const size_t n = ready_seconds.size();
+  OverlapTimeline tl;
+  tl.start.assign(n, 0.0);
+  tl.finish.assign(n, 0.0);
+  // Link order = ready order, ties broken by bucket index (stable sort).
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return ready_seconds[a] < ready_seconds[b];
+  });
+  double link_free = 0.0;
+  for (const size_t b : order) {
+    tl.start[b] = std::max(ready_seconds[b], link_free);
+    tl.finish[b] = tl.start[b] + bucket_seconds[b];
+    link_free = tl.finish[b];
+    tl.span = std::max(tl.span, tl.finish[b]);
+  }
+  return tl;
+}
+
+comm::LinkGrid bottleneck_grid(const sim::Topology& topology,
+                               double latency_sec) {
+  const auto min_bw = topology.min_link_bandwidth();
+  COMDML_REQUIRE(min_bw.has_value() || topology.agents() == 1,
+                 "topology has no usable link");
+  return comm::LinkGrid::uniform(topology.agents(), min_bw.value_or(100.0),
+                                 latency_sec);
+}
+
+RoundPipeline::RoundPipeline(int64_t agents, const nn::BucketPlan& plan,
+                             const comm::LinkGrid& grid,
+                             comm::AllReduceAlgo algo)
+    : plan_(&plan),
+      agents_(agents),
+      protocol_(comm::allreduce_protocol(algo)),
+      pending_(static_cast<size_t>(plan.buckets())) {
+  COMDML_CHECK(agents > 0);
+  COMDML_CHECK(grid.endpoints() == agents);
+  slab_.resize(static_cast<size_t>(agents_ * plan.total_elems()));
+  transports_.reserve(static_cast<size_t>(plan.buckets()));
+  schedules_.reserve(static_cast<size_t>(plan.buckets()));
+  for (int64_t b = 0; b < plan.buckets(); ++b) {
+    transports_.push_back(std::make_unique<comm::InProcTransport>(grid));
+    schedules_.push_back(
+        comm::allreduce_schedule(protocol_, agents_, plan.bucket(b).elems));
+  }
+  begin_round();
+}
+
+void RoundPipeline::begin_round() {
+  for (auto& t : transports_) t->reset();
+  for (auto& p : pending_) p.store(agents_, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lk(mu_);
+  ready_.clear();
+  reduced_ = 0;
+  aborted_ = false;
+}
+
+double* RoundPipeline::slot(int64_t agent, int64_t bucket) {
+  COMDML_CHECK(agent >= 0 && agent < agents_);
+  return slab_.data() + agent * plan_->total_elems() +
+         plan_->bucket(bucket).offset_elems;
+}
+
+void RoundPipeline::contribute(int64_t agent, int64_t bucket) {
+  COMDML_CHECK(agent >= 0 && agent < agents_);
+  COMDML_CHECK(bucket >= 0 && bucket < plan_->buckets());
+  // acq_rel: the last contributor's decrement acquires every earlier
+  // contributor's slab writes before the bucket is published.
+  const int64_t left = pending_[static_cast<size_t>(bucket)].fetch_sub(
+                           1, std::memory_order_acq_rel) -
+                       1;
+  COMDML_CHECK(left >= 0);
+  if (left > 0) return;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ready_.push_back(bucket);
+  }
+  cv_.notify_one();
+}
+
+void RoundPipeline::contribute_all(int64_t agent) {
+  for (int64_t b = 0; b < plan_->buckets(); ++b) contribute(agent, b);
+}
+
+void RoundPipeline::publish_state(int64_t agent,
+                                  const std::vector<tensor::Tensor*>& state) {
+  for (int64_t b = 0; b < plan_->buckets(); ++b) {
+    plan_->flatten_bucket(state, b, slot(agent, b));
+    contribute(agent, b);
+  }
+}
+
+void RoundPipeline::publish_state(int64_t agent,
+                                  const std::vector<tensor::Tensor>& state) {
+  for (int64_t b = 0; b < plan_->buckets(); ++b) {
+    plan_->flatten_bucket(state, b, slot(agent, b));
+    contribute(agent, b);
+  }
+}
+
+void RoundPipeline::restore_state(
+    int64_t agent, const std::vector<tensor::Tensor*>& state) {
+  for (int64_t b = 0; b < plan_->buckets(); ++b)
+    plan_->unflatten_bucket(slot(agent, b), b, state);
+}
+
+void RoundPipeline::run_bucket(int64_t bucket) {
+  comm::CollectiveRequest req;
+  req.elems = plan_->bucket(bucket).elems;
+  req.buffers.resize(static_cast<size_t>(agents_));
+  for (int64_t a = 0; a < agents_; ++a)
+    req.buffers[static_cast<size_t>(a)] = slot(a, bucket);
+  comm::AsyncCollective op(schedules_[static_cast<size_t>(bucket)],
+                           *transports_[static_cast<size_t>(bucket)],
+                           std::move(req));
+  op.wait();
+}
+
+void RoundPipeline::drain() {
+  const int64_t total = plan_->buckets();
+  for (;;) {
+    int64_t bucket = -1;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [&] {
+        return aborted_ || !ready_.empty() || reduced_ == total;
+      });
+      if (aborted_) return;
+      if (ready_.empty()) {
+        if (reduced_ == total) return;
+        continue;  // spurious wake while another collector finishes
+      }
+      bucket = ready_.front();
+      ready_.pop_front();
+    }
+    try {
+      run_bucket(bucket);
+    } catch (...) {
+      // The failed bucket will never count as reduced; wake every other
+      // collector out of its wait before the exception propagates, or the
+      // round would hang instead of failing.
+      abort();
+      throw;
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++reduced_;
+      if (reduced_ == total) cv_.notify_all();
+    }
+  }
+}
+
+void RoundPipeline::abort() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    aborted_ = true;
+  }
+  cv_.notify_all();
+}
+
+PipelineStats RoundPipeline::stats() const {
+  PipelineStats out;
+  out.buckets = plan_->buckets();
+  out.bucket_seconds.reserve(transports_.size());
+  std::vector<int64_t> per_agent(static_cast<size_t>(agents_), 0);
+  for (const auto& t : transports_) {
+    const comm::TransportStats& st = t->stats();
+    out.steps += st.steps;
+    out.comm_seconds += st.seconds;
+    out.bucket_seconds.push_back(st.seconds);
+    for (size_t a = 0; a < per_agent.size(); ++a)
+      per_agent[a] += st.bytes_sent[a];
+  }
+  for (const int64_t b : per_agent)
+    out.max_bytes_sent = std::max(out.max_bytes_sent, b);
+  return out;
+}
+
+}  // namespace comdml::core

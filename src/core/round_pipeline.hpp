@@ -1,0 +1,149 @@
+// Overlapped round engine: concurrent bucketed collectives that hide
+// aggregation behind the tail of local training.
+//
+// A fleet round used to be strictly `train -> (barrier) -> aggregate`; the
+// collective only started after the slowest agent finished, so the round
+// wall-time was compute + communication even though the two use different
+// resources. This engine pipelines them:
+//
+//   - nn::BucketPlan partitions model state into fixed-byte buckets.
+//   - Each agent's training task publishes bucket contributions as they
+//     become final (layer-by-layer during the last backward, via
+//     nn::BucketReadyTracker); the k-th contribution makes the bucket
+//     ready.
+//   - Idle pool workers run drain(): they pop ready buckets and execute
+//     each bucket's collective (comm::AsyncCollective over the bucket's
+//     own InProcTransport) while other workers are still training — the
+//     allreduce of bucket i runs while bucket i+1 is still being computed.
+//
+// Determinism: a bucket's collective schedule and arithmetic depend only on
+// (agents, bucket elems, protocol), never on which worker runs it or when,
+// and distinct buckets touch disjoint slab regions — so the reduced state
+// is bit-identical to running the same buckets sequentially, at every
+// thread count. (Bucket-size invariance additionally holds for
+// halving/doubling; see nn/bucket.hpp.)
+//
+// The modeled clock: each bucket's transport accounts the usual
+// seconds/steps/bytes of its schedule, and compose_overlap_timeline()
+// serializes the bucket collectives on the shared link starting at their
+// ready times. The same composition runs on SimTransport-predicted and
+// InProcTransport-executed bucket costs — which are equal by construction
+// — so the predicted overlapped round time matches the executed schedule
+// shape exactly.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "comm/allreduce.hpp"
+#include "nn/bucket.hpp"
+
+namespace comdml::core {
+
+/// Modeled timeline of pipelined bucket collectives over one shared link:
+/// collectives serialize on the link in ready order (ties broken by bucket
+/// index), each starting when its payload is ready and the link is free.
+struct OverlapTimeline {
+  std::vector<double> start;   ///< per bucket, plan order
+  std::vector<double> finish;  ///< per bucket, plan order
+  double span = 0.0;  ///< round start -> last collective finish
+};
+
+[[nodiscard]] OverlapTimeline compose_overlap_timeline(
+    const std::vector<double>& ready_seconds,
+    const std::vector<double>& bucket_seconds);
+
+/// Uniform all-to-all grid at `topology`'s bottleneck link rate (the seed
+/// cost models' routing assumption, shared by every real fleet). Throws
+/// when the topology has no usable link and more than one agent.
+[[nodiscard]] comm::LinkGrid bottleneck_grid(const sim::Topology& topology,
+                                             double latency_sec);
+
+/// Executed traffic summary of one bucketed aggregation.
+struct PipelineStats {
+  int64_t buckets = 0;
+  int64_t steps = 0;          ///< collective steps summed over buckets
+  double comm_seconds = 0.0;  ///< modeled link seconds summed over buckets
+  int64_t max_bytes_sent = 0;  ///< max over agents of summed bucket sends
+  std::vector<double> bucket_seconds;  ///< per-bucket modeled clock
+};
+
+/// Concurrent bucketed-allreduce engine for fleet rounds. One instance per
+/// fleet, reused round over round (the contribution slab and per-bucket
+/// transports are retained; begin_round() resets the accounting).
+class RoundPipeline {
+ public:
+  RoundPipeline(int64_t agents, const nn::BucketPlan& plan,
+                const comm::LinkGrid& grid, comm::AllReduceAlgo algo);
+
+  /// Reset counters/transports for a new round. No thread may be inside
+  /// contribute()/drain() when this runs.
+  void begin_round();
+
+  [[nodiscard]] const nn::BucketPlan& plan() const noexcept {
+    return *plan_;
+  }
+  [[nodiscard]] int64_t agents() const noexcept { return agents_; }
+
+  /// Agent `agent`'s flatten destination for bucket `bucket`
+  /// (`plan().bucket(bucket).elems` fp64 values). Slots of distinct
+  /// (agent, bucket) pairs are disjoint.
+  [[nodiscard]] double* slot(int64_t agent, int64_t bucket);
+
+  /// Publish agent's contribution to `bucket` (its slot must be fully
+  /// written). Thread-safe; the k-th contribution enqueues the bucket's
+  /// collective for the collectors.
+  void contribute(int64_t agent, int64_t bucket);
+  /// Publish every bucket for `agent` (coarse producers: split-trained
+  /// replicas, DP-noised snapshots).
+  void contribute_all(int64_t agent);
+
+  /// Flatten every bucket of `state` (the agent's replica, plan order)
+  /// into the agent's slots and contribute them — the whole-replica
+  /// producer used by both fleets.
+  void publish_state(int64_t agent, const std::vector<tensor::Tensor*>& state);
+  void publish_state(int64_t agent, const std::vector<tensor::Tensor>& state);
+  /// After the round completes: write the agent's reduced bucket means
+  /// back into `state`.
+  void restore_state(int64_t agent, const std::vector<tensor::Tensor*>& state);
+
+  /// Collector loop: pops ready buckets and executes their collectives
+  /// until every bucket of the round is reduced (or abort()). Any number
+  /// of threads may drain concurrently; idle pool workers call this after
+  /// finishing their training tasks.
+  void drain();
+
+  /// Wake collectors and abandon pending buckets (exception path). The
+  /// round's results are unusable afterwards; begin_round() recovers.
+  void abort();
+
+  /// Executed traffic of the finished round. After the reduce, every
+  /// agent's slots hold the bucket means (unflatten them back into the
+  /// replicas).
+  [[nodiscard]] PipelineStats stats() const;
+
+ private:
+  void run_bucket(int64_t bucket);
+
+  const nn::BucketPlan* plan_;
+  int64_t agents_;
+  comm::Protocol protocol_;
+  /// One transport per bucket so concurrent bucket collectives keep
+  /// independent mailboxes and per-bucket accounting, and one prebuilt
+  /// schedule per bucket so steady-state rounds stop re-deriving them.
+  std::vector<std::unique_ptr<comm::InProcTransport>> transports_;
+  std::vector<comm::SteppedSchedule> schedules_;
+  std::vector<double> slab_;  ///< agents_ x plan.total_elems(), agent-major
+  std::vector<std::atomic<int64_t>> pending_;  ///< per bucket
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<int64_t> ready_;  ///< buckets with all contributions, FIFO
+  int64_t reduced_ = 0;        ///< collectives completed this round
+  bool aborted_ = false;
+};
+
+}  // namespace comdml::core

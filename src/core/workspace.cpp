@@ -16,10 +16,17 @@ int64_t align_up(int64_t v) { return (v + kAlign - 1) & ~(kAlign - 1); }
 
 /// Registry of live thread arenas so aggregate_stats() can sum them.
 /// Arenas register on construction and unregister when their thread exits.
-std::mutex g_registry_mu;
+/// Both the mutex and the vector are intentionally leaked: pool workers
+/// unregister their thread-local arenas while static destructors are
+/// already running (the pool itself is torn down by one), so a destructible
+/// registry would be a use-after-free at process exit.
+std::mutex& registry_mutex() {
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
 std::vector<const Workspace*>& registry() {
-  static std::vector<const Workspace*> r;
-  return r;
+  static auto* r = new std::vector<const Workspace*>;
+  return *r;
 }
 
 }  // namespace
@@ -54,14 +61,14 @@ struct Workspace::Frame {
 };
 
 Workspace::Workspace() {
-  std::lock_guard<std::mutex> lk(g_registry_mu);
+  std::lock_guard<std::mutex> lk(registry_mutex());
   registry().push_back(this);
 }
 
 Workspace::~Workspace() {
   COMDML_DCHECK(frames_ == nullptr);
   {
-    std::lock_guard<std::mutex> lk(g_registry_mu);
+    std::lock_guard<std::mutex> lk(registry_mutex());
     auto& r = registry();
     r.erase(std::remove(r.begin(), r.end(), this), r.end());
   }
@@ -158,7 +165,7 @@ void Workspace::trim() {
 }
 
 Workspace::Stats Workspace::aggregate_stats() {
-  std::lock_guard<std::mutex> lk(g_registry_mu);
+  std::lock_guard<std::mutex> lk(registry_mutex());
   Stats total;
   for (const Workspace* ws : registry()) {
     const Stats& s = ws->stats_;

@@ -71,6 +71,26 @@ void col2im(const float* dcol, int64_t cin, int64_t h, int64_t w, int64_t k,
   }
 }
 
+/// Scatter one sample's GEMM output block [how, cout] into the layer
+/// output layout [cout, how].
+void transpose_to_chw(const float* src, int64_t how, int64_t cout,
+                      float* dst) {
+  for (int64_t co = 0; co < cout; ++co)
+    for (int64_t p = 0; p < how; ++p) dst[co * how + p] = src[p * cout + co];
+}
+
+/// Gather one sample's grad block [cout, how] into GEMM layout [how, cout].
+void transpose_to_hwc(const float* src, int64_t cout, int64_t how,
+                      float* dst) {
+  for (int64_t p = 0; p < how; ++p)
+    for (int64_t co = 0; co < cout; ++co) dst[p * cout + co] = src[co * how + p];
+}
+
+/// Cap on the batched path's total live arena scratch (all slabs of one
+/// pass combined): beyond this the layer falls back to the per-sample GEMM
+/// loop instead of growing the workspace arena unboundedly.
+constexpr int64_t kMaxBatchedScratchBytes = int64_t{256} << 20;
+
 }  // namespace
 
 Conv2d::Conv2d(int64_t in_channels, int64_t out_channels, int64_t kernel,
@@ -110,10 +130,47 @@ Tensor Conv2d::forward(const Tensor& x, bool /*train*/) {
   const float* xp = x.flat().data();
   float* yp = y.flat().data();
 
-  // im2col + GEMM per sample; samples fan out to the pool, the GEMM inside
-  // a worker runs inline (nested parallel regions are serial). The im2col
-  // buffer comes from the worker's workspace arena and the GEMM writes the
-  // output slice directly: zero heap traffic in steady state.
+  // One multi-sample GEMM per layer: every sample's receptive fields are
+  // unrolled into a single [N*ho*wo, cin*k*k] slab and multiplied against
+  // W^T in one call, so the packed W panel is amortized over the whole
+  // batch and the GEMM parallelizes over N*ho*wo rows instead of running
+  // inline per sample. Element dot products accumulate over the same
+  // ascending-k order as the per-sample GEMM, so results are bit-identical
+  // to it (and across thread counts — the dispatch below may pick either
+  // path without changing a bit). The batched orientation pays a
+  // [ho*wo, cout] -> [cout, ho*wo] scatter per sample, so it is used when
+  // the per-sample loop cannot feed the pool (fewer samples than
+  // threads); with enough samples the sample-parallel loop keeps the old
+  // transpose-free layout. Oversized batches always take the per-sample
+  // loop instead of growing the arena past the slab cap.
+  const int64_t col_elems = n * how * ckk;
+  // Live scratch of this path: col_all + yt.
+  if (n < core::num_threads() &&
+      (col_elems + n * how * cout_) *
+              static_cast<int64_t>(sizeof(float)) <=
+          kMaxBatchedScratchBytes) {
+    core::Scratch<float> col_all(col_elems);
+    float* colp = col_all.data();
+    core::parallel_for(0, n, 1, [&](int64_t lo, int64_t hi) {
+      for (int64_t in = lo; in < hi; ++in)
+        im2col(xp + in * cin_ * h * w, cin_, h, w, k_, stride_, pad_, ho, wo,
+               colp + in * how * ckk);
+    });
+    // yt [N*ho*wo, cout] = col_all @ W^T, then scatter each sample's
+    // [ho*wo, cout] block into the [cout, ho*wo] output layout.
+    core::Scratch<float> yt(n * how * cout_);
+    tensor::gemm_nt(colp, wp, yt.data(), n * how, ckk, cout_);
+    const float* ytp = yt.data();
+    core::parallel_for(0, n, 1, [&](int64_t lo, int64_t hi) {
+      for (int64_t in = lo; in < hi; ++in)
+        transpose_to_chw(ytp + in * how * cout_, how, cout_,
+                         yp + in * cout_ * how);
+    });
+    return y;
+  }
+
+  // Fallback: im2col + GEMM per sample; samples fan out to the pool, the
+  // GEMM inside a worker runs inline (nested parallel regions are serial).
   core::parallel_for(0, n, 1, [&](int64_t lo, int64_t hi) {
     core::Scratch<float> col(how * ckk);
     for (int64_t in = lo; in < hi; ++in) {
@@ -146,11 +203,52 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
   const float* gp = grad_out.flat().data();
   float* dxp = dx.flat().data();
 
-  // Per-sample: dW_n = G_n @ col_n, dcol_n = G_n^T @ W, dx_n = col2im(dcol),
-  // where G_n is the sample's slice of grad_out used in place. dx rows are
-  // disjoint across samples; per-sample dW partials land in disjoint slices
-  // of one arena slab and are reduced serially in sample order afterwards,
-  // so the accumulation is independent of the thread count.
+  // Batched: with G gathered into GEMM layout gt [N*ho*wo, cout] and all
+  // receptive fields in col_all [N*ho*wo, cin*k*k],
+  //   dW  = gt^T @ col_all   (one gemm_tn folds the cross-sample reduction
+  //                           into the ascending-k accumulation — no
+  //                           per-sample partial slabs or serial merge)
+  //   dcol = gt @ W          (one gemm_nn over every sample)
+  // then dx_n = col2im(dcol_n) per sample. Both GEMMs accumulate each
+  // output element over ascending k independent of the row partition, so
+  // the result is bit-identical at every thread count.
+  const int64_t col_elems = n * how * ckk;
+  float* dwp = weight_.grad.flat().data();
+  // Peak live scratch of this path: col_all + gt + dcol_all together.
+  if ((2 * col_elems + n * how * cout_) *
+          static_cast<int64_t>(sizeof(float)) <=
+      kMaxBatchedScratchBytes) {
+    core::Scratch<float> col_all(col_elems);
+    core::Scratch<float> gt(n * how * cout_);
+    float* colp = col_all.data();
+    float* gtp = gt.data();
+    core::parallel_for(0, n, 1, [&](int64_t lo, int64_t hi) {
+      for (int64_t in = lo; in < hi; ++in) {
+        im2col(xp + in * cin_ * h * w, cin_, h, w, k_, stride_, pad_, ho, wo,
+               colp + in * how * ckk);
+        transpose_to_hwc(gp + in * cout_ * how, cout_, how,
+                         gtp + in * how * cout_);
+      }
+    });
+    tensor::gemm_tn(gtp, colp, dwp, cout_, n * how, ckk,
+                    /*accumulate=*/true);  // dW [cout, cin*k*k]
+    core::Scratch<float> dcol_all(col_elems);
+    float* dcolp = dcol_all.data();
+    tensor::gemm_nn(gtp, wp, dcolp, n * how, cout_,
+                    ckk);  // dcol [N*ho*wo, cin*k*k]
+    core::parallel_for(0, n, 1, [&](int64_t lo, int64_t hi) {
+      for (int64_t in = lo; in < hi; ++in)
+        col2im(dcolp + in * how * ckk, cin_, h, w, k_, stride_, pad_, ho, wo,
+               dxp + in * cin_ * h * w);
+    });
+    return dx;
+  }
+
+  // Fallback (oversized batch): per-sample dW_n = G_n @ col_n,
+  // dcol_n = G_n^T @ W, dx_n = col2im(dcol). dx rows are disjoint across
+  // samples; per-sample dW partials land in disjoint slices of one arena
+  // slab and are reduced serially in sample order afterwards, so the
+  // accumulation is independent of the thread count.
   core::Scratch<float> dw_all(n * cout_ * ckk);
   float* dw_all_p = dw_all.data();
   core::parallel_for(0, n, 1, [&](int64_t lo, int64_t hi) {
@@ -168,7 +266,6 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
              dxp + in * cin_ * h * w);
     }
   });
-  float* dwp = weight_.grad.flat().data();
   for (int64_t in = 0; in < n; ++in) {
     const float* src = dw_all_p + in * cout_ * ckk;
     for (int64_t i = 0; i < cout_ * ckk; ++i) dwp[i] += src[i];

@@ -14,8 +14,11 @@ SGD::SGD(std::vector<Parameter*> params, Options options)
   }
 }
 
-void SGD::step() {
-  for (size_t i = 0; i < params_.size(); ++i) {
+void SGD::step() { step_range(0, params_.size()); }
+
+void SGD::step_range(size_t first, size_t count) {
+  COMDML_CHECK(first + count <= params_.size());
+  for (size_t i = first; i < first + count; ++i) {
     Parameter& p = *params_[i];
     tensor::sgd_momentum_update(p.value, velocity_[i], p.grad, options_.lr,
                                 options_.momentum, options_.weight_decay);

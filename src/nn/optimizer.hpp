@@ -20,6 +20,15 @@ class SGD {
   /// Apply one update: v <- momentum*v - lr*(g + wd*w); w <- w + v.
   void step();
 
+  /// Update only params [first, first + count) of the construction list.
+  /// Per-parameter math is independent, so stepping a partition of the
+  /// list in any order is bit-identical to one step() — the overlapped
+  /// round pipeline uses this to finalize a unit's parameters as soon as
+  /// its backward completes.
+  void step_range(size_t first, size_t count);
+
+  [[nodiscard]] size_t size() const noexcept { return params_.size(); }
+
   void zero_grad();
 
   [[nodiscard]] float lr() const noexcept { return options_.lr; }

@@ -98,6 +98,32 @@ LossResult train_batch_full(Sequential& model, SGD& opt, const Tensor& x,
   return res;
 }
 
+LossResult train_batch_full_notify(Sequential& model, SGD& opt,
+                                   const Tensor& x,
+                                   std::span<const int64_t> labels,
+                                   std::span<const size_t> unit_param_counts,
+                                   const UnitFinalFn& on_unit_final) {
+  COMDML_CHECK(unit_param_counts.size() == model.size());
+  opt.zero_grad();
+  const Tensor logits = model.forward(x, /*train=*/true);
+  LossResult res = softmax_cross_entropy(logits, labels);
+  // Backward in reverse unit order, stepping each unit's parameter range
+  // as its backward completes. Suffix sums give each unit's offset into
+  // the optimizer's parameter list.
+  size_t param_end = opt.size();
+  Tensor grad = res.grad_logits;
+  for (size_t u = model.size(); u-- > 0;) {
+    grad = model.unit(u).backward(grad);
+    const size_t count = unit_param_counts[u];
+    COMDML_CHECK(param_end >= count);
+    param_end -= count;
+    if (count > 0) opt.step_range(param_end, count);
+    if (on_unit_final) on_unit_final(u);
+  }
+  COMDML_CHECK(param_end == 0);
+  return res;
+}
+
 float evaluate_accuracy(Sequential& model, const Tensor& x,
                         std::span<const int64_t> labels) {
   const Tensor logits = model.forward(x, /*train=*/false);

@@ -7,6 +7,7 @@
 // update in parallel (paper Eqs. 2-3).
 #pragma once
 
+#include <functional>
 #include <span>
 
 #include "nn/loss.hpp"
@@ -63,6 +64,23 @@ class LocalLossSplitTrainer {
 [[nodiscard]] LossResult train_batch_full(Sequential& model, SGD& opt,
                                           const Tensor& x,
                                           std::span<const int64_t> labels);
+
+/// Called as unit `u`'s state becomes final during a notifying step.
+using UnitFinalFn = std::function<void(size_t unit)>;
+
+/// train_batch_full with per-unit finalization: backward walks units in
+/// reverse, and each unit's parameters take their optimizer update the
+/// moment its backward completes, after which `on_unit_final(u)` fires —
+/// unit u's state (params + buffers) will not change again this batch.
+/// `opt` must have been constructed over exactly model.parameters() and
+/// `unit_param_counts` must list each unit's learnable-parameter count
+/// (nn::BucketPlan::unit_param_counts()). Bit-identical to
+/// train_batch_full: per-parameter SGD math is order-independent.
+[[nodiscard]] LossResult train_batch_full_notify(
+    Sequential& model, SGD& opt, const Tensor& x,
+    std::span<const int64_t> labels,
+    std::span<const size_t> unit_param_counts,
+    const UnitFinalFn& on_unit_final);
 
 /// Mean argmax accuracy of `model` on (x, labels), evaluation mode.
 [[nodiscard]] float evaluate_accuracy(Sequential& model, const Tensor& x,

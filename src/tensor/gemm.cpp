@@ -38,6 +38,14 @@ constexpr int64_t kNC = 512;  // multiple of kNR
 /// Minimum per-task FLOP count before a GEMM fans out to the pool.
 constexpr double kGemmGrainFlops = 1 << 22;
 
+/// Every row chunk repacks the full B it touches (k*n elements, however
+/// few rows it owns), so chunks need enough rows that the micro-kernel
+/// work dwarfs the duplicated packing. 4*MR rows give 8*MR flops per
+/// packed B element — packing stays a few percent. Below that (tiny-m,
+/// huge-k reduction GEMMs like a batched conv dW) fanning out actively
+/// loses: every extra chunk is a full extra B pack.
+constexpr int64_t kGemmMinChunkRows = 4 * kMR;
+
 int64_t row_grain(int64_t k, int64_t n) {
   const double row_flops = 2.0 * static_cast<double>(k) * n;
   const auto rows = static_cast<int64_t>(kGemmGrainFlops /
@@ -46,7 +54,8 @@ int64_t row_grain(int64_t k, int64_t n) {
   // full MR tiles. (The pool may still pick a larger, unaligned chunk for
   // load balance; a seam mid-tile only costs the padded-copy edge path at
   // that boundary, never correctness.)
-  return std::max<int64_t>(kMR, (rows + kMR - 1) / kMR * kMR);
+  return std::max<int64_t>(kGemmMinChunkRows,
+                           (rows + kMR - 1) / kMR * kMR);
 }
 
 /// kc x NR panel product into a full MR x NR tile at `c` (leading dim ldc).

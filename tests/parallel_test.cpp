@@ -210,6 +210,11 @@ const ConvCase kConvCases[] = {
     {1, 4, 4, 9, 9, 1, 1, 0},   // 1x1 pointwise
     {2, 1, 3, 11, 7, 5, 2, 2},  // big kernel, stride + pad
     {4, 8, 8, 16, 16, 3, 1, 1},
+    // Multi-sample batched-GEMM shapes: the whole batch runs through one
+    // GEMM per layer (B-panel packed once), incl. odd extents + stride.
+    {8, 4, 6, 10, 10, 3, 1, 1},
+    {6, 2, 3, 9, 7, 3, 2, 1},
+    {16, 3, 5, 6, 6, 3, 1, 0},
 };
 
 TEST(KernelParity, ConvForwardMatchesReferenceAcrossThreads) {
@@ -262,6 +267,39 @@ TEST(KernelParity, ConvBackwardMatchesReferenceAcrossThreads) {
           << " at " << t << " threads";
     }
   }
+}
+
+TEST(KernelParity, ConvBatchedGemmBitIdenticalAcrossThreadCounts) {
+  // The multi-sample conv GEMMs accumulate every output element over
+  // ascending k independent of the row partition, so forward, dx and the
+  // cross-sample dW reduction are bit-identical at every thread count.
+  // n=4 samples: at 1 thread the forward dispatch (n < pool threads)
+  // takes the per-sample loop, at 8 threads the batched GEMM — so this
+  // also pins the two forward orientations to the same bits, which the
+  // thread-count determinism guarantee depends on.
+  ThreadCountGuard guard;
+  Rng rng(23);
+  nn::Conv2d conv(4, 6, 3, 1, 1, rng);
+  const Tensor x = rng.normal_tensor({4, 4, 10, 10}, 0, 1);
+  const Tensor g = rng.normal_tensor({4, 6, 10, 10}, 0, 1);
+  std::vector<nn::Parameter*> params;
+  conv.collect_parameters(params);
+  ASSERT_EQ(params.size(), 1u);
+
+  set_num_threads(1);
+  const Tensor y1 = conv.forward(x, true);
+  params[0]->grad.fill(0.0f);
+  const Tensor dx1 = conv.backward(g);
+  const Tensor dw1 = params[0]->grad;
+
+  set_num_threads(8);
+  const Tensor y8 = conv.forward(x, true);
+  params[0]->grad.fill(0.0f);
+  const Tensor dx8 = conv.backward(g);
+
+  EXPECT_EQ(y1, y8);
+  EXPECT_EQ(dx1, dx8);
+  EXPECT_EQ(dw1, params[0]->grad);
 }
 
 // ---- fused elementwise -----------------------------------------------------

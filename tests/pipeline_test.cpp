@@ -1,0 +1,695 @@
+// Overlapped round pipeline tests: the bucket registry (partition /
+// flatten / unit-readiness), the non-blocking stepped collectives
+// (AsyncCollective poll/wait vs the blocking run), bucket determinism
+// (bit-identical model state across bucket sizes, thread counts, and
+// overlapped-vs-sequential mode), predicted-vs-executed overlap parity,
+// the timeline composer, and FleetOptions validation.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "baselines/real_baselines.hpp"
+#include "comm/allreduce.hpp"
+#include "core/fleet_runtime.hpp"
+#include "core/parallel.hpp"
+#include "core/real_fleet.hpp"
+#include "core/round_pipeline.hpp"
+#include "data/partition.hpp"
+#include "data/synthetic.hpp"
+#include "nn/bucket.hpp"
+#include "nn/resnet.hpp"
+
+namespace comdml {
+namespace {
+
+using core::FleetOptions;
+using core::RealFleet;
+using core::compose_overlap_timeline;
+using core::set_num_threads;
+using sim::ResourceProfile;
+using sim::Topology;
+using tensor::Rng;
+using tensor::Tensor;
+
+class ThreadCountGuard {
+ public:
+  ~ThreadCountGuard() { set_num_threads(0); }  // restore env default
+};
+
+// ---- shared fixtures --------------------------------------------------------
+
+core::ModelFactory mlp_factory(int64_t in, int64_t classes) {
+  return [in, classes](Rng& rng) {
+    return nn::mlp({in, 24, 24, classes}, rng);
+  };
+}
+
+std::vector<data::Dataset> blob_shards(int64_t agents, int64_t per_agent,
+                                       int64_t classes, int64_t features,
+                                       uint64_t seed) {
+  Rng rng(seed);
+  const auto ds =
+      data::make_blobs(agents * per_agent, classes, features, 0.3f, rng);
+  const auto parts = data::iid_partition(ds.size(), agents, rng);
+  std::vector<data::Dataset> shards;
+  for (const auto& idx : parts) shards.push_back(ds.subset(idx));
+  return shards;
+}
+
+Topology hetero_mesh(int64_t agents) {
+  std::vector<ResourceProfile> profiles;
+  const std::vector<double> cpus{4.0, 0.2, 2.0, 0.5};
+  for (int64_t i = 0; i < agents; ++i)
+    profiles.push_back({cpus[static_cast<size_t>(i) % cpus.size()], 100.0});
+  return Topology::full_mesh(profiles);
+}
+
+/// Concatenated state of every agent replica after `rounds` fleet rounds.
+std::vector<Tensor> fleet_state(const FleetOptions& opt, int64_t agents,
+                                int rounds, uint64_t data_seed = 55) {
+  RealFleet fleet(mlp_factory(6, 3), 3, blob_shards(agents, 30, 3, 6, data_seed),
+                  hetero_mesh(agents), opt);
+  for (int r = 0; r < rounds; ++r) (void)fleet.step();
+  std::vector<Tensor> all;
+  for (int64_t a = 0; a < fleet.agents(); ++a) {
+    auto s = nn::state_of(fleet.model(a));
+    all.insert(all.end(), s.begin(), s.end());
+  }
+  return all;
+}
+
+void expect_states_equal(const std::vector<Tensor>& a,
+                         const std::vector<Tensor>& b, const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(a[i], b[i]) << what << ": state tensor " << i << " differs";
+}
+
+// ---- BucketPlan -------------------------------------------------------------
+
+TEST(BucketPlan, PartitionCoversStateInOrder) {
+  Rng rng(1);
+  const auto model = nn::small_cnn(3, 4, rng);
+  const auto plan = nn::BucketPlan::build(*model, 1024);
+  std::vector<Tensor*> state;
+  model->collect_state(state);
+  int64_t total = 0;
+  for (const Tensor* t : state) total += t->size();
+  EXPECT_EQ(plan.total_elems(), total);
+  ASSERT_GT(plan.buckets(), 1);
+  int64_t offset = 0;
+  size_t tensor = 0;
+  for (int64_t b = 0; b < plan.buckets(); ++b) {
+    const nn::Bucket& bk = plan.bucket(b);
+    EXPECT_EQ(bk.offset_elems, offset) << "bucket " << b;
+    EXPECT_EQ(bk.first_tensor, tensor) << "bucket " << b;
+    EXPECT_GT(bk.tensor_count, 0u);
+    EXPECT_LE(bk.first_unit, bk.last_unit);
+    offset += bk.elems;
+    tensor += bk.tensor_count;
+  }
+  EXPECT_EQ(offset, total);
+  EXPECT_EQ(tensor, state.size());
+}
+
+TEST(BucketPlan, RespectsByteCapExceptForOversizedTensors) {
+  Rng rng(2);
+  const auto model = nn::mlp({8, 64, 4}, rng);  // 8x64 weight > 1 KiB
+  const int64_t cap_bytes = 1024;
+  const auto plan = nn::BucketPlan::build(*model, cap_bytes);
+  for (int64_t b = 0; b < plan.buckets(); ++b) {
+    const nn::Bucket& bk = plan.bucket(b);
+    if (bk.elems * 4 > cap_bytes) {
+      // Oversized buckets are single whole tensors.
+      EXPECT_EQ(bk.tensor_count, 1u) << "bucket " << b;
+    }
+  }
+}
+
+TEST(BucketPlan, ZeroBucketBytesYieldsOneFlatBucket) {
+  Rng rng(3);
+  const auto model = nn::mlp({6, 12, 3}, rng);
+  const auto plan = nn::BucketPlan::build(*model, 0);
+  EXPECT_EQ(plan.buckets(), 1);
+  EXPECT_EQ(plan.bucket(0).elems, plan.total_elems());
+}
+
+TEST(BucketPlan, FlattenUnflattenRoundTrips) {
+  Rng rng(4);
+  const auto model = nn::mlp({6, 12, 3}, rng);
+  const auto plan = nn::BucketPlan::build(*model, 128);
+  const auto before = nn::state_of(*model);
+  std::vector<double> flat(static_cast<size_t>(plan.total_elems()));
+  std::vector<Tensor*> ptrs;
+  model->collect_state(ptrs);
+  for (int64_t b = 0; b < plan.buckets(); ++b)
+    plan.flatten_bucket(ptrs, b, flat.data() + plan.bucket(b).offset_elems);
+  // Perturb, restore through unflatten, expect the original bits.
+  for (Tensor* t : ptrs) t->fill(0.0f);
+  for (int64_t b = 0; b < plan.buckets(); ++b)
+    plan.unflatten_bucket(flat.data() + plan.bucket(b).offset_elems, b,
+                          ptrs);
+  const auto after = nn::state_of(*model);
+  ASSERT_EQ(before.size(), after.size());
+  for (size_t i = 0; i < before.size(); ++i) EXPECT_EQ(before[i], after[i]);
+}
+
+TEST(BucketPlan, UnitParamCountsMatchModel) {
+  Rng rng(5);
+  const auto model = nn::small_cnn(3, 4, rng);
+  const auto plan = nn::BucketPlan::build(*model, 4096);
+  ASSERT_EQ(plan.unit_param_counts().size(), model->size());
+  size_t total = 0;
+  for (size_t u = 0; u < model->size(); ++u) {
+    EXPECT_EQ(plan.unit_param_counts()[u],
+              model->unit(u).parameters().size());
+    total += plan.unit_param_counts()[u];
+  }
+  EXPECT_EQ(total, model->parameters().size());
+}
+
+// ---- BucketReadyTracker -----------------------------------------------------
+
+TEST(BucketReadyTracker, ReverseUnitWalkFiresOutputSideBucketsFirst) {
+  Rng rng(6);
+  const auto model = nn::mlp({6, 16, 12, 3}, rng);
+  const auto plan = nn::BucketPlan::build(*model, 64);
+  ASSERT_GT(plan.buckets(), 2);
+  nn::BucketReadyTracker tracker(plan);
+  std::vector<int64_t> order;
+  for (size_t u = model->size(); u-- > 0;)
+    tracker.unit_done(u, [&](int64_t b) { order.push_back(b); });
+  // Every bucket fires exactly once...
+  EXPECT_EQ(tracker.fired(), plan.buckets());
+  ASSERT_EQ(order.size(), static_cast<size_t>(plan.buckets()));
+  // ...grouped output-side first: a bucket owned by a deeper unit always
+  // fires before any bucket of a shallower unit.
+  for (size_t i = 1; i < order.size(); ++i)
+    EXPECT_GE(plan.bucket(order[i - 1]).last_unit,
+              plan.bucket(order[i]).last_unit);
+  // finish() after a full walk has nothing left to fire.
+  tracker.finish([&](int64_t) { FAIL() << "finish() re-fired a bucket"; });
+}
+
+TEST(BucketReadyTracker, BucketSpanningTwoUnitsWaitsForBoth) {
+  Rng rng(7);
+  const auto model = nn::mlp({4, 6, 3}, rng);  // several tensors per unit
+  const auto plan = nn::BucketPlan::build(*model, 0);  // one flat bucket
+  nn::BucketReadyTracker tracker(plan);
+  int fired = 0;
+  // Walk all units but the first: the flat bucket spans every
+  // state-owning unit, so it must not fire yet.
+  for (size_t u = model->size(); u-- > 1;)
+    tracker.unit_done(u, [&](int64_t) { ++fired; });
+  EXPECT_EQ(fired, 0);
+  tracker.unit_done(0, [&](int64_t) { ++fired; });
+  EXPECT_EQ(fired, 1);
+}
+
+// ---- AsyncCollective --------------------------------------------------------
+
+class AsyncParityP
+    : public ::testing::TestWithParam<std::tuple<int, comm::Protocol>> {};
+
+TEST_P(AsyncParityP, PollDrivenRunMatchesBlockingRun) {
+  const auto [k, protocol] = GetParam();
+  const int64_t elems = 103;
+  Rng rng(100 + static_cast<uint64_t>(k));
+  std::vector<std::vector<double>> blocking_bufs(static_cast<size_t>(k)),
+      async_bufs(static_cast<size_t>(k));
+  for (int64_t a = 0; a < k; ++a) {
+    auto& b = blocking_bufs[static_cast<size_t>(a)];
+    b.resize(static_cast<size_t>(elems));
+    for (auto& v : b) v = static_cast<double>(rng.uniform(-1.0f, 1.0f));
+    async_bufs[static_cast<size_t>(a)] = b;
+  }
+
+  comm::InProcTransport blocking_t(comm::LinkGrid::uniform(k, 100.0));
+  comm::CollectiveRequest blocking_req;
+  blocking_req.elems = elems;
+  for (auto& b : blocking_bufs) blocking_req.buffers.push_back(b.data());
+  (void)comm::collective(protocol).run(blocking_t, blocking_req);
+
+  comm::InProcTransport async_t(comm::LinkGrid::uniform(k, 100.0));
+  comm::CollectiveRequest async_req;
+  async_req.elems = elems;
+  for (auto& b : async_bufs) async_req.buffers.push_back(b.data());
+  comm::AsyncCollective op(protocol, async_t, std::move(async_req));
+  int64_t polls = 0;
+  while (!op.done()) {
+    (void)op.poll();
+    ++polls;
+  }
+
+  // Same schedule: one transport step per poll, identical accounting,
+  // bitwise identical results.
+  EXPECT_EQ(polls, op.total_steps());
+  EXPECT_EQ(async_t.stats().steps, blocking_t.stats().steps);
+  EXPECT_EQ(async_t.stats().messages, blocking_t.stats().messages);
+  EXPECT_EQ(async_t.stats().total_wire_bytes,
+            blocking_t.stats().total_wire_bytes);
+  EXPECT_DOUBLE_EQ(async_t.stats().seconds, blocking_t.stats().seconds);
+  for (int64_t a = 0; a < k; ++a)
+    EXPECT_EQ(async_bufs[static_cast<size_t>(a)],
+              blocking_bufs[static_cast<size_t>(a)])
+        << "agent " << a;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FleetSizes, AsyncParityP,
+    ::testing::Combine(
+        ::testing::Values(1, 2, 3, 5, 8, 12),
+        ::testing::Values(comm::Protocol::kRingAllReduce,
+                          comm::Protocol::kHalvingDoublingAllReduce)));
+
+TEST(AsyncCollective, SingleAgentIsImmediatelyDone) {
+  comm::InProcTransport t(comm::LinkGrid::uniform(1, 100.0));
+  std::vector<double> buf{1.0, 2.0};
+  comm::CollectiveRequest req;
+  req.elems = 2;
+  req.buffers = {buf.data()};
+  comm::AsyncCollective op(comm::Protocol::kHalvingDoublingAllReduce, t,
+                           std::move(req));
+  EXPECT_TRUE(op.done());
+  op.wait();
+  EXPECT_EQ(buf[0], 1.0);  // untouched
+}
+
+TEST(AsyncCollective, RejectsProtocolsWithoutSteppedSchedule) {
+  EXPECT_THROW((void)comm::allreduce_schedule(comm::Protocol::kGossip, 4, 8),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)comm::allreduce_schedule(comm::Protocol::kParamServer, 4, 8),
+      std::invalid_argument);
+}
+
+// ---- bucketed determinism at the collective layer ---------------------------
+
+TEST(BucketDeterminism, HalvingDoublingBucketedMatchesFlatBitwise) {
+  // Halving/doubling reduces every element through the same balanced
+  // binary agent tree regardless of segmentation, so bucketing must not
+  // change a single bit of the result.
+  for (const int64_t k : {4, 7}) {
+    const int64_t elems = 257;
+    Rng rng(200 + static_cast<uint64_t>(k));
+    std::vector<std::vector<double>> base(static_cast<size_t>(k));
+    for (auto& b : base) {
+      b.resize(static_cast<size_t>(elems));
+      for (auto& v : b) v = static_cast<double>(rng.uniform(-1.0f, 1.0f));
+    }
+
+    auto flat = base;
+    comm::InProcTransport flat_t(comm::LinkGrid::uniform(k, 100.0));
+    comm::CollectiveRequest flat_req;
+    flat_req.elems = elems;
+    for (auto& b : flat) flat_req.buffers.push_back(b.data());
+    (void)comm::collective(comm::Protocol::kHalvingDoublingAllReduce)
+        .run(flat_t, flat_req);
+
+    for (const int64_t bucket_elems : {32, 100, 257}) {
+      auto bucketed = base;
+      for (int64_t begin = 0; begin < elems; begin += bucket_elems) {
+        const int64_t len = std::min(bucket_elems, elems - begin);
+        comm::InProcTransport t(comm::LinkGrid::uniform(k, 100.0));
+        comm::CollectiveRequest req;
+        req.elems = len;
+        for (auto& b : bucketed) req.buffers.push_back(b.data() + begin);
+        (void)comm::collective(comm::Protocol::kHalvingDoublingAllReduce)
+            .run(t, req);
+      }
+      for (int64_t a = 0; a < k; ++a)
+        EXPECT_EQ(bucketed[static_cast<size_t>(a)],
+                  flat[static_cast<size_t>(a)])
+            << "k=" << k << " bucket_elems=" << bucket_elems << " agent "
+            << a;
+    }
+  }
+}
+
+// ---- timeline composer ------------------------------------------------------
+
+TEST(OverlapTimeline, SerializesBucketsOnTheLink) {
+  // All ready at t=10: pure pipeline after the barrier.
+  const auto tl = compose_overlap_timeline({10, 10, 10}, {2, 3, 1});
+  EXPECT_DOUBLE_EQ(tl.start[0], 10.0);
+  EXPECT_DOUBLE_EQ(tl.finish[0], 12.0);
+  EXPECT_DOUBLE_EQ(tl.start[1], 12.0);
+  EXPECT_DOUBLE_EQ(tl.finish[1], 15.0);
+  EXPECT_DOUBLE_EQ(tl.finish[2], 16.0);
+  EXPECT_DOUBLE_EQ(tl.span, 16.0);
+}
+
+TEST(OverlapTimeline, EarlyBucketsHideBehindCompute) {
+  // Bucket 2 ready first (output side), bucket 0 last: comm starts at 4
+  // and overlaps the remaining compute; only the tail is exposed.
+  const auto tl = compose_overlap_timeline({10, 7, 4}, {2, 2, 2});
+  EXPECT_DOUBLE_EQ(tl.start[2], 4.0);
+  EXPECT_DOUBLE_EQ(tl.start[1], 7.0);
+  EXPECT_DOUBLE_EQ(tl.start[0], 10.0);
+  EXPECT_DOUBLE_EQ(tl.span, 12.0);  // vs 10 + 6 = 16 sequential
+}
+
+TEST(OverlapTimeline, LinkContentionQueuesReadyBuckets) {
+  const auto tl = compose_overlap_timeline({0, 1, 2}, {5, 5, 5});
+  EXPECT_DOUBLE_EQ(tl.start[1], 5.0);
+  EXPECT_DOUBLE_EQ(tl.start[2], 10.0);
+  EXPECT_DOUBLE_EQ(tl.span, 15.0);
+}
+
+// ---- RoundPipeline ----------------------------------------------------------
+
+TEST(RoundPipeline, ConcurrentProducersAndCollectorsReduceEveryBucket) {
+  Rng rng(8);
+  const auto model = nn::mlp({6, 16, 12, 3}, rng);
+  const auto plan = nn::BucketPlan::build(*model, 128);
+  const int64_t k = 6;
+  core::RoundPipeline pipeline(k, plan, comm::LinkGrid::uniform(k, 100.0),
+                               comm::AllReduceAlgo::kHalvingDoubling);
+
+  // Expected mean of the synthetic per-agent payloads.
+  const int64_t n = plan.total_elems();
+  std::vector<double> expected(static_cast<size_t>(n), 0.0);
+  const auto value_of = [&](int64_t agent, int64_t i) {
+    return static_cast<double>(agent + 1) * 0.5 +
+           static_cast<double>(i % 17) * 0.25;
+  };
+  for (int64_t a = 0; a < k; ++a)
+    for (int64_t i = 0; i < n; ++i)
+      expected[static_cast<size_t>(i)] += value_of(a, i);
+  for (auto& v : expected) v /= static_cast<double>(k);
+
+  // Producers contribute from their own threads while two collectors
+  // drain concurrently.
+  std::vector<std::thread> threads;
+  for (int64_t a = 0; a < k; ++a) {
+    threads.emplace_back([&, a] {
+      for (int64_t b = plan.buckets(); b-- > 0;) {
+        const nn::Bucket& bk = plan.bucket(b);
+        double* slot = pipeline.slot(a, b);
+        for (int64_t i = 0; i < bk.elems; ++i)
+          slot[i] = value_of(a, bk.offset_elems + i);
+        pipeline.contribute(a, b);
+      }
+    });
+  }
+  for (int c = 0; c < 2; ++c)
+    threads.emplace_back([&] { pipeline.drain(); });
+  for (auto& t : threads) t.join();
+
+  const auto stats = pipeline.stats();
+  EXPECT_EQ(stats.buckets, plan.buckets());
+  EXPECT_GT(stats.comm_seconds, 0.0);
+  EXPECT_GT(stats.max_bytes_sent, 0);
+  for (int64_t a = 0; a < k; ++a)
+    for (int64_t b = 0; b < plan.buckets(); ++b) {
+      const nn::Bucket& bk = plan.bucket(b);
+      const double* slot = pipeline.slot(a, b);
+      for (int64_t i = 0; i < bk.elems; ++i)
+        EXPECT_NEAR(slot[i],
+                    expected[static_cast<size_t>(bk.offset_elems + i)],
+                    1e-12)
+            << "agent " << a << " bucket " << b << " elem " << i;
+    }
+}
+
+TEST(RoundPipeline, BeginRoundResetsForReuse) {
+  Rng rng(9);
+  const auto model = nn::mlp({4, 8, 3}, rng);
+  const auto plan = nn::BucketPlan::build(*model, 64);
+  const int64_t k = 3;
+  core::RoundPipeline pipeline(k, plan, comm::LinkGrid::uniform(k, 100.0),
+                               comm::AllReduceAlgo::kRing);
+  for (int round = 0; round < 3; ++round) {
+    pipeline.begin_round();
+    for (int64_t a = 0; a < k; ++a) {
+      for (int64_t b = 0; b < plan.buckets(); ++b) {
+        double* slot = pipeline.slot(a, b);
+        for (int64_t i = 0; i < plan.bucket(b).elems; ++i)
+          slot[i] = static_cast<double>(a);
+      }
+      pipeline.contribute_all(a);
+    }
+    pipeline.drain();
+    const auto stats = pipeline.stats();
+    EXPECT_EQ(stats.buckets, plan.buckets());
+    // Stats are per round, not cumulative.
+    EXPECT_EQ(stats.steps, plan.buckets() * 2 * (k - 1));  // ring steps
+    for (int64_t a = 0; a < k; ++a)
+      EXPECT_NEAR(pipeline.slot(a, 0)[0], 1.0, 1e-12);  // mean of 0,1,2
+  }
+}
+
+// ---- predicted vs executed overlap parity -----------------------------------
+
+class OverlapParityP : public ::testing::TestWithParam<comm::Protocol> {};
+
+TEST_P(OverlapParityP, SimPredictsExecutedBucketScheduleExactly) {
+  const comm::Protocol protocol = GetParam();
+  const comm::AllReduceAlgo algo =
+      protocol == comm::Protocol::kRingAllReduce
+          ? comm::AllReduceAlgo::kRing
+          : comm::AllReduceAlgo::kHalvingDoubling;
+  Rng rng(11);
+  const auto model = nn::mlp({6, 16, 12, 3}, rng);
+  const auto plan = nn::BucketPlan::build(*model, 256);
+  const int64_t k = 5;
+  const auto grid = comm::LinkGrid::uniform(k, 40.0);
+
+  // Predicted: timing-only SimTransport run of each bucket's schedule.
+  std::vector<double> predicted_seconds;
+  std::vector<int64_t> predicted_steps;
+  for (int64_t b = 0; b < plan.buckets(); ++b) {
+    comm::SimTransport sim(grid);
+    comm::CollectiveRequest req;
+    req.elems = plan.bucket(b).elems;
+    comm::AsyncCollective op(protocol, sim, std::move(req));
+    op.wait();
+    predicted_seconds.push_back(sim.stats().seconds);
+    predicted_steps.push_back(sim.stats().steps);
+  }
+
+  // Executed: the concurrent pipeline with real payloads.
+  core::RoundPipeline pipeline(k, plan, grid, algo);
+  for (int64_t a = 0; a < k; ++a) {
+    for (int64_t b = 0; b < plan.buckets(); ++b) {
+      double* slot = pipeline.slot(a, b);
+      for (int64_t i = 0; i < plan.bucket(b).elems; ++i)
+        slot[i] = static_cast<double>(a + i % 7);
+      pipeline.contribute(a, b);
+    }
+  }
+  pipeline.drain();
+  const auto stats = pipeline.stats();
+
+  // Per-bucket predicted clock == executed clock, so any timeline composed
+  // from ready times is identical for the predicted and executed schedule.
+  ASSERT_EQ(stats.bucket_seconds.size(), predicted_seconds.size());
+  int64_t executed_steps = 0;
+  for (size_t b = 0; b < predicted_seconds.size(); ++b)
+    EXPECT_DOUBLE_EQ(stats.bucket_seconds[b], predicted_seconds[b])
+        << "bucket " << b;
+  for (const int64_t s : predicted_steps) executed_steps += s;
+  EXPECT_EQ(stats.steps, executed_steps);
+
+  const std::vector<double> ready(predicted_seconds.size(), 1.0);
+  const auto predicted_tl = compose_overlap_timeline(ready, predicted_seconds);
+  const auto executed_tl =
+      compose_overlap_timeline(ready, stats.bucket_seconds);
+  EXPECT_DOUBLE_EQ(predicted_tl.span, executed_tl.span);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Protocols, OverlapParityP,
+    ::testing::Values(comm::Protocol::kRingAllReduce,
+                      comm::Protocol::kHalvingDoublingAllReduce));
+
+// ---- fleet-level bucket determinism -----------------------------------------
+
+TEST(FleetBucketDeterminism, BucketedSequentialMatchesFlatBitwise) {
+  // Default halving/doubling aggregation: bucketing must not change a bit.
+  FleetOptions flat;
+  flat.seed = 99;
+  const auto base = fleet_state(flat, 4, 2);
+  for (const int64_t bucket_bytes : {256, 1024, 1 << 20}) {
+    FleetOptions opt;
+    opt.seed = 99;
+    opt.comms.bucket_bytes = bucket_bytes;
+    expect_states_equal(base, fleet_state(opt, 4, 2), "bucket_bytes sweep");
+  }
+}
+
+TEST(FleetBucketDeterminism, OverlappedMatchesSequentialBitwise) {
+  for (const auto algo :
+       {comm::AllReduceAlgo::kHalvingDoubling, comm::AllReduceAlgo::kRing}) {
+    FleetOptions seq;
+    seq.seed = 99;
+    seq.comms.aggregation = algo;
+    seq.comms.bucket_bytes = 512;
+    FleetOptions ovl = seq;
+    ovl.comms.overlap = true;
+    expect_states_equal(fleet_state(seq, 4, 2), fleet_state(ovl, 4, 2),
+                        "overlap vs sequential");
+  }
+}
+
+TEST(FleetBucketDeterminism, OverlappedBitIdenticalAcrossThreadCounts) {
+  ThreadCountGuard guard;
+  FleetOptions opt;
+  opt.seed = 99;
+  opt.comms.bucket_bytes = 512;
+  opt.comms.overlap = true;
+  set_num_threads(1);
+  const auto s1 = fleet_state(opt, 4, 2);
+  set_num_threads(8);
+  const auto s8 = fleet_state(opt, 4, 2);
+  expect_states_equal(s1, s8, "1 vs 8 threads");
+}
+
+TEST(FleetBucketDeterminism, DifferentialPrivacyBucketedMatchesFlat) {
+  FleetOptions flat;
+  flat.seed = 7;
+  flat.privacy.technique = learncurve::PrivacyTechnique::kDifferentialPrivacy;
+  flat.privacy.dp_epsilon = 2.0;
+  flat.privacy.dp_sensitivity = 1e-4;
+  FleetOptions bucketed = flat;
+  bucketed.comms.bucket_bytes = 512;
+  bucketed.comms.overlap = true;  // DP narrows to post-noise publication
+  expect_states_equal(fleet_state(flat, 4, 2), fleet_state(bucketed, 4, 2),
+                      "DP bucketed vs flat");
+}
+
+TEST(FleetBucketDeterminism, OverlappedRoundReportsPipelineShape) {
+  FleetOptions opt;
+  opt.seed = 3;
+  opt.comms.bucket_bytes = 512;
+  opt.comms.overlap = true;
+  RealFleet fleet(mlp_factory(6, 3), 3, blob_shards(4, 30, 3, 6, 21),
+                  hetero_mesh(4), opt);
+  const auto stats = fleet.step();
+  EXPECT_GT(stats.buckets, 1);
+  EXPECT_GT(stats.aggregation_seconds, 0.0);
+  EXPECT_GT(stats.aggregation_bytes, 0);
+  // Overlap can only hide aggregation time, never add to it...
+  EXPECT_LE(stats.exposed_comm_seconds, stats.aggregation_seconds + 1e-12);
+  EXPECT_GE(stats.exposed_comm_seconds, 0.0);
+  // ...and the modeled round is never shorter than its parts allow.
+  EXPECT_GE(stats.sim_time, stats.exposed_comm_seconds);
+}
+
+TEST(FleetBucketDeterminism, BaselineAllReduceBucketedMatchesFlat) {
+  using baselines::RealBaselineFleet;
+  const auto run = [&](int64_t bucket_bytes, bool overlap) {
+    FleetOptions opt;
+    opt.seed = 31;
+    opt.comms.bucket_bytes = bucket_bytes;
+    opt.comms.overlap = overlap;
+    RealBaselineFleet fleet(learncurve::Method::kAllReduceDML,
+                            mlp_factory(6, 3), 3,
+                            blob_shards(4, 30, 3, 6, 41), hetero_mesh(4),
+                            opt);
+    for (int r = 0; r < 2; ++r) (void)fleet.step();
+    std::vector<Tensor> all;
+    for (int64_t a = 0; a < fleet.agents(); ++a) {
+      auto s = nn::state_of(fleet.model(a));
+      all.insert(all.end(), s.begin(), s.end());
+    }
+    return all;
+  };
+  const auto flat = run(0, false);
+  expect_states_equal(flat, run(512, false), "baseline bucketed");
+  expect_states_equal(flat, run(512, true), "baseline overlapped");
+}
+
+TEST(FleetRuntimeOverlap, FacadeReportsBucketsAndExposedComm) {
+  FleetOptions opt;
+  opt.comms.bucket_bytes = 512;
+  opt.comms.overlap = true;
+  auto fleet = core::FleetBuilder()
+                   .method(learncurve::Method::kComDML)
+                   .options(opt)
+                   .topology(hetero_mesh(4))
+                   .model(mlp_factory(6, 3), 3)
+                   .shards(blob_shards(4, 30, 3, 6, 61))
+                   .build();
+  const auto rep = fleet.step();
+  EXPECT_GT(rep.buckets, 1);
+  EXPECT_GT(rep.aggregation_seconds, 0.0);
+  EXPECT_LE(rep.exposed_comm_seconds, rep.aggregation_seconds + 1e-12);
+  EXPECT_GT(rep.round_seconds, 0.0);
+}
+
+// ---- FleetOptions validation ------------------------------------------------
+
+TEST(FleetOptionsValidate, DefaultsPass) {
+  FleetOptions opt;
+  EXPECT_NO_THROW(opt.validate());
+  EXPECT_NO_THROW(FleetOptions::paper_defaults().validate());
+}
+
+TEST(FleetOptionsValidate, RejectsBadTrainingGeometry) {
+  FleetOptions opt;
+  opt.train.batch_size = 0;
+  EXPECT_THROW(opt.validate(), std::invalid_argument);
+  opt = FleetOptions{};
+  opt.train.batches_per_round = -1;
+  EXPECT_THROW(opt.validate(), std::invalid_argument);
+  opt = FleetOptions{};
+  opt.train.sgd.lr = 0.0f;
+  EXPECT_THROW(opt.validate(), std::invalid_argument);
+  opt = FleetOptions{};
+  opt.train.reference_flops = 0.0;
+  EXPECT_THROW(opt.validate(), std::invalid_argument);
+}
+
+TEST(FleetOptionsValidate, RejectsBadCommKnobs) {
+  FleetOptions opt;
+  opt.comms.server_mbps = 0.0;
+  EXPECT_THROW(opt.validate(), std::invalid_argument);
+  opt = FleetOptions{};
+  opt.comms.latency_sec = -1.0;
+  EXPECT_THROW(opt.validate(), std::invalid_argument);
+  opt = FleetOptions{};
+  opt.comms.bucket_bytes = -4;
+  EXPECT_THROW(opt.validate(), std::invalid_argument);
+  opt = FleetOptions{};
+  opt.comms.overlap = true;  // overlap without bucketing
+  EXPECT_THROW(opt.validate(), std::invalid_argument);
+}
+
+TEST(FleetOptionsValidate, RejectsBadScaleAndPrivacyKnobs) {
+  FleetOptions opt;
+  opt.scale.participation = 0.0;
+  EXPECT_THROW(opt.validate(), std::invalid_argument);
+  opt = FleetOptions{};
+  opt.scale.agent_dropout = 1.0;
+  EXPECT_THROW(opt.validate(), std::invalid_argument);
+  opt = FleetOptions{};
+  opt.privacy.dp_epsilon = -0.5;
+  EXPECT_THROW(opt.validate(), std::invalid_argument);
+  opt = FleetOptions{};
+  opt.privacy.shuffle_patch = 0;
+  EXPECT_THROW(opt.validate(), std::invalid_argument);
+}
+
+TEST(FleetOptionsValidate, FleetsRejectInvalidOptionsAtConstruction) {
+  FleetOptions opt;
+  opt.train.batch_size = -8;
+  EXPECT_THROW(RealFleet(mlp_factory(6, 3), 3, blob_shards(2, 20, 3, 6, 71),
+                         hetero_mesh(2), opt),
+               std::invalid_argument);
+  EXPECT_THROW(baselines::RealBaselineFleet(
+                   learncurve::Method::kFedAvg, mlp_factory(6, 3), 3,
+                   blob_shards(2, 20, 3, 6, 72), hetero_mesh(2), opt),
+               std::invalid_argument);
+  EXPECT_THROW(core::FleetBuilder()
+                   .method(learncurve::Method::kComDML)
+                   .options(opt)
+                   .topology(hetero_mesh(2))
+                   .architecture(nn::resnet56_spec())
+                   .shard_sizes({100, 100})
+                   .build(),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace comdml

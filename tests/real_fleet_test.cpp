@@ -156,6 +156,33 @@ TEST(RealFleet, PlateauScheduleDecaysLearningRate) {
   EXPECT_LT(fleet.current_lr(), 1e-6f);
 }
 
+TEST(RealFleet, OverlappedRoundsLearnAndKeepConsensus) {
+  // Overlapped bucketed aggregation must behave exactly like a normal
+  // round from the outside: replicas agree after step() and training
+  // still converges.
+  RealFleet::Options opt;
+  opt.train.batches_per_round = 6;
+  opt.train.sgd.lr = 0.08f;
+  opt.comms.bucket_bytes = 512;
+  opt.comms.overlap = true;
+  auto shards = blob_shards(4, 60, 3, 6, 27);
+  data::Dataset pooled = shards[0];
+  RealFleet fleet(mlp_factory(6, 3), 3, std::move(shards), hetero_mesh(4),
+                  opt);
+  for (int r = 0; r < 15; ++r) {
+    const auto stats = fleet.step();
+    EXPECT_GT(stats.buckets, 1);
+    EXPECT_GT(stats.aggregation_bytes, 0);
+  }
+  Rng rng(28);
+  const auto x = rng.normal_tensor({5, 6}, 0, 1);
+  const auto y0 = fleet.model(0).forward(x, false);
+  for (int64_t a = 1; a < 4; ++a)
+    EXPECT_TRUE(
+        tensor::allclose(fleet.model(a).forward(x, false), y0, 1e-4f));
+  EXPECT_GT(fleet.evaluate(pooled), 0.8f);
+}
+
 TEST(RealFleet, RejectsShardTopologyMismatch) {
   RealFleet::Options opt;
   EXPECT_THROW(RealFleet(mlp_factory(6, 3), 3, blob_shards(3, 20, 3, 6, 11),

@@ -441,6 +441,35 @@ TEST(Registry, EveryProtocolResolvesByEnumAndName) {
   EXPECT_EQ(collective(Protocol::kParamServer).name(), "param_server");
 }
 
+// ---- stepped schedules -----------------------------------------------------
+
+TEST(SteppedSchedule, BlockingRunExecutesExactlyTheScheduleSteps) {
+  // The stepped schedule is the single source of truth for ring and
+  // halving/doubling: the registry's blocking run must produce one
+  // transport step (and one message per scheduled send) per schedule step.
+  for (const Protocol p :
+       {Protocol::kRingAllReduce, Protocol::kHalvingDoublingAllReduce}) {
+    for (const int k : {2, 5, 8}) {
+      const int64_t elems = 97;
+      const auto sched = allreduce_schedule(p, k, elems);
+      int64_t scheduled_messages = 0;
+      for (const auto& step : sched.steps) {
+        scheduled_messages += static_cast<int64_t>(step.sends.size());
+        EXPECT_EQ(step.sends.size(), step.recvs.size());
+      }
+      SimTransport t(LinkGrid::uniform(k, 100.0));
+      CollectiveRequest req;
+      req.elems = elems;
+      (void)collective(p).run(t, req);
+      EXPECT_EQ(t.stats().steps,
+                static_cast<int64_t>(sched.steps.size()))
+          << collective(p).name() << " k=" << k;
+      EXPECT_EQ(t.stats().messages, scheduled_messages)
+          << collective(p).name() << " k=" << k;
+    }
+  }
+}
+
 // ---- shim equivalence ------------------------------------------------------
 
 TEST(Shims, AllReduceCostMatchesTransportRun) {
