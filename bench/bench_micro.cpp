@@ -361,6 +361,29 @@ void run_kernel_suite() {
   }
 
   {
+    // Bucket wire codec throughput: one QuantizingCodec encode of a
+    // bucket-sized fp64 payload (the round pipeline's publish-time and
+    // per-hop compression path). GB/s of the fp32-wire-equivalent bytes.
+    // encode() does the same two passes (max-abs scan + quantize) whatever
+    // the values hold, so re-encoding the same buffer measures exactly the
+    // steady-state codec work without charging a refill copy to it.
+    const int64_t elems = 64 * 1024 / 4;  // one 64 KiB fp32-wire bucket
+    std::vector<double> work(static_cast<size_t>(elems));
+    for (int64_t i = 0; i < elems; ++i)
+      work[static_cast<size_t>(i)] =
+          0.731 * (static_cast<double>(i % 255) / 127.0 - 1.0);
+    const double wire_gb = static_cast<double>(elems) * 4;
+    const double t_q = time_seconds([&] {
+      benchmark::DoNotOptimize(comm::quantized_codec().encode(
+          work.data(), elems));
+    });
+    records.push_back({"quantized_codec_encode", "64KiB_bucket", 1,
+                       wire_gb / t_q / 1e9, 1.0, "gbps"});
+    std::printf("  %-18s %-22s threads=1: %7.3f GB/s (fp32-wire bytes)\n",
+                "int8_bucket_codec", "64KiB_bucket", wire_gb / t_q / 1e9);
+  }
+
+  {
     // Comm protocols through the Transport API: per-collective traffic and
     // modeled time of the SimTransport schedule (K=16 agents, 4 MB model,
     // 100 Mbps bottleneck links), plus the wall time of the real InProc
@@ -427,57 +450,79 @@ void run_kernel_suite() {
 
   {
     // Fleet rounds: sequential vs overlapped bucketed aggregation through
-    // the real ComDML engine (InProc collectives, mlp replicas). The
-    // "round_seconds" rows are measured wall time of one RealFleet round;
-    // the "model_round_seconds" rows are the modeled clock of the same
-    // round (SimTransport-equivalent schedule + overlap timeline), so both
-    // the executed and the predicted win are tracked. Overlap needs real
-    // concurrency: expect parity at 1 thread and the gap to open with
-    // cores.
-    std::printf("  -- fleet rounds: sequential vs overlapped buckets --\n");
+    // the real ComDML engine (InProc collectives, mlp replicas), with the
+    // fp32 and the quantized (int8 + error feedback) bucket wire codec.
+    // The "round_seconds" rows are measured wall time of one RealFleet
+    // round; the "model_round_seconds" rows are the modeled clock of the
+    // same round (SimTransport-equivalent schedule + overlap timeline);
+    // "bytes_per_round" is the executed allreduce traffic (max bytes any
+    // agent sent) and "exposed_comm_seconds" the aggregation time left on
+    // the modeled critical path after overlap — the quantized rows should
+    // show ~4x fewer bytes and a proportionally thinner exposed tail.
+    // Overlap needs real concurrency: expect wall parity at 1 thread and
+    // the gap to open with cores.
+    std::printf("  -- fleet rounds: buckets x overlap x codec --\n");
     for (const int64_t k : {int64_t{4}, int64_t{16}}) {
       for (const bool overlap : {false, true}) {
-        for (const int threads : {1, 2, 4}) {
-          core::set_num_threads(threads);
-          core::FleetOptions opt;
-          opt.seed = 71;
-          opt.train.batch_size = 16;
-          opt.train.batches_per_round = 2;
-          opt.comms.bucket_bytes = 64 * 1024;
-          opt.comms.overlap = overlap;
-          Rng rng(61);
-          const int64_t features = 32, classes = 10;
-          const auto ds =
-              data::make_blobs(k * 32, classes, features, 0.3f, rng);
-          const auto parts = data::iid_partition(ds.size(), k, rng);
-          std::vector<data::Dataset> shards;
-          for (const auto& idx : parts) shards.push_back(ds.subset(idx));
-          std::vector<sim::ResourceProfile> profiles;
-          const std::vector<double> cpus{4.0, 0.2, 2.0, 0.5};
-          for (int64_t i = 0; i < k; ++i)
-            profiles.push_back(
-                {cpus[static_cast<size_t>(i) % cpus.size()], 100.0});
-          core::RealFleet fleet(
-              [&](Rng& r) {
-                return nn::mlp({features, 256, 256, classes}, r);
-              },
-              classes, std::move(shards),
-              sim::Topology::full_mesh(profiles), opt);
-          double model_seconds = 0.0;
-          const double wall = time_seconds([&] {
-            const auto stats = fleet.step();
-            model_seconds = stats.sim_time;
-          });
-          const std::string shape = "k" + std::to_string(k) +
-                                    (overlap ? "_overlap" : "_sequential");
-          records.push_back(
-              {"comdml_round", shape, threads, wall, 1.0, "round_seconds"});
-          records.push_back({"comdml_round", shape, threads, model_seconds,
-                             1.0, "model_round_seconds"});
-          std::printf(
-              "  %-18s %-22s threads=%d: %8.4f wall s/round, %7.2f "
-              "modeled s\n",
-              "comdml_round", shape.c_str(), threads, wall, model_seconds);
+        for (const bool quantized : {false, true}) {
+          for (const int threads : {1, 2, 4}) {
+            core::set_num_threads(threads);
+            core::FleetOptions opt;
+            opt.seed = 71;
+            opt.train.batch_size = 16;
+            opt.train.batches_per_round = 2;
+            opt.comms.bucket_bytes = 64 * 1024;
+            opt.comms.overlap = overlap;
+            opt.comms.codec =
+                quantized
+                    ? core::FleetOptions::CommOptions::Codec::kInt8Quantized
+                    : core::FleetOptions::CommOptions::Codec::kFp32;
+            Rng rng(61);
+            const int64_t features = 32, classes = 10;
+            const auto ds =
+                data::make_blobs(k * 32, classes, features, 0.3f, rng);
+            const auto parts = data::iid_partition(ds.size(), k, rng);
+            std::vector<data::Dataset> shards;
+            for (const auto& idx : parts) shards.push_back(ds.subset(idx));
+            std::vector<sim::ResourceProfile> profiles;
+            const std::vector<double> cpus{4.0, 0.2, 2.0, 0.5};
+            for (int64_t i = 0; i < k; ++i)
+              profiles.push_back(
+                  {cpus[static_cast<size_t>(i) % cpus.size()], 100.0});
+            core::RealFleet fleet(
+                [&](Rng& r) {
+                  return nn::mlp({features, 256, 256, classes}, r);
+                },
+                classes, std::move(shards),
+                sim::Topology::full_mesh(profiles), opt);
+            double model_seconds = 0.0, exposed_seconds = 0.0;
+            double bytes_per_round = 0.0;
+            const double wall = time_seconds([&] {
+              const auto stats = fleet.step();
+              model_seconds = stats.sim_time;
+              exposed_seconds = stats.exposed_comm_seconds;
+              bytes_per_round =
+                  static_cast<double>(stats.aggregation_bytes);
+            });
+            const std::string shape =
+                "k" + std::to_string(k) +
+                (overlap ? "_overlap" : "_sequential") +
+                (quantized ? "_int8" : "");
+            records.push_back({"comdml_round", shape, threads, wall, 1.0,
+                               "round_seconds"});
+            records.push_back({"comdml_round", shape, threads,
+                               model_seconds, 1.0, "model_round_seconds"});
+            records.push_back({"comdml_round", shape, threads,
+                               bytes_per_round, 1.0, "bytes_per_round"});
+            records.push_back({"comdml_round", shape, threads,
+                               exposed_seconds, 1.0,
+                               "exposed_comm_seconds"});
+            std::printf(
+                "  %-18s %-22s threads=%d: %8.4f wall s/round, %7.2f "
+                "modeled s, %8.2f KB/agent, %6.2f exposed s\n",
+                "comdml_round", shape.c_str(), threads, wall, model_seconds,
+                bytes_per_round / 1e3, exposed_seconds);
+          }
         }
       }
     }

@@ -38,10 +38,12 @@ struct Args {
   double dropout = 0.0;
   bool real = false;
   /// Bucketed/overlapped aggregation (real mode): state bucket size in
-  /// bytes (0 = one flat collective) and whether bucket collectives
-  /// overlap the compute tail.
+  /// bytes (0 = one flat collective), whether bucket collectives overlap
+  /// the compute tail, the bucket wire codec, and error feedback.
   int64_t bucket_bytes = 0;
   bool overlap = false;
+  std::string codec = "fp32";  // fp32 | quantized
+  bool error_feedback = true;
   uint64_t seed = 42;
 };
 
@@ -69,6 +71,14 @@ bool parse(int argc, char** argv, Args& args) {
     else if (flag == "--real") { args.real = true; continue; }
     else if (flag == "--bucket-bytes" && (v = need_value("--bucket-bytes"))) args.bucket_bytes = std::stoll(v);
     else if (flag == "--overlap") { args.overlap = true; continue; }
+    else if (flag == "--codec" && (v = need_value("--codec"))) {
+      args.codec = v;
+      if (args.codec != "fp32" && args.codec != "quantized") {
+        std::fprintf(stderr, "unknown codec %s (fp32 | quantized)\n", v);
+        return false;
+      }
+    }
+    else if (flag == "--no-error-feedback") { args.error_feedback = false; continue; }
     else if (flag == "--help") {
       std::printf(
           "usage: fleet_cli [--method comdml|fedavg|fedprox|gossip|"
@@ -77,7 +87,10 @@ bool parse(int argc, char** argv, Args& args) {
           "  [--agents N] [--rounds N] [--participation F] [--topology P]\n"
           "  [--target ACC] [--dropout P] [--seed N] [--real]\n"
           "  [--bucket-bytes N] [--overlap]   (real mode: bucketed /\n"
-          "   overlapped aggregation through the round pipeline)\n");
+          "   overlapped aggregation through the round pipeline)\n"
+          "  [--codec fp32|quantized] [--no-error-feedback]   (bucket wire\n"
+          "   codec: quantized ships dense int8 payloads ~4x smaller;\n"
+          "   error feedback carries the quantization error across rounds)\n");
       return false;
     } else {
       std::fprintf(stderr, "unknown flag %s (try --help)\n", flag.c_str());
@@ -142,6 +155,13 @@ core::FleetRuntime build_real(const Args& args, Method method,
   opt.train.sgd.lr = 0.08f;
   opt.comms.bucket_bytes = args.bucket_bytes;
   opt.comms.overlap = args.overlap;
+  if (args.codec == "quantized") {
+    opt.comms.codec = core::FleetOptions::CommOptions::Codec::kInt8Quantized;
+  } else if (args.codec != "fp32") {
+    throw std::invalid_argument("unknown codec " + args.codec +
+                                " (fp32 | quantized)");
+  }
+  opt.comms.error_feedback = args.error_feedback;
   if (args.bucket_bytes > 0 && method != Method::kComDML &&
       method != Method::kAllReduceDML) {
     std::fprintf(stderr,

@@ -45,7 +45,8 @@ RealBaselineFleet::RealBaselineFleet(learncurve::Method method,
     pipeline_ = std::make_unique<core::RoundPipeline>(
         static_cast<int64_t>(models_.size()), *bucket_plan_,
         core::bottleneck_grid(topology_, options_.comms.latency_sec),
-        options_.comms.aggregation);
+        options_.comms.aggregation, options_.comms.bucket_codec(),
+        options_.comms.error_feedback);
   }
 }
 
@@ -197,35 +198,30 @@ RealBaselineFleet::RoundStats RealBaselineFleet::step() {
   // order, keeping the round identical for every thread count.
   //
   // Bucketed AllReduce-DML: each agent publishes its buckets as its local
-  // training ends, and (overlap) one collector slot per pool thread lets
-  // idle workers reduce ready buckets while slower agents still train.
+  // training ends; RoundPipeline::run_round adds (overlap) one collector
+  // slot per pool thread so idle workers reduce ready buckets while slower
+  // agents still train, and aborts the pipeline on task exceptions.
   const bool bucketed = pipeline_ != nullptr;
   const bool overlap = bucketed && options_.comms.overlap;
   if (bucketed) pipeline_->begin_round();
   const int64_t n_agents = static_cast<int64_t>(models_.size());
-  const int64_t n_collectors = overlap ? core::num_threads() : 0;
   std::vector<float> losses(models_.size(), 0.0f);
-  core::parallel_for(0, n_agents + n_collectors, 1,
-                     [&](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) {
-      if (i >= n_agents) {
-        pipeline_->drain();
-        continue;
-      }
-      try {
-        losses[static_cast<size_t>(i)] = train_locally(
-            static_cast<size_t>(i), global ? &*global : nullptr);
-        if (bucketed) {
-          std::vector<tensor::Tensor*> ptrs;
-          models_[static_cast<size_t>(i)]->collect_state(ptrs);
-          pipeline_->publish_state(i, ptrs);
-        }
-      } catch (...) {
-        if (bucketed) pipeline_->abort();
-        throw;
-      }
+  const auto train_task = [&](int64_t i) {
+    losses[static_cast<size_t>(i)] =
+        train_locally(static_cast<size_t>(i), global ? &*global : nullptr);
+    if (bucketed) {
+      std::vector<tensor::Tensor*> ptrs;
+      models_[static_cast<size_t>(i)]->collect_state(ptrs);
+      pipeline_->publish_state(i, ptrs);
     }
-  });
+  };
+  if (bucketed) {
+    pipeline_->run_round(n_agents, train_task, overlap);
+  } else {
+    core::parallel_for(0, n_agents, 1, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) train_task(i);
+    });
+  }
   float loss = 0.0f;
   for (const float l : losses) loss += l;
   stats.mean_loss = loss / static_cast<float>(models_.size());

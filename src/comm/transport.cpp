@@ -1,8 +1,9 @@
 #include "comm/transport.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
-#include "comm/compress.hpp"
 #include "tensor/tensor.hpp"
 
 namespace comdml::comm {
@@ -79,43 +80,54 @@ const Codec& identity_codec() {
   return codec;
 }
 
-QuantizingCodec::QuantizingCodec(double assumed_ratio)
-    : assumed_ratio_(assumed_ratio) {
-  COMDML_CHECK(assumed_ratio > 0.0);
+int64_t QuantizingCodec::quantized_wire_bytes(int64_t elems) {
+  COMDML_CHECK(elems >= 0);
+  if (elems == 0) return 0;
+  return static_cast<int64_t>(sizeof(float)) + elems;  // scale + 1 B/elem
 }
 
 int64_t QuantizingCodec::wire_bytes(int64_t elems,
-                                    const double* data) const {
-  if (data == nullptr) {
-    // Timing-only message: the analytic ratio the timing model assumes.
-    const double raw = static_cast<double>(elems) * sizeof(float);
-    return static_cast<int64_t>(raw / assumed_ratio_);
-  }
-  tensor::Tensor t({elems});
-  auto flat = t.flat();
-  for (int64_t i = 0; i < elems; ++i)
-    flat[static_cast<size_t>(i)] = static_cast<float>(data[i]);
-  return compress_activations(t).wire_bytes();
+                                    const double* /*data*/) const {
+  // The wire format is dense, so the byte count never depends on the
+  // payload — a timing-only estimate and an executed message charge the
+  // same bytes by construction.
+  return quantized_wire_bytes(elems);
 }
 
 void QuantizingCodec::transform(double* data, int64_t elems) const {
-  (void)encode(data, elems);
+  if (elems == 0) return;
+  // Symmetric int8 round trip: scale = max|v|/127, q = round(v/scale)
+  // clamped to [-127, 127], v' = scale * q. The scale travels as fp32 (the
+  // 4-byte header), so dequantization uses the wire-precision scale.
+  double max_abs = 0.0;
+  for (int64_t i = 0; i < elems; ++i)
+    max_abs = std::max(max_abs, std::fabs(data[i]));
+  if (max_abs == 0.0) return;  // all-zero payload is exact
+  const float scale = static_cast<float>(max_abs / 127.0);
+  // Degenerate dynamic ranges cannot ride the fp32 scale header: an
+  // Inf/NaN element would turn every finite element into NaN (inv_scale
+  // = 0, inf * 0), and a sub-fp32-normal range would map zeros through
+  // 0 * inf. Ship such payloads unquantized (the wire charge is
+  // data-independent either way) instead of poisoning the bucket — and,
+  // under error feedback, the residual — with NaNs.
+  if (!std::isfinite(scale) || scale < std::numeric_limits<float>::min())
+    return;
+  const double inv_scale = 1.0 / static_cast<double>(scale);
+  for (int64_t i = 0; i < elems; ++i) {
+    const double q = std::nearbyint(data[i] * inv_scale);
+    data[i] = static_cast<double>(scale) *
+              std::clamp(q, -127.0, 127.0);
+  }
 }
 
 int64_t QuantizingCodec::encode(double* data, int64_t elems) const {
-  if (elems == 0) return 0;
-  tensor::Tensor t({elems});
-  auto flat = t.flat();
-  for (int64_t i = 0; i < elems; ++i)
-    flat[static_cast<size_t>(i)] = static_cast<float>(data[i]);
-  // One compression pass yields both the measured wire size and the lossy
-  // round trip.
-  const CompressedActivations c = compress_activations(t);
-  const tensor::Tensor rt = decompress_activations(c);
-  const auto out = rt.flat();
-  for (int64_t i = 0; i < elems; ++i)
-    data[i] = static_cast<double>(out[static_cast<size_t>(i)]);
-  return c.wire_bytes();
+  transform(data, elems);
+  return quantized_wire_bytes(elems);
+}
+
+const Codec& quantized_codec() {
+  static const QuantizingCodec codec;
+  return codec;
 }
 
 // ---- TransportStats ---------------------------------------------------------

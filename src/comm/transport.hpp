@@ -107,26 +107,32 @@ class Codec {
 /// fp32 on the wire, lossless in fp64 accumulators: elems * 4 bytes.
 [[nodiscard]] const Codec& identity_codec();
 
-/// Sparse int8 wire codec over comm/compress.hpp (presence bitmask +
-/// affine-quantized magnitudes). Intended for non-negative payloads
-/// (post-ReLU activations); negative values quantize to zero. With a real
-/// payload it measures the achieved wire bytes and applies the lossy round
-/// trip; timing-only messages are charged elems*4 / `assumed_ratio`.
+/// Dense signed int8 wire codec for model-state/gradient payloads (the
+/// bucket-collective codec): one symmetric quantization scale
+/// (scale = max|v| / 127) plus one int8 per element. The wire size is a
+/// pure function of the element count — `quantized_wire_bytes(elems)` —
+/// derived from the wire format itself rather than an assumed ratio, so a
+/// timing-only SimTransport charges *exactly* the bytes an InProcTransport
+/// executes. Signed values survive (unlike the sparse activation codec in
+/// comm/compress.hpp, which drops negatives); the round trip is lossy at
+/// int8 resolution of the payload's dynamic range, which the round
+/// pipeline's per-bucket error feedback re-injects next round.
 class QuantizingCodec final : public Codec {
  public:
-  explicit QuantizingCodec(double assumed_ratio = 6.4);
+  /// Wire bytes of `elems` quantized values: a 4-byte scale header plus
+  /// one byte per element (0 elements ship an empty message).
+  [[nodiscard]] static int64_t quantized_wire_bytes(int64_t elems);
 
-  [[nodiscard]] std::string_view name() const override {
-    return "int8-sparse";
-  }
+  [[nodiscard]] std::string_view name() const override { return "int8"; }
   [[nodiscard]] int64_t wire_bytes(int64_t elems,
                                    const double* data) const override;
   void transform(double* data, int64_t elems) const override;
   [[nodiscard]] int64_t encode(double* data, int64_t elems) const override;
-
- private:
-  double assumed_ratio_;
 };
+
+/// Shared immutable QuantizingCodec instance (codecs are borrowed by
+/// transports and must outlive them; fleets wire this one in).
+[[nodiscard]] const Codec& quantized_codec();
 
 /// Message-loss injection: each message is dropped independently with
 /// `drop_prob` from a deterministic per-transport stream. Dropped messages

@@ -106,6 +106,27 @@ struct FleetOptions {
     /// knobs only for the AllReduce-DML method (the other baselines do
     /// not aggregate through an allreduce).
     bool overlap = false;
+    /// Wire codec of the bucket collectives. kFp32 ships raw fp32
+    /// payloads and stays bit-identical to the uncompressed rounds;
+    /// kInt8Quantized compresses every exchange-step payload to dense
+    /// symmetric int8 (~4x fewer wire bytes, lossy at int8 resolution).
+    /// Requires bucket_bytes > 0 — the flat collective path is always
+    /// fp32.
+    enum class Codec { kFp32, kInt8Quantized };
+    Codec codec = Codec::kFp32;
+    /// Error-feedback residual accumulation per (agent, bucket): each
+    /// round the previous round's quantization error is added back into
+    /// the payload before it is quantized, so compression error stays a
+    /// bounded perturbation instead of accumulating as bias across
+    /// rounds (Chen et al., communication-efficient policy gradients).
+    /// Only meaningful with a lossy codec; ignored for kFp32.
+    bool error_feedback = true;
+
+    /// Transport codec behind `codec` (nullptr = identity/fp32 wire).
+    [[nodiscard]] const comm::Codec* bucket_codec() const {
+      return codec == Codec::kInt8Quantized ? &comm::quantized_codec()
+                                            : nullptr;
+    }
   } comms;
 
   /// Privacy techniques applied before state leaves the device (§V-B-4).
@@ -169,6 +190,10 @@ struct FleetOptions {
     COMDML_REQUIRE(!comms.overlap || comms.bucket_bytes > 0,
                    "overlapped rounds need bucket_bytes > 0 (overlap "
                    "pipelines per-bucket collectives)");
+    COMDML_REQUIRE(
+        comms.codec == CommOptions::Codec::kFp32 || comms.bucket_bytes > 0,
+        "a lossy bucket codec needs bucket_bytes > 0 (only the bucket "
+        "collectives are codec-aware; the flat collective is always fp32)");
     COMDML_REQUIRE(privacy.dp_epsilon > 0.0,
                    "dp_epsilon must be positive, got " << privacy.dp_epsilon);
     COMDML_REQUIRE(privacy.dp_sensitivity > 0.0,

@@ -56,6 +56,7 @@ RoundReport FleetRuntime::step() {
     rep.aggregation_bytes = stats.aggregation_bytes;
     rep.buckets = stats.buckets;
     rep.exposed_comm_seconds = stats.exposed_comm_seconds;
+    rep.split_early_buckets = stats.split_early_buckets;
     rep.num_pairs = stats.num_pairs;
     rep.mean_loss = stats.mean_loss;
     rep.mean_slow_loss = stats.mean_slow_loss;

@@ -60,6 +60,10 @@ struct RoundReport {
   /// nothing is hidden).
   int64_t buckets = 0;
   double exposed_comm_seconds = 0.0;
+  /// Buckets split-trained slow replicas published layer-by-layer while
+  /// their split backward still ran (real ComDML only; see
+  /// RealFleet::RoundStats::split_early_buckets).
+  int64_t split_early_buckets = 0;
   int64_t num_pairs = 0;
   int64_t dropped_agents = 0;
   // Real-execution only:

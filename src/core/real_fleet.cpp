@@ -61,7 +61,8 @@ RealFleet::RealFleet(const ModelFactory& factory, int64_t classes,
     pipeline_ = std::make_unique<RoundPipeline>(
         static_cast<int64_t>(agents_.size()), *bucket_plan_,
         bottleneck_grid(topology_, options_.comms.latency_sec),
-        options_.comms.aggregation);
+        options_.comms.aggregation, options_.comms.bucket_codec(),
+        options_.comms.error_feedback);
     // Modeled backward-tail fraction per bucket: the share of one batch's
     // work still ahead of the final backward sweep when the bucket's
     // lowest unit has finished — this is the compute window the bucket's
@@ -132,6 +133,7 @@ RealFleet::RoundStats RealFleet::step() {
     double dcor = 0.0;
     double wire_compression = 0.0;
     int64_t dcor_count = 0;
+    int64_t split_early_buckets = 0;
   };
   const size_t n_pairs = plan.pairs.size();
   const size_t n_tasks = n_pairs + plan.solo.size();
@@ -151,11 +153,13 @@ RealFleet::RoundStats RealFleet::step() {
   const bool overlap = publish_in_task && options_.comms.overlap;
   if (bucketed) pipeline_->begin_round();
 
-  // Publish every bucket of `agent`'s replica (already final).
-  const auto publish_all = [&](int64_t agent) {
-    std::vector<tensor::Tensor*> ptrs;
-    agents_[static_cast<size_t>(agent)].model->collect_state(ptrs);
-    pipeline_->publish_state(agent, ptrs);
+  // Flatten + contribute one bucket of `agent`'s live state — the publish
+  // step shared by the full-model and split last-batch unit walks.
+  const auto publish_bucket = [&](int64_t agent,
+                                  const std::vector<tensor::Tensor*>& ptrs,
+                                  int64_t bk) {
+    bucket_plan_->flatten_bucket(ptrs, bk, pipeline_->slot(agent, bk));
+    pipeline_->contribute(agent, bk);
   };
 
   // Full-model local training for one agent. When publishing from inside
@@ -176,11 +180,8 @@ RealFleet::RoundStats RealFleet::step() {
         const auto res = nn::train_batch_full_notify(
             *st.model, opt, batch.x, batch.y,
             bucket_plan_->unit_param_counts(), [&](size_t u) {
-              tracker.unit_done(u, [&](int64_t bk) {
-                bucket_plan_->flatten_bucket(ptrs, bk,
-                                             pipeline_->slot(agent, bk));
-                pipeline_->contribute(agent, bk);
-              });
+              tracker.unit_done(
+                  u, [&](int64_t bk) { publish_bucket(agent, ptrs, bk); });
             });
         out.loss_sum += res.loss;
         ++out.loss_count;
@@ -203,11 +204,38 @@ RealFleet::RoundStats RealFleet::step() {
       // trains its own replica.
       const auto& pair = plan.pairs[static_cast<size_t>(t)];
       auto& slow = agents_[static_cast<size_t>(pair.slow_agent)];
+      const int64_t batches = options_.train.batches_per_round;
       nn::LocalLossSplitTrainer split(*slow.model, pair.cut, in_shape_,
                                       classes_, rng, sgd);
-      for (int64_t b = 0; b < options_.train.batches_per_round; ++b) {
+      for (int64_t b = 0; b < batches; ++b) {
         const auto batch = next_batch(pair.slow_agent, rng);
-        const auto step = split.train_batch(batch.x, batch.y);
+        nn::LocalLossSplitTrainer::StepStats step;
+        if (publish_in_task && b == batches - 1) {
+          // Final batch: per-unit finalization publishes the slow
+          // replica's buckets layer-by-layer during the split backward —
+          // prefix-side buckets enter the pipeline before the fast-side
+          // backward even starts, and every bucket ships before the fast
+          // agent's own full-model training below (bit-identical math
+          // either way).
+          std::vector<tensor::Tensor*> ptrs;
+          slow.model->collect_state(ptrs);
+          nn::BucketReadyTracker tracker(*bucket_plan_);
+          const size_t total_units = slow.model->size();
+          size_t units_done = 0;
+          step = split.train_batch_notify(
+              batch.x, batch.y, bucket_plan_->unit_param_counts(),
+              [&](size_t u) {
+                ++units_done;
+                tracker.unit_done(u, [&](int64_t bk) {
+                  publish_bucket(pair.slow_agent, ptrs, bk);
+                  // Published while split units were still pending: the
+                  // widened overlap window, as a number.
+                  if (units_done < total_units) ++out.split_early_buckets;
+                });
+              });
+        } else {
+          step = split.train_batch(batch.x, batch.y);
+        }
         out.slow_loss_sum += step.slow_loss;
         out.loss_sum += step.fast_loss;
         ++out.loss_count;
@@ -222,9 +250,6 @@ RealFleet::RoundStats RealFleet::step() {
           ++out.dcor_count;
         }
       }
-      // The slow replica is final once split training ends; its buckets
-      // can ship while the fast agent's own replica still trains below.
-      if (publish_in_task) publish_all(pair.slow_agent);
       train_full(pair.fast_agent, rng, out);
     } else {
       // Solo agents train the full model.
@@ -233,32 +258,17 @@ RealFleet::RoundStats RealFleet::step() {
     }
   };
 
-  // Work items: the training tasks plus (overlapped mode) one collector
-  // slot per pool thread. Chunks are claimed in index order, so collector
-  // slots are only picked up by workers with no training work left; those
-  // workers execute ready bucket collectives concurrently with the
-  // remaining compute. A task failure aborts the pipeline so waiting
-  // collectors exit before the exception propagates.
-  const int64_t n_collectors = overlap ? num_threads() : 0;
-  parallel_for(0, static_cast<int64_t>(n_tasks) + n_collectors, 1,
-               [&](int64_t lo, int64_t hi) {
-    for (int64_t t = lo; t < hi; ++t) {
-      if (t >= static_cast<int64_t>(n_tasks)) {
-        pipeline_->drain();
-        continue;
-      }
-      if (!bucketed) {
-        run_task(t);
-        continue;
-      }
-      try {
-        run_task(t);
-      } catch (...) {
-        pipeline_->abort();
-        throw;
-      }
-    }
-  });
+  // Fan the tasks out. Bucketed rounds go through the shared pipeline
+  // orchestration (collector slots in overlapped mode, abort-on-exception);
+  // flat rounds are a plain fan-out.
+  if (bucketed) {
+    pipeline_->run_round(static_cast<int64_t>(n_tasks), run_task, overlap);
+  } else {
+    parallel_for(0, static_cast<int64_t>(n_tasks), 1,
+                 [&](int64_t lo, int64_t hi) {
+                   for (int64_t t = lo; t < hi; ++t) run_task(t);
+                 });
+  }
 
   float slow_loss_sum = 0.0f, loss_sum = 0.0f;
   int64_t loss_count = 0;
@@ -271,6 +281,7 @@ RealFleet::RoundStats RealFleet::step() {
     dcor_sum += r.dcor;
     stats.mean_wire_compression += r.wire_compression;
     dcor_count += r.dcor_count;
+    stats.split_early_buckets += r.split_early_buckets;
   }
 
   const double t_comp = plan.estimated_round_time;

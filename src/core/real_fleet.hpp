@@ -50,6 +50,12 @@ class RealFleet {
     /// rounds expose everything).
     int64_t buckets = 0;
     double exposed_comm_seconds = 0.0;
+    /// Buckets that split-trained slow replicas published while their
+    /// split backward still had units pending (layerwise readiness inside
+    /// LocalLossSplitTrainer; 0 without pairs or without in-task
+    /// publication). Before this existed, split replicas published
+    /// everything at task end and the overlap window collapsed there.
+    int64_t split_early_buckets = 0;
   };
 
   /// One complete ComDML round (pair -> train -> aggregate).

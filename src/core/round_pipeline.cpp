@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "core/parallel.hpp"
+
 namespace comdml::core {
 
 OverlapTimeline compose_overlap_timeline(
@@ -40,18 +42,23 @@ comm::LinkGrid bottleneck_grid(const sim::Topology& topology,
 
 RoundPipeline::RoundPipeline(int64_t agents, const nn::BucketPlan& plan,
                              const comm::LinkGrid& grid,
-                             comm::AllReduceAlgo algo)
+                             comm::AllReduceAlgo algo,
+                             const comm::Codec* codec, bool error_feedback)
     : plan_(&plan),
       agents_(agents),
       protocol_(comm::allreduce_protocol(algo)),
+      codec_(codec),
       pending_(static_cast<size_t>(plan.buckets())) {
   COMDML_CHECK(agents > 0);
   COMDML_CHECK(grid.endpoints() == agents);
   slab_.resize(static_cast<size_t>(agents_ * plan.total_elems()));
+  if (error_feedback && codec_ != nullptr)
+    residual_.assign(slab_.size(), 0.0);
   transports_.reserve(static_cast<size_t>(plan.buckets()));
   schedules_.reserve(static_cast<size_t>(plan.buckets()));
   for (int64_t b = 0; b < plan.buckets(); ++b) {
-    transports_.push_back(std::make_unique<comm::InProcTransport>(grid));
+    transports_.push_back(
+        std::make_unique<comm::InProcTransport>(grid, codec_));
     schedules_.push_back(
         comm::allreduce_schedule(protocol_, agents_, plan.bucket(b).elems));
   }
@@ -73,9 +80,36 @@ double* RoundPipeline::slot(int64_t agent, int64_t bucket) {
          plan_->bucket(bucket).offset_elems;
 }
 
+void RoundPipeline::apply_error_feedback(int64_t agent, int64_t bucket) {
+  const nn::Bucket& bk = plan_->bucket(bucket);
+  double* s = slot(agent, bucket);
+  double* r = residual_.data() + agent * plan_->total_elems() +
+              bk.offset_elems;
+  // Carry last round's quantization error into this round's payload, then
+  // quantize once and keep the fresh error: r' = (x + r) - Q(x + r).
+  for (int64_t i = 0; i < bk.elems; ++i) {
+    s[i] += r[i];
+    r[i] = s[i];
+  }
+  codec_->transform(s, bk.elems);
+  for (int64_t i = 0; i < bk.elems; ++i) r[i] -= s[i];
+}
+
 void RoundPipeline::contribute(int64_t agent, int64_t bucket) {
   COMDML_CHECK(agent >= 0 && agent < agents_);
   COMDML_CHECK(bucket >= 0 && bucket < plan_->buckets());
+  // A lossy codec quantizes every contribution once at publish time, on
+  // the contributing agent's own thread (distinct (agent, bucket) slots
+  // and residuals are disjoint, and every contribution passes through here
+  // exactly once per round). With error feedback the previous round's
+  // quantization error rides along and the fresh error is kept.
+  if (codec_ != nullptr) {
+    if (!residual_.empty()) {
+      apply_error_feedback(agent, bucket);
+    } else {
+      codec_->transform(slot(agent, bucket), plan_->bucket(bucket).elems);
+    }
+  }
   // acq_rel: the last contributor's decrement acquires every earlier
   // contributor's slab writes before the bucket is published.
   const int64_t left = pending_[static_cast<size_t>(bucket)].fetch_sub(
@@ -160,6 +194,29 @@ void RoundPipeline::drain() {
       if (reduced_ == total) cv_.notify_all();
     }
   }
+}
+
+void RoundPipeline::run_round(int64_t n_tasks,
+                              const std::function<void(int64_t)>& task_fn,
+                              bool overlap) {
+  COMDML_CHECK(n_tasks >= 0);
+  const int64_t n_collectors = overlap ? num_threads() : 0;
+  parallel_for(0, n_tasks + n_collectors, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t t = lo; t < hi; ++t) {
+      if (t >= n_tasks) {
+        drain();
+        continue;
+      }
+      try {
+        task_fn(t);
+      } catch (...) {
+        // Wake waiting collectors before the exception propagates, or the
+        // round would hang on buckets that will never become ready.
+        abort();
+        throw;
+      }
+    }
+  });
 }
 
 void RoundPipeline::abort() {

@@ -15,6 +15,9 @@
 //     each bucket's collective (comm::AsyncCollective over the bucket's
 //     own InProcTransport) while other workers are still training — the
 //     allreduce of bucket i runs while bucket i+1 is still being computed.
+//   - An optional per-bucket wire codec (comm::quantized_codec) shrinks
+//     every exchange-step payload on the wire, with cross-round
+//     error-feedback residuals keeping repeated lossy rounds convergent.
 //
 // Determinism: a bucket's collective schedule and arithmetic depend only on
 // (agents, bucket elems, protocol), never on which worker runs it or when,
@@ -35,6 +38,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -73,12 +77,24 @@ struct PipelineStats {
 };
 
 /// Concurrent bucketed-allreduce engine for fleet rounds. One instance per
-/// fleet, reused round over round (the contribution slab and per-bucket
-/// transports are retained; begin_round() resets the accounting).
+/// fleet, reused round over round (the contribution slab, the per-bucket
+/// transports, and the error-feedback residuals are retained;
+/// begin_round() resets the accounting).
 class RoundPipeline {
  public:
+  /// `codec` (borrowed; nullptr = fp32 wire) compresses every exchange
+  /// step's payload of every bucket collective — SimTransport-predicted
+  /// and InProcTransport-executed wire bytes stay equal because the codec
+  /// charges the same count with and without a payload. With
+  /// `error_feedback` (lossy codecs only) each agent keeps a per-bucket
+  /// residual across rounds: the contribution is quantized once at
+  /// publish time, the quantization error is carried into the next
+  /// round's payload, and repeated rounds stay convergent instead of
+  /// accumulating compression bias.
   RoundPipeline(int64_t agents, const nn::BucketPlan& plan,
-                const comm::LinkGrid& grid, comm::AllReduceAlgo algo);
+                const comm::LinkGrid& grid, comm::AllReduceAlgo algo,
+                const comm::Codec* codec = nullptr,
+                bool error_feedback = false);
 
   /// Reset counters/transports for a new round. No thread may be inside
   /// contribute()/drain() when this runs.
@@ -117,6 +133,18 @@ class RoundPipeline {
   /// finishing their training tasks.
   void drain();
 
+  /// Fan `n_tasks` training tasks over the thread pool with, in overlapped
+  /// mode, one collector slot per pool thread appended after them. Chunks
+  /// are claimed in index order, so collector slots are only picked up by
+  /// workers with no training work left; those workers drain ready bucket
+  /// collectives concurrently with the remaining compute. A task exception
+  /// aborts the pipeline (waking any waiting collectors) before it
+  /// propagates. This is the round orchestration shared by RealFleet and
+  /// RealBaselineFleet; each fleet supplies only its task body.
+  void run_round(int64_t n_tasks,
+                 const std::function<void(int64_t task)>& task_fn,
+                 bool overlap);
+
   /// Wake collectors and abandon pending buckets (exception path). The
   /// round's results are unusable afterwards; begin_round() recovers.
   void abort();
@@ -128,16 +156,24 @@ class RoundPipeline {
 
  private:
   void run_bucket(int64_t bucket);
+  /// Publish-time error feedback: fold the carried residual into the
+  /// agent's slot, quantize the slot once through the codec, and keep the
+  /// new quantization error for next round.
+  void apply_error_feedback(int64_t agent, int64_t bucket);
 
   const nn::BucketPlan* plan_;
   int64_t agents_;
   comm::Protocol protocol_;
+  const comm::Codec* codec_;  ///< nullptr = fp32 wire
   /// One transport per bucket so concurrent bucket collectives keep
   /// independent mailboxes and per-bucket accounting, and one prebuilt
   /// schedule per bucket so steady-state rounds stop re-deriving them.
   std::vector<std::unique_ptr<comm::InProcTransport>> transports_;
   std::vector<comm::SteppedSchedule> schedules_;
   std::vector<double> slab_;  ///< agents_ x plan.total_elems(), agent-major
+  /// Error-feedback residuals, same layout as slab_; empty when disabled.
+  /// Persists across rounds — that is the point of error feedback.
+  std::vector<double> residual_;
   std::vector<std::atomic<int64_t>> pending_;  ///< per bucket
   std::mutex mu_;
   std::condition_variable cv_;

@@ -84,6 +84,63 @@ LocalLossSplitTrainer::StepStats LocalLossSplitTrainer::train_batch(
   return stats;
 }
 
+LocalLossSplitTrainer::StepStats LocalLossSplitTrainer::train_batch_notify(
+    const Tensor& x, std::span<const int64_t> labels,
+    std::span<const size_t> unit_param_counts,
+    const std::function<void(size_t)>& on_unit_final) {
+  COMDML_CHECK(unit_param_counts.size() == model_.size());
+  StepStats stats;
+
+  // Slow side. The aux head steps right after its own backward (its grads
+  // are final and nothing downstream reads its weights this batch), then
+  // the prefix backward walks units in reverse, stepping + finalizing each
+  // one: unit u's parameter range of slow_opt_ ends at the running prefix
+  // sum of unit_param_counts[0..u].
+  slow_opt_.zero_grad();
+  const Tensor h = model_.forward_range(x, 0, cut_, /*train=*/true);
+  stats.intermediate_bytes = h.nbytes();
+  const Tensor aux_logits = aux_->forward(h, /*train=*/true);
+  const LossResult slow = softmax_cross_entropy(aux_logits, labels);
+  stats.slow_loss = slow.loss;
+  Tensor grad = aux_->backward(slow.grad_logits);
+  size_t prefix_params = 0;
+  for (size_t u = 0; u < cut_; ++u) prefix_params += unit_param_counts[u];
+  COMDML_CHECK(prefix_params <= slow_opt_.size());
+  slow_opt_.step_range(prefix_params, slow_opt_.size() - prefix_params);
+  size_t param_end = prefix_params;
+  for (size_t u = cut_; u-- > 0;) {
+    grad = model_.unit(u).backward(grad);
+    const size_t count = unit_param_counts[u];
+    COMDML_CHECK(param_end >= count);
+    param_end -= count;
+    if (count > 0) slow_opt_.step_range(param_end, count);
+    if (on_unit_final) on_unit_final(u);
+  }
+  COMDML_CHECK(param_end == 0);
+
+  // Fast side: consumes h as a detached input (no gradient crosses the
+  // cut); suffix units finalize in reverse as their backward completes.
+  fast_opt_.zero_grad();
+  const Tensor logits =
+      model_.forward_range(h, cut_, model_.size(), /*train=*/true);
+  const LossResult fast = softmax_cross_entropy(logits, labels);
+  stats.fast_loss = fast.loss;
+  stats.fast_accuracy = fast.accuracy;
+  grad = fast.grad_logits;
+  param_end = fast_opt_.size();
+  for (size_t u = model_.size(); u-- > cut_;) {
+    grad = model_.unit(u).backward(grad);
+    const size_t count = unit_param_counts[u];
+    COMDML_CHECK(param_end >= count);
+    param_end -= count;
+    if (count > 0) fast_opt_.step_range(param_end, count);
+    if (on_unit_final) on_unit_final(u);
+  }
+  COMDML_CHECK(param_end == 0);
+
+  return stats;
+}
+
 Tensor LocalLossSplitTrainer::infer(const Tensor& x) {
   return model_.forward_range(x, 0, model_.size(), /*train=*/false);
 }

@@ -43,6 +43,25 @@ class LocalLossSplitTrainer {
   /// detached intermediate activations.
   StepStats train_batch(const Tensor& x, std::span<const int64_t> labels);
 
+  /// train_batch with per-unit finalization across both sides (the split
+  /// counterpart of nn::train_batch_full_notify): every model unit takes
+  /// its optimizer update the moment its backward completes, then
+  /// `on_unit_final(u)` fires — unit u's state will not change again this
+  /// batch. Slow prefix units finalize during the slow-side backward
+  /// (reverse from cut-1 to 0, before the fast side even starts), fast
+  /// suffix units during the fast-side backward (reverse from size-1 to
+  /// cut) — so a fleet can publish the slow replica's buckets
+  /// layer-by-layer while the split tail still computes, instead of at
+  /// task end. `unit_param_counts` must list every model unit's
+  /// learnable-parameter count (nn::BucketPlan::unit_param_counts()).
+  /// Bit-identical to train_batch: per-parameter SGD math is
+  /// order-independent, and the aux head's update never feeds the
+  /// remaining backward.
+  StepStats train_batch_notify(const Tensor& x,
+                               std::span<const int64_t> labels,
+                               std::span<const size_t> unit_param_counts,
+                               const std::function<void(size_t)>& on_unit_final);
+
   /// Full-model inference (slow prefix + fast suffix), evaluation mode.
   [[nodiscard]] Tensor infer(const Tensor& x);
 

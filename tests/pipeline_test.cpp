@@ -6,6 +6,8 @@
 // the timeline composer, and FleetOptions validation.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <thread>
 
 #include "baselines/real_baselines.hpp"
@@ -502,6 +504,276 @@ INSTANTIATE_TEST_SUITE_P(
     Protocols, OverlapParityP,
     ::testing::Values(comm::Protocol::kRingAllReduce,
                       comm::Protocol::kHalvingDoublingAllReduce));
+
+// ---- compressed bucket collectives ------------------------------------------
+
+/// Reference fixture for codec tests: one pipeline round over synthetic
+/// per-agent payloads; returns executed max bytes sent by any agent.
+int64_t pipeline_round_bytes(const nn::BucketPlan& plan, int64_t k,
+                             const comm::Codec* codec, bool error_feedback) {
+  core::RoundPipeline pipeline(k, plan, comm::LinkGrid::uniform(k, 100.0),
+                               comm::AllReduceAlgo::kHalvingDoubling, codec,
+                               error_feedback);
+  for (int64_t a = 0; a < k; ++a) {
+    for (int64_t b = 0; b < plan.buckets(); ++b) {
+      double* slot = pipeline.slot(a, b);
+      for (int64_t i = 0; i < plan.bucket(b).elems; ++i)
+        slot[i] = static_cast<double>(a + 1) * 0.25 +
+                  static_cast<double>(i % 13) * 0.125;
+    }
+    pipeline.contribute_all(a);
+  }
+  pipeline.drain();
+  return pipeline.stats().max_bytes_sent;
+}
+
+TEST(CompressedBuckets, QuantizedBytesPerRoundAtLeast3xUnderFp32) {
+  // The CI regression guard: executed allreduce bytes_per_round of the
+  // quantized bucket collectives must stay under 30 % of (i.e. >= 3.3x
+  // below) the fp32 wire, at realistic bucket sizes.
+  Rng rng(12);
+  const auto model = nn::mlp({32, 128, 128, 10}, rng);
+  const auto plan = nn::BucketPlan::build(*model, 16 * 1024);
+  ASSERT_GT(plan.buckets(), 1);
+  for (const int64_t k : {4, 8}) {
+    const int64_t fp32_bytes = pipeline_round_bytes(plan, k, nullptr, false);
+    const int64_t int8_bytes =
+        pipeline_round_bytes(plan, k, &comm::quantized_codec(), true);
+    EXPECT_GT(fp32_bytes, 0);
+    EXPECT_LE(10 * int8_bytes, 3 * fp32_bytes)
+        << "k=" << k << ": quantized wire " << int8_bytes
+        << " B exceeds 30% of fp32 " << fp32_bytes << " B";
+  }
+}
+
+TEST(CompressedBuckets, SimPredictsExecutedQuantizedBucketsExactly) {
+  // Per-bucket SimTransport predictions (timing-only, quantized codec)
+  // equal the InProc pipeline's executed bytes and modeled clock.
+  Rng rng(13);
+  const auto model = nn::mlp({6, 16, 12, 3}, rng);
+  const auto plan = nn::BucketPlan::build(*model, 256);
+  const int64_t k = 5;
+  const auto grid = comm::LinkGrid::uniform(k, 40.0);
+
+  std::vector<double> predicted_seconds;
+  std::vector<int64_t> predicted_bytes;
+  for (int64_t b = 0; b < plan.buckets(); ++b) {
+    comm::SimTransport sim(grid, &comm::quantized_codec());
+    comm::CollectiveRequest req;
+    req.elems = plan.bucket(b).elems;
+    comm::AsyncCollective op(comm::Protocol::kHalvingDoublingAllReduce, sim,
+                             std::move(req));
+    op.wait();
+    predicted_seconds.push_back(sim.stats().seconds);
+    predicted_bytes.push_back(sim.stats().max_bytes_sent());
+  }
+
+  core::RoundPipeline pipeline(k, plan, grid,
+                               comm::AllReduceAlgo::kHalvingDoubling,
+                               &comm::quantized_codec(), true);
+  for (int64_t a = 0; a < k; ++a) {
+    for (int64_t b = 0; b < plan.buckets(); ++b) {
+      double* slot = pipeline.slot(a, b);
+      for (int64_t i = 0; i < plan.bucket(b).elems; ++i)
+        slot[i] = static_cast<double>(a) - 0.3 * static_cast<double>(i % 5);
+      pipeline.contribute(a, b);
+    }
+  }
+  pipeline.drain();
+  const auto stats = pipeline.stats();
+  ASSERT_EQ(stats.bucket_seconds.size(), predicted_seconds.size());
+  int64_t predicted_max_sent = 0;
+  for (size_t b = 0; b < predicted_seconds.size(); ++b) {
+    EXPECT_DOUBLE_EQ(stats.bucket_seconds[b], predicted_seconds[b])
+        << "bucket " << b;
+    predicted_max_sent += predicted_bytes[b];
+  }
+  // Every agent sends the same bytes on a uniform grid, so the pipeline's
+  // per-agent sum equals the summed per-bucket prediction.
+  EXPECT_EQ(stats.max_bytes_sent, predicted_max_sent);
+}
+
+TEST(CompressedBuckets, ErrorFeedbackDrivesRepeatedRoundsToTheMean) {
+  // k=1 isolates the publish-time quantization: each round the pipeline
+  // quantizes the published payload once and carries the error. With
+  // error feedback the time-average of the delivered payloads converges
+  // to the true value well below one-shot int8 resolution; without it the
+  // one-shot bias persists forever.
+  Rng rng(14);
+  const auto model = nn::mlp({4, 8, 3}, rng);
+  const auto plan = nn::BucketPlan::build(*model, 0);  // one bucket
+  const int64_t n = plan.total_elems();
+  std::vector<double> truth(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i)
+    truth[static_cast<size_t>(i)] =
+        0.731 * std::sin(0.37 * static_cast<double>(i)) + 0.113;
+
+  for (const bool ef : {true, false}) {
+    core::RoundPipeline pipeline(1, plan, comm::LinkGrid::uniform(1, 100.0),
+                                 comm::AllReduceAlgo::kHalvingDoubling,
+                                 &comm::quantized_codec(), ef);
+    constexpr int kRounds = 64;
+    std::vector<double> mean(static_cast<size_t>(n), 0.0);
+    for (int r = 0; r < kRounds; ++r) {
+      pipeline.begin_round();
+      std::copy(truth.begin(), truth.end(), pipeline.slot(0, 0));
+      pipeline.contribute_all(0);
+      pipeline.drain();
+      const double* out = pipeline.slot(0, 0);
+      for (int64_t i = 0; i < n; ++i)
+        mean[static_cast<size_t>(i)] += out[i] / kRounds;
+    }
+    double worst = 0.0;
+    for (int64_t i = 0; i < n; ++i)
+      worst = std::max(worst, std::fabs(mean[static_cast<size_t>(i)] -
+                                        truth[static_cast<size_t>(i)]));
+    const double one_shot = 0.85 / 127.0;  // int8 step of the range
+    if (ef) {
+      EXPECT_LT(worst, one_shot / 4) << "error feedback should average out";
+    } else {
+      EXPECT_GT(worst, 1e-9) << "without EF the quantization bias persists";
+    }
+  }
+}
+
+TEST(CompressedBuckets, QuantizedFleetTracksFp32Accuracy) {
+  // Tier-1 convergence: a quantized+error-feedback fleet must land within
+  // tolerance of the fp32 fleet's accuracy on the blob workload.
+  const auto run = [&](FleetOptions::CommOptions::Codec codec) {
+    FleetOptions opt;
+    opt.seed = 17;
+    opt.comms.bucket_bytes = 512;
+    opt.comms.overlap = true;
+    opt.comms.codec = codec;
+    opt.comms.error_feedback = true;
+    RealFleet fleet(mlp_factory(6, 3), 3, blob_shards(4, 40, 3, 6, 91),
+                    hetero_mesh(4), opt);
+    for (int r = 0; r < 12; ++r) (void)fleet.step();
+    return fleet.evaluate(blob_shards(4, 40, 3, 6, 91)[0]);
+  };
+  const float fp32_acc = run(FleetOptions::CommOptions::Codec::kFp32);
+  const float int8_acc = run(FleetOptions::CommOptions::Codec::kInt8Quantized);
+  EXPECT_GT(fp32_acc, 0.6f);  // the workload itself converges
+  EXPECT_NEAR(int8_acc, fp32_acc, 0.15f);
+}
+
+TEST(CompressedBuckets, IdentityCodecStaysBitIdenticalRegardlessOfEf) {
+  // codec = kFp32 must be bit-identical to the pre-codec rounds whatever
+  // the error_feedback knob says (EF is a no-op for a lossless codec).
+  FleetOptions base;
+  base.seed = 99;
+  base.comms.bucket_bytes = 512;
+  const auto reference = fleet_state(base, 4, 2);
+  for (const bool ef : {false, true}) {
+    FleetOptions opt = base;
+    opt.comms.codec = FleetOptions::CommOptions::Codec::kFp32;
+    opt.comms.error_feedback = ef;
+    expect_states_equal(reference, fleet_state(opt, 4, 2),
+                        "identity codec with/without error feedback");
+  }
+}
+
+TEST(CompressedBuckets, ValidateRejectsLossyCodecWithoutBuckets) {
+  FleetOptions opt;
+  opt.comms.codec = FleetOptions::CommOptions::Codec::kInt8Quantized;
+  EXPECT_THROW(opt.validate(), std::invalid_argument);
+  opt.comms.bucket_bytes = 4096;
+  EXPECT_NO_THROW(opt.validate());
+}
+
+// ---- split-trainer layerwise readiness --------------------------------------
+
+std::vector<int64_t> batch_labels(int64_t samples, int64_t classes,
+                                  uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int64_t> labels(static_cast<size_t>(samples));
+  for (auto& l : labels) l = rng.below(classes);
+  return labels;
+}
+
+TEST(SplitNotify, MatchesTrainBatchBitwise) {
+  // Per-unit stepping during both backwards is bit-identical to the plain
+  // two-phase split step: per-parameter SGD math is order-independent.
+  const tensor::Shape in_shape{6};
+  const int64_t classes = 3, samples = 10;
+  Rng data_rng(21);
+  const Tensor x = data_rng.normal_tensor({samples, 6}, 0, 1);
+  const auto labels = batch_labels(samples, classes, 22);
+
+  Rng m1(5), m2(5), t1(6), t2(6);
+  const auto model_a = nn::mlp({6, 16, 12, classes}, m1);
+  const auto model_b = nn::mlp({6, 16, 12, classes}, m2);
+  const auto plan = nn::BucketPlan::build(*model_b, 64);
+  const size_t cut = 2;
+  nn::SGD::Options sgd{0.05f, 0.9f, 0.0f};
+  nn::LocalLossSplitTrainer plain(*model_a, cut, in_shape, classes, t1, sgd);
+  nn::LocalLossSplitTrainer notify(*model_b, cut, in_shape, classes, t2,
+                                   sgd);
+
+  for (int b = 0; b < 3; ++b) {
+    const auto sa = plain.train_batch(x, labels);
+    const auto sb = notify.train_batch_notify(
+        x, labels, plan.unit_param_counts(), nullptr);
+    EXPECT_EQ(sa.slow_loss, sb.slow_loss) << "batch " << b;
+    EXPECT_EQ(sa.fast_loss, sb.fast_loss) << "batch " << b;
+  }
+  const auto state_a = nn::state_of(*model_a);
+  const auto state_b = nn::state_of(*model_b);
+  expect_states_equal(state_a, state_b, "split notify vs plain");
+}
+
+TEST(SplitNotify, PrefixUnitsFinalizeBeforeSuffixBackward) {
+  // The layerwise window: slow prefix units finalize (reverse order)
+  // during the slow-side backward, before any fast suffix unit — so
+  // prefix-owned buckets can ship while the split tail still computes.
+  const tensor::Shape in_shape{6};
+  const int64_t classes = 3;
+  Rng data_rng(23), mrng(7), trng(8);
+  const auto model = nn::mlp({6, 16, 12, classes}, mrng);
+  const auto plan = nn::BucketPlan::build(*model, 64);
+  const size_t cut = 2;
+  nn::LocalLossSplitTrainer split(*model, cut, in_shape, classes, trng,
+                                  nn::SGD::Options{0.05f, 0.9f, 0.0f});
+  const Tensor x = data_rng.normal_tensor({8, 6}, 0, 1);
+  const auto labels = batch_labels(8, classes, 24);
+
+  std::vector<size_t> order;
+  nn::BucketReadyTracker tracker(plan);
+  int64_t fired_before_suffix = 0;
+  bool suffix_started = false;
+  (void)split.train_batch_notify(
+      x, labels, plan.unit_param_counts(), [&](size_t u) {
+        if (u >= cut) suffix_started = true;
+        order.push_back(u);
+        tracker.unit_done(u, [&](int64_t) {
+          if (!suffix_started) ++fired_before_suffix;
+        });
+      });
+
+  ASSERT_EQ(order.size(), model->size());
+  std::vector<size_t> expected;
+  for (size_t u = cut; u-- > 0;) expected.push_back(u);
+  for (size_t u = model->size(); u-- > cut;) expected.push_back(u);
+  EXPECT_EQ(order, expected);
+  EXPECT_EQ(tracker.fired(), plan.buckets());
+  EXPECT_GE(fired_before_suffix, 1)
+      << "no bucket published during the slow-side backward";
+}
+
+TEST(SplitLayerwise, SlowReplicasPublishBucketsBeforeTaskEnd) {
+  // Fleet-level acceptance: under overlap, split-trained slow replicas
+  // publish at least one bucket while their split backward still runs
+  // (instead of everything at task end, which collapsed the window).
+  FleetOptions opt;
+  opt.seed = 3;
+  opt.comms.bucket_bytes = 256;
+  opt.comms.overlap = true;
+  RealFleet fleet(mlp_factory(6, 3), 3, blob_shards(4, 30, 3, 6, 21),
+                  hetero_mesh(4), opt);
+  const auto stats = fleet.step();
+  ASSERT_GT(stats.num_pairs, 0) << "fixture must produce split pairs";
+  EXPECT_GE(stats.split_early_buckets, 1);
+}
 
 // ---- fleet-level bucket determinism -----------------------------------------
 

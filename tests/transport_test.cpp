@@ -4,6 +4,9 @@
 // degenerate topologies, codec hooks, fault injection, and thread safety.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
 #include <numeric>
 #include <thread>
 
@@ -308,29 +311,54 @@ TEST(Codecs, IdentityChargesFourBytesPerElement) {
   EXPECT_EQ(identity_codec().wire_bytes(10, nullptr), 40);
 }
 
-TEST(Codecs, QuantizingCodecShrinksSparsePayloads) {
-  // 50 % zeros, non-negative: the bitmask+int8 codec beats fp32.
+TEST(Codecs, QuantizedWireBytesAreDataIndependent) {
+  // The dense int8 wire format (4-byte scale + 1 byte/element) never
+  // depends on the payload, so a timing-only SimTransport charges the
+  // exact bytes an InProcTransport executes — no assumed ratio anywhere.
   std::vector<double> data(256);
   for (size_t i = 0; i < data.size(); ++i)
     data[i] = (i % 2 == 0) ? 0.0 : static_cast<double>(i) / 256.0;
   QuantizingCodec codec;
-  const int64_t wire =
-      codec.wire_bytes(static_cast<int64_t>(data.size()), data.data());
-  EXPECT_LT(wire, static_cast<int64_t>(data.size()) * 4 / 4);
-  // Timing-only estimate uses the assumed ratio.
-  EXPECT_EQ(codec.wire_bytes(256, nullptr),
-            static_cast<int64_t>(256 * 4 / 6.4));
+  const int64_t elems = static_cast<int64_t>(data.size());
+  EXPECT_EQ(codec.wire_bytes(elems, data.data()),
+            QuantizingCodec::quantized_wire_bytes(elems));
+  EXPECT_EQ(codec.wire_bytes(elems, nullptr),
+            QuantizingCodec::quantized_wire_bytes(elems));
+  EXPECT_EQ(QuantizingCodec::quantized_wire_bytes(elems), 4 + elems);
+  EXPECT_EQ(QuantizingCodec::quantized_wire_bytes(0), 0);
+  // >= 3x smaller than the fp32 wire for bucket-sized payloads.
+  EXPECT_LE(4 * QuantizingCodec::quantized_wire_bytes(elems),
+            identity_codec().wire_bytes(elems, nullptr) * 4 / 3);
 }
 
 TEST(Codecs, QuantizingCodecRoundTripIsBoundedLossy) {
+  // Signed payloads survive (gradients/parameters are signed); error is
+  // bounded by the int8 resolution of the dynamic range.
   std::vector<double> data(64);
   for (size_t i = 0; i < data.size(); ++i)
-    data[i] = static_cast<double>(i) / 64.0;
+    data[i] = (i % 2 == 0 ? 1.0 : -1.0) * static_cast<double>(i) / 64.0;
   const auto original = data;
   QuantizingCodec codec;
   codec.transform(data.data(), static_cast<int64_t>(data.size()));
+  double max_abs = 0.0;
+  for (const double v : original) max_abs = std::max(max_abs, std::fabs(v));
   for (size_t i = 0; i < data.size(); ++i)
-    EXPECT_NEAR(data[i], original[i], 1.0 / 127.0);
+    EXPECT_NEAR(data[i], original[i], max_abs / 127.0);
+  // All-zero payloads round-trip exactly.
+  std::vector<double> zeros(8, 0.0);
+  codec.transform(zeros.data(), 8);
+  for (const double v : zeros) EXPECT_EQ(v, 0.0);
+  // Degenerate dynamic ranges (non-finite or fp32-underflowing scale)
+  // ship unquantized instead of NaN-poisoning the finite elements.
+  std::vector<double> inf_payload{1.0, std::numeric_limits<double>::infinity(),
+                                  -2.0, 0.0};
+  codec.transform(inf_payload.data(), 4);
+  EXPECT_EQ(inf_payload[0], 1.0);
+  EXPECT_EQ(inf_payload[2], -2.0);
+  EXPECT_EQ(inf_payload[3], 0.0);
+  std::vector<double> tiny(4, 1e-60);  // below the fp32 normal range
+  codec.transform(tiny.data(), 4);
+  for (const double v : tiny) EXPECT_EQ(v, 1e-60);
 }
 
 TEST(Codecs, TransportAppliesCodecToDeliveredPayload) {
@@ -338,14 +366,58 @@ TEST(Codecs, TransportAppliesCodecToDeliveredPayload) {
   InProcTransport t(LinkGrid::uniform(2, 100.0), &codec);
   std::vector<double> data(32);
   for (size_t i = 0; i < data.size(); ++i)
-    data[i] = static_cast<double>(i) / 32.0;
+    data[i] = static_cast<double>(i) / 32.0 - 0.5;
   t.send(0, 1, static_cast<int64_t>(data.size()), data.data());
   const auto msg = t.recv(1, 0);
   ASSERT_TRUE(msg.has_payload());
+  EXPECT_EQ(msg.wire_bytes, QuantizingCodec::quantized_wire_bytes(32));
   EXPECT_LT(msg.wire_bytes, 32 * 4);
   for (size_t i = 0; i < data.size(); ++i)
-    EXPECT_NEAR(msg.payload[i], data[i], 1.0 / 127.0);
+    EXPECT_NEAR(msg.payload[i], data[i], 0.5 / 127.0);
 }
+
+// The tentpole parity invariant for compressed collectives: with the
+// quantized codec on both transports, a timing-only SimTransport run of an
+// allreduce predicts exactly the wire bytes (and modeled clock) the
+// InProcTransport execution produces, because the dense wire format is a
+// pure function of the schedule.
+class QuantizedParityP
+    : public ::testing::TestWithParam<std::tuple<int, Protocol>> {};
+
+TEST_P(QuantizedParityP, SimPredictsExecutedQuantizedBytesExactly) {
+  const auto [k, protocol] = GetParam();
+  const int64_t elems = 103;  // deliberately not divisible by k
+
+  SimTransport sim(LinkGrid::uniform(k, 100.0), &quantized_codec());
+  CollectiveRequest predict;
+  predict.elems = elems;
+  (void)collective(protocol).run(sim, predict);
+
+  auto bufs = random_buffers(k, elems, 3000 + static_cast<uint64_t>(k));
+  InProcTransport real(LinkGrid::uniform(k, 100.0), &quantized_codec());
+  CollectiveRequest execute;
+  execute.elems = elems;
+  execute.buffers = pointers(bufs);
+  (void)collective(protocol).run(real, execute);
+
+  expect_stats_equal(sim.stats(), real.stats());
+  if (k > 1) {
+    // The quantized schedule really is cheaper on the wire than fp32.
+    SimTransport fp32(LinkGrid::uniform(k, 100.0));
+    CollectiveRequest raw;
+    raw.elems = elems;
+    (void)collective(protocol).run(fp32, raw);
+    EXPECT_LT(real.stats().total_wire_bytes,
+              fp32.stats().total_wire_bytes / 2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FleetSizes, QuantizedParityP,
+    ::testing::Combine(
+        ::testing::Values(1, 2, 3, 5, 8, 12),
+        ::testing::Values(Protocol::kRingAllReduce,
+                          Protocol::kHalvingDoublingAllReduce)));
 
 // ---- fault injection -------------------------------------------------------
 
