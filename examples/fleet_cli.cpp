@@ -14,7 +14,9 @@
 //   ./examples/fleet_cli --real --method fedavg --agents 6 --rounds 10
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include "core/fleet_runtime.hpp"
 #include "data/partition.hpp"
@@ -45,7 +47,42 @@ struct Args {
   std::string codec = "fp32";  // fp32 | quantized
   bool error_feedback = true;
   uint64_t seed = 42;
+  /// Injected agent failures, "A@R[:bN|:kN|:cS]" specs (real ComDML mode).
+  std::vector<std::string> fail_agents;
+  /// Durable state: write a checkpoint after the run / load one before it.
+  std::string checkpoint_path;
+  std::string restore_path;
 };
+
+/// "A@R" = agent A leaves before round R; ":bN" dies after N batches,
+/// ":kN" after publishing N buckets, ":cS" at collective step S.
+bool parse_fail_spec(const std::string& spec,
+                     core::FleetOptions::FaultOptions::AgentFailure& f) {
+  try {
+    const size_t at = spec.find('@');
+    if (at == std::string::npos || at == 0) return false;
+    f.agent = std::stoll(spec.substr(0, at));
+    const size_t colon = spec.find(':', at + 1);
+    const std::string round_str =
+        colon == std::string::npos ? spec.substr(at + 1)
+                                   : spec.substr(at + 1, colon - at - 1);
+    if (round_str.empty()) return false;
+    f.round = std::stoll(round_str);
+    if (colon == std::string::npos) return true;
+    if (colon + 2 >= spec.size() + 1) return false;
+    const char mode = spec[colon + 1];
+    const std::string count = spec.substr(colon + 2);
+    if (count.empty()) return false;
+    const int64_t n = std::stoll(count);
+    if (mode == 'b') f.after_batches = n;
+    else if (mode == 'k') f.after_buckets = n;
+    else if (mode == 'c') f.at_collective_step = n;
+    else return false;
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
 
 bool parse(int argc, char** argv, Args& args) {
   for (int i = 1; i < argc; ++i) {
@@ -79,6 +116,18 @@ bool parse(int argc, char** argv, Args& args) {
       }
     }
     else if (flag == "--no-error-feedback") { args.error_feedback = false; continue; }
+    else if (flag == "--fail-agent" && (v = need_value("--fail-agent"))) {
+      core::FleetOptions::FaultOptions::AgentFailure probe;
+      if (!parse_fail_spec(v, probe)) {
+        std::fprintf(stderr,
+                     "bad --fail-agent spec %s (want A@R, A@R:bN, A@R:kN "
+                     "or A@R:cS)\n", v);
+        return false;
+      }
+      args.fail_agents.push_back(v);
+    }
+    else if (flag == "--checkpoint" && (v = need_value("--checkpoint"))) args.checkpoint_path = v;
+    else if (flag == "--restore" && (v = need_value("--restore"))) args.restore_path = v;
     else if (flag == "--help") {
       std::printf(
           "usage: fleet_cli [--method comdml|fedavg|fedprox|gossip|"
@@ -90,7 +139,13 @@ bool parse(int argc, char** argv, Args& args) {
           "   overlapped aggregation through the round pipeline)\n"
           "  [--codec fp32|quantized] [--no-error-feedback]   (bucket wire\n"
           "   codec: quantized ships dense int8 payloads ~4x smaller;\n"
-          "   error feedback carries the quantization error across rounds)\n");
+          "   error feedback carries the quantization error across rounds)\n"
+          "  [--fail-agent A@R[:bN|:kN|:cS]]   (real comdml: agent A leaves\n"
+          "   before round R, or dies after N batches (:bN), after\n"
+          "   publishing N buckets (:kN), or at collective step S (:cS);\n"
+          "   repeatable)\n"
+          "  [--checkpoint PATH] [--restore PATH]   (real comdml: save the\n"
+          "   fleet state after the run / resume from a saved state)\n");
       return false;
     } else {
       std::fprintf(stderr, "unknown flag %s (try --help)\n", flag.c_str());
@@ -162,6 +217,16 @@ core::FleetRuntime build_real(const Args& args, Method method,
                                 " (fp32 | quantized)");
   }
   opt.comms.error_feedback = args.error_feedback;
+  for (const std::string& spec : args.fail_agents) {
+    core::FleetOptions::FaultOptions::AgentFailure f;
+    if (parse_fail_spec(spec, f)) opt.faults.failures.push_back(f);
+  }
+  if (!opt.faults.failures.empty() && method != Method::kComDML) {
+    std::fprintf(stderr,
+                 "note: --fail-agent only affects the real comdml fleet; "
+                 "%s runs without fault injection\n", args.method.c_str());
+    opt.faults.failures.clear();
+  }
   if (args.bucket_bytes > 0 && method != Method::kComDML &&
       method != Method::kAllReduceDML) {
     std::fprintf(stderr,
@@ -222,6 +287,29 @@ int main(int argc, char** argv) {
             : build_simulated(args, method, std::move(topology),
                               std::move(sizes));
 
+    const bool durable = args.real && method == Method::kComDML;
+    if ((!args.checkpoint_path.empty() || !args.restore_path.empty()) &&
+        !durable) {
+      std::fprintf(stderr, "error: --checkpoint/--restore need --real "
+                           "--method comdml\n");
+      return 1;
+    }
+    if (!args.restore_path.empty()) {
+      std::ifstream in(args.restore_path, std::ios::binary);
+      if (!in) {
+        std::fprintf(stderr, "error: cannot read %s\n",
+                     args.restore_path.c_str());
+        return 1;
+      }
+      const std::vector<uint8_t> bytes(
+          (std::istreambuf_iterator<char>(in)),
+          std::istreambuf_iterator<char>());
+      fleet.restore(bytes);
+      std::printf("restored fleet state from %s (resuming at round %lld)\n",
+                  args.restore_path.c_str(),
+                  (long long)fleet.rounds_executed());
+    }
+
     std::printf("%6s %12s %10s %8s %10s %10s\n", "round", "time(s)",
                 "pairs", "dropped", "agg(B)", "loss");
     core::RunReport report;
@@ -240,6 +328,20 @@ int main(int argc, char** argv) {
       report.rounds.push_back(rep);
     }
     std::printf("\nmean round time: %.2fs\n", report.mean_round_seconds());
+
+    if (!args.checkpoint_path.empty()) {
+      const auto bytes = fleet.checkpoint();
+      std::ofstream out(args.checkpoint_path, std::ios::binary);
+      if (!out) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     args.checkpoint_path.c_str());
+        return 1;
+      }
+      out.write(reinterpret_cast<const char*>(bytes.data()),
+                static_cast<std::streamsize>(bytes.size()));
+      std::printf("checkpoint (%zu bytes) written to %s\n", bytes.size(),
+                  args.checkpoint_path.c_str());
+    }
 
     if (fleet.real()) {
       std::printf("accuracy on shard-0 data after %lld rounds: %.3f\n",

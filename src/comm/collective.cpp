@@ -209,13 +209,23 @@ void execute_schedule_step(Transport& t, const CollectiveRequest& req,
   }
 }
 
-/// Sum -> mean after the last step.
-void finalize_mean(const CollectiveRequest& req, int64_t agents) {
+/// Sum -> mean after the last step, over the schedule's participants (all
+/// endpoints when unset). Survivor schedules divide by the live-set size.
+void finalize_mean(const CollectiveRequest& req, const SteppedSchedule& sched,
+                   int64_t endpoints) {
   if (req.buffers.empty()) return;
-  const double inv_k = 1.0 / static_cast<double>(agents);
-  for (int64_t a = 0; a < agents; ++a) {
+  const int64_t k = sched.participants.empty()
+                        ? endpoints
+                        : static_cast<int64_t>(sched.participants.size());
+  const double inv_k = 1.0 / static_cast<double>(k);
+  const auto scale = [&](int64_t a) {
     double* mine = buffer_of(req, a);
     for (int64_t i = 0; i < req.elems; ++i) mine[i] *= inv_k;
+  };
+  if (sched.participants.empty()) {
+    for (int64_t a = 0; a < endpoints; ++a) scale(a);
+  } else {
+    for (const int64_t a : sched.participants) scale(a);
   }
 }
 
@@ -226,7 +236,7 @@ CollectiveReport run_stepped(const SteppedSchedule& sched, Transport& t,
   validate_buffers(req, t.endpoints());
   for (const ScheduleStep& step : sched.steps)
     execute_schedule_step(t, req, step);
-  if (sched.scale_to_mean) finalize_mean(req, t.endpoints());
+  if (sched.scale_to_mean) finalize_mean(req, sched, t.endpoints());
   return report_of(t);
 }
 
@@ -407,6 +417,34 @@ SteppedSchedule allreduce_schedule(Protocol protocol, int64_t agents,
   return {};
 }
 
+SteppedSchedule allreduce_schedule_over(
+    Protocol protocol, const std::vector<int64_t>& participants,
+    int64_t elems) {
+  COMDML_REQUIRE(!participants.empty(),
+                 "survivor schedule needs at least one participant");
+  for (size_t i = 0; i < participants.size(); ++i) {
+    COMDML_CHECK(participants[i] >= 0);
+    COMDML_CHECK(i == 0 || participants[i - 1] < participants[i]);
+  }
+  const auto m = static_cast<int64_t>(participants.size());
+  SteppedSchedule sched = allreduce_schedule(protocol, m, elems);
+  // The m-rank schedule speaks in virtual ranks 0..m-1; remap every message
+  // endpoint onto the surviving ids. Merge order and spans are untouched, so
+  // the result is bit-identical to a from-scratch m-agent run.
+  for (ScheduleStep& step : sched.steps) {
+    for (ScheduleStep::Send& s : step.sends) {
+      s.src = participants[static_cast<size_t>(s.src)];
+      s.dst = participants[static_cast<size_t>(s.dst)];
+    }
+    for (ScheduleStep::Recv& r : step.recvs) {
+      r.dst = participants[static_cast<size_t>(r.dst)];
+      r.src = participants[static_cast<size_t>(r.src)];
+    }
+  }
+  sched.participants = participants;
+  return sched;
+}
+
 AsyncCollective::AsyncCollective(Protocol protocol, Transport& transport,
                                  CollectiveRequest request)
     : transport_(&transport),
@@ -428,15 +466,69 @@ AsyncCollective::AsyncCollective(const SteppedSchedule& schedule,
   if (schedule_->steps.empty()) finalized_ = true;  // k == 1: nothing to do
 }
 
+void AsyncCollective::enable_recovery(Protocol protocol) {
+  COMDML_REQUIRE(next_step_ == 0,
+                 "enable_recovery() must precede the first poll()");
+  recovery_ = true;
+  recovery_protocol_ = protocol;
+  snapshot_.assign(static_cast<size_t>(transport_->endpoints()), {});
+  if (request_.buffers.empty()) return;
+  for (const int64_t a : current_participants()) {
+    const double* buf = buffer_of(request_, a);
+    snapshot_[static_cast<size_t>(a)].assign(buf, buf + request_.elems);
+  }
+}
+
+std::vector<int64_t> AsyncCollective::current_participants() const {
+  if (!schedule_->participants.empty()) return schedule_->participants;
+  std::vector<int64_t> all(static_cast<size_t>(transport_->endpoints()));
+  for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int64_t>(i);
+  return all;
+}
+
+void AsyncCollective::recover() {
+  const std::vector<int64_t> live = transport_->live_endpoints();
+  std::vector<int64_t> survivors;
+  for (const int64_t a : current_participants())
+    if (std::find(live.begin(), live.end(), a) != live.end())
+      survivors.push_back(a);
+  COMDML_REQUIRE(!survivors.empty(),
+                 "collective cannot recover: every participant is dead");
+  // Partially-reduced buffers are poisoned by the aborted step; restart the
+  // survivors from their pristine inputs and drop undelivered mail so the
+  // re-formed schedule sees a clean transport.
+  if (!request_.buffers.empty()) {
+    for (const int64_t a : survivors) {
+      const std::vector<double>& snap = snapshot_[static_cast<size_t>(a)];
+      std::copy(snap.begin(), snap.end(), buffer_of(request_, a));
+    }
+  }
+  transport_->clear_pending();
+  const bool scale = schedule_->scale_to_mean;
+  owned_ = allreduce_schedule_over(recovery_protocol_, survivors,
+                                   request_.elems);
+  owned_.scale_to_mean = scale;
+  schedule_ = &owned_;
+  next_step_ = 0;
+  finalized_ = false;
+  ++recoveries_;
+}
+
 bool AsyncCollective::poll() {
   if (next_step_ < schedule_->steps.size()) {
-    execute_schedule_step(*transport_, request_,
-                          schedule_->steps[next_step_]);
-    ++next_step_;
+    try {
+      execute_schedule_step(*transport_, request_,
+                            schedule_->steps[next_step_]);
+      ++next_step_;
+    } catch (const EndpointDownError&) {
+      if (!recovery_) throw;
+      recover();
+      return done();
+    }
   }
   if (done() && !finalized_) {
     if (schedule_->scale_to_mean)
-      finalize_mean(request_, transport_->endpoints());
+      finalize_mean(request_, *schedule_, transport_->endpoints());
     finalized_ = true;
   }
   return done();

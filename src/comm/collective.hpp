@@ -98,8 +98,14 @@ struct ScheduleStep {
 /// matter which driver runs it.
 struct SteppedSchedule {
   std::vector<ScheduleStep> steps;
-  /// Scale every buffer by 1/agents after the last step (sum -> mean).
+  /// Scale every buffer by 1/|participants| after the last step
+  /// (sum -> mean).
   bool scale_to_mean = false;
+  /// Endpoints the schedule runs over, ascending; empty = every endpoint
+  /// of the transport. Survivor schedules built by
+  /// allreduce_schedule_over() fill this so the final mean divides by the
+  /// live-set size, not the transport width.
+  std::vector<int64_t> participants;
 };
 
 /// Schedule of an AllReduce protocol (kRingAllReduce or
@@ -110,6 +116,17 @@ struct SteppedSchedule {
 [[nodiscard]] SteppedSchedule allreduce_schedule(Protocol protocol,
                                                  int64_t agents,
                                                  int64_t elems);
+
+/// Same schedule, re-formed over an explicit subset of endpoints
+/// (ascending, unique): the protocol runs over |participants| virtual
+/// ranks remapped onto the given endpoint ids, and the final scaling
+/// averages over the live set only. The message pattern and merge order
+/// are exactly those of a from-scratch |participants|-agent run, so the
+/// recovered mean is bit-identical to rerunning the collective over just
+/// the survivors.
+[[nodiscard]] SteppedSchedule allreduce_schedule_over(
+    Protocol protocol, const std::vector<int64_t>& participants,
+    int64_t elems);
 
 /// Non-blocking stepped collective: construction starts the operation (no
 /// traffic yet), each poll() executes exactly one schedule step over the
@@ -139,10 +156,30 @@ class AsyncCollective {
     return next_step_ >= schedule_->steps.size();
   }
   /// Executes the next schedule step (and the final mean scaling after the
-  /// last one); returns done().
+  /// last one); returns done(). With recovery armed, an EndpointDownError
+  /// from the transport re-forms the schedule around the survivors instead
+  /// of propagating (see enable_recovery()).
   bool poll();
   /// Polls until done.
   void wait();
+
+  /// Arm mid-collective endpoint-failure recovery. Must be called before
+  /// the first poll(): it snapshots every participant's input buffer, and
+  /// on EndpointDown the operation (1) drops the dead endpoints from the
+  /// participant set, (2) restores the survivors' buffers from the
+  /// snapshot, (3) clears undelivered transport mail, and (4) restarts on
+  /// a schedule re-formed over the survivors via
+  /// allreduce_schedule_over(protocol, ...) — whose final scaling averages
+  /// over the live set. The result is bit-identical to a from-scratch
+  /// survivor-only run; the pre-failure traffic stays in the transport
+  /// stats (those bytes really crossed the wire). Repeated failures
+  /// recover repeatedly; only the last survivor standing completes with
+  /// its own contribution as the "mean". Throws only if every participant
+  /// is dead.
+  void enable_recovery(Protocol protocol);
+
+  /// Completed recovery cycles (0 = the collective never saw a failure).
+  [[nodiscard]] int64_t recoveries() const noexcept { return recoveries_; }
 
   [[nodiscard]] int64_t steps_executed() const noexcept {
     return static_cast<int64_t>(next_step_);
@@ -152,12 +189,22 @@ class AsyncCollective {
   }
 
  private:
+  /// Current participant set (schedule's, or every transport endpoint).
+  [[nodiscard]] std::vector<int64_t> current_participants() const;
+  void recover();
+
   Transport* transport_;
   CollectiveRequest request_;
   SteppedSchedule owned_;  ///< empty when the schedule is borrowed
   const SteppedSchedule* schedule_;
   size_t next_step_ = 0;
   bool finalized_ = false;
+  bool recovery_ = false;
+  Protocol recovery_protocol_ = Protocol::kRingAllReduce;
+  int64_t recoveries_ = 0;
+  /// Pristine per-participant input copies, indexed by endpoint id;
+  /// empty rows for non-participants and timing-only runs.
+  std::vector<std::vector<double>> snapshot_;
 };
 
 /// Registry lookup by enum (always succeeds).

@@ -145,20 +145,100 @@ double TransportStats::mean_bytes_sent() const {
   return total / static_cast<double>(bytes_sent.size());
 }
 
+int64_t TransportStats::dropped_on(int64_t src, int64_t dst) const {
+  const auto n = static_cast<int64_t>(bytes_sent.size());
+  COMDML_CHECK(src >= 0 && src < n && dst >= 0 && dst < n);
+  return dropped_per_edge[static_cast<size_t>(src * n + dst)];
+}
+
 // ---- Transport --------------------------------------------------------------
 
 Transport::Transport(LinkGrid grid, const Codec* codec, FaultPlan faults)
     : grid_(std::move(grid)),
       codec_(codec != nullptr ? codec : &identity_codec()),
-      faults_(faults),
-      fault_rng_(faults.seed),
+      faults_(std::move(faults)),
+      fault_rng_(faults_.seed),
       mailboxes_(static_cast<size_t>(grid_.endpoints())) {
   COMDML_CHECK(faults_.drop_prob >= 0.0 && faults_.drop_prob <= 1.0);
   const auto n = static_cast<size_t>(grid_.endpoints());
+  for (const auto& f : faults_.endpoint_failures) {
+    COMDML_REQUIRE(f.endpoint >= 0 && f.endpoint < grid_.endpoints(),
+                   "endpoint failure targets endpoint " << f.endpoint
+                                                        << " of " << n);
+    COMDML_CHECK(f.after_steps >= 0);
+  }
+  manual_dead_.assign(n, 0);
   stats_.bytes_sent.assign(n, 0);
   stats_.bytes_received.assign(n, 0);
   stats_.send_seconds.assign(n, 0.0);
   stats_.recv_seconds.assign(n, 0.0);
+  stats_.dropped_per_edge.assign(n * n, 0);
+}
+
+bool Transport::dead_locked(int64_t endpoint) const {
+  if (manual_dead_[static_cast<size_t>(endpoint)] != 0) return true;
+  for (const auto& f : faults_.endpoint_failures)
+    if (f.endpoint == endpoint && stats_.steps >= f.after_steps) return true;
+  return false;
+}
+
+void Transport::fail_endpoint(int64_t endpoint) {
+  COMDML_CHECK(endpoint >= 0 && endpoint < endpoints());
+  std::lock_guard<std::mutex> guard(mutex_);
+  manual_dead_[static_cast<size_t>(endpoint)] = 1;
+}
+
+void Transport::revive_endpoint(int64_t endpoint) {
+  COMDML_CHECK(endpoint >= 0 && endpoint < endpoints());
+  std::lock_guard<std::mutex> guard(mutex_);
+  manual_dead_[static_cast<size_t>(endpoint)] = 0;
+  auto& fs = faults_.endpoint_failures;
+  fs.erase(std::remove_if(fs.begin(), fs.end(),
+                          [endpoint](const FaultPlan::EndpointFailure& f) {
+                            return f.endpoint == endpoint;
+                          }),
+           fs.end());
+}
+
+void Transport::schedule_endpoint_failure(int64_t endpoint,
+                                          int64_t after_steps) {
+  COMDML_CHECK(endpoint >= 0 && endpoint < endpoints());
+  COMDML_CHECK(after_steps >= 0);
+  std::lock_guard<std::mutex> guard(mutex_);
+  faults_.endpoint_failures.push_back({endpoint, after_steps});
+}
+
+void Transport::clear_endpoint_failures() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  std::fill(manual_dead_.begin(), manual_dead_.end(), 0);
+  faults_.endpoint_failures.clear();
+}
+
+bool Transport::endpoint_alive(int64_t endpoint) const {
+  COMDML_CHECK(endpoint >= 0 && endpoint < endpoints());
+  std::lock_guard<std::mutex> guard(mutex_);
+  return !dead_locked(endpoint);
+}
+
+std::vector<int64_t> Transport::live_endpoints() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  std::vector<int64_t> out;
+  for (int64_t e = 0; e < endpoints(); ++e)
+    if (!dead_locked(e)) out.push_back(e);
+  return out;
+}
+
+bool Transport::has_endpoint_faults() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  if (!faults_.endpoint_failures.empty()) return true;
+  for (const char d : manual_dead_)
+    if (d != 0) return true;
+  return false;
+}
+
+void Transport::clear_pending() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  for (auto& box : mailboxes_) box.clear();
 }
 
 std::vector<int64_t> Transport::neighbors(int64_t i) const {
@@ -189,6 +269,16 @@ void Transport::send(int64_t src, int64_t dst, int64_t elems,
   const double span = transfer_seconds(wire, link.mbps, link.latency_sec);
 
   std::lock_guard<std::mutex> guard(mutex_);
+  // Dead endpoints fail fast *before* accounting: a dead sender cannot
+  // occupy its link, and a send to a dead receiver is detected by the
+  // (modeled) connection teardown. Both transport flavors see the same
+  // step counter, so they raise at the same schedule point.
+  if (dead_locked(src))
+    throw EndpointDownError(src, "send from dead endpoint " +
+                                     std::to_string(src));
+  if (dead_locked(dst))
+    throw EndpointDownError(dst, "send to dead endpoint " +
+                                     std::to_string(dst));
   ++stats_.messages;
   ++step_messages_;
   stats_.total_wire_bytes += wire;
@@ -201,6 +291,7 @@ void Transport::send(int64_t src, int64_t dst, int64_t elems,
       static_cast<double>(fault_rng_.uniform()) < faults_.drop_prob;
   if (dropped) {
     ++stats_.dropped_messages;
+    ++stats_.dropped_per_edge[static_cast<size_t>(src * endpoints() + dst)];
     return;  // the sender's link was busy, but nothing arrives
   }
   stats_.bytes_received[static_cast<size_t>(dst)] += wire;
@@ -218,6 +309,9 @@ void Transport::send(int64_t src, int64_t dst, int64_t elems,
 Message Transport::recv(int64_t dst, int64_t src) {
   COMDML_CHECK(dst >= 0 && dst < endpoints());
   std::lock_guard<std::mutex> guard(mutex_);
+  if (dead_locked(dst))
+    throw EndpointDownError(dst, "recv at dead endpoint " +
+                                     std::to_string(dst));
   auto& box = mailboxes_[static_cast<size_t>(dst)];
   for (auto it = box.begin(); it != box.end(); ++it) {
     if (it->src != src) continue;
@@ -225,6 +319,12 @@ Message Transport::recv(int64_t dst, int64_t src) {
     box.erase(it);
     return msg;
   }
+  // Nothing delivered: a dead peer is a typed, recoverable condition (the
+  // message will never arrive); anything else is the usual schedule bug /
+  // message-loss failure.
+  if (dead_locked(src))
+    throw EndpointDownError(src, "recv from dead endpoint " +
+                                     std::to_string(src));
   COMDML_REQUIRE(false, "no in-flight message " << src << " -> " << dst
                                                 << " (schedule bug, or a "
                                                    "dropped message under "
@@ -259,6 +359,7 @@ void Transport::reset() {
   stats_.bytes_received.assign(n, 0);
   stats_.send_seconds.assign(n, 0.0);
   stats_.recv_seconds.assign(n, 0.0);
+  stats_.dropped_per_edge.assign(n * n, 0);
   step_span_ = 0.0;
   step_messages_ = 0;
   for (auto& box : mailboxes_) box.clear();

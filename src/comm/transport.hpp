@@ -30,6 +30,8 @@
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -140,9 +142,38 @@ class QuantizingCodec final : public Codec {
 /// never delivered. Lossy transports suit best-effort protocols (gossip,
 /// param-server retries); the stepped AllReduce schedules assume lossless
 /// delivery and throw on the missing matched receive.
+///
+/// `endpoint_failures` adds agent-level deaths on top of message loss: an
+/// endpoint is dead once the transport has closed `after_steps` steps
+/// (after_steps == 0 means dead from the start). Deadness is a pure
+/// function of the shared step counter, so a SimTransport and an
+/// InProcTransport driving the same schedule fail at the same point and
+/// keep predicted-vs-executed parity for the surviving traffic. Traffic
+/// touching a dead endpoint raises EndpointDownError instead of hanging.
 struct FaultPlan {
+  struct EndpointFailure {
+    int64_t endpoint = -1;
+    int64_t after_steps = 0;  ///< dead once stats().steps >= after_steps
+  };
+
   double drop_prob = 0.0;
   uint64_t seed = 0;
+  std::vector<EndpointFailure> endpoint_failures;
+};
+
+/// Typed condition for traffic touching a dead endpoint: a send to or a
+/// matched receive from a failed agent surfaces as this exception (never a
+/// hang), carrying which endpoint was down so collectives can re-form
+/// around the survivors.
+class EndpointDownError : public std::runtime_error {
+ public:
+  EndpointDownError(int64_t endpoint, const std::string& what)
+      : std::runtime_error(what), endpoint_(endpoint) {}
+
+  [[nodiscard]] int64_t endpoint() const noexcept { return endpoint_; }
+
+ private:
+  int64_t endpoint_;
 };
 
 /// One in-flight (or delivered) message.
@@ -169,9 +200,14 @@ struct TransportStats {
   std::vector<int64_t> bytes_received;  ///< per endpoint (delivered only)
   std::vector<double> send_seconds;     ///< per endpoint, own sends
   std::vector<double> recv_seconds;     ///< per endpoint, delivered inbound
+  /// Per-edge drop counts, row-major [src][dst] over endpoints; sums to
+  /// dropped_messages. Fault-injection tests assert *where* losses landed.
+  std::vector<int64_t> dropped_per_edge;
 
   [[nodiscard]] int64_t max_bytes_sent() const;
   [[nodiscard]] double mean_bytes_sent() const;
+  /// Dropped messages on the directed edge src -> dst.
+  [[nodiscard]] int64_t dropped_on(int64_t src, int64_t dst) const;
 };
 
 /// Message-level transport. Thread-safe: send/recv/try_recv/end_step may be
@@ -223,13 +259,48 @@ class Transport {
   [[nodiscard]] const TransportStats& stats() const noexcept {
     return stats_;
   }
+  /// Clears stats and undelivered mail; fault schedules and manual
+  /// endpoint deaths survive (reset() is "new round", not "new fleet" —
+  /// note a step-scheduled failure re-arms because the step counter
+  /// restarts).
   void reset();
+
+  // ---- endpoint liveness ----------------------------------------------------
+
+  /// Kill `endpoint` immediately (manual churn, as opposed to the
+  /// FaultPlan's step-scheduled deaths). Idempotent.
+  void fail_endpoint(int64_t endpoint);
+  /// Bring `endpoint` back: clears both a manual death and any scheduled
+  /// failure entries for it. Idempotent.
+  void revive_endpoint(int64_t endpoint);
+  /// Schedule `endpoint` to die once `after_steps` steps have closed
+  /// (0 = dead now). Deterministic: both transport flavors observing the
+  /// same schedule fail at the same step.
+  void schedule_endpoint_failure(int64_t endpoint, int64_t after_steps);
+  /// Revive every endpoint (drops all manual and scheduled failures).
+  void clear_endpoint_failures();
+
+  [[nodiscard]] bool endpoint_alive(int64_t endpoint) const;
+  /// Currently-alive endpoints, ascending.
+  [[nodiscard]] std::vector<int64_t> live_endpoints() const;
+  /// True when any endpoint failure is configured (manual or scheduled) —
+  /// callers use this to decide whether a collective should arm recovery.
+  [[nodiscard]] bool has_endpoint_faults() const;
+  /// Drop every undelivered message (mid-collective recovery restarts the
+  /// survivor schedule from clean mailboxes). Stats are untouched: the
+  /// wasted traffic really crossed the wire.
+  void clear_pending();
 
  protected:
   /// Payload-moving transports return true; timing-only ones false.
   [[nodiscard]] virtual bool delivers_payload() const noexcept = 0;
 
  private:
+  /// Endpoint dead right now? Caller holds mutex_ (deadness depends on the
+  /// shared step counter, which is what keeps Sim/InProc failure points
+  /// identical).
+  [[nodiscard]] bool dead_locked(int64_t endpoint) const;
+
   LinkGrid grid_;
   const Codec* codec_;  // never null after construction
   FaultPlan faults_;
@@ -237,6 +308,7 @@ class Transport {
   TransportStats stats_;
   double step_span_ = 0.0;
   int64_t step_messages_ = 0;
+  std::vector<char> manual_dead_;  // per endpoint, fail_endpoint() deaths
   std::vector<std::deque<Message>> mailboxes_;  // per dst, arrival order
   mutable std::mutex mutex_;
 };

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "comm/allreduce.hpp"
 #include "learncurve/curves.hpp"
@@ -138,6 +139,30 @@ struct FleetOptions {
     int64_t shuffle_patch = 2;
   } privacy;
 
+  /// Deterministic agent-failure injection for elastic-fleet testing
+  /// (real-execution fleets). Each entry kills one agent at one precise
+  /// point of one round; the fleet completes the round over the survivors
+  /// and the dead agent stays out until rejoined.
+  struct FaultOptions {
+    struct AgentFailure {
+      int64_t agent = -1;
+      int64_t round = 0;
+      /// Die after training this many batches, before publishing anything
+      /// (-1 = off). With every mode off, the agent leaves cleanly before
+      /// the round starts.
+      int64_t after_batches = -1;
+      /// Die after publishing this many buckets of the final batch — 0
+      /// kills the agent at its first publish attempt, mid split-backward
+      /// for a paired slow agent (-1 = off; needs bucket_bytes > 0).
+      int64_t after_buckets = -1;
+      /// Kill the agent's endpoint once any bucket collective reaches
+      /// this transport step: the in-flight collective recovers around
+      /// the survivors (-1 = off; needs bucket_bytes > 0).
+      int64_t at_collective_step = -1;
+    };
+    std::vector<AgentFailure> failures;
+  } faults;
+
   /// Paper-scale simulation knobs (participation sampling, dynamic
   /// profiles, churn).
   struct ScaleOptions {
@@ -201,6 +226,20 @@ struct FleetOptions {
     COMDML_REQUIRE(privacy.shuffle_patch > 0,
                    "shuffle_patch must be positive, got "
                        << privacy.shuffle_patch);
+    for (const FaultOptions::AgentFailure& f : faults.failures) {
+      COMDML_REQUIRE(f.agent >= 0,
+                     "fault injection needs agent >= 0, got " << f.agent);
+      COMDML_REQUIRE(f.round >= 0,
+                     "fault injection needs round >= 0, got " << f.round);
+      const int modes = (f.after_batches >= 0) + (f.after_buckets >= 0) +
+                        (f.at_collective_step >= 0);
+      COMDML_REQUIRE(modes <= 1,
+                     "agent failure must pick at most one death point");
+      COMDML_REQUIRE(
+          (f.after_buckets < 0 && f.at_collective_step < 0) ||
+              comms.bucket_bytes > 0,
+          "bucket-level and collective-step failures need bucket_bytes > 0");
+    }
     COMDML_REQUIRE(scale.participation > 0.0 && scale.participation <= 1.0,
                    "participation must be in (0, 1], got "
                        << scale.participation);

@@ -62,6 +62,7 @@ RoundReport FleetRuntime::step() {
     rep.mean_slow_loss = stats.mean_slow_loss;
     rep.mean_dcor = stats.mean_dcor;
     rep.mean_wire_compression = stats.mean_wire_compression;
+    rep.dropped_agents = stats.dropped_agents;
   } else {
     COMDML_CHECK(real_baseline_ != nullptr);
     const auto stats = real_baseline_->step();
@@ -93,6 +94,37 @@ nn::Sequential& FleetRuntime::model(int64_t agent) {
   COMDML_REQUIRE(real(), "model() needs a real-execution fleet");
   return real_comdml_ != nullptr ? real_comdml_->model(agent)
                                  : real_baseline_->model(agent);
+}
+
+void FleetRuntime::leave(int64_t agent) {
+  COMDML_REQUIRE(real_comdml_ != nullptr,
+                 "elastic membership needs the real ComDML fleet");
+  real_comdml_->leave(agent);
+}
+
+void FleetRuntime::rejoin(int64_t agent) {
+  COMDML_REQUIRE(real_comdml_ != nullptr,
+                 "elastic membership needs the real ComDML fleet");
+  real_comdml_->rejoin(agent);
+}
+
+std::vector<int64_t> FleetRuntime::live_agents() const {
+  COMDML_REQUIRE(real_comdml_ != nullptr,
+                 "elastic membership needs the real ComDML fleet");
+  return real_comdml_->live_agents();
+}
+
+std::vector<uint8_t> FleetRuntime::checkpoint() {
+  COMDML_REQUIRE(real_comdml_ != nullptr,
+                 "checkpoint/restore needs the real ComDML fleet");
+  return real_comdml_->checkpoint();
+}
+
+void FleetRuntime::restore(const std::vector<uint8_t>& bytes) {
+  COMDML_REQUIRE(real_comdml_ != nullptr,
+                 "checkpoint/restore needs the real ComDML fleet");
+  real_comdml_->restore(bytes);
+  round_ = real_comdml_->round();
 }
 
 // ---- FleetBuilder -----------------------------------------------------------

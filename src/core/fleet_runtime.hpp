@@ -104,6 +104,17 @@ class FleetRuntime {
   /// Agent replica access (real fleets only).
   [[nodiscard]] nn::Sequential& model(int64_t agent);
 
+  /// Elastic membership between rounds (real ComDML fleet only): leave()
+  /// removes an agent, rejoin() re-admits it initialized from consensus.
+  void leave(int64_t agent);
+  void rejoin(int64_t agent);
+  [[nodiscard]] std::vector<int64_t> live_agents() const;
+
+  /// Durable fleet state between rounds (real ComDML fleet only); restore
+  /// also resynchronizes the runtime's round counter.
+  [[nodiscard]] std::vector<uint8_t> checkpoint();
+  void restore(const std::vector<uint8_t>& bytes);
+
  private:
   friend class FleetBuilder;
   FleetRuntime() = default;

@@ -10,6 +10,7 @@
 #include "privacy/dp.hpp"
 #include "privacy/patch_shuffle.hpp"
 #include "sim/resources.hpp"
+#include "tensor/serialize.hpp"
 
 namespace comdml::core {
 
@@ -108,12 +109,38 @@ data::Batch RealFleet::next_batch(int64_t agent, tensor::Rng& rng) {
 }
 
 RealFleet::RoundStats RealFleet::step() {
+  const int64_t live_before =
+      static_cast<int64_t>(live_agents().size());
+
+  // Arm the injected faults scheduled for this round. Leave-mode entries
+  // take their agent out before pairing; the per-point modes are resolved
+  // by the training tasks / publish path / transports below.
+  std::vector<int64_t> die_after_batches(agents_.size(), -1);
+  std::vector<int64_t> publish_budget(agents_.size(), -1);
+  std::vector<int64_t> collective_victims;
+  for (const FleetOptions::FaultOptions::AgentFailure& f :
+       options_.faults.failures) {
+    if (f.round != round_) continue;
+    COMDML_CHECK(f.agent >= 0 && f.agent < agents());
+    if (!agents_[static_cast<size_t>(f.agent)].alive) continue;
+    if (f.after_batches >= 0) {
+      die_after_batches[static_cast<size_t>(f.agent)] = f.after_batches;
+    } else if (f.after_buckets >= 0) {
+      publish_budget[static_cast<size_t>(f.agent)] = f.after_buckets;
+    } else if (f.at_collective_step >= 0) {
+      COMDML_CHECK(pipeline_ != nullptr);  // enforced by validate()
+      pipeline_->schedule_endpoint_failure(f.agent, f.at_collective_step);
+      collective_victims.push_back(f.agent);
+    } else {
+      leave(f.agent);
+    }
+  }
+
   nn::SGD::Options sgd = options_.train.sgd;
   sgd.lr = current_lr_;
   const auto infos = build_infos();
-  std::vector<int64_t> participants(agents_.size());
-  for (size_t i = 0; i < participants.size(); ++i)
-    participants[i] = static_cast<int64_t>(i);
+  const std::vector<int64_t> participants = live_agents();
+  COMDML_REQUIRE(!participants.empty(), "no live agents left to run a round");
   const PairingResult plan = pair_agents(profile_, infos, topology_,
                                          options_.train.batch_size, participants);
 
@@ -154,12 +181,27 @@ RealFleet::RoundStats RealFleet::step() {
   if (bucketed) pipeline_->begin_round();
 
   // Flatten + contribute one bucket of `agent`'s live state — the publish
-  // step shared by the full-model and split last-batch unit walks.
+  // step shared by the full-model and split last-batch unit walks. An
+  // armed publish budget kills the agent mid-stream: after `after_buckets`
+  // publishes the next attempt never lands, and the pipeline re-targets
+  // the dead agent's remaining buckets. All of one agent's publishes run
+  // on its own training task, so the budget needs no synchronization.
   const auto publish_bucket = [&](int64_t agent,
                                   const std::vector<tensor::Tensor*>& ptrs,
                                   int64_t bk) {
+    if (!agents_[static_cast<size_t>(agent)].alive) return;
+    int64_t& budget = publish_budget[static_cast<size_t>(agent)];
+    if (budget == 0) {
+      kill_agent(agent);
+      budget = -1;
+      return;
+    }
     bucket_plan_->flatten_bucket(ptrs, bk, pipeline_->slot(agent, bk));
     pipeline_->contribute(agent, bk);
+    if (budget > 0 && --budget == 0) {
+      kill_agent(agent);
+      budget = -1;
+    }
   };
 
   // Full-model local training for one agent. When publishing from inside
@@ -170,10 +212,16 @@ RealFleet::RoundStats RealFleet::step() {
                               TaskResult& out) {
     auto& st = agents_[static_cast<size_t>(agent)];
     nn::SGD opt(st.model->parameters(), sgd);
-    const int64_t batches = options_.train.batches_per_round;
+    // Momentum is fleet state, not round state: carry the velocity across
+    // the per-round optimizer rebuilds (and through checkpoint/restore).
+    if (!st.velocity.empty()) opt.load_velocity(st.velocity);
+    const int64_t die_at = die_after_batches[static_cast<size_t>(agent)];
+    const int64_t batches =
+        die_at >= 0 ? std::min(options_.train.batches_per_round, die_at)
+                    : options_.train.batches_per_round;
     for (int64_t b = 0; b < batches; ++b) {
       const auto batch = next_batch(agent, rng);
-      if (publish_in_task && b == batches - 1) {
+      if (publish_in_task && b == batches - 1 && die_at < 0) {
         std::vector<tensor::Tensor*> ptrs;
         st.model->collect_state(ptrs);
         nn::BucketReadyTracker tracker(*bucket_plan_);
@@ -192,6 +240,9 @@ RealFleet::RoundStats RealFleet::step() {
         ++out.loss_count;
       }
     }
+    st.velocity = opt.velocity();
+    // Died after its batch quota: nothing published this round.
+    if (die_at >= 0) kill_agent(agent);
   };
 
   const auto run_task = [&](int64_t t) {
@@ -205,12 +256,16 @@ RealFleet::RoundStats RealFleet::step() {
       const auto& pair = plan.pairs[static_cast<size_t>(t)];
       auto& slow = agents_[static_cast<size_t>(pair.slow_agent)];
       const int64_t batches = options_.train.batches_per_round;
+      const int64_t slow_die =
+          die_after_batches[static_cast<size_t>(pair.slow_agent)];
+      const int64_t slow_batches =
+          slow_die >= 0 ? std::min(batches, slow_die) : batches;
       nn::LocalLossSplitTrainer split(*slow.model, pair.cut, in_shape_,
                                       classes_, rng, sgd);
-      for (int64_t b = 0; b < batches; ++b) {
+      for (int64_t b = 0; b < slow_batches; ++b) {
         const auto batch = next_batch(pair.slow_agent, rng);
         nn::LocalLossSplitTrainer::StepStats step;
-        if (publish_in_task && b == batches - 1) {
+        if (publish_in_task && b == batches - 1 && slow_die < 0) {
           // Final batch: per-unit finalization publishes the slow
           // replica's buckets layer-by-layer during the split backward —
           // prefix-side buckets enter the pipeline before the fast-side
@@ -250,6 +305,7 @@ RealFleet::RoundStats RealFleet::step() {
           ++out.dcor_count;
         }
       }
+      if (slow_die >= 0) kill_agent(pair.slow_agent);
       train_full(pair.fast_agent, rng, out);
     } else {
       // Solo agents train the full model.
@@ -287,7 +343,10 @@ RealFleet::RoundStats RealFleet::step() {
   const double t_comp = plan.estimated_round_time;
   if (!bucketed) {
     // Optional DP on each agent's state before it leaves the device. The
-    // merge buffers are fleet members reused round over round.
+    // merge buffers are fleet members reused round over round. Snapshots
+    // and noise draws cover every agent (dead ones included) so the fleet
+    // rng sequence does not depend on the failure pattern; only the live
+    // agents' states enter the collective.
     std::vector<std::vector<tensor::Tensor>>& states = state_scratch_;
     states.resize(agents_.size());
     for (size_t i = 0; i < agents_.size(); ++i)
@@ -302,12 +361,28 @@ RealFleet::RoundStats RealFleet::step() {
     // The collective routes through the overlay at the bottleneck rate (the
     // seed cost models' assumption), and one run yields both the executed
     // traffic and the modeled clock — predicted cost and real bytes are the
-    // same schedule by construction.
+    // same schedule by construction. Agents that died this round are
+    // excluded: the survivors aggregate over a grid of their own size,
+    // exactly a from-scratch survivor-only fleet.
+    const std::vector<int64_t> live = live_agents();
+    std::vector<std::vector<tensor::Tensor>> live_states;
+    live_states.reserve(live.size());
+    for (const int64_t a : live)
+      live_states.push_back(std::move(states[static_cast<size_t>(a)]));
+    const auto min_bw = topology_.min_link_bandwidth();
+    COMDML_REQUIRE(min_bw.has_value() || live.size() == 1,
+                   "topology has no usable link");
     const auto agg = comm::allreduce_average_over(
-        states, bottleneck_grid(topology_, options_.comms.latency_sec),
+        live_states,
+        comm::LinkGrid::uniform(static_cast<int64_t>(live.size()),
+                                min_bw.value_or(100.0),
+                                options_.comms.latency_sec),
         options_.comms.aggregation);
-    for (size_t i = 0; i < agents_.size(); ++i)
-      nn::load_state(*agents_[i].model, states[i]);
+    for (size_t i = 0; i < live.size(); ++i) {
+      const auto a = static_cast<size_t>(live[i]);
+      nn::load_state(*agents_[a].model, live_states[i]);
+      states[a] = std::move(live_states[i]);  // hand the buffers back
+    }
 
     // Simulated wall-clock: balanced round span + the collective.
     stats.aggregation_seconds = agg.cost.seconds;
@@ -317,7 +392,9 @@ RealFleet::RoundStats RealFleet::step() {
   } else {
     if (dp) {
       // Snapshot + noise in agent order with the fleet Rng (same draw
-      // sequence as the flat path), then publish every bucket.
+      // sequence as the flat path, dead agents included), then publish
+      // every live agent's buckets — an armed publish budget kills its
+      // agent mid-publication here, just like the in-task path.
       std::vector<std::vector<tensor::Tensor>>& states = state_scratch_;
       states.resize(agents_.size());
       for (size_t i = 0; i < agents_.size(); ++i)
@@ -325,15 +402,45 @@ RealFleet::RoundStats RealFleet::step() {
       for (auto& s : states)
         privacy::laplace_mechanism(s, options_.privacy.dp_epsilon,
                                    options_.privacy.dp_sensitivity, rng_);
-      for (size_t i = 0; i < agents_.size(); ++i)
-        pipeline_->publish_state(static_cast<int64_t>(i), states[i]);
+      for (size_t i = 0; i < agents_.size(); ++i) {
+        const auto a = static_cast<int64_t>(i);
+        if (!agents_[i].alive) continue;
+        int64_t& budget = publish_budget[i];
+        for (int64_t bk = 0; bk < bucket_plan_->buckets(); ++bk) {
+          if (budget == 0) {
+            kill_agent(a);
+            budget = -1;
+            break;
+          }
+          bucket_plan_->flatten_bucket(states[i], bk, pipeline_->slot(a, bk));
+          pipeline_->contribute(a, bk);
+          if (budget > 0 && --budget == 0) {
+            kill_agent(a);
+            budget = -1;
+            break;
+          }
+        }
+      }
     }
     // Overlapped rounds drained inside the training fan-out; sequential
     // bucketed rounds reduce here, in ready order on this thread.
     if (!overlap) pipeline_->drain();
 
-    // Every agent's slots now hold the bucket means; write them back.
+    // Mid-collective victims died during the reduce; take them out before
+    // the write-back (their slots hold pre-recovery payloads, not means)
+    // and disarm the transport faults so the next round's reset step
+    // counters do not re-kill them against the survivors.
+    for (const int64_t v : collective_victims) {
+      if (agents_[static_cast<size_t>(v)].alive) {
+        agents_[static_cast<size_t>(v)].alive = false;
+        pipeline_->leave(v);
+      }
+    }
+    if (!collective_victims.empty()) pipeline_->clear_endpoint_failures();
+
+    // Every live agent's slots now hold the bucket means; write them back.
     for (size_t i = 0; i < agents_.size(); ++i) {
+      if (!agents_[i].alive) continue;
       std::vector<tensor::Tensor*> ptrs;
       agents_[i].model->collect_state(ptrs);
       pipeline_->restore_state(static_cast<int64_t>(i), ptrs);
@@ -387,18 +494,145 @@ RealFleet::RoundStats RealFleet::step() {
     const float mult = plateau_->observe(-stats.mean_loss);
     if (mult < 1.0f) current_lr_ *= mult;
   }
+  stats.dropped_agents =
+      live_before - static_cast<int64_t>(live_agents().size());
   ++round_;
   return stats;
 }
 
 float RealFleet::evaluate(const data::Dataset& test) {
   test.validate();
-  return nn::evaluate_accuracy(*agents_[0].model, test.images, test.labels);
+  return nn::evaluate_accuracy(*agents_[static_cast<size_t>(first_live())].model,
+                               test.images, test.labels);
 }
 
 nn::Sequential& RealFleet::model(int64_t agent) {
   COMDML_CHECK(agent >= 0 && agent < agents());
   return *agents_[static_cast<size_t>(agent)].model;
+}
+
+bool RealFleet::agent_alive(int64_t agent) const {
+  COMDML_CHECK(agent >= 0 && agent < agents());
+  return agents_[static_cast<size_t>(agent)].alive;
+}
+
+std::vector<int64_t> RealFleet::live_agents() const {
+  std::vector<int64_t> out;
+  for (int64_t a = 0; a < agents(); ++a)
+    if (agents_[static_cast<size_t>(a)].alive) out.push_back(a);
+  return out;
+}
+
+int64_t RealFleet::first_live() const {
+  for (int64_t a = 0; a < agents(); ++a)
+    if (agents_[static_cast<size_t>(a)].alive) return a;
+  COMDML_REQUIRE(false, "fleet has no live agent");
+  return -1;
+}
+
+void RealFleet::kill_agent(int64_t agent) {
+  agents_[static_cast<size_t>(agent)].alive = false;
+  if (pipeline_) pipeline_->deactivate(agent);
+}
+
+void RealFleet::leave(int64_t agent) {
+  COMDML_CHECK(agent >= 0 && agent < agents());
+  agents_[static_cast<size_t>(agent)].alive = false;
+  if (pipeline_) pipeline_->leave(agent);
+}
+
+void RealFleet::rejoin(int64_t agent) {
+  COMDML_CHECK(agent >= 0 && agent < agents());
+  AgentState& st = agents_[static_cast<size_t>(agent)];
+  if (st.alive) return;
+  // Initialize from the consensus state: after aggregation every live
+  // replica is identical, so any live agent's model is the fleet model.
+  const int64_t src = first_live();
+  nn::load_state(*st.model, nn::state_of(*agents_[static_cast<size_t>(src)].model));
+  st.velocity.clear();
+  st.alive = true;
+  if (pipeline_) pipeline_->rejoin(agent);
+}
+
+namespace {
+constexpr uint32_t kCheckpointMagic = 0x434D444C;  // "CMDL"
+constexpr uint32_t kCheckpointVersion = 1;
+}  // namespace
+
+std::vector<uint8_t> RealFleet::checkpoint() {
+  tensor::ByteWriter w;
+  w.u32(kCheckpointMagic);
+  w.u32(kCheckpointVersion);
+  w.u32(static_cast<uint32_t>(agents()));
+  w.i64(round_);
+  w.f32(current_lr_);
+  w.str(rng_.state());
+  w.u8(plateau_.has_value() ? 1 : 0);
+  if (plateau_) {
+    const nn::PlateauScheduler::State s = plateau_->save();
+    w.f32(s.best);
+    w.i64(s.stale);
+  }
+  for (AgentState& st : agents_) {
+    w.u8(st.alive ? 1 : 0);
+    w.tensors(nn::state_of(*st.model));
+    w.tensors(st.velocity);
+    const data::Batcher::State bs = st.batcher->save();
+    w.i64s(bs.order);
+    w.i64(bs.cursor);
+    w.i64(bs.epoch);
+    w.str(bs.rng);
+  }
+  w.u8(pipeline_ != nullptr ? 1 : 0);
+  if (pipeline_) w.f64s(pipeline_->residuals());
+  return w.bytes();
+}
+
+void RealFleet::restore(const std::vector<uint8_t>& bytes) {
+  tensor::ByteReader r(bytes);
+  COMDML_REQUIRE(r.u32() == kCheckpointMagic, "not a fleet checkpoint");
+  COMDML_REQUIRE(r.u32() == kCheckpointVersion,
+                 "unsupported checkpoint version");
+  COMDML_REQUIRE(static_cast<int64_t>(r.u32()) == agents(),
+                 "checkpoint is for a different fleet size");
+  round_ = r.i64();
+  current_lr_ = r.f32();
+  rng_.set_state(r.str());
+  const bool has_plateau = r.u8() != 0;
+  COMDML_REQUIRE(has_plateau == plateau_.has_value(),
+                 "checkpoint plateau-schedule config mismatch");
+  if (plateau_) {
+    nn::PlateauScheduler::State s;
+    s.best = r.f32();
+    s.stale = static_cast<int>(r.i64());
+    plateau_->load(s);
+  }
+  for (int64_t a = 0; a < agents(); ++a) {
+    AgentState& st = agents_[static_cast<size_t>(a)];
+    st.alive = r.u8() != 0;
+    nn::load_state(*st.model, r.tensors());
+    st.velocity = r.tensors();
+    data::Batcher::State bs;
+    bs.order = r.i64s();
+    bs.cursor = r.i64();
+    bs.epoch = r.i64();
+    bs.rng = r.str();
+    st.batcher->load(bs);
+    if (pipeline_) {
+      // Sync the pipeline's membership (rejoin also clears residuals and
+      // endpoint faults for the agent; the checkpointed residual slab is
+      // loaded right after, so the order matters).
+      if (st.alive)
+        pipeline_->rejoin(a);
+      else
+        pipeline_->leave(a);
+    }
+  }
+  const bool has_pipeline = r.u8() != 0;
+  COMDML_REQUIRE(has_pipeline == (pipeline_ != nullptr),
+                 "checkpoint bucketing config mismatch");
+  if (pipeline_) pipeline_->load_residuals(r.f64s());
+  r.expect_done();
 }
 
 }  // namespace comdml::core

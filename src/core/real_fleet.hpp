@@ -56,9 +56,13 @@ class RealFleet {
     /// publication). Before this existed, split replicas published
     /// everything at task end and the overlap window collapsed there.
     int64_t split_early_buckets = 0;
+    /// Agents that died during this round (injected faults).
+    int64_t dropped_agents = 0;
   };
 
-  /// One complete ComDML round (pair -> train -> aggregate).
+  /// One complete ComDML round (pair -> train -> aggregate) over the live
+  /// agents. Injected faults (options.faults) kill their agent at the
+  /// configured point; the round still completes over the survivors.
   RoundStats step();
 
   /// Accuracy of the (post-aggregation) shared model on a held-out set.
@@ -75,11 +79,39 @@ class RealFleet {
   [[nodiscard]] const SplitProfile& profile() const noexcept {
     return profile_;
   }
+  [[nodiscard]] int64_t round() const noexcept { return round_; }
+
+  // ---- elastic membership ---------------------------------------------------
+
+  /// Remove `agent` from the fleet between rounds. Idempotent; at least
+  /// one agent must stay live for the next step().
+  void leave(int64_t agent);
+  /// Re-admit `agent` between rounds: its replica is initialized from the
+  /// current consensus state (a live agent's post-aggregation model), its
+  /// momentum is cleared, and its error-feedback residuals are zeroed.
+  void rejoin(int64_t agent);
+  [[nodiscard]] bool agent_alive(int64_t agent) const;
+  [[nodiscard]] std::vector<int64_t> live_agents() const;
+
+  // ---- durable state --------------------------------------------------------
+
+  /// Serialize the full fleet state between rounds: every agent's model,
+  /// momentum, batcher position, liveness, the fleet rng / LR / plateau
+  /// controller, and the pipeline's error-feedback residuals. Restoring
+  /// the bytes into a structurally identical fleet resumes bit-identically
+  /// to never having stopped.
+  [[nodiscard]] std::vector<uint8_t> checkpoint();
+  void restore(const std::vector<uint8_t>& bytes);
 
  private:
   struct AgentState {
     std::unique_ptr<nn::Sequential> model;
     std::unique_ptr<data::Batcher> batcher;
+    bool alive = true;
+    /// Momentum carried across rounds (full-model training); cleared on
+    /// rejoin. Split-trained slow replicas keep per-round transient unit
+    /// optimizers (their auxiliary heads are themselves transient).
+    std::vector<tensor::Tensor> velocity;
   };
 
   Options options_;
@@ -107,6 +139,10 @@ class RealFleet {
   /// Draws from the agent's own batcher; `rng` drives any privacy
   /// transform so concurrent tasks never share a generator.
   [[nodiscard]] data::Batch next_batch(int64_t agent, tensor::Rng& rng);
+  /// Mid-round death: mark the agent dead and drop its pending bucket
+  /// contributions. Safe from the agent's own training task.
+  void kill_agent(int64_t agent);
+  [[nodiscard]] int64_t first_live() const;
 };
 
 }  // namespace comdml::core

@@ -48,9 +48,11 @@ RoundPipeline::RoundPipeline(int64_t agents, const nn::BucketPlan& plan,
       agents_(agents),
       protocol_(comm::allreduce_protocol(algo)),
       codec_(codec),
-      pending_(static_cast<size_t>(plan.buckets())) {
+      pending_(static_cast<size_t>(plan.buckets())),
+      contributed_(static_cast<size_t>(agents * plan.buckets())) {
   COMDML_CHECK(agents > 0);
   COMDML_CHECK(grid.endpoints() == agents);
+  live_.assign(static_cast<size_t>(agents_), 1);
   slab_.resize(static_cast<size_t>(agents_ * plan.total_elems()));
   if (error_feedback && codec_ != nullptr)
     residual_.assign(slab_.size(), 0.0);
@@ -67,11 +69,89 @@ RoundPipeline::RoundPipeline(int64_t agents, const nn::BucketPlan& plan,
 
 void RoundPipeline::begin_round() {
   for (auto& t : transports_) t->reset();
-  for (auto& p : pending_) p.store(agents_, std::memory_order_relaxed);
+  const int64_t k = live_count();
+  COMDML_REQUIRE(k > 0, "cannot begin a round with no live agents");
+  for (auto& p : pending_) p.store(k, std::memory_order_relaxed);
+  for (auto& c : contributed_) c.store(0, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lk(mu_);
   ready_.clear();
   reduced_ = 0;
   aborted_ = false;
+}
+
+int64_t RoundPipeline::live_count() const {
+  int64_t k = 0;
+  for (const char l : live_) k += (l != 0);
+  return k;
+}
+
+std::atomic<char>& RoundPipeline::mark(int64_t agent, int64_t bucket) {
+  return contributed_[static_cast<size_t>(agent * plan_->buckets() + bucket)];
+}
+
+bool RoundPipeline::agent_live(int64_t agent) const {
+  COMDML_CHECK(agent >= 0 && agent < agents_);
+  return live_[static_cast<size_t>(agent)] != 0;
+}
+
+std::vector<int64_t> RoundPipeline::live_agents() const {
+  std::vector<int64_t> out;
+  for (int64_t a = 0; a < agents_; ++a)
+    if (live_[static_cast<size_t>(a)] != 0) out.push_back(a);
+  return out;
+}
+
+void RoundPipeline::leave(int64_t agent) {
+  COMDML_CHECK(agent >= 0 && agent < agents_);
+  live_[static_cast<size_t>(agent)] = 0;
+}
+
+void RoundPipeline::rejoin(int64_t agent) {
+  COMDML_CHECK(agent >= 0 && agent < agents_);
+  live_[static_cast<size_t>(agent)] = 1;
+  if (!residual_.empty()) {
+    double* r = residual_.data() + agent * plan_->total_elems();
+    std::fill(r, r + plan_->total_elems(), 0.0);
+  }
+  for (auto& t : transports_) t->revive_endpoint(agent);
+}
+
+void RoundPipeline::deactivate(int64_t agent) {
+  COMDML_CHECK(agent >= 0 && agent < agents_);
+  live_[static_cast<size_t>(agent)] = 0;
+  for (int64_t b = 0; b < plan_->buckets(); ++b) {
+    char expected = 0;
+    if (!mark(agent, b).compare_exchange_strong(expected, 2,
+                                                std::memory_order_acq_rel))
+      continue;  // already published — the contribution stands
+    const int64_t left = pending_[static_cast<size_t>(b)].fetch_sub(
+                             1, std::memory_order_acq_rel) -
+                         1;
+    COMDML_CHECK(left >= 0);
+    if (left > 0) continue;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ready_.push_back(b);
+    }
+    cv_.notify_one();
+  }
+}
+
+void RoundPipeline::schedule_endpoint_failure(int64_t agent,
+                                              int64_t after_steps) {
+  for (auto& t : transports_) t->schedule_endpoint_failure(agent, after_steps);
+}
+
+void RoundPipeline::clear_endpoint_failures() {
+  for (auto& t : transports_) t->clear_endpoint_failures();
+}
+
+void RoundPipeline::load_residuals(const std::vector<double>& residuals) {
+  COMDML_REQUIRE(residuals.size() == residual_.size(),
+                 "residual slab mismatch: got " << residuals.size()
+                                                << " values, pipeline holds "
+                                                << residual_.size());
+  residual_ = residuals;
 }
 
 double* RoundPipeline::slot(int64_t agent, int64_t bucket) {
@@ -103,6 +183,7 @@ void RoundPipeline::contribute(int64_t agent, int64_t bucket) {
   // and residuals are disjoint, and every contribution passes through here
   // exactly once per round). With error feedback the previous round's
   // quantization error rides along and the fresh error is kept.
+  COMDML_CHECK(live_[static_cast<size_t>(agent)] != 0);
   if (codec_ != nullptr) {
     if (!residual_.empty()) {
       apply_error_feedback(agent, bucket);
@@ -110,6 +191,8 @@ void RoundPipeline::contribute(int64_t agent, int64_t bucket) {
       codec_->transform(slot(agent, bucket), plan_->bucket(bucket).elems);
     }
   }
+  const char was = mark(agent, bucket).exchange(1, std::memory_order_acq_rel);
+  COMDML_CHECK(was == 0);
   // acq_rel: the last contributor's decrement acquires every earlier
   // contributor's slab writes before the bucket is published.
   const int64_t left = pending_[static_cast<size_t>(bucket)].fetch_sub(
@@ -151,14 +234,31 @@ void RoundPipeline::restore_state(
 }
 
 void RoundPipeline::run_bucket(int64_t bucket) {
+  // Reduce over exactly the agents whose contribution was published; agents
+  // that died before publishing are simply absent from the mean.
+  std::vector<int64_t> contributors;
+  for (int64_t a = 0; a < agents_; ++a)
+    if (mark(a, bucket).load(std::memory_order_acquire) == 1)
+      contributors.push_back(a);
+  if (contributors.empty()) return;  // every contributor died first
   comm::CollectiveRequest req;
   req.elems = plan_->bucket(bucket).elems;
   req.buffers.resize(static_cast<size_t>(agents_));
   for (int64_t a = 0; a < agents_; ++a)
     req.buffers[static_cast<size_t>(a)] = slot(a, bucket);
-  comm::AsyncCollective op(schedules_[static_cast<size_t>(bucket)],
-                           *transports_[static_cast<size_t>(bucket)],
-                           std::move(req));
+  comm::Transport& transport = *transports_[static_cast<size_t>(bucket)];
+  const bool full = static_cast<int64_t>(contributors.size()) == agents_;
+  comm::SteppedSchedule survivor_schedule;
+  if (!full)
+    survivor_schedule = comm::allreduce_schedule_over(protocol_, contributors,
+                                                      req.elems);
+  comm::AsyncCollective op(
+      full ? schedules_[static_cast<size_t>(bucket)] : survivor_schedule,
+      transport, std::move(req));
+  // With fault injection armed on this transport, a mid-collective
+  // endpoint death re-forms the schedule around the survivors instead of
+  // failing the round.
+  if (transport.has_endpoint_faults()) op.enable_recovery(protocol_);
   op.wait();
 }
 

@@ -105,6 +105,40 @@ class RoundPipeline {
   }
   [[nodiscard]] int64_t agents() const noexcept { return agents_; }
 
+  // ---- elastic membership ---------------------------------------------------
+
+  /// Remove `agent` between rounds: the next begin_round() expects no
+  /// contribution from it and every bucket reduces over the remaining live
+  /// set. Idempotent.
+  void leave(int64_t agent);
+  /// Re-admit `agent` between rounds. Its error-feedback residuals are
+  /// zeroed (stale errors must not leak into the rejoined stream) and any
+  /// endpoint faults against it are cleared on every bucket transport.
+  /// Idempotent.
+  void rejoin(int64_t agent);
+  /// Mid-round death: drop `agent`'s not-yet-published contributions and
+  /// re-target every affected bucket countdown so no collector waits
+  /// forever. Contributions it already published stay in their buckets
+  /// (they were real). Safe to call from the dying agent's own training
+  /// task while collectors drain concurrently.
+  void deactivate(int64_t agent);
+  [[nodiscard]] bool agent_live(int64_t agent) const;
+  [[nodiscard]] std::vector<int64_t> live_agents() const;
+
+  /// Arm/clear a scheduled endpoint failure on every bucket transport
+  /// (mid-collective fault injection; collectives then run with recovery).
+  void schedule_endpoint_failure(int64_t agent, int64_t after_steps);
+  void clear_endpoint_failures();
+
+  /// Error-feedback residual slab (agents x total_elems, agent-major;
+  /// empty when error feedback is off). Survives rounds by design; these
+  /// accessors let it also survive pipeline rebuilds and checkpoint/restore
+  /// keyed by (agent, bucket) position.
+  [[nodiscard]] const std::vector<double>& residuals() const noexcept {
+    return residual_;
+  }
+  void load_residuals(const std::vector<double>& residuals);
+
   /// Agent `agent`'s flatten destination for bucket `bucket`
   /// (`plan().bucket(bucket).elems` fp64 values). Slots of distinct
   /// (agent, bucket) pairs are disjoint.
@@ -160,6 +194,9 @@ class RoundPipeline {
   /// agent's slot, quantize the slot once through the codec, and keep the
   /// new quantization error for next round.
   void apply_error_feedback(int64_t agent, int64_t bucket);
+  [[nodiscard]] int64_t live_count() const;
+  /// Contribution state of (agent, bucket) this round.
+  [[nodiscard]] std::atomic<char>& mark(int64_t agent, int64_t bucket);
 
   const nn::BucketPlan* plan_;
   int64_t agents_;
@@ -175,6 +212,11 @@ class RoundPipeline {
   /// Persists across rounds — that is the point of error feedback.
   std::vector<double> residual_;
   std::vector<std::atomic<int64_t>> pending_;  ///< per bucket
+  std::vector<char> live_;  ///< per agent; 0 = left / deactivated
+  /// Per (agent, bucket), agent-major: 0 = pending, 1 = contributed,
+  /// 2 = dropped (agent died before publishing). run_bucket() reduces over
+  /// exactly the agents marked 1.
+  std::vector<std::atomic<char>> contributed_;
   std::mutex mu_;
   std::condition_variable cv_;
   std::deque<int64_t> ready_;  ///< buckets with all contributions, FIFO

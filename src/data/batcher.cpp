@@ -18,6 +18,22 @@ void Batcher::reshuffle() {
   cursor_ = 0;
 }
 
+Batcher::State Batcher::save() const {
+  return State{order_, cursor_, epoch_, rng_.state()};
+}
+
+void Batcher::load(const State& state) {
+  COMDML_REQUIRE(static_cast<int64_t>(state.order.size()) == dataset_->size(),
+                 "batcher state is for a " << state.order.size()
+                                           << "-sample dataset, have "
+                                           << dataset_->size());
+  COMDML_CHECK(state.cursor >= 0 && state.epoch >= 0);
+  order_ = state.order;
+  cursor_ = state.cursor;
+  epoch_ = state.epoch;
+  rng_.set_state(state.rng);
+}
+
 Batch Batcher::next() {
   if (cursor_ >= dataset_->size()) {
     ++epoch_;

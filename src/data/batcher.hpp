@@ -28,6 +28,18 @@ class Batcher {
 
   [[nodiscard]] int64_t epoch() const noexcept { return epoch_; }
 
+  /// Durable iteration state: shuffle order, position, epoch, and the
+  /// shuffling rng. Restoring it resumes the exact batch sequence.
+  struct State {
+    std::vector<int64_t> order;
+    int64_t cursor = 0;
+    int64_t epoch = 0;
+    std::string rng;
+  };
+  [[nodiscard]] State save() const;
+  /// Restores a save()d state; `order` must index this batcher's dataset.
+  void load(const State& state);
+
  private:
   const Dataset* dataset_;
   int64_t batch_size_;

@@ -25,6 +25,18 @@ void SGD::step_range(size_t first, size_t count) {
   }
 }
 
+void SGD::load_velocity(const std::vector<Tensor>& velocity) {
+  COMDML_REQUIRE(velocity.size() == velocity_.size(),
+                 "velocity list size mismatch: got "
+                     << velocity.size() << ", optimizer holds "
+                     << velocity_.size());
+  for (size_t i = 0; i < velocity.size(); ++i) {
+    COMDML_REQUIRE(velocity[i].shape() == velocity_[i].shape(),
+                   "velocity shape mismatch at parameter " << i);
+    velocity_[i] = velocity[i];
+  }
+}
+
 void SGD::zero_grad() {
   for (auto* p : params_) p->grad.fill(0.0f);
 }

@@ -34,6 +34,15 @@ class SGD {
   [[nodiscard]] float lr() const noexcept { return options_.lr; }
   void set_lr(float lr);
 
+  /// Momentum buffers, construction-list order — durable optimizer state
+  /// for checkpoint/restore and for carrying momentum across rounds when
+  /// the optimizer object itself is rebuilt.
+  [[nodiscard]] const std::vector<Tensor>& velocity() const noexcept {
+    return velocity_;
+  }
+  /// Restores velocity(); shapes must match the parameter list.
+  void load_velocity(const std::vector<Tensor>& velocity);
+
  private:
   std::vector<Parameter*> params_;
   std::vector<Tensor> velocity_;
@@ -49,6 +58,17 @@ class PlateauScheduler {
   /// Report a new metric value (higher is better); returns the LR multiplier
   /// to apply this step (1.0 = unchanged, `factor` = decay triggered).
   [[nodiscard]] float observe(float metric);
+
+  /// Durable controller state (best metric seen, staleness counter).
+  struct State {
+    float best = -1e30f;
+    int stale = 0;
+  };
+  [[nodiscard]] State save() const noexcept { return {best_, stale_}; }
+  void load(const State& state) noexcept {
+    best_ = state.best;
+    stale_ = state.stale;
+  }
 
  private:
   float factor_;

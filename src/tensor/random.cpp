@@ -1,6 +1,7 @@
 #include "tensor/random.hpp"
 
 #include <cmath>
+#include <sstream>
 
 namespace comdml::tensor {
 
@@ -75,6 +76,18 @@ Tensor Rng::he_normal(Shape shape, int64_t fan_in) {
 
 Rng Rng::fork() {
   return Rng(engine_());
+}
+
+std::string Rng::state() const {
+  std::ostringstream os;
+  os << engine_;
+  return os.str();
+}
+
+void Rng::set_state(const std::string& s) {
+  std::istringstream is(s);
+  is >> engine_;
+  COMDML_REQUIRE(!is.fail(), "malformed rng state string");
 }
 
 }  // namespace comdml::tensor

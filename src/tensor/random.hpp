@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <random>
+#include <string>
 
 #include "tensor/tensor.hpp"
 
@@ -43,6 +44,12 @@ class Rng {
 
   /// Derive an independent child generator (stable split for per-agent RNGs).
   [[nodiscard]] Rng fork();
+
+  /// Full engine state as text (std::mt19937_64 stream format) — resuming
+  /// from it continues the exact draw sequence. Distributions are built
+  /// fresh per call, so the engine is the only state worth saving.
+  [[nodiscard]] std::string state() const;
+  void set_state(const std::string& s);
 
   [[nodiscard]] std::mt19937_64& engine() noexcept { return engine_; }
 

@@ -73,6 +73,76 @@ std::vector<Tensor> unpack_tensors(const std::vector<uint8_t>& bytes) {
   return out;
 }
 
+void ByteWriter::u8(uint8_t v) { append_raw(buf_, v); }
+void ByteWriter::u32(uint32_t v) { append_raw(buf_, v); }
+void ByteWriter::i64(int64_t v) { append_raw(buf_, v); }
+void ByteWriter::f32(float v) { append_raw(buf_, v); }
+void ByteWriter::f64(double v) { append_raw(buf_, v); }
+
+void ByteWriter::str(const std::string& s) {
+  u32(static_cast<uint32_t>(s.size()));
+  const auto* p = reinterpret_cast<const uint8_t*>(s.data());
+  buf_.insert(buf_.end(), p, p + s.size());
+}
+
+void ByteWriter::i64s(const std::vector<int64_t>& v) {
+  u32(static_cast<uint32_t>(v.size()));
+  const auto* p = reinterpret_cast<const uint8_t*>(v.data());
+  buf_.insert(buf_.end(), p, p + v.size() * sizeof(int64_t));
+}
+
+void ByteWriter::f64s(const std::vector<double>& v) {
+  u32(static_cast<uint32_t>(v.size()));
+  const auto* p = reinterpret_cast<const uint8_t*>(v.data());
+  buf_.insert(buf_.end(), p, p + v.size() * sizeof(double));
+}
+
+void ByteWriter::tensors(const std::vector<Tensor>& ts) {
+  const auto packed = pack_tensors(ts);
+  buf_.insert(buf_.end(), packed.begin(), packed.end());
+}
+
+uint8_t ByteReader::u8() { return read_raw<uint8_t>(*bytes_, offset_); }
+uint32_t ByteReader::u32() { return read_raw<uint32_t>(*bytes_, offset_); }
+int64_t ByteReader::i64() { return read_raw<int64_t>(*bytes_, offset_); }
+float ByteReader::f32() { return read_raw<float>(*bytes_, offset_); }
+double ByteReader::f64() { return read_raw<double>(*bytes_, offset_); }
+
+std::string ByteReader::str() {
+  const auto n = u32();
+  COMDML_REQUIRE(offset_ + n <= bytes_->size(), "truncated string payload");
+  std::string out(reinterpret_cast<const char*>(bytes_->data() + offset_), n);
+  offset_ += n;
+  return out;
+}
+
+std::vector<int64_t> ByteReader::i64s() {
+  const auto n = u32();
+  std::vector<int64_t> out(n);
+  for (auto& v : out) v = i64();
+  return out;
+}
+
+std::vector<double> ByteReader::f64s() {
+  const auto n = u32();
+  std::vector<double> out(n);
+  for (auto& v : out) v = f64();
+  return out;
+}
+
+std::vector<Tensor> ByteReader::tensors() {
+  const auto n = u32();
+  std::vector<Tensor> out;
+  out.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) out.push_back(from_bytes(*bytes_, offset_));
+  return out;
+}
+
+void ByteReader::expect_done() const {
+  COMDML_REQUIRE(done(), "trailing bytes in stream: "
+                             << bytes_->size() - offset_ << " unread");
+}
+
 int64_t wire_bytes(const std::vector<Tensor>& ts) {
   int64_t total = static_cast<int64_t>(sizeof(uint32_t));
   for (const auto& t : ts) {

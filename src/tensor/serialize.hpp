@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "tensor/tensor.hpp"
@@ -28,5 +29,63 @@ namespace comdml::tensor {
 
 /// Total payload bytes a tensor list occupies on the wire.
 [[nodiscard]] int64_t wire_bytes(const std::vector<Tensor>& ts);
+
+// ---- durable-state byte streams ---------------------------------------------
+
+/// Append-only byte stream for durable state (fleet checkpoints). Scalars
+/// are fixed-width native-endian — the checkpoint format targets
+/// same-machine restore, like the tensor wire format above. Sequences are
+/// length-prefixed so the reader needs no out-of-band sizes.
+class ByteWriter {
+ public:
+  void u8(uint8_t v);
+  void u32(uint32_t v);
+  void i64(int64_t v);
+  void f32(float v);
+  void f64(double v);
+  /// u32 byte count + raw bytes.
+  void str(const std::string& s);
+  /// u32 count + payload.
+  void i64s(const std::vector<int64_t>& v);
+  void f64s(const std::vector<double>& v);
+  /// pack_tensors framing (u32 count + per-tensor wire format).
+  void tensors(const std::vector<Tensor>& ts);
+
+  [[nodiscard]] const std::vector<uint8_t>& bytes() const noexcept {
+    return buf_;
+  }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+/// Sequential reader over a ByteWriter stream. Every accessor throws
+/// std::invalid_argument on truncated input; expect_done() rejects
+/// trailing garbage.
+class ByteReader {
+ public:
+  /// Borrows `bytes`; the buffer must outlive the reader.
+  explicit ByteReader(const std::vector<uint8_t>& bytes) : bytes_(&bytes) {}
+
+  [[nodiscard]] uint8_t u8();
+  [[nodiscard]] uint32_t u32();
+  [[nodiscard]] int64_t i64();
+  [[nodiscard]] float f32();
+  [[nodiscard]] double f64();
+  [[nodiscard]] std::string str();
+  [[nodiscard]] std::vector<int64_t> i64s();
+  [[nodiscard]] std::vector<double> f64s();
+  [[nodiscard]] std::vector<Tensor> tensors();
+
+  [[nodiscard]] bool done() const noexcept {
+    return offset_ == bytes_->size();
+  }
+  /// Throws unless the stream was consumed exactly.
+  void expect_done() const;
+
+ private:
+  const std::vector<uint8_t>* bytes_;
+  size_t offset_ = 0;
+};
 
 }  // namespace comdml::tensor

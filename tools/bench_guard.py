@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Benchmark regression guard over BENCH_kernels.json.
+
+Compares a freshly produced benchmark table (the candidate) against the
+committed baseline, record by record. Records are keyed by
+(op, shape, threads, metric); the measured value always lives in the
+``gflops`` field regardless of the metric name (historical format).
+
+Two classes of metric:
+
+- Deterministic model metrics (``bytes_per_round``, ``model_round_seconds``,
+  ``model_seconds_per_collective``): pure functions of the code — the modeled
+  transport clock and the exact wire bytes of the collective schedules. A
+  regression beyond the threshold here is a real change in communication
+  volume or the modeled round shape, so it FAILS the build.
+- Wall-clock metrics (``gflops``, ``round_seconds``, ``exposed_comm_seconds``
+  and friends): machine- and load-dependent, so drift only WARNS.
+
+Direction matters: for throughput metrics (gflops, gbps, speedup) lower is
+worse; for byte/second metrics higher is worse.
+
+Usage:
+    python3 tools/bench_guard.py --baseline BENCH_kernels.json \
+        --candidate build/BENCH_kernels.json [--threshold 0.25]
+
+Exit status 0 when every deterministic metric is within the threshold,
+1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+# Pure functions of the code: modeled clocks and exact schedule bytes.
+DETERMINISTIC_METRICS = {
+    "bytes_per_round",
+    "model_round_seconds",
+    "model_seconds_per_collective",
+}
+
+# Throughput metrics regress downward; everything else regresses upward.
+HIGHER_IS_BETTER = {"gflops", "gbps", "speedup_vs_serial"}
+
+
+def load_records(path):
+    with open(path) as f:
+        records = json.load(f)
+    table = {}
+    for r in records:
+        key = (r["op"], r["shape"], r["threads"], r["metric"])
+        table[key] = float(r["gflops"])  # value field, regardless of metric
+    return table
+
+
+def relative_regression(metric, baseline, candidate):
+    """Positive = candidate is worse than baseline, as a fraction."""
+    if baseline == 0.0:
+        return 0.0 if candidate == 0.0 else float("inf")
+    if metric in HIGHER_IS_BETTER:
+        return (baseline - candidate) / abs(baseline)
+    return (candidate - baseline) / abs(baseline)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", required=True,
+                    help="committed BENCH_kernels.json")
+    ap.add_argument("--candidate", required=True,
+                    help="freshly produced BENCH_kernels.json")
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="allowed relative regression (default 0.25)")
+    args = ap.parse_args()
+
+    baseline = load_records(args.baseline)
+    candidate = load_records(args.candidate)
+
+    failures, warnings, missing = [], [], []
+    for key, base_value in sorted(baseline.items()):
+        op, shape, threads, metric = key
+        if key not in candidate:
+            missing.append(key)
+            continue
+        reg = relative_regression(metric, base_value, candidate[key])
+        if reg <= args.threshold:
+            continue
+        line = (f"{op} {shape} threads={threads} [{metric}]: "
+                f"{base_value:g} -> {candidate[key]:g} "
+                f"({reg * 100.0:+.1f}% worse)")
+        if metric in DETERMINISTIC_METRICS:
+            failures.append(line)
+        else:
+            warnings.append(line)
+
+    for key in missing:
+        print(f"bench_guard: WARN missing candidate record {key}")
+    for line in warnings:
+        print(f"bench_guard: WARN (wall-clock, not gating) {line}")
+    for line in failures:
+        print(f"bench_guard: FAIL {line}")
+
+    checked = len(baseline) - len(missing)
+    print(f"bench_guard: checked {checked}/{len(baseline)} records, "
+          f"{len(failures)} failing, {len(warnings)} wall-clock warnings "
+          f"(threshold {args.threshold * 100.0:.0f}%)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
