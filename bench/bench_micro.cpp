@@ -425,6 +425,60 @@ void run_kernel_suite() {
                   static_cast<double>(st.max_bytes_sent()) / 1e6,
                   st.seconds);
     }
+    // Unreliable-network model: the lossy plan's fault decisions are pure
+    // hashes of the shared step counter, so the retransmission traffic the
+    // reliable channel generates and the step count of a mid-collective
+    // recovery are exact functions of the code — the bench guard gates
+    // them like schedule bytes.
+    std::printf("  -- unreliable delivery (hash-decided faults, K=16) --\n");
+    {
+      comm::FaultPlan faults;
+      faults.seed = 101;
+      comm::FaultPlan::MessageFault mf;  // src/dst default to any-edge
+      mf.drop_prob = 0.15;
+      mf.delay_prob = 0.10;
+      mf.delay_steps_max = 2;
+      mf.duplicate_prob = 0.10;
+      faults.message_faults.push_back(mf);
+      for (const auto& p : protocols) {
+        comm::CollectiveRequest req;
+        req.elems = elems;
+        req.rng = &grng;
+        auto grid = p.protocol == comm::Protocol::kParamServer
+                        ? comm::LinkGrid::star(
+                              std::vector<double>(static_cast<size_t>(k),
+                                                  100.0))
+                        : comm::LinkGrid::uniform(k, 100.0);
+        comm::SimTransport transport(std::move(grid), nullptr, faults);
+        (void)comm::collective(p.protocol).run(transport, req);
+        const auto& st = transport.stats();
+        records.push_back({p.op, "k16_4MB_lossy", 1,
+                           static_cast<double>(st.retransmit_wire_bytes),
+                           1.0, "retransmit_bytes_per_round"});
+        std::printf("  %-28s %-13s %8.2f MB retransmitted, "
+                    "%8.2f MB goodput\n",
+                    p.op, "k16_4MB_lossy",
+                    static_cast<double>(st.retransmit_wire_bytes) / 1e6,
+                    static_cast<double>(st.goodput_bytes()) / 1e6);
+      }
+      // Mid-collective endpoint death: the survivor ring re-forms and the
+      // total step count of the recovered run is deterministic.
+      comm::CollectiveRequest req;
+      req.elems = elems;
+      comm::SimTransport transport(comm::LinkGrid::uniform(k, 100.0));
+      transport.schedule_endpoint_failure(3, 5);
+      comm::AsyncCollective op(comm::Protocol::kRingAllReduce, transport,
+                               std::move(req));
+      op.enable_recovery(comm::Protocol::kRingAllReduce);
+      op.wait();
+      const auto& st = transport.stats();
+      records.push_back({"ring_allreduce_recovered", "k16_4MB_1death", 1,
+                         static_cast<double>(st.steps), 1.0,
+                         "recovery_steps"});
+      std::printf("  %-28s %-13s %8lld steps to recovered completion\n",
+                  "ring_allreduce_recovered", "k16_4MB_1death",
+                  static_cast<long long>(st.steps));
+    }
     // Wall time of the real executor: InProc halving/doubling over a 1 MB
     // model (the fleets' default aggregation path).
     const int64_t exec_elems = 250'000;

@@ -18,7 +18,9 @@
 #include <string>
 #include <vector>
 
+#include "core/fault_spec.hpp"
 #include "core/fleet_runtime.hpp"
+#include "core/real_fleet.hpp"
 #include "data/partition.hpp"
 #include "data/synthetic.hpp"
 
@@ -49,40 +51,15 @@ struct Args {
   uint64_t seed = 42;
   /// Injected agent failures, "A@R[:bN|:kN|:cS]" specs (real ComDML mode).
   std::vector<std::string> fail_agents;
+  /// Unreliable-network / straggler / autonomy knobs (real ComDML mode).
+  double drop_prob = 0.0;
+  double deadline_ms = 0.0;
+  int64_t checkpoint_every = 0;
+  std::string checkpoint_dir;
   /// Durable state: write a checkpoint after the run / load one before it.
   std::string checkpoint_path;
   std::string restore_path;
 };
-
-/// "A@R" = agent A leaves before round R; ":bN" dies after N batches,
-/// ":kN" after publishing N buckets, ":cS" at collective step S.
-bool parse_fail_spec(const std::string& spec,
-                     core::FleetOptions::FaultOptions::AgentFailure& f) {
-  try {
-    const size_t at = spec.find('@');
-    if (at == std::string::npos || at == 0) return false;
-    f.agent = std::stoll(spec.substr(0, at));
-    const size_t colon = spec.find(':', at + 1);
-    const std::string round_str =
-        colon == std::string::npos ? spec.substr(at + 1)
-                                   : spec.substr(at + 1, colon - at - 1);
-    if (round_str.empty()) return false;
-    f.round = std::stoll(round_str);
-    if (colon == std::string::npos) return true;
-    if (colon + 2 >= spec.size() + 1) return false;
-    const char mode = spec[colon + 1];
-    const std::string count = spec.substr(colon + 2);
-    if (count.empty()) return false;
-    const int64_t n = std::stoll(count);
-    if (mode == 'b') f.after_batches = n;
-    else if (mode == 'k') f.after_buckets = n;
-    else if (mode == 'c') f.at_collective_step = n;
-    else return false;
-    return true;
-  } catch (const std::exception&) {
-    return false;
-  }
-}
 
 bool parse(int argc, char** argv, Args& args) {
   for (int i = 1; i < argc; ++i) {
@@ -118,14 +95,20 @@ bool parse(int argc, char** argv, Args& args) {
     else if (flag == "--no-error-feedback") { args.error_feedback = false; continue; }
     else if (flag == "--fail-agent" && (v = need_value("--fail-agent"))) {
       core::FleetOptions::FaultOptions::AgentFailure probe;
-      if (!parse_fail_spec(v, probe)) {
+      std::string why;
+      if (!core::parse_fault_spec(v, probe, &why)) {
         std::fprintf(stderr,
-                     "bad --fail-agent spec %s (want A@R, A@R:bN, A@R:kN "
-                     "or A@R:cS)\n", v);
+                     "bad --fail-agent spec '%s': %s\n"
+                     "usage: --fail-agent A@R[:bN|:kN|:cS]\n", v,
+                     why.c_str());
         return false;
       }
       args.fail_agents.push_back(v);
     }
+    else if (flag == "--drop-prob" && (v = need_value("--drop-prob"))) args.drop_prob = std::stod(v);
+    else if (flag == "--deadline-ms" && (v = need_value("--deadline-ms"))) args.deadline_ms = std::stod(v);
+    else if (flag == "--checkpoint-every" && (v = need_value("--checkpoint-every"))) args.checkpoint_every = std::stoll(v);
+    else if (flag == "--checkpoint-dir" && (v = need_value("--checkpoint-dir"))) args.checkpoint_dir = v;
     else if (flag == "--checkpoint" && (v = need_value("--checkpoint"))) args.checkpoint_path = v;
     else if (flag == "--restore" && (v = need_value("--restore"))) args.restore_path = v;
     else if (flag == "--help") {
@@ -144,6 +127,16 @@ bool parse(int argc, char** argv, Args& args) {
           "   before round R, or dies after N batches (:bN), after\n"
           "   publishing N buckets (:kN), or at collective step S (:cS);\n"
           "   repeatable)\n"
+          "  [--drop-prob P]   (real comdml + --bucket-bytes: drop each\n"
+          "   aggregation message with probability P; the collectives\n"
+          "   retransmit with backoff — tune via COMDML_RETRY_MAX and\n"
+          "   COMDML_BACKOFF_BASE_MS)\n"
+          "  [--deadline-ms MS]   (real comdml + --bucket-bytes: defer solo\n"
+          "   stragglers whose round would outlast MS; their late update\n"
+          "   rides the error-feedback residual into the next round)\n"
+          "  [--checkpoint-every N] [--checkpoint-dir DIR]   (real comdml:\n"
+          "   write a checksummed checkpoint to DIR every N rounds, keeping\n"
+          "   the newest two)\n"
           "  [--checkpoint PATH] [--restore PATH]   (real comdml: save the\n"
           "   fleet state after the run / resume from a saved state)\n");
       return false;
@@ -219,13 +212,29 @@ core::FleetRuntime build_real(const Args& args, Method method,
   opt.comms.error_feedback = args.error_feedback;
   for (const std::string& spec : args.fail_agents) {
     core::FleetOptions::FaultOptions::AgentFailure f;
-    if (parse_fail_spec(spec, f)) opt.faults.failures.push_back(f);
+    if (core::parse_fault_spec(spec, f)) opt.faults.failures.push_back(f);
   }
   if (!opt.faults.failures.empty() && method != Method::kComDML) {
     std::fprintf(stderr,
                  "note: --fail-agent only affects the real comdml fleet; "
                  "%s runs without fault injection\n", args.method.c_str());
     opt.faults.failures.clear();
+  }
+  opt.faults.message_drop_prob = args.drop_prob;
+  opt.faults.deadline_sec = args.deadline_ms * 1e-3;
+  opt.faults.checkpoint_every = args.checkpoint_every;
+  opt.faults.checkpoint_dir = args.checkpoint_dir;
+  if ((args.drop_prob > 0.0 || args.deadline_ms > 0.0 ||
+       args.checkpoint_every > 0) &&
+      method != Method::kComDML) {
+    std::fprintf(stderr,
+                 "note: --drop-prob/--deadline-ms/--checkpoint-every only "
+                 "affect the real comdml fleet; %s runs without them\n",
+                 args.method.c_str());
+    opt.faults.message_drop_prob = 0.0;
+    opt.faults.deadline_sec = 0.0;
+    opt.faults.checkpoint_every = 0;
+    opt.faults.checkpoint_dir.clear();
   }
   if (args.bucket_bytes > 0 && method != Method::kComDML &&
       method != Method::kAllReduceDML) {
@@ -304,7 +313,17 @@ int main(int argc, char** argv) {
       const std::vector<uint8_t> bytes(
           (std::istreambuf_iterator<char>(in)),
           std::istreambuf_iterator<char>());
-      fleet.restore(bytes);
+      try {
+        fleet.restore(bytes);
+      } catch (const core::CheckpointError& e) {
+        std::fprintf(stderr,
+                     "error: checkpoint %s is unusable: %s\n"
+                     "(the file is truncated, corrupted, or from an "
+                     "incompatible fleet; restart from scratch or pick an "
+                     "older checkpoint)\n",
+                     args.restore_path.c_str(), e.what());
+        return 1;
+      }
       std::printf("restored fleet state from %s (resuming at round %lld)\n",
                   args.restore_path.c_str(),
                   (long long)fleet.rounds_executed());

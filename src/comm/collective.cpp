@@ -1,7 +1,10 @@
 #include "comm/collective.hpp"
 
 #include <algorithm>
+#include <memory>
+#include <string>
 
+#include "comm/reliable.hpp"
 #include "core/workspace.hpp"
 
 namespace comdml::comm {
@@ -194,17 +197,23 @@ SteppedSchedule halving_doubling_schedule(int64_t k, int64_t elems) {
 }
 
 /// Execute one schedule step: post every send, close the transport step,
-/// fold every delivered payload.
+/// fold every delivered payload. With a channel, sends park retransmit
+/// copies and receives retry through backoff — the schedule completes over
+/// lossy/corrupting links exactly as it would over clean ones.
 void execute_schedule_step(Transport& t, const CollectiveRequest& req,
-                           const ScheduleStep& step) {
+                           const ScheduleStep& step, ReliableChannel* ch) {
   for (const ScheduleStep::Send& s : step.sends) {
     const double* data = buffer_of(req, s.src);
-    t.send(s.src, s.dst, s.span.size(),
-           data != nullptr ? data + s.span.begin : nullptr);
+    const double* payload = data != nullptr ? data + s.span.begin : nullptr;
+    if (ch != nullptr)
+      ch->send(s.src, s.dst, s.span.size(), payload);
+    else
+      t.send(s.src, s.dst, s.span.size(), payload);
   }
   t.end_step();
   for (const ScheduleStep::Recv& r : step.recvs) {
-    const Message msg = t.recv(r.dst, r.src);
+    const Message msg =
+        ch != nullptr ? ch->recv(r.dst, r.src) : t.recv(r.dst, r.src);
     merge_segment(msg, buffer_of(req, r.dst), r.span, r.accumulate);
   }
 }
@@ -230,14 +239,19 @@ void finalize_mean(const CollectiveRequest& req, const SteppedSchedule& sched,
 }
 
 /// Blocking allreduce over a prebuilt schedule (ring and halving/doubling
-/// share everything but the schedule builder).
-CollectiveReport run_stepped(const SteppedSchedule& sched, Transport& t,
-                             const CollectiveRequest& req) {
+/// share everything but the schedule builder). Drives an AsyncCollective
+/// so the blocking path inherits survivor recovery (armed when the
+/// transport has endpoint faults) and reliable delivery (when it has
+/// message faults) — one behavior for both drivers.
+CollectiveReport run_stepped(SteppedSchedule sched, Protocol protocol,
+                             Transport& t, const CollectiveRequest& req) {
   validate_buffers(req, t.endpoints());
-  for (const ScheduleStep& step : sched.steps)
-    execute_schedule_step(t, req, step);
-  if (sched.scale_to_mean) finalize_mean(req, sched, t.endpoints());
-  return report_of(t);
+  AsyncCollective op(sched, t, req);
+  if (t.has_endpoint_faults()) op.enable_recovery(protocol);
+  op.wait();
+  CollectiveReport rep = report_of(t);
+  rep.recoveries = op.recoveries();
+  return rep;
 }
 
 // ---- ring -------------------------------------------------------------------
@@ -250,7 +264,8 @@ class RingAllReduce final : public Collective {
 
   CollectiveReport run(Transport& t,
                        const CollectiveRequest& req) const override {
-    return run_stepped(ring_schedule(t.endpoints(), req.elems), t, req);
+    return run_stepped(ring_schedule(t.endpoints(), req.elems),
+                       Protocol::kRingAllReduce, t, req);
   }
 };
 
@@ -265,7 +280,7 @@ class HalvingDoublingAllReduce final : public Collective {
   CollectiveReport run(Transport& t,
                        const CollectiveRequest& req) const override {
     return run_stepped(halving_doubling_schedule(t.endpoints(), req.elems),
-                       t, req);
+                       Protocol::kHalvingDoublingAllReduce, t, req);
   }
 };
 
@@ -281,10 +296,67 @@ class GossipExchange final : public Collective {
     validate_buffers(req, k);
     COMDML_REQUIRE(req.rng != nullptr, "gossip needs a partner-draw Rng");
 
+    // Recovery snapshot: round-start buffers plus the partner-draw RNG
+    // state. A survivor rerun restores both, so it is bit-identical to a
+    // from-scratch run where the dead endpoints never existed.
+    const bool recovery = t.has_endpoint_faults();
+    std::vector<std::vector<double>> snapshot;
+    std::string rng_state;
+    if (recovery) {
+      rng_state = req.rng->state();
+      if (!req.buffers.empty()) {
+        snapshot.resize(static_cast<size_t>(k));
+        for (int64_t i = 0; i < k; ++i) {
+          const double* buf = buffer_of(req, i);
+          if (buf != nullptr)
+            snapshot[static_cast<size_t>(i)].assign(buf, buf + req.elems);
+        }
+      }
+    }
+    int64_t recoveries = 0;
+    for (;;) {
+      try {
+        CollectiveReport rep = run_once(t, req);
+        rep.recoveries = recoveries;
+        return rep;
+      } catch (const EndpointDownError&) {
+        if (!recovery) throw;
+      } catch (const DeliveryTimeoutError& e) {
+        // An unresponsive peer under message faults: declare it dead and
+        // re-form around the survivors, like the stepped protocols do.
+        if (!recovery) throw;
+        t.fail_endpoint(e.src());
+      }
+      ++recoveries;
+      COMDML_REQUIRE(!t.live_endpoints().empty(),
+                     "gossip cannot recover: every endpoint is dead");
+      req.rng->set_state(rng_state);
+      for (size_t i = 0; i < snapshot.size(); ++i) {
+        const auto& snap = snapshot[i];
+        if (!snap.empty())
+          std::copy(snap.begin(), snap.end(),
+                    buffer_of(req, static_cast<int64_t>(i)));
+      }
+      t.clear_pending();
+    }
+  }
+
+ private:
+  static CollectiveReport run_once(Transport& t,
+                                   const CollectiveRequest& req) {
+    const int64_t k = t.endpoints();
+    const std::vector<int64_t> live = t.live_endpoints();
+    std::vector<char> is_live(static_cast<size_t>(k), 0);
+    for (const int64_t e : live) is_live[static_cast<size_t>(e)] = 1;
+    std::unique_ptr<ReliableChannel> ch;
+    if (t.has_message_faults()) ch = std::make_unique<ReliableChannel>(t);
+
     CollectiveReport rep;
     rep.partners.assign(static_cast<size_t>(k), std::nullopt);
-    for (int64_t i = 0; i < k; ++i) {
-      const auto nbrs = t.neighbors(i);
+    for (const int64_t i : live) {
+      std::vector<int64_t> nbrs;
+      for (const int64_t n : t.neighbors(i))
+        if (is_live[static_cast<size_t>(n)]) nbrs.push_back(n);
       if (nbrs.empty()) continue;  // isolated agents sit the round out
       rep.partners[static_cast<size_t>(i)] =
           nbrs[static_cast<size_t>(req.rng->below(
@@ -292,29 +364,61 @@ class GossipExchange final : public Collective {
     }
     // All pushes use round-start states: sends snapshot payloads before
     // any receiver merges.
-    for (int64_t i = 0; i < k; ++i) {
+    for (const int64_t i : live) {
       if (!rep.partners[static_cast<size_t>(i)]) continue;
-      t.send(i, *rep.partners[static_cast<size_t>(i)], req.elems,
-             buffer_of(req, i));
+      const int64_t dst = *rep.partners[static_cast<size_t>(i)];
+      if (ch != nullptr)
+        ch->send(i, dst, req.elems, buffer_of(req, i));
+      else
+        t.send(i, dst, req.elems, buffer_of(req, i));
     }
     t.end_step();
-    if (!req.buffers.empty()) {
-      // Receiver i averages its own state with every delivered push.
+    const bool real = !req.buffers.empty();
+    if (ch != nullptr) {
+      // Reliable merge: the push fan-in is known from the partner draws,
+      // so each receiver runs matched reliable receives in ascending
+      // sender order — the same fp summation order as the lossless
+      // arrival-order path. Runs on timing-only transports too, so Sim
+      // and InProc charge identical retransmission traffic.
       core::Scratch<double> acc(req.elems);
-      for (int64_t i = 0; i < k; ++i) {
+      for (const int64_t i : live) {
+        if (real) std::fill(acc.data(), acc.data() + req.elems, 0.0);
+        int64_t pushes = 0;
+        for (const int64_t j : live) {
+          if (!rep.partners[static_cast<size_t>(j)] ||
+              *rep.partners[static_cast<size_t>(j)] != i)
+            continue;
+          const Message msg = ch->recv(i, j);
+          if (!real || !msg.has_payload()) continue;
+          for (int64_t x = 0; x < req.elems; ++x)
+            acc[x] += msg.payload[static_cast<size_t>(x)];
+          ++pushes;
+        }
+        if (!real || pushes == 0) continue;
+        double* mine = buffer_of(req, i);
+        const double inv = 1.0 / static_cast<double>(pushes + 1);
+        for (int64_t x = 0; x < req.elems; ++x)
+          mine[x] = (mine[x] + acc[x]) * inv;
+      }
+    } else if (real) {
+      // Best-effort merge: receiver i averages its own state with every
+      // delivered, intact push (a lost or corrupted push is simply a
+      // quieter round — gossip's tolerance, not an error).
+      core::Scratch<double> acc(req.elems);
+      for (const int64_t i : live) {
         std::fill(acc.data(), acc.data() + req.elems, 0.0);
         int64_t pushes = 0;
         while (auto msg = t.try_recv(i)) {
-          if (!msg->has_payload()) continue;
-          for (int64_t j = 0; j < req.elems; ++j)
-            acc[j] += msg->payload[static_cast<size_t>(j)];
+          if (!msg->has_payload() || !msg->intact()) continue;
+          for (int64_t x = 0; x < req.elems; ++x)
+            acc[x] += msg->payload[static_cast<size_t>(x)];
           ++pushes;
         }
         if (pushes == 0) continue;
         double* mine = buffer_of(req, i);
         const double inv = 1.0 / static_cast<double>(pushes + 1);
-        for (int64_t j = 0; j < req.elems; ++j)
-          mine[j] = (mine[j] + acc[j]) * inv;
+        for (int64_t x = 0; x < req.elems; ++x)
+          mine[x] = (mine[x] + acc[x]) * inv;
       }
     }
     rep.transport = t.stats();
@@ -351,22 +455,88 @@ class ParamServerRound final : public Collective {
     std::vector<double> weights = req.weights;
     if (weights.empty()) weights.assign(selected.size(), 1.0);
     COMDML_CHECK(weights.size() == selected.size());
-    double wsum = 0.0;
-    for (const double w : weights) {
-      COMDML_CHECK(w >= 0.0);
-      wsum += w;
+    for (const double w : weights) COMDML_CHECK(w >= 0.0);
+
+    // Recovery snapshot of the selected agents' round-start states. A dead
+    // *agent* is survivable: the round re-forms over the remaining clients
+    // and the weight normalization re-derives from the survivor weights, so
+    // the rerun is exactly a from-scratch round over the survivors. A dead
+    // *server* is fatal by design — the star has no one left to aggregate.
+    const bool recovery = t.has_endpoint_faults();
+    std::vector<std::vector<double>> snapshot;
+    if (recovery && !req.buffers.empty()) {
+      snapshot.resize(static_cast<size_t>(server));
+      for (const int64_t id : selected) {
+        const double* buf = buffer_of(req, id);
+        snapshot[static_cast<size_t>(id)].assign(buf, buf + req.elems);
+      }
     }
+    int64_t recoveries = 0;
+    for (;;) {
+      try {
+        CollectiveReport rep = run_round(t, req, selected, weights, server);
+        rep.recoveries = recoveries;
+        return rep;
+      } catch (const EndpointDownError& e) {
+        if (!recovery || e.endpoint() == server) throw;
+      } catch (const DeliveryTimeoutError& e) {
+        if (!recovery || e.src() == server) throw;
+        t.fail_endpoint(e.src());
+      }
+      ++recoveries;
+      const std::vector<int64_t> live = t.live_endpoints();
+      std::vector<int64_t> next_selected;
+      std::vector<double> next_weights;
+      for (size_t s = 0; s < selected.size(); ++s) {
+        if (std::find(live.begin(), live.end(), selected[s]) == live.end())
+          continue;
+        next_selected.push_back(selected[s]);
+        next_weights.push_back(weights[s]);
+      }
+      COMDML_REQUIRE(!next_selected.empty(),
+                     "param-server round cannot recover: every selected "
+                     "agent is dead");
+      selected = std::move(next_selected);
+      weights = std::move(next_weights);
+      if (!snapshot.empty()) {
+        for (const int64_t id : selected) {
+          const auto& snap = snapshot[static_cast<size_t>(id)];
+          std::copy(snap.begin(), snap.end(), buffer_of(req, id));
+        }
+      }
+      t.clear_pending();
+    }
+  }
+
+ private:
+  static CollectiveReport run_round(Transport& t, const CollectiveRequest& req,
+                                    const std::vector<int64_t>& selected,
+                                    const std::vector<double>& weights,
+                                    int64_t server) {
+    double wsum = 0.0;
+    for (const double w : weights) wsum += w;
     COMDML_REQUIRE(wsum > 0.0, "all aggregation weights are zero");
+    std::unique_ptr<ReliableChannel> ch;
+    if (t.has_message_faults()) ch = std::make_unique<ReliableChannel>(t);
+    const auto send = [&](int64_t src, int64_t dst, const double* data) {
+      if (ch != nullptr)
+        ch->send(src, dst, req.elems, data);
+      else
+        t.send(src, dst, req.elems, data);
+    };
+    const auto recv = [&](int64_t dst, int64_t src) {
+      return ch != nullptr ? ch->recv(dst, src) : t.recv(dst, src);
+    };
 
     // Upload: every selected agent ships its state over its own uplink.
     for (const int64_t id : selected)
-      t.send(id, server, req.elems, buffer_of(req, id));
+      send(id, server, buffer_of(req, id));
     t.end_step();
     core::Scratch<double> mean(req.elems);
     const bool real = !req.buffers.empty();
     if (real) std::fill(mean.data(), mean.data() + req.elems, 0.0);
     for (size_t s = 0; s < selected.size(); ++s) {
-      const Message msg = t.recv(server, selected[s]);
+      const Message msg = recv(server, selected[s]);
       if (!real || !msg.has_payload()) continue;
       const double w = weights[s] / wsum;
       for (int64_t j = 0; j < req.elems; ++j)
@@ -374,10 +544,10 @@ class ParamServerRound final : public Collective {
     }
     // Download: the refreshed model returns the same way.
     for (const int64_t id : selected)
-      t.send(server, id, req.elems, real ? mean.data() : nullptr);
+      send(server, id, real ? mean.data() : nullptr);
     t.end_step();
     for (const int64_t id : selected) {
-      const Message msg = t.recv(id, server);
+      const Message msg = recv(id, server);
       if (!msg.has_payload()) continue;
       double* mine = buffer_of(req, id);
       for (int64_t j = 0; j < req.elems; ++j)
@@ -449,11 +619,19 @@ AsyncCollective::AsyncCollective(Protocol protocol, Transport& transport,
                                  CollectiveRequest request)
     : transport_(&transport),
       request_(std::move(request)),
-      owned_(
-          allreduce_schedule(protocol, transport.endpoints(), request_.elems)),
       schedule_(&owned_) {
+  if (protocol == Protocol::kGossip || protocol == Protocol::kParamServer) {
+    // No stepped schedule: the whole (recoverable, reliable) blocking
+    // protocol runs inside one poll(). Validation happens there — the
+    // param-server star has one fewer agent buffer than endpoints.
+    one_shot_ = protocol;
+    return;
+  }
+  owned_ = allreduce_schedule(protocol, transport.endpoints(), request_.elems);
   validate_buffers(request_, transport.endpoints());
   if (schedule_->steps.empty()) finalized_ = true;  // k == 1: nothing to do
+  if (transport.has_message_faults())
+    channel_ = std::make_unique<ReliableChannel>(transport);
 }
 
 AsyncCollective::AsyncCollective(const SteppedSchedule& schedule,
@@ -464,9 +642,14 @@ AsyncCollective::AsyncCollective(const SteppedSchedule& schedule,
       schedule_(&schedule) {
   validate_buffers(request_, transport.endpoints());
   if (schedule_->steps.empty()) finalized_ = true;  // k == 1: nothing to do
+  if (transport.has_message_faults())
+    channel_ = std::make_unique<ReliableChannel>(transport);
 }
 
+AsyncCollective::~AsyncCollective() = default;
+
 void AsyncCollective::enable_recovery(Protocol protocol) {
+  if (one_shot_.has_value()) return;  // recovery lives inside the protocol
   COMDML_REQUIRE(next_step_ == 0,
                  "enable_recovery() must precede the first poll()");
   recovery_ = true;
@@ -504,6 +687,7 @@ void AsyncCollective::recover() {
     }
   }
   transport_->clear_pending();
+  if (channel_ != nullptr) channel_->clear_unacked();
   const bool scale = schedule_->scale_to_mean;
   owned_ = allreduce_schedule_over(recovery_protocol_, survivors,
                                    request_.elems);
@@ -515,13 +699,30 @@ void AsyncCollective::recover() {
 }
 
 bool AsyncCollective::poll() {
+  if (one_shot_.has_value()) {
+    if (!one_shot_done_) {
+      const CollectiveReport rep =
+          collective(*one_shot_).run(*transport_, request_);
+      recoveries_ = rep.recoveries;
+      one_shot_done_ = true;
+      finalized_ = true;
+    }
+    return true;
+  }
   if (next_step_ < schedule_->steps.size()) {
     try {
       execute_schedule_step(*transport_, request_,
-                            schedule_->steps[next_step_]);
+                            schedule_->steps[next_step_], channel_.get());
       ++next_step_;
     } catch (const EndpointDownError&) {
       if (!recovery_) throw;
+      recover();
+      return done();
+    } catch (const DeliveryTimeoutError& e) {
+      // The retry budget ran dry on an edge: treat the silent sender as
+      // dead and re-form the survivor schedule, same as a proven death.
+      if (!recovery_) throw;
+      transport_->fail_endpoint(e.src());
       recover();
       return done();
     }

@@ -15,6 +15,7 @@
 // interchangeable strategies instead of hard-coding free functions.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string_view>
 #include <vector>
@@ -22,6 +23,8 @@
 #include "comm/transport.hpp"
 
 namespace comdml::comm {
+
+class ReliableChannel;
 
 enum class Protocol {
   kRingAllReduce,
@@ -53,6 +56,8 @@ struct CollectiveReport {
   TransportStats transport;
   /// Chosen partner per agent (gossip only; empty otherwise).
   std::vector<std::optional<int64_t>> partners;
+  /// Completed mid-collective recovery cycles (endpoint deaths survived).
+  int64_t recoveries = 0;
 };
 
 class Collective {
@@ -138,6 +143,10 @@ struct SteppedSchedule {
 class AsyncCollective {
  public:
   /// `transport` and the request's buffers must outlive the operation.
+  /// kGossip and kParamServer have no stepped schedule (data-dependent
+  /// fan-in / star geometry); they run as one-shot operations whose single
+  /// poll() executes the whole (recoverable, reliable) protocol, so every
+  /// registered protocol drives through this one interface.
   AsyncCollective(Protocol protocol, Transport& transport,
                   CollectiveRequest request);
   /// Borrow a prebuilt schedule (must outlive the operation and match the
@@ -146,6 +155,7 @@ class AsyncCollective {
   /// build their schedules once instead of once per round.
   AsyncCollective(const SteppedSchedule& schedule, Transport& transport,
                   CollectiveRequest request);
+  ~AsyncCollective();
 
   // Non-copyable/movable: schedule_ may point at this object's own
   // owned_ schedule, which a copy or move would leave dangling.
@@ -153,12 +163,16 @@ class AsyncCollective {
   AsyncCollective& operator=(const AsyncCollective&) = delete;
 
   [[nodiscard]] bool done() const noexcept {
+    if (one_shot_.has_value()) return one_shot_done_;
     return next_step_ >= schedule_->steps.size();
   }
   /// Executes the next schedule step (and the final mean scaling after the
   /// last one); returns done(). With recovery armed, an EndpointDownError
   /// from the transport re-forms the schedule around the survivors instead
-  /// of propagating (see enable_recovery()).
+  /// of propagating (see enable_recovery()), and a DeliveryTimeoutError
+  /// (an unresponsive peer under message faults) declares that peer dead
+  /// and recovers the same way. When the transport injects message faults,
+  /// every step's traffic automatically routes through a ReliableChannel.
   bool poll();
   /// Polls until done.
   void wait();
@@ -175,7 +189,9 @@ class AsyncCollective {
   /// stats (those bytes really crossed the wire). Repeated failures
   /// recover repeatedly; only the last survivor standing completes with
   /// its own contribution as the "mean". Throws only if every participant
-  /// is dead.
+  /// is dead. For one-shot protocols (gossip, param_server) recovery is
+  /// implemented inside the protocol run itself and arms automatically
+  /// when the transport has endpoint faults; this call is then a no-op.
   void enable_recovery(Protocol protocol);
 
   /// Completed recovery cycles (0 = the collective never saw a failure).
@@ -197,6 +213,13 @@ class AsyncCollective {
   CollectiveRequest request_;
   SteppedSchedule owned_;  ///< empty when the schedule is borrowed
   const SteppedSchedule* schedule_;
+  /// Reliable delivery for stepped traffic; created when the transport
+  /// injects message faults (one-shot protocols build their own).
+  std::unique_ptr<ReliableChannel> channel_;
+  /// Set for protocols without a stepped schedule (gossip, param_server):
+  /// one poll() runs the whole blocking protocol.
+  std::optional<Protocol> one_shot_;
+  bool one_shot_done_ = false;
   size_t next_step_ = 0;
   bool finalized_ = false;
   bool recovery_ = false;

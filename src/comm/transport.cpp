@@ -2,11 +2,48 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 
+#include "tensor/serialize.hpp"
 #include "tensor/tensor.hpp"
 
 namespace comdml::comm {
+
+namespace {
+
+// Distinct streams per fault kind, mixed into the decision hash.
+constexpr uint64_t kSaltDrop = 0xd6e8feb86659fd93ull;
+constexpr uint64_t kSaltDelay = 0xa0761d6478bd642full;
+constexpr uint64_t kSaltDelayDraw = 0xe7037ed1a0b428dbull;
+constexpr uint64_t kSaltDuplicate = 0x8ebc6af09c88c6e3ull;
+constexpr uint64_t kSaltCorrupt = 0x589965cc75374cc3ull;
+constexpr uint64_t kSaltReorder = 0x1d8e4e27c47d124full;
+
+/// splitmix64 finalizer: the avalanche stage that turns structured
+/// (seed, step, edge, seq) tuples into uniform bits.
+uint64_t mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+uint64_t message_hash(uint64_t seed, int64_t step, int64_t src, int64_t dst,
+                      int64_t seq, uint64_t salt) {
+  uint64_t h = mix64(seed ^ salt);
+  h = mix64(h ^ static_cast<uint64_t>(step));
+  h = mix64(h ^ (static_cast<uint64_t>(src) << 32) ^
+            static_cast<uint64_t>(dst));
+  return mix64(h ^ static_cast<uint64_t>(seq));
+}
+
+/// Top 53 bits as a uniform double in [0, 1).
+double hash_uniform(uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
 
 // ---- LinkGrid ---------------------------------------------------------------
 
@@ -151,6 +188,15 @@ int64_t TransportStats::dropped_on(int64_t src, int64_t dst) const {
   return dropped_per_edge[static_cast<size_t>(src * n + dst)];
 }
 
+// ---- Message ----------------------------------------------------------------
+
+bool Message::intact() const {
+  if (corrupted) return false;
+  if (!has_payload()) return true;
+  return checksum ==
+         tensor::fnv1a(payload.data(), payload.size() * sizeof(double));
+}
+
 // ---- Transport --------------------------------------------------------------
 
 Transport::Transport(LinkGrid grid, const Codec* codec, FaultPlan faults)
@@ -167,7 +213,18 @@ Transport::Transport(LinkGrid grid, const Codec* codec, FaultPlan faults)
                                                         << " of " << n);
     COMDML_CHECK(f.after_steps >= 0);
   }
+  for (const auto& mf : faults_.message_faults) {
+    COMDML_CHECK(mf.src >= -1 && mf.src < grid_.endpoints());
+    COMDML_CHECK(mf.dst >= -1 && mf.dst < grid_.endpoints());
+    COMDML_CHECK(mf.first_step >= 0);
+    COMDML_CHECK(mf.last_step >= -1);
+    COMDML_CHECK(mf.delay_steps_max >= 1);
+    for (const double p : {mf.drop_prob, mf.delay_prob, mf.duplicate_prob,
+                           mf.corrupt_prob, mf.reorder_prob})
+      COMDML_CHECK(p >= 0.0 && p <= 1.0);
+  }
   manual_dead_.assign(n, 0);
+  next_seq_.assign(n * n, 0);
   stats_.bytes_sent.assign(n, 0);
   stats_.bytes_received.assign(n, 0);
   stats_.send_seconds.assign(n, 0.0);
@@ -180,6 +237,26 @@ bool Transport::dead_locked(int64_t endpoint) const {
   for (const auto& f : faults_.endpoint_failures)
     if (f.endpoint == endpoint && stats_.steps >= f.after_steps) return true;
   return false;
+}
+
+const FaultPlan::MessageFault* Transport::message_fault_locked(
+    int64_t src, int64_t dst) const {
+  for (const auto& mf : faults_.message_faults) {
+    if (mf.src != -1 && mf.src != src) continue;
+    if (mf.dst != -1 && mf.dst != dst) continue;
+    if (stats_.steps < mf.first_step) continue;
+    if (mf.last_step != -1 && stats_.steps > mf.last_step) continue;
+    return &mf;
+  }
+  return nullptr;
+}
+
+bool Transport::fault_fires_locked(double prob, int64_t src, int64_t dst,
+                                   int64_t seq, uint64_t salt) const {
+  if (prob <= 0.0) return false;
+  const uint64_t h =
+      message_hash(faults_.seed, stats_.steps, src, dst, seq, salt);
+  return hash_uniform(h) < prob;
 }
 
 void Transport::fail_endpoint(int64_t endpoint) {
@@ -236,6 +313,11 @@ bool Transport::has_endpoint_faults() const {
   return false;
 }
 
+bool Transport::has_message_faults() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return faults_.drop_prob > 0.0 || !faults_.message_faults.empty();
+}
+
 void Transport::clear_pending() {
   std::lock_guard<std::mutex> guard(mutex_);
   for (auto& box : mailboxes_) box.clear();
@@ -249,8 +331,13 @@ std::vector<int64_t> Transport::neighbors(int64_t i) const {
   return out;
 }
 
-void Transport::send(int64_t src, int64_t dst, int64_t elems,
-                     const double* data) {
+int64_t Transport::send(int64_t src, int64_t dst, int64_t elems,
+                        const double* data) {
+  return send(src, dst, elems, data, SendOptions{});
+}
+
+int64_t Transport::send(int64_t src, int64_t dst, int64_t elems,
+                        const double* data, const SendOptions& opts) {
   COMDML_CHECK(elems >= 0);
   COMDML_CHECK(src != dst);
   const LinkModel& link = grid_.link(src, dst);
@@ -279,20 +366,34 @@ void Transport::send(int64_t src, int64_t dst, int64_t elems,
   if (dead_locked(dst))
     throw EndpointDownError(dst, "send to dead endpoint " +
                                      std::to_string(dst));
+  const size_t edge = static_cast<size_t>(src * endpoints() + dst);
+  const int64_t seq = opts.seq >= 0 ? opts.seq : next_seq_[edge]++;
   ++stats_.messages;
   ++step_messages_;
   stats_.total_wire_bytes += wire;
   stats_.bytes_sent[static_cast<size_t>(src)] += wire;
   stats_.send_seconds[static_cast<size_t>(src)] += span;
   step_span_ = std::max(step_span_, span);
+  if (opts.retransmit) {
+    ++stats_.retransmit_messages;
+    stats_.retransmit_wire_bytes += wire;
+  }
 
-  const bool dropped =
+  // Fault decisions. The global drop stream is drawn first (keeps the
+  // legacy per-transport RNG sequence stable); everything else is a pure
+  // hash of (seed, step, edge, seq), identical across transport flavors.
+  const bool rng_dropped =
       faults_.drop_prob > 0.0 &&
       static_cast<double>(fault_rng_.uniform()) < faults_.drop_prob;
+  const FaultPlan::MessageFault* mf = message_fault_locked(src, dst);
+  const bool dropped =
+      rng_dropped ||
+      (mf != nullptr &&
+       fault_fires_locked(mf->drop_prob, src, dst, seq, kSaltDrop));
   if (dropped) {
     ++stats_.dropped_messages;
-    ++stats_.dropped_per_edge[static_cast<size_t>(src * endpoints() + dst)];
-    return;  // the sender's link was busy, but nothing arrives
+    ++stats_.dropped_per_edge[edge];
+    return seq;  // the sender's link was busy, but nothing arrives
   }
   stats_.bytes_received[static_cast<size_t>(dst)] += wire;
   stats_.recv_seconds[static_cast<size_t>(dst)] += span;
@@ -302,8 +403,66 @@ void Transport::send(int64_t src, int64_t dst, int64_t elems,
   msg.dst = dst;
   msg.elems = elems;
   msg.wire_bytes = wire;
+  msg.seq = seq;
+  msg.retransmit = opts.retransmit;
+  if (!payload.empty())
+    msg.checksum =
+        tensor::fnv1a(payload.data(), payload.size() * sizeof(double));
   msg.payload = std::move(payload);
-  mailboxes_[static_cast<size_t>(dst)].push_back(std::move(msg));
+
+  bool duplicate = false;
+  bool reorder = false;
+  if (mf != nullptr) {
+    if (elems > 0 &&
+        fault_fires_locked(mf->corrupt_prob, src, dst, seq, kSaltCorrupt)) {
+      // Flip one payload bit so the checksum catches it; timing-only
+      // messages carry the flag alone, keeping Sim/InProc decisions equal.
+      msg.corrupted = true;
+      if (msg.has_payload()) {
+        uint64_t bits;
+        std::memcpy(&bits, msg.payload.data(), sizeof(bits));
+        bits ^= 1ull;
+        std::memcpy(msg.payload.data(), &bits, sizeof(bits));
+      }
+      ++stats_.corrupt_messages;
+    }
+    if (fault_fires_locked(mf->delay_prob, src, dst, seq, kSaltDelay)) {
+      // Normal delivery is visible once this step closes (steps + 1); a
+      // delay adds 1..delay_steps_max more closed steps on top.
+      const uint64_t draw = message_hash(faults_.seed, stats_.steps, src, dst,
+                                        seq, kSaltDelayDraw);
+      const int64_t extra =
+          1 + static_cast<int64_t>(
+                  draw % static_cast<uint64_t>(mf->delay_steps_max));
+      msg.deliver_after_step = stats_.steps + 1 + extra;
+      ++stats_.delayed_messages;
+    }
+    duplicate =
+        fault_fires_locked(mf->duplicate_prob, src, dst, seq, kSaltDuplicate);
+    reorder =
+        fault_fires_locked(mf->reorder_prob, src, dst, seq, kSaltReorder);
+  }
+
+  auto& box = mailboxes_[static_cast<size_t>(dst)];
+  Message copy;
+  if (duplicate) {
+    // The copy really crossed the wire: charge its bytes everywhere, but
+    // tagged as duplicated so goodput accounting can subtract them.
+    ++stats_.duplicated_messages;
+    stats_.duplicated_wire_bytes += wire;
+    stats_.total_wire_bytes += wire;
+    stats_.bytes_sent[static_cast<size_t>(src)] += wire;
+    stats_.bytes_received[static_cast<size_t>(dst)] += wire;
+    copy = msg;
+  }
+  if (reorder) {
+    ++stats_.reordered_messages;
+    box.push_front(std::move(msg));
+  } else {
+    box.push_back(std::move(msg));
+  }
+  if (duplicate) box.push_back(std::move(copy));
+  return seq;
 }
 
 Message Transport::recv(int64_t dst, int64_t src) {
@@ -314,7 +473,7 @@ Message Transport::recv(int64_t dst, int64_t src) {
                                      std::to_string(dst));
   auto& box = mailboxes_[static_cast<size_t>(dst)];
   for (auto it = box.begin(); it != box.end(); ++it) {
-    if (it->src != src) continue;
+    if (it->src != src || !mature_locked(*it)) continue;
     Message msg = std::move(*it);
     box.erase(it);
     return msg;
@@ -327,19 +486,49 @@ Message Transport::recv(int64_t dst, int64_t src) {
                                      std::to_string(src));
   COMDML_REQUIRE(false, "no in-flight message " << src << " -> " << dst
                                                 << " (schedule bug, or a "
-                                                   "dropped message under "
-                                                   "fault injection)");
+                                                   "dropped/delayed message "
+                                                   "under fault injection)");
   return {};
+}
+
+std::optional<Message> Transport::try_recv_from(int64_t dst, int64_t src) {
+  COMDML_CHECK(dst >= 0 && dst < endpoints());
+  COMDML_CHECK(src >= 0 && src < endpoints());
+  std::lock_guard<std::mutex> guard(mutex_);
+  if (dead_locked(dst))
+    throw EndpointDownError(dst, "recv at dead endpoint " +
+                                     std::to_string(dst));
+  auto& box = mailboxes_[static_cast<size_t>(dst)];
+  for (auto it = box.begin(); it != box.end(); ++it) {
+    if (it->src != src || !mature_locked(*it)) continue;
+    Message msg = std::move(*it);
+    box.erase(it);
+    return msg;
+  }
+  if (dead_locked(src))
+    throw EndpointDownError(src, "recv from dead endpoint " +
+                                     std::to_string(src));
+  return std::nullopt;
 }
 
 std::optional<Message> Transport::try_recv(int64_t dst) {
   COMDML_CHECK(dst >= 0 && dst < endpoints());
   std::lock_guard<std::mutex> guard(mutex_);
   auto& box = mailboxes_[static_cast<size_t>(dst)];
-  if (box.empty()) return std::nullopt;
-  Message msg = std::move(box.front());
-  box.pop_front();
-  return msg;
+  for (auto it = box.begin(); it != box.end(); ++it) {
+    if (!mature_locked(*it)) continue;
+    Message msg = std::move(*it);
+    box.erase(it);
+    return msg;
+  }
+  return std::nullopt;
+}
+
+void Transport::charge_backoff(double seconds) {
+  COMDML_CHECK(seconds >= 0.0);
+  std::lock_guard<std::mutex> guard(mutex_);
+  stats_.seconds += seconds;
+  stats_.backoff_seconds += seconds;
 }
 
 void Transport::end_step() {
@@ -362,6 +551,7 @@ void Transport::reset() {
   stats_.dropped_per_edge.assign(n * n, 0);
   step_span_ = 0.0;
   step_messages_ = 0;
+  std::fill(next_seq_.begin(), next_seq_.end(), 0);
   for (auto& box : mailboxes_) box.clear();
 }
 

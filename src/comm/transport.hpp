@@ -141,10 +141,23 @@ class QuantizingCodec final : public Codec {
 /// still occupy the sender's link (the bytes were transmitted) but are
 /// never delivered. Lossy transports suit best-effort protocols (gossip,
 /// param-server retries); the stepped AllReduce schedules assume lossless
-/// delivery and throw on the missing matched receive.
+/// delivery and throw on the missing matched receive — wrap the traffic in
+/// a comm::ReliableChannel to survive loss with retransmission instead.
 ///
-/// `endpoint_failures` adds agent-level deaths on top of message loss: an
-/// endpoint is dead once the transport has closed `after_steps` steps
+/// `message_faults` adds the remaining unreliable-network shapes on a
+/// per-edge basis: delivery delay (a message matures only after extra
+/// steps close), duplication (a second identical copy arrives), payload
+/// corruption (detected by the message checksum), reordering (a message
+/// jumps the mailbox queue), and per-edge drop. Every decision is a pure
+/// hash of (seed, step, src, dst, seq, fault kind) — no shared RNG stream
+/// — so a SimTransport and an InProcTransport driving the same schedule
+/// misbehave on exactly the same messages regardless of thread
+/// interleaving. A fault entry applies while the shared step counter is
+/// inside [first_step, last_step] (last_step == -1 means forever), which
+/// lets tests pin a fault to one exact message deterministically.
+///
+/// `endpoint_failures` adds agent-level deaths on top of message faults:
+/// an endpoint is dead once the transport has closed `after_steps` steps
 /// (after_steps == 0 means dead from the start). Deadness is a pure
 /// function of the shared step counter, so a SimTransport and an
 /// InProcTransport driving the same schedule fail at the same point and
@@ -156,9 +169,25 @@ struct FaultPlan {
     int64_t after_steps = 0;  ///< dead once stats().steps >= after_steps
   };
 
+  /// One per-edge message-fault rule. The first entry matching a message's
+  /// (src, dst) edge governs it; -1 matches any endpoint.
+  struct MessageFault {
+    int64_t src = -1;              ///< sender filter (-1 = any)
+    int64_t dst = -1;              ///< receiver filter (-1 = any)
+    int64_t first_step = 0;        ///< active from this step count on
+    int64_t last_step = -1;        ///< inclusive; -1 = active forever
+    double drop_prob = 0.0;        ///< per-edge loss (on top of global)
+    double delay_prob = 0.0;       ///< message matures 1..delay_steps_max late
+    int64_t delay_steps_max = 1;
+    double duplicate_prob = 0.0;   ///< a second identical copy is delivered
+    double corrupt_prob = 0.0;     ///< payload bits flip; checksum catches it
+    double reorder_prob = 0.0;     ///< message jumps to the mailbox front
+  };
+
   double drop_prob = 0.0;
   uint64_t seed = 0;
   std::vector<EndpointFailure> endpoint_failures;
+  std::vector<MessageFault> message_faults;
 };
 
 /// Typed condition for traffic touching a dead endpoint: a send to or a
@@ -182,9 +211,26 @@ struct Message {
   int64_t dst = -1;
   int64_t elems = 0;       ///< fp32 values on the wire
   int64_t wire_bytes = 0;  ///< after the codec
+  /// Per-edge sequence number (0, 1, ... for each directed src -> dst
+  /// edge). Retransmits reuse the original's seq, which is how a
+  /// ReliableChannel dedupes duplicated and re-sent copies.
+  int64_t seq = 0;
+  /// FNV-1a over the delivered payload bytes at send time; 0 for
+  /// timing-only messages. A corrupted payload no longer matches.
+  uint64_t checksum = 0;
+  /// Set by corruption faults. Timing-only transports carry no payload to
+  /// flip, so the flag is what keeps Sim/InProc corruption parity.
+  bool corrupted = false;
+  bool retransmit = false;  ///< re-sent by a ReliableChannel
+  /// Message is invisible to recv/try_recv until the shared step counter
+  /// reaches this value (-1 = deliverable immediately). Delay faults set it.
+  int64_t deliver_after_step = -1;
   std::vector<double> payload;  ///< empty on timing-only transports
 
   [[nodiscard]] bool has_payload() const noexcept { return !payload.empty(); }
+  /// Payload survived the wire: checksum matches (payload-moving) and no
+  /// corruption fault hit it (timing-only parity flag).
+  [[nodiscard]] bool intact() const;
 };
 
 /// Byte/step/latency accounting shared by every transport.
@@ -203,11 +249,30 @@ struct TransportStats {
   /// Per-edge drop counts, row-major [src][dst] over endpoints; sums to
   /// dropped_messages. Fault-injection tests assert *where* losses landed.
   std::vector<int64_t> dropped_per_edge;
+  // -- unreliable-delivery accounting. Retransmit and duplicate bytes are
+  // tracked apart from the schedule's own traffic so goodput (the bytes a
+  // fault-free run would move) stays comparable across fault plans and
+  // across the Sim/InProc pair.
+  int64_t retransmit_messages = 0;
+  int64_t retransmit_wire_bytes = 0;
+  int64_t duplicated_messages = 0;
+  int64_t duplicated_wire_bytes = 0;
+  int64_t corrupt_messages = 0;
+  int64_t delayed_messages = 0;
+  int64_t reordered_messages = 0;
+  /// Modeled seconds spent in retry backoff (charged into `seconds` too).
+  double backoff_seconds = 0.0;
 
   [[nodiscard]] int64_t max_bytes_sent() const;
   [[nodiscard]] double mean_bytes_sent() const;
   /// Dropped messages on the directed edge src -> dst.
   [[nodiscard]] int64_t dropped_on(int64_t src, int64_t dst) const;
+  /// Schedule-intent bytes: total wire traffic minus retransmits and
+  /// duplicates. Under any fault plan this equals the fault-free run's
+  /// total_wire_bytes, and Sim == InProc by construction.
+  [[nodiscard]] int64_t goodput_bytes() const {
+    return total_wire_bytes - retransmit_wire_bytes - duplicated_wire_bytes;
+  }
 };
 
 /// Message-level transport. Thread-safe: send/recv/try_recv/end_step may be
@@ -233,21 +298,45 @@ class Transport {
   /// Endpoints with a usable outbound link from `i`, ascending.
   [[nodiscard]] std::vector<int64_t> neighbors(int64_t i) const;
 
+  /// Retransmission metadata for send(): a ReliableChannel re-sends a lost
+  /// message under its original sequence number with the retransmit flag,
+  /// so receivers can dedupe and accounting can separate retry traffic.
+  struct SendOptions {
+    bool retransmit = false;
+    int64_t seq = -1;  ///< -1 = assign the edge's next sequence number
+  };
+
   /// Post `elems` fp32-wire values from src to dst. `data` (fp64, length
   /// `elems`) may be null for timing-only traffic; payload-moving
   /// transports copy it through the codec. Zero-element messages are legal
-  /// and still pay the link latency. Throws on an unusable link.
-  void send(int64_t src, int64_t dst, int64_t elems,
-            const double* data = nullptr);
+  /// and still pay the link latency. Throws on an unusable link. Returns
+  /// the message's per-edge sequence number.
+  int64_t send(int64_t src, int64_t dst, int64_t elems,
+               const double* data = nullptr);
+  int64_t send(int64_t src, int64_t dst, int64_t elems, const double* data,
+               const SendOptions& opts);
 
-  /// Matched receive: the oldest in-flight message src -> dst. Throws if
-  /// none is pending (a protocol schedule bug, or a dropped message under
+  /// Matched receive: the oldest deliverable in-flight message src -> dst
+  /// (delay faults hide a message until it matures). Throws if none is
+  /// pending (a protocol schedule bug, or a dropped/delayed message under
   /// fault injection).
   [[nodiscard]] Message recv(int64_t dst, int64_t src);
 
-  /// Any-source receive in arrival order; nullopt when dst's mailbox is
-  /// empty. Used by protocols with data-dependent fan-in (gossip).
+  /// Non-throwing matched receive: nullopt instead of the schedule-bug
+  /// failure when nothing deliverable from src is pending. Still raises
+  /// EndpointDownError for a dead receiver, or a dead sender with nothing
+  /// in flight (the message will never arrive — recover, don't retry).
+  /// Reliable delivery polls through this.
+  [[nodiscard]] std::optional<Message> try_recv_from(int64_t dst, int64_t src);
+
+  /// Any-source receive in arrival order; nullopt when dst's mailbox holds
+  /// nothing deliverable. Used by protocols with data-dependent fan-in
+  /// (gossip).
   [[nodiscard]] std::optional<Message> try_recv(int64_t dst);
+
+  /// Charge modeled retry-backoff wait time into the transport clock (both
+  /// `seconds` and the `backoff_seconds` breakdown).
+  void charge_backoff(double seconds);
 
   /// Close a synchronous step: everything posted since the last end_step
   /// ran concurrently, so the modeled clock advances by the span of the
@@ -286,6 +375,10 @@ class Transport {
   /// True when any endpoint failure is configured (manual or scheduled) —
   /// callers use this to decide whether a collective should arm recovery.
   [[nodiscard]] bool has_endpoint_faults() const;
+  /// True when messages can be lost, delayed, duplicated, or corrupted —
+  /// callers use this to decide whether to route traffic through a
+  /// ReliableChannel.
+  [[nodiscard]] bool has_message_faults() const;
   /// Drop every undelivered message (mid-collective recovery restarts the
   /// survivor schedule from clean mailboxes). Stats are untouched: the
   /// wasted traffic really crossed the wire.
@@ -300,6 +393,19 @@ class Transport {
   /// shared step counter, which is what keeps Sim/InProc failure points
   /// identical).
   [[nodiscard]] bool dead_locked(int64_t endpoint) const;
+  /// First message-fault rule matching the edge at the current step, or
+  /// nullptr. Caller holds mutex_.
+  [[nodiscard]] const FaultPlan::MessageFault* message_fault_locked(
+      int64_t src, int64_t dst) const;
+  /// Deterministic fault decision: pure hash of (seed, step, edge, seq,
+  /// salt) mapped to [0, 1) and compared against `prob`. Caller holds
+  /// mutex_ (reads the shared step counter).
+  [[nodiscard]] bool fault_fires_locked(double prob, int64_t src, int64_t dst,
+                                        int64_t seq, uint64_t salt) const;
+  /// Deliverable at the current step count? Caller holds mutex_.
+  [[nodiscard]] bool mature_locked(const Message& m) const {
+    return m.deliver_after_step < 0 || stats_.steps >= m.deliver_after_step;
+  }
 
   LinkGrid grid_;
   const Codec* codec_;  // never null after construction
@@ -309,6 +415,7 @@ class Transport {
   double step_span_ = 0.0;
   int64_t step_messages_ = 0;
   std::vector<char> manual_dead_;  // per endpoint, fail_endpoint() deaths
+  std::vector<int64_t> next_seq_;  // per directed edge [src][dst]
   std::vector<std::deque<Message>> mailboxes_;  // per dst, arrival order
   mutable std::mutex mutex_;
 };

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "comm/allreduce.hpp"
@@ -161,6 +162,25 @@ struct FleetOptions {
       int64_t at_collective_step = -1;
     };
     std::vector<AgentFailure> failures;
+    /// Per-message drop probability on every link of the fleet transport
+    /// (the unreliable-network knob). Bucket collectives then route
+    /// through comm::ReliableChannel — dropped copies are retransmitted
+    /// with exponential backoff, and the retransmission traffic is
+    /// reported separately so goodput still matches the fault-free run.
+    double message_drop_prob = 0.0;
+    /// Per-round straggler deadline in modeled seconds (0 = off; needs
+    /// bucket_bytes > 0). A solo agent whose round would exceed the
+    /// deadline is deferred: the on-time agents aggregate without it, its
+    /// late update lands in its error-feedback residual for the next
+    /// round, and it re-syncs to the fleet consensus. Paired agents are
+    /// never deferred — pairing *is* the paper's straggler rescue.
+    double deadline_sec = 0.0;
+    /// Autonomous checkpointing: write a checksummed fleet checkpoint to
+    /// `checkpoint_dir` every `checkpoint_every` completed rounds
+    /// (0 = off), keeping the newest `checkpoint_retain` files.
+    int64_t checkpoint_every = 0;
+    int64_t checkpoint_retain = 2;
+    std::string checkpoint_dir;
   } faults;
 
   /// Paper-scale simulation knobs (participation sampling, dynamic
@@ -240,6 +260,26 @@ struct FleetOptions {
               comms.bucket_bytes > 0,
           "bucket-level and collective-step failures need bucket_bytes > 0");
     }
+    COMDML_REQUIRE(
+        faults.message_drop_prob >= 0.0 && faults.message_drop_prob < 1.0,
+        "message_drop_prob must be in [0, 1), got "
+            << faults.message_drop_prob);
+    COMDML_REQUIRE(faults.deadline_sec >= 0.0,
+                   "deadline_sec must be non-negative, got "
+                       << faults.deadline_sec);
+    COMDML_REQUIRE(faults.deadline_sec == 0.0 || comms.bucket_bytes > 0,
+                   "a straggler deadline needs bucket_bytes > 0 (deferral "
+                   "folds the late update into the bucket residuals)");
+    COMDML_REQUIRE(faults.checkpoint_every >= 0,
+                   "checkpoint_every must be non-negative, got "
+                       << faults.checkpoint_every);
+    COMDML_REQUIRE(
+        faults.checkpoint_every == 0 || faults.checkpoint_retain > 0,
+        "checkpoint_retain must be positive when auto-checkpointing, got "
+            << faults.checkpoint_retain);
+    COMDML_REQUIRE(faults.checkpoint_every == 0 ||
+                       !faults.checkpoint_dir.empty(),
+                   "auto-checkpointing needs a checkpoint_dir");
     COMDML_REQUIRE(scale.participation > 0.0 && scale.participation <= 1.0,
                    "participation must be in (0, 1], got "
                        << scale.participation);

@@ -1,0 +1,31 @@
+// Strict parser for fleet_cli's --fail-agent specs.
+//
+// Grammar: "A@R[:bN|:kN|:cS]" — agent A leaves before round R, or dies
+// after N batches (:bN), after publishing N buckets (:kN), or at
+// collective step S (:cS). A, R, and the count are non-negative decimal
+// integers; the whole spec must be consumed.
+//
+// This replaces an std::stoll-based parser that silently accepted
+// malformed specs: trailing garbage ("1x@2" parsed as agent 1), negative
+// numbers ("-1@2"), and extra mode segments ("1@2:b1:k2" parsed as batch
+// mode and dropped the rest). Every such spec now fails with a message
+// naming the defect, so a typo surfaces as a usage error instead of a
+// silently different fault plan.
+#pragma once
+
+#include <string>
+
+#include "core/config.hpp"
+
+namespace comdml::core {
+
+/// Parses `spec` into `out` (which is reset first). Returns false and
+/// writes a human-readable reason into `*error` (when non-null) for any
+/// malformed spec: missing '@', non-digit or empty fields, negative
+/// numbers, unknown mode letters, trailing garbage, or more than one mode
+/// segment.
+bool parse_fault_spec(const std::string& spec,
+                      FleetOptions::FaultOptions::AgentFailure& out,
+                      std::string* error = nullptr);
+
+}  // namespace comdml::core

@@ -63,6 +63,8 @@ RoundReport FleetRuntime::step() {
     rep.mean_dcor = stats.mean_dcor;
     rep.mean_wire_compression = stats.mean_wire_compression;
     rep.dropped_agents = stats.dropped_agents;
+    rep.late_agents = stats.late_agents;
+    rep.retransmit_bytes = stats.retransmit_bytes;
   } else {
     COMDML_CHECK(real_baseline_ != nullptr);
     const auto stats = real_baseline_->step();

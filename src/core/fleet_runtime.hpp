@@ -66,6 +66,12 @@ struct RoundReport {
   int64_t split_early_buckets = 0;
   int64_t num_pairs = 0;
   int64_t dropped_agents = 0;
+  /// Solo agents deferred past the straggler deadline (real ComDML only;
+  /// see RealFleet::RoundStats::late_agents).
+  int64_t late_agents = 0;
+  /// Retransmission traffic under message faults (real ComDML only;
+  /// excluded from goodput).
+  int64_t retransmit_bytes = 0;
   // Real-execution only:
   float mean_loss = 0.0f;
   float mean_slow_loss = 0.0f;

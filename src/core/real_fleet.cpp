@@ -1,6 +1,9 @@
 #include "core/real_fleet.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 
 #include "comm/allreduce.hpp"
 #include "comm/compress.hpp"
@@ -59,11 +62,18 @@ RealFleet::RealFleet(const ModelFactory& factory, int64_t classes,
     // lifetime (all replicas are structurally identical).
     bucket_plan_ =
         nn::BucketPlan::build(*agents_[0].model, options_.comms.bucket_bytes);
+    // Unreliable-network injection on the bucket transports: every bucket
+    // collective then retransmits through comm::ReliableChannel and the
+    // retransmission traffic is reported per round.
+    comm::FaultPlan faults;
+    faults.drop_prob = options_.faults.message_drop_prob;
+    faults.seed = options_.seed;
     pipeline_ = std::make_unique<RoundPipeline>(
         static_cast<int64_t>(agents_.size()), *bucket_plan_,
         bottleneck_grid(topology_, options_.comms.latency_sec),
         options_.comms.aggregation, options_.comms.bucket_codec(),
-        options_.comms.error_feedback);
+        options_.comms.error_feedback, faults,
+        /*straggler_support=*/options_.faults.deadline_sec > 0.0);
     // Modeled backward-tail fraction per bucket: the share of one batch's
     // work still ahead of the final backward sweep when the bucket's
     // lowest unit has finished — this is the compute window the bucket's
@@ -147,6 +157,30 @@ RealFleet::RoundStats RealFleet::step() {
   RoundStats stats;
   stats.num_pairs = static_cast<int64_t>(plan.pairs.size());
 
+  // Straggler deadline: a *solo* agent whose balanced round would outlast
+  // the deadline is deferred — it still trains, but the on-time set
+  // aggregates without waiting for it, and its late update is absorbed
+  // into its error-feedback residual afterwards. Paired agents are never
+  // deferred: pairing is the paper's rescue mechanism, and the pairing
+  // pass has already pulled every rescuable straggler into a pair. If
+  // every live agent would be late there is no on-time set to defer to,
+  // so nobody is deferred.
+  std::vector<char> late(agents_.size(), 0);
+  int64_t n_late = 0;
+  if (options_.faults.deadline_sec > 0.0) {
+    std::vector<int64_t> late_ids;
+    for (const int64_t id : plan.solo)
+      if (agents_[static_cast<size_t>(id)].alive &&
+          infos[static_cast<size_t>(id)].tau_solo >
+              options_.faults.deadline_sec)
+        late_ids.push_back(id);
+    if (late_ids.size() < participants.size()) {
+      for (const int64_t id : late_ids) late[static_cast<size_t>(id)] = 1;
+      n_late = static_cast<int64_t>(late_ids.size());
+    }
+  }
+  stats.late_agents = n_late;
+
   // Local-training phase. Pairing is a matching, so pair tasks touch
   // disjoint agent replicas/batchers and solo tasks the rest: every task is
   // independent between the pairing and aggregation barriers. Each task
@@ -178,7 +212,13 @@ RealFleet::RoundStats RealFleet::step() {
                   learncurve::PrivacyTechnique::kDifferentialPrivacy;
   const bool publish_in_task = bucketed && !dp;
   const bool overlap = publish_in_task && options_.comms.overlap;
-  if (bucketed) pipeline_->begin_round();
+  if (bucketed) {
+    pipeline_->begin_round();
+    // Deferred stragglers are excluded up front so no bucket waits for
+    // their contribution.
+    for (int64_t a = 0; a < agents(); ++a)
+      if (late[static_cast<size_t>(a)] != 0) pipeline_->defer(a);
+  }
 
   // Flatten + contribute one bucket of `agent`'s live state — the publish
   // step shared by the full-model and split last-batch unit walks. An
@@ -221,7 +261,8 @@ RealFleet::RoundStats RealFleet::step() {
                     : options_.train.batches_per_round;
     for (int64_t b = 0; b < batches; ++b) {
       const auto batch = next_batch(agent, rng);
-      if (publish_in_task && b == batches - 1 && die_at < 0) {
+      if (publish_in_task && b == batches - 1 && die_at < 0 &&
+          late[static_cast<size_t>(agent)] == 0) {
         std::vector<tensor::Tensor*> ptrs;
         st.model->collect_state(ptrs);
         nn::BucketReadyTracker tracker(*bucket_plan_);
@@ -340,7 +381,19 @@ RealFleet::RoundStats RealFleet::step() {
     stats.split_early_buckets += r.split_early_buckets;
   }
 
-  const double t_comp = plan.estimated_round_time;
+  // The modeled compute span of the round. With deferral the straggler no
+  // longer gates the barrier: the span is the slowest *on-time*
+  // participant (pair completion times and on-time solo times).
+  double t_comp = plan.estimated_round_time;
+  if (n_late > 0) {
+    t_comp = 0.0;
+    for (const OffloadDecision& p : plan.pairs)
+      t_comp = std::max(t_comp, p.estimated_time);
+    for (const int64_t id : plan.solo)
+      if (late[static_cast<size_t>(id)] == 0)
+        t_comp = std::max(t_comp,
+                          infos[static_cast<size_t>(id)].tau_solo);
+  }
   if (!bucketed) {
     // Optional DP on each agent's state before it leaves the device. The
     // merge buffers are fleet members reused round over round. Snapshots
@@ -404,7 +457,7 @@ RealFleet::RoundStats RealFleet::step() {
                                    options_.privacy.dp_sensitivity, rng_);
       for (size_t i = 0; i < agents_.size(); ++i) {
         const auto a = static_cast<int64_t>(i);
-        if (!agents_[i].alive) continue;
+        if (!agents_[i].alive || late[i] != 0) continue;
         int64_t& budget = publish_budget[i];
         for (int64_t bk = 0; bk < bucket_plan_->buckets(); ++bk) {
           if (budget == 0) {
@@ -438,18 +491,45 @@ RealFleet::RoundStats RealFleet::step() {
     }
     if (!collective_victims.empty()) pipeline_->clear_endpoint_failures();
 
-    // Every live agent's slots now hold the bucket means; write them back.
+    // Every on-time live agent's slots now hold the bucket means; write
+    // them back. Deferred stragglers are re-synced below instead.
     for (size_t i = 0; i < agents_.size(); ++i) {
-      if (!agents_[i].alive) continue;
+      if (!agents_[i].alive || late[i] != 0) continue;
       std::vector<tensor::Tensor*> ptrs;
       agents_[i].model->collect_state(ptrs);
       pipeline_->restore_state(static_cast<int64_t>(i), ptrs);
+    }
+
+    // Deferred stragglers: stage the late update, fold (late - consensus)
+    // into the agent's residual so the work re-enters the stream next
+    // round, and adopt the consensus so the fleet stays synchronized.
+    if (n_late > 0) {
+      int64_t src = -1;
+      for (int64_t a = 0; a < agents(); ++a)
+        if (agents_[static_cast<size_t>(a)].alive &&
+            late[static_cast<size_t>(a)] == 0) {
+          src = a;
+          break;
+        }
+      COMDML_REQUIRE(src >= 0,
+                     "straggler deferral lost every on-time agent this round");
+      for (int64_t a = 0; a < agents(); ++a) {
+        if (late[static_cast<size_t>(a)] == 0 ||
+            !agents_[static_cast<size_t>(a)].alive)
+          continue;
+        std::vector<tensor::Tensor*> ptrs;
+        agents_[static_cast<size_t>(a)].model->collect_state(ptrs);
+        pipeline_->stage_state(a, ptrs);
+        pipeline_->absorb_late(a, src);
+        pipeline_->restore_state(a, ptrs);
+      }
     }
 
     const PipelineStats ps = pipeline_->stats();
     stats.aggregation_seconds = ps.comm_seconds;
     stats.aggregation_bytes = ps.max_bytes_sent;
     stats.buckets = ps.buckets;
+    stats.retransmit_bytes = ps.retransmit_bytes;
 
     // Modeled clock. Overlapped: bucket b is producible no earlier than
     // the fastest agent's backward tail allows (the last agent to finalize
@@ -497,6 +577,10 @@ RealFleet::RoundStats RealFleet::step() {
   stats.dropped_agents =
       live_before - static_cast<int64_t>(live_agents().size());
   ++round_;
+  ++rounds_since_checkpoint_;
+  if (options_.faults.checkpoint_every > 0 &&
+      round_ % options_.faults.checkpoint_every == 0)
+    auto_checkpoint();
   return stats;
 }
 
@@ -556,83 +640,184 @@ void RealFleet::rejoin(int64_t agent) {
 
 namespace {
 constexpr uint32_t kCheckpointMagic = 0x434D444C;  // "CMDL"
-constexpr uint32_t kCheckpointVersion = 1;
+constexpr uint32_t kCheckpointVersion = 2;
 }  // namespace
 
 std::vector<uint8_t> RealFleet::checkpoint() {
+  // Body first, then the [magic | version | checksum] frame around it —
+  // restore() verifies the fnv1a before parsing a single body field, so
+  // truncation and bit rot surface as CheckpointError up front.
+  tensor::ByteWriter body;
+  body.u32(static_cast<uint32_t>(agents()));
+  body.i64(round_);
+  body.f32(current_lr_);
+  body.str(rng_.state());
+  body.u8(plateau_.has_value() ? 1 : 0);
+  if (plateau_) {
+    const nn::PlateauScheduler::State s = plateau_->save();
+    body.f32(s.best);
+    body.i64(s.stale);
+  }
+  for (AgentState& st : agents_) {
+    body.u8(st.alive ? 1 : 0);
+    body.tensors(nn::state_of(*st.model));
+    body.tensors(st.velocity);
+    const data::Batcher::State bs = st.batcher->save();
+    body.i64s(bs.order);
+    body.i64(bs.cursor);
+    body.i64(bs.epoch);
+    body.str(bs.rng);
+  }
+  body.u8(pipeline_ != nullptr ? 1 : 0);
+  if (pipeline_) body.f64s(pipeline_->residuals());
+
+  const std::vector<uint8_t> payload = body.bytes();
   tensor::ByteWriter w;
   w.u32(kCheckpointMagic);
   w.u32(kCheckpointVersion);
-  w.u32(static_cast<uint32_t>(agents()));
-  w.i64(round_);
-  w.f32(current_lr_);
-  w.str(rng_.state());
-  w.u8(plateau_.has_value() ? 1 : 0);
-  if (plateau_) {
-    const nn::PlateauScheduler::State s = plateau_->save();
-    w.f32(s.best);
-    w.i64(s.stale);
-  }
-  for (AgentState& st : agents_) {
-    w.u8(st.alive ? 1 : 0);
-    w.tensors(nn::state_of(*st.model));
-    w.tensors(st.velocity);
-    const data::Batcher::State bs = st.batcher->save();
-    w.i64s(bs.order);
-    w.i64(bs.cursor);
-    w.i64(bs.epoch);
-    w.str(bs.rng);
-  }
-  w.u8(pipeline_ != nullptr ? 1 : 0);
-  if (pipeline_) w.f64s(pipeline_->residuals());
+  w.u64(tensor::fnv1a(payload.data(), payload.size()));
+  w.raw(payload);
   return w.bytes();
 }
 
 void RealFleet::restore(const std::vector<uint8_t>& bytes) {
+  // Frame validation. Every defect below is a CheckpointError: the caller
+  // handed us an unusable blob, not a programming error.
+  constexpr size_t kHeader = 2 * sizeof(uint32_t) + sizeof(uint64_t);
+  if (bytes.size() < kHeader)
+    throw CheckpointError("checkpoint truncated: " +
+                          std::to_string(bytes.size()) +
+                          " bytes is smaller than the header");
   tensor::ByteReader r(bytes);
-  COMDML_REQUIRE(r.u32() == kCheckpointMagic, "not a fleet checkpoint");
-  COMDML_REQUIRE(r.u32() == kCheckpointVersion,
-                 "unsupported checkpoint version");
-  COMDML_REQUIRE(static_cast<int64_t>(r.u32()) == agents(),
-                 "checkpoint is for a different fleet size");
-  round_ = r.i64();
-  current_lr_ = r.f32();
-  rng_.set_state(r.str());
-  const bool has_plateau = r.u8() != 0;
-  COMDML_REQUIRE(has_plateau == plateau_.has_value(),
-                 "checkpoint plateau-schedule config mismatch");
-  if (plateau_) {
-    nn::PlateauScheduler::State s;
-    s.best = r.f32();
-    s.stale = static_cast<int>(r.i64());
-    plateau_->load(s);
-  }
-  for (int64_t a = 0; a < agents(); ++a) {
-    AgentState& st = agents_[static_cast<size_t>(a)];
-    st.alive = r.u8() != 0;
-    nn::load_state(*st.model, r.tensors());
-    st.velocity = r.tensors();
-    data::Batcher::State bs;
-    bs.order = r.i64s();
-    bs.cursor = r.i64();
-    bs.epoch = r.i64();
-    bs.rng = r.str();
-    st.batcher->load(bs);
-    if (pipeline_) {
-      // Sync the pipeline's membership (rejoin also clears residuals and
-      // endpoint faults for the agent; the checkpointed residual slab is
-      // loaded right after, so the order matters).
-      if (st.alive)
-        pipeline_->rejoin(a);
-      else
-        pipeline_->leave(a);
+  if (r.u32() != kCheckpointMagic)
+    throw CheckpointError("not a fleet checkpoint (bad magic)");
+  const uint32_t version = r.u32();
+  if (version != kCheckpointVersion)
+    throw CheckpointError("unsupported checkpoint version " +
+                          std::to_string(version) + " (expected " +
+                          std::to_string(kCheckpointVersion) + ")");
+  const uint64_t want_sum = r.u64();
+  const uint64_t got_sum =
+      tensor::fnv1a(bytes.data() + kHeader, bytes.size() - kHeader);
+  if (got_sum != want_sum)
+    throw CheckpointError(
+        "checkpoint checksum mismatch (truncated or corrupted blob)");
+
+  // The body parse cannot run off the end (the checksum covered every
+  // byte), but a malformed length field could still ask for more than is
+  // there; surface that as a CheckpointError too.
+  try {
+    const auto k = static_cast<int64_t>(r.u32());
+    if (k > agents())
+      throw CheckpointError(
+          "checkpoint holds " + std::to_string(k) +
+          " agents but this fleet only has " + std::to_string(agents()) +
+          " — restore needs a fleet at least as wide as the checkpoint");
+    round_ = r.i64();
+    current_lr_ = r.f32();
+    rng_.set_state(r.str());
+    const bool has_plateau = r.u8() != 0;
+    if (has_plateau != plateau_.has_value())
+      throw CheckpointError("checkpoint plateau-schedule config mismatch");
+    if (plateau_) {
+      nn::PlateauScheduler::State s;
+      s.best = r.f32();
+      s.stale = static_cast<int>(r.i64());
+      plateau_->load(s);
     }
+    for (int64_t a = 0; a < k; ++a) {
+      AgentState& st = agents_[static_cast<size_t>(a)];
+      st.alive = r.u8() != 0;
+      nn::load_state(*st.model, r.tensors());
+      st.velocity = r.tensors();
+      data::Batcher::State bs;
+      bs.order = r.i64s();
+      bs.cursor = r.i64();
+      bs.epoch = r.i64();
+      bs.rng = r.str();
+      st.batcher->load(bs);
+      if (pipeline_) {
+        // Sync the pipeline's membership (rejoin also clears residuals and
+        // endpoint faults for the agent; the checkpointed residual slab is
+        // loaded right after, so the order matters).
+        if (st.alive)
+          pipeline_->rejoin(a);
+        else
+          pipeline_->leave(a);
+      }
+    }
+    // A narrower checkpoint restores into a wider fleet: the agents beyond
+    // the checkpointed set come up as left (the consensus does not include
+    // them) and can rejoin from a live agent's post-aggregation state.
+    for (int64_t a = k; a < agents(); ++a) {
+      AgentState& st = agents_[static_cast<size_t>(a)];
+      st.alive = false;
+      st.velocity.clear();
+      if (pipeline_) pipeline_->leave(a);
+    }
+    const bool has_pipeline = r.u8() != 0;
+    if (has_pipeline != (pipeline_ != nullptr))
+      throw CheckpointError("checkpoint bucketing config mismatch");
+    if (pipeline_) {
+      std::vector<double> residuals = r.f64s();
+      const size_t want = pipeline_->residuals().size();
+      if (want > 0) {
+        // The checkpointed slab covers k agents; rows for the extra agents
+        // of a wider fleet start zeroed (no residual history).
+        const size_t per_agent = want / static_cast<size_t>(agents());
+        if (residuals.size() != per_agent * static_cast<size_t>(k))
+          throw CheckpointError(
+              "checkpoint residual slab mismatch: holds " +
+              std::to_string(residuals.size()) + " values, expected " +
+              std::to_string(per_agent * static_cast<size_t>(k)));
+        residuals.resize(want, 0.0);
+        pipeline_->load_residuals(residuals);
+      } else if (!residuals.empty()) {
+        throw CheckpointError(
+            "checkpoint carries error-feedback residuals but this fleet "
+            "has no residual slab (codec/straggler config mismatch)");
+      }
+    }
+    r.expect_done();
+  } catch (const CheckpointError&) {
+    throw;
+  } catch (const std::invalid_argument& e) {
+    throw CheckpointError(std::string("malformed checkpoint body: ") +
+                          e.what());
   }
-  const bool has_pipeline = r.u8() != 0;
-  COMDML_REQUIRE(has_pipeline == (pipeline_ != nullptr),
-                 "checkpoint bucketing config mismatch");
-  if (pipeline_) pipeline_->load_residuals(r.f64s());
-  r.expect_done();
+  rounds_since_checkpoint_ = 0;
+}
+
+void RealFleet::auto_checkpoint() {
+  namespace fs = std::filesystem;
+  const fs::path dir(options_.faults.checkpoint_dir);
+  fs::create_directories(dir);
+  char name[32];
+  std::snprintf(name, sizeof(name), "fleet_r%06lld.cmdl",
+                static_cast<long long>(round_));
+  const std::vector<uint8_t> bytes = checkpoint();
+  {
+    std::ofstream out(dir / name, std::ios::binary | std::ios::trunc);
+    COMDML_REQUIRE(out.good(), "cannot write checkpoint " << (dir / name));
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    COMDML_REQUIRE(out.good(),
+                   "short write on checkpoint " << (dir / name));
+  }
+  rounds_since_checkpoint_ = 0;
+  // Retention: keep the newest checkpoint_retain auto-checkpoints. The
+  // round number is zero-padded, so lexicographic order is round order.
+  std::vector<fs::path> found;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string fname = entry.path().filename().string();
+    if (fname.rfind("fleet_r", 0) == 0 &&
+        entry.path().extension() == ".cmdl")
+      found.push_back(entry.path());
+  }
+  std::sort(found.begin(), found.end());
+  const auto retain = static_cast<size_t>(options_.faults.checkpoint_retain);
+  for (size_t i = 0; i + retain < found.size(); ++i)
+    fs::remove(found[i]);
 }
 
 }  // namespace comdml::core

@@ -8,6 +8,8 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <stdexcept>
+#include <string>
 
 #include "core/config.hpp"
 #include "core/pairing.hpp"
@@ -20,6 +22,17 @@ namespace comdml::core {
 /// Builds one model replica; must be deterministic given the Rng.
 using ModelFactory =
     std::function<std::unique_ptr<nn::Sequential>(tensor::Rng&)>;
+
+/// A fleet checkpoint blob failed validation: wrong magic, unsupported
+/// version, checksum mismatch (bit rot / partial write), truncation, or a
+/// geometry the restoring fleet cannot host. Typed so callers (fleet_cli)
+/// can report a clear "checkpoint is unusable" instead of a generic
+/// precondition failure.
+class CheckpointError : public std::runtime_error {
+ public:
+  explicit CheckpointError(const std::string& what)
+      : std::runtime_error(what) {}
+};
 
 class RealFleet {
  public:
@@ -58,6 +71,13 @@ class RealFleet {
     int64_t split_early_buckets = 0;
     /// Agents that died during this round (injected faults).
     int64_t dropped_agents = 0;
+    /// Solo agents deferred past the straggler deadline this round: they
+    /// trained but the on-time set aggregated without them; their late
+    /// update rides the error-feedback residual into the next round.
+    int64_t late_agents = 0;
+    /// Retransmission traffic of the bucket collectives (reliable delivery
+    /// under message faults; excluded from goodput).
+    int64_t retransmit_bytes = 0;
   };
 
   /// One complete ComDML round (pair -> train -> aggregate) over the live
@@ -97,11 +117,27 @@ class RealFleet {
 
   /// Serialize the full fleet state between rounds: every agent's model,
   /// momentum, batcher position, liveness, the fleet rng / LR / plateau
-  /// controller, and the pipeline's error-feedback residuals. Restoring
-  /// the bytes into a structurally identical fleet resumes bit-identically
-  /// to never having stopped.
+  /// controller, and the pipeline's error-feedback residuals. The blob is
+  /// framed [magic | version | fnv1a(payload) | payload], so restore()
+  /// detects truncation and bit rot before touching fleet state. Restoring
+  /// into a structurally identical fleet resumes bit-identically to never
+  /// having stopped.
   [[nodiscard]] std::vector<uint8_t> checkpoint();
+  /// Validates and loads a checkpoint. Throws CheckpointError for an
+  /// unusable blob (bad magic/version, checksum mismatch, truncation) and
+  /// for a checkpoint of *more* agents than this fleet. A checkpoint of
+  /// fewer agents restores into the wider fleet: the extra agents come up
+  /// as left (rejoinable from consensus), so a crashed fleet can resume
+  /// into different live-set geometry.
   void restore(const std::vector<uint8_t>& bytes);
+
+  /// Rounds completed since the last auto-checkpoint write (0 right after
+  /// one; tests and dashboards). Auto-checkpointing itself is configured
+  /// via options.faults.checkpoint_every / checkpoint_retain /
+  /// checkpoint_dir and runs inside step().
+  [[nodiscard]] int64_t rounds_since_checkpoint() const noexcept {
+    return rounds_since_checkpoint_;
+  }
 
  private:
   struct AgentState {
@@ -132,6 +168,7 @@ class RealFleet {
   std::unique_ptr<RoundPipeline> pipeline_;
   std::vector<double> bucket_back_frac_;
   int64_t round_ = 0;
+  int64_t rounds_since_checkpoint_ = 0;
   float current_lr_ = 0.0f;
   std::optional<nn::PlateauScheduler> plateau_;
 
@@ -143,6 +180,9 @@ class RealFleet {
   /// contributions. Safe from the agent's own training task.
   void kill_agent(int64_t agent);
   [[nodiscard]] int64_t first_live() const;
+  /// Write `<checkpoint_dir>/fleet_r<round>.cmdl` and prune beyond the
+  /// retention count.
+  void auto_checkpoint();
 };
 
 }  // namespace comdml::core

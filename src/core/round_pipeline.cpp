@@ -43,7 +43,8 @@ comm::LinkGrid bottleneck_grid(const sim::Topology& topology,
 RoundPipeline::RoundPipeline(int64_t agents, const nn::BucketPlan& plan,
                              const comm::LinkGrid& grid,
                              comm::AllReduceAlgo algo,
-                             const comm::Codec* codec, bool error_feedback)
+                             const comm::Codec* codec, bool error_feedback,
+                             comm::FaultPlan faults, bool straggler_support)
     : plan_(&plan),
       agents_(agents),
       protocol_(comm::allreduce_protocol(algo)),
@@ -54,13 +55,13 @@ RoundPipeline::RoundPipeline(int64_t agents, const nn::BucketPlan& plan,
   COMDML_CHECK(grid.endpoints() == agents);
   live_.assign(static_cast<size_t>(agents_), 1);
   slab_.resize(static_cast<size_t>(agents_ * plan.total_elems()));
-  if (error_feedback && codec_ != nullptr)
+  if ((error_feedback && codec_ != nullptr) || straggler_support)
     residual_.assign(slab_.size(), 0.0);
   transports_.reserve(static_cast<size_t>(plan.buckets()));
   schedules_.reserve(static_cast<size_t>(plan.buckets()));
   for (int64_t b = 0; b < plan.buckets(); ++b) {
     transports_.push_back(
-        std::make_unique<comm::InProcTransport>(grid, codec_));
+        std::make_unique<comm::InProcTransport>(grid, codec_, faults));
     schedules_.push_back(
         comm::allreduce_schedule(protocol_, agents_, plan.bucket(b).elems));
   }
@@ -137,6 +138,55 @@ void RoundPipeline::deactivate(int64_t agent) {
   }
 }
 
+void RoundPipeline::defer(int64_t agent) {
+  COMDML_CHECK(agent >= 0 && agent < agents_);
+  COMDML_CHECK(live_[static_cast<size_t>(agent)] != 0);
+  COMDML_REQUIRE(!residual_.empty(),
+                 "defer() needs the residual slab — construct the pipeline "
+                 "with straggler_support (or a lossy codec with error "
+                 "feedback)");
+  for (int64_t b = 0; b < plan_->buckets(); ++b) {
+    char expected = 0;
+    if (!mark(agent, b).compare_exchange_strong(expected, 3,
+                                                std::memory_order_acq_rel))
+      continue;
+    const int64_t left = pending_[static_cast<size_t>(b)].fetch_sub(
+                             1, std::memory_order_acq_rel) -
+                         1;
+    COMDML_CHECK(left >= 0);
+    if (left > 0) continue;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ready_.push_back(b);
+    }
+    cv_.notify_one();
+  }
+}
+
+void RoundPipeline::absorb_late(int64_t agent, int64_t src_agent) {
+  COMDML_CHECK(agent >= 0 && agent < agents_);
+  COMDML_CHECK(src_agent >= 0 && src_agent < agents_ && src_agent != agent);
+  COMDML_REQUIRE(!residual_.empty(),
+                 "absorb_late() needs the residual slab");
+  const int64_t n = plan_->total_elems();
+  double* mine = slab_.data() + agent * n;
+  const double* consensus = slab_.data() + src_agent * n;
+  double* r = residual_.data() + agent * n;
+  // The late update survives as the residual delta (late state minus the
+  // consensus it missed) and rides into the agent's next contribution via
+  // apply_error_feedback; the slots adopt the consensus for restore_state.
+  for (int64_t i = 0; i < n; ++i) {
+    r[i] += mine[i] - consensus[i];
+    mine[i] = consensus[i];
+  }
+}
+
+void RoundPipeline::stage_state(int64_t agent,
+                                const std::vector<tensor::Tensor*>& state) {
+  for (int64_t b = 0; b < plan_->buckets(); ++b)
+    plan_->flatten_bucket(state, b, slot(agent, b));
+}
+
 void RoundPipeline::schedule_endpoint_failure(int64_t agent,
                                               int64_t after_steps) {
   for (auto& t : transports_) t->schedule_endpoint_failure(agent, after_steps);
@@ -166,12 +216,14 @@ void RoundPipeline::apply_error_feedback(int64_t agent, int64_t bucket) {
   double* r = residual_.data() + agent * plan_->total_elems() +
               bk.offset_elems;
   // Carry last round's quantization error into this round's payload, then
-  // quantize once and keep the fresh error: r' = (x + r) - Q(x + r).
+  // quantize once and keep the fresh error: r' = (x + r) - Q(x + r). With
+  // no codec (straggler-only residuals) Q is the identity and the carried
+  // residual folds in completely, leaving r' = 0.
   for (int64_t i = 0; i < bk.elems; ++i) {
     s[i] += r[i];
     r[i] = s[i];
   }
-  codec_->transform(s, bk.elems);
+  if (codec_ != nullptr) codec_->transform(s, bk.elems);
   for (int64_t i = 0; i < bk.elems; ++i) r[i] -= s[i];
 }
 
@@ -184,12 +236,10 @@ void RoundPipeline::contribute(int64_t agent, int64_t bucket) {
   // exactly once per round). With error feedback the previous round's
   // quantization error rides along and the fresh error is kept.
   COMDML_CHECK(live_[static_cast<size_t>(agent)] != 0);
-  if (codec_ != nullptr) {
-    if (!residual_.empty()) {
-      apply_error_feedback(agent, bucket);
-    } else {
-      codec_->transform(slot(agent, bucket), plan_->bucket(bucket).elems);
-    }
+  if (!residual_.empty()) {
+    apply_error_feedback(agent, bucket);
+  } else if (codec_ != nullptr) {
+    codec_->transform(slot(agent, bucket), plan_->bucket(bucket).elems);
   }
   const char was = mark(agent, bucket).exchange(1, std::memory_order_acq_rel);
   COMDML_CHECK(was == 0);
@@ -336,6 +386,7 @@ PipelineStats RoundPipeline::stats() const {
     const comm::TransportStats& st = t->stats();
     out.steps += st.steps;
     out.comm_seconds += st.seconds;
+    out.retransmit_bytes += st.retransmit_wire_bytes;
     out.bucket_seconds.push_back(st.seconds);
     for (size_t a = 0; a < per_agent.size(); ++a)
       per_agent[a] += st.bytes_sent[a];

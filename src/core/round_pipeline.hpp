@@ -73,6 +73,9 @@ struct PipelineStats {
   int64_t steps = 0;          ///< collective steps summed over buckets
   double comm_seconds = 0.0;  ///< modeled link seconds summed over buckets
   int64_t max_bytes_sent = 0;  ///< max over agents of summed bucket sends
+  /// Retransmission traffic summed over buckets (reliable delivery under
+  /// message faults; 0 on a clean network). Excluded from goodput.
+  int64_t retransmit_bytes = 0;
   std::vector<double> bucket_seconds;  ///< per-bucket modeled clock
 };
 
@@ -91,10 +94,18 @@ class RoundPipeline {
   /// publish time, the quantization error is carried into the next
   /// round's payload, and repeated rounds stay convergent instead of
   /// accumulating compression bias.
+  ///
+  /// `faults` is installed on every bucket transport (unreliable-network
+  /// injection: drops/delays/duplicates/corruption); the bucket collectives
+  /// then retransmit through comm::ReliableChannel automatically.
+  /// `straggler_support` allocates the residual slab even without a lossy
+  /// codec so defer()/absorb_late() can carry a late agent's update into
+  /// its next contribution (error feedback with an identity codec).
   RoundPipeline(int64_t agents, const nn::BucketPlan& plan,
                 const comm::LinkGrid& grid, comm::AllReduceAlgo algo,
                 const comm::Codec* codec = nullptr,
-                bool error_feedback = false);
+                bool error_feedback = false, comm::FaultPlan faults = {},
+                bool straggler_support = false);
 
   /// Reset counters/transports for a new round. No thread may be inside
   /// contribute()/drain() when this runs.
@@ -124,6 +135,27 @@ class RoundPipeline {
   void deactivate(int64_t agent);
   [[nodiscard]] bool agent_live(int64_t agent) const;
   [[nodiscard]] std::vector<int64_t> live_agents() const;
+
+  // ---- straggler deferral ---------------------------------------------------
+
+  /// Exclude a live agent from this round's aggregation (straggler past
+  /// the deadline): every bucket stops waiting for its contribution and
+  /// reduces over the on-time set. The agent stays live — it keeps
+  /// training and rejoins the aggregation next round. Must run before the
+  /// agent publishes anything this round; requires straggler_support.
+  void defer(int64_t agent);
+  /// Fold a deferred agent's late update into its error-feedback residual
+  /// and adopt the round consensus: per element, the difference between
+  /// its staged (late) state and `src_agent`'s reduced mean is added to
+  /// the residual — the late work re-enters the stream next round instead
+  /// of being discarded — and its slots take the consensus so
+  /// restore_state() re-syncs the replica. `src_agent` must be an on-time
+  /// reduced agent. Call after the round completes, with the late state
+  /// staged via stage_state().
+  void absorb_late(int64_t agent, int64_t src_agent);
+  /// Flatten `state` into the agent's slots without contributing (the
+  /// staging half of publish_state, for deferred agents).
+  void stage_state(int64_t agent, const std::vector<tensor::Tensor*>& state);
 
   /// Arm/clear a scheduled endpoint failure on every bucket transport
   /// (mid-collective fault injection; collectives then run with recovery).
@@ -214,8 +246,9 @@ class RoundPipeline {
   std::vector<std::atomic<int64_t>> pending_;  ///< per bucket
   std::vector<char> live_;  ///< per agent; 0 = left / deactivated
   /// Per (agent, bucket), agent-major: 0 = pending, 1 = contributed,
-  /// 2 = dropped (agent died before publishing). run_bucket() reduces over
-  /// exactly the agents marked 1.
+  /// 2 = dropped (agent died before publishing), 3 = deferred (straggler
+  /// past the deadline). run_bucket() reduces over exactly the agents
+  /// marked 1.
   std::vector<std::atomic<char>> contributed_;
   std::mutex mu_;
   std::condition_variable cv_;

@@ -24,6 +24,16 @@ T read_raw(const std::vector<uint8_t>& bytes, size_t& offset) {
 
 }  // namespace
 
+uint64_t fnv1a(const void* data, size_t n) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return h;
+}
+
 std::vector<uint8_t> to_bytes(const Tensor& t) {
   std::vector<uint8_t> out;
   out.reserve(sizeof(uint32_t) + t.rank() * sizeof(int64_t) +
@@ -75,6 +85,7 @@ std::vector<Tensor> unpack_tensors(const std::vector<uint8_t>& bytes) {
 
 void ByteWriter::u8(uint8_t v) { append_raw(buf_, v); }
 void ByteWriter::u32(uint32_t v) { append_raw(buf_, v); }
+void ByteWriter::u64(uint64_t v) { append_raw(buf_, v); }
 void ByteWriter::i64(int64_t v) { append_raw(buf_, v); }
 void ByteWriter::f32(float v) { append_raw(buf_, v); }
 void ByteWriter::f64(double v) { append_raw(buf_, v); }
@@ -102,8 +113,13 @@ void ByteWriter::tensors(const std::vector<Tensor>& ts) {
   buf_.insert(buf_.end(), packed.begin(), packed.end());
 }
 
+void ByteWriter::raw(const std::vector<uint8_t>& blob) {
+  buf_.insert(buf_.end(), blob.begin(), blob.end());
+}
+
 uint8_t ByteReader::u8() { return read_raw<uint8_t>(*bytes_, offset_); }
 uint32_t ByteReader::u32() { return read_raw<uint32_t>(*bytes_, offset_); }
+uint64_t ByteReader::u64() { return read_raw<uint64_t>(*bytes_, offset_); }
 int64_t ByteReader::i64() { return read_raw<int64_t>(*bytes_, offset_); }
 float ByteReader::f32() { return read_raw<float>(*bytes_, offset_); }
 double ByteReader::f64() { return read_raw<double>(*bytes_, offset_); }

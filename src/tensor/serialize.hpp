@@ -30,6 +30,11 @@ namespace comdml::tensor {
 /// Total payload bytes a tensor list occupies on the wire.
 [[nodiscard]] int64_t wire_bytes(const std::vector<Tensor>& ts);
 
+/// FNV-1a over a byte range. Shared by the transport's per-message payload
+/// checksums and the checkpoint blob integrity check — fast, seedless, and
+/// stable across platforms for same-width input.
+[[nodiscard]] uint64_t fnv1a(const void* data, size_t n);
+
 // ---- durable-state byte streams ---------------------------------------------
 
 /// Append-only byte stream for durable state (fleet checkpoints). Scalars
@@ -40,6 +45,7 @@ class ByteWriter {
  public:
   void u8(uint8_t v);
   void u32(uint32_t v);
+  void u64(uint64_t v);
   void i64(int64_t v);
   void f32(float v);
   void f64(double v);
@@ -50,6 +56,9 @@ class ByteWriter {
   void f64s(const std::vector<double>& v);
   /// pack_tensors framing (u32 count + per-tensor wire format).
   void tensors(const std::vector<Tensor>& ts);
+  /// Append a pre-serialized byte blob verbatim (no length prefix) —
+  /// checkpoint envelopes splice a checksummed payload stream this way.
+  void raw(const std::vector<uint8_t>& blob);
 
   [[nodiscard]] const std::vector<uint8_t>& bytes() const noexcept {
     return buf_;
@@ -69,6 +78,7 @@ class ByteReader {
 
   [[nodiscard]] uint8_t u8();
   [[nodiscard]] uint32_t u32();
+  [[nodiscard]] uint64_t u64();
   [[nodiscard]] int64_t i64();
   [[nodiscard]] float f32();
   [[nodiscard]] double f64();
@@ -80,6 +90,9 @@ class ByteReader {
   [[nodiscard]] bool done() const noexcept {
     return offset_ == bytes_->size();
   }
+  /// Current read position (checksum validation hashes the bytes past the
+  /// envelope header).
+  [[nodiscard]] size_t offset() const noexcept { return offset_; }
   /// Throws unless the stream was consumed exactly.
   void expect_done() const;
 

@@ -12,6 +12,7 @@
 
 #include "comm/allreduce.hpp"
 #include "comm/collective.hpp"
+#include "comm/reliable.hpp"
 #include "comm/transport.hpp"
 
 namespace comdml::comm {
@@ -434,7 +435,11 @@ TEST(Faults, DroppedMessagesNeverArriveButStillPayTheLink) {
   EXPECT_FALSE(t.try_recv(1).has_value());
 }
 
-TEST(Faults, LossyGossipLeavesStatesUntouched) {
+TEST(Faults, TotallyLossyGossipTimesOutWithStatesUntouched) {
+  // Message faults route gossip through ReliableChannel; when every copy
+  // (original and all retransmissions) is dropped, the receive exhausts its
+  // retry budget and surfaces a typed timeout instead of silently averaging
+  // fewer pushes. No buffer is mutated before the failure.
   std::vector<ResourceProfile> profiles(4, {1.0, 100.0});
   const auto topo = Topology::full_mesh(profiles);
   FaultPlan plan;
@@ -447,8 +452,10 @@ TEST(Faults, LossyGossipLeavesStatesUntouched) {
   req.buffers = pointers(bufs);
   Rng rng(11);
   req.rng = &rng;
-  (void)collective(Protocol::kGossip).run(t, req);
-  EXPECT_EQ(t.stats().dropped_messages, 4);
+  EXPECT_THROW((void)collective(Protocol::kGossip).run(t, req),
+               DeliveryTimeoutError);
+  // 4 dropped originals plus one full retry budget on the first edge.
+  EXPECT_EQ(t.stats().dropped_messages, 4 + RetryPolicy{}.max_retries);
   for (size_t a = 0; a < 4; ++a) EXPECT_EQ(bufs[a], before[a]);
 }
 

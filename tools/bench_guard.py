@@ -32,10 +32,15 @@ import json
 import sys
 
 # Pure functions of the code: modeled clocks and exact schedule bytes.
+# Message-fault decisions are hashes of the shared step counter, so the
+# retransmission traffic under a fixed fault plan and the step count of a
+# recovered schedule are exactly reproducible too.
 DETERMINISTIC_METRICS = {
     "bytes_per_round",
     "model_round_seconds",
     "model_seconds_per_collective",
+    "retransmit_bytes_per_round",
+    "recovery_steps",
 }
 
 # Throughput metrics regress downward; everything else regresses upward.
