@@ -12,6 +12,11 @@
 // training on synthetic blobs (same facade, real-execution engines):
 //
 //   ./examples/fleet_cli --real --method fedavg --agents 6 --rounds 10
+//
+// `--connect <addr>` turns the CLI into a client of a running fleetd
+// daemon — the same round table, driven over the wire:
+//
+//   ./examples/fleet_cli --connect unix:/tmp/fleet.sock --rounds 3 --shutdown
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -21,8 +26,10 @@
 #include "core/fault_spec.hpp"
 #include "core/fleet_runtime.hpp"
 #include "core/real_fleet.hpp"
+#include "daemon/fleetd.hpp"
 #include "data/partition.hpp"
 #include "data/synthetic.hpp"
+#include "nn/module.hpp"
 
 namespace {
 
@@ -59,6 +66,15 @@ struct Args {
   /// Durable state: write a checkpoint after the run / load one before it.
   std::string checkpoint_path;
   std::string restore_path;
+  /// Client mode: drive a running fleetd daemon instead of a local fleet.
+  std::string connect;
+  /// Local mode: build the fleetd FleetSpec fleet (uniform profiles) so a
+  /// single-process run is bit-comparable with a multi-process one.
+  bool uniform = false;
+  /// Write the final consensus weights (tensor::pack_tensors blob) here.
+  std::string weights_out;
+  bool print_stats = false;  ///< client mode: print merged transport stats
+  bool shutdown = false;     ///< client mode: stop the daemon afterwards
 };
 
 bool parse(int argc, char** argv, Args& args) {
@@ -111,6 +127,11 @@ bool parse(int argc, char** argv, Args& args) {
     else if (flag == "--checkpoint-dir" && (v = need_value("--checkpoint-dir"))) args.checkpoint_dir = v;
     else if (flag == "--checkpoint" && (v = need_value("--checkpoint"))) args.checkpoint_path = v;
     else if (flag == "--restore" && (v = need_value("--restore"))) args.restore_path = v;
+    else if (flag == "--connect" && (v = need_value("--connect"))) args.connect = v;
+    else if (flag == "--uniform") { args.uniform = true; continue; }
+    else if (flag == "--weights-out" && (v = need_value("--weights-out"))) args.weights_out = v;
+    else if (flag == "--stats") { args.print_stats = true; continue; }
+    else if (flag == "--shutdown") { args.shutdown = true; continue; }
     else if (flag == "--help") {
       std::printf(
           "usage: fleet_cli [--method comdml|fedavg|fedprox|gossip|"
@@ -138,7 +159,15 @@ bool parse(int argc, char** argv, Args& args) {
           "   write a checksummed checkpoint to DIR every N rounds, keeping\n"
           "   the newest two)\n"
           "  [--checkpoint PATH] [--restore PATH]   (real comdml: save the\n"
-          "   fleet state after the run / resume from a saved state)\n");
+          "   fleet state after the run / resume from a saved state)\n"
+          "  [--connect ADDR]   (client mode: drive a running fleetd at\n"
+          "   unix:/path.sock or tcp:host:port instead of a local fleet;\n"
+          "   combine with --rounds, --weights-out, --stats, --shutdown)\n"
+          "  [--uniform]   (real comdml: build the fleetd FleetSpec fleet —\n"
+          "   uniform resource profiles — so this single-process run is\n"
+          "   bit-comparable with a fleetd multi-process run)\n"
+          "  [--weights-out PATH]   (write the final consensus weights as a\n"
+          "   raw tensor blob; works locally and in client mode)\n");
       return false;
     } else {
       std::fprintf(stderr, "unknown flag %s (try --help)\n", flag.c_str());
@@ -256,6 +285,64 @@ core::FleetRuntime build_real(const Args& args, Method method,
       .build();
 }
 
+bool write_blob(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  return true;
+}
+
+/// Client mode: drive a running fleetd daemon round by round.
+int run_client(const Args& args) {
+  daemon::FleetClient client(args.connect);
+  std::printf("connected to fleetd at %s: %lld agents across %lld workers\n",
+              args.connect.c_str(), (long long)client.agents(),
+              (long long)client.workers());
+  std::printf("%6s %12s %10s %8s %10s %10s\n", "round", "time(s)", "pairs",
+              "dropped", "agg(B)", "loss");
+  double total_seconds = 0.0;
+  for (int64_t r = 0; r < args.rounds; ++r) {
+    const core::RoundReport rep = client.round();
+    total_seconds += rep.round_seconds;
+    if (r < 10 || r % 10 == 0)
+      std::printf("%6lld %12.2f %10lld %8lld %10lld %10.4f\n",
+                  (long long)rep.round, rep.round_seconds,
+                  (long long)rep.num_pairs, (long long)rep.dropped_agents,
+                  (long long)rep.aggregation_bytes, rep.mean_loss);
+  }
+  if (args.rounds > 0)
+    std::printf("\nmean round time: %.2fs\n",
+                total_seconds / static_cast<double>(args.rounds));
+  if (args.print_stats) {
+    const comm::TransportStats stats = client.stats();
+    std::printf("last-round transport: %lld messages, %lld wire bytes, "
+                "%.4fs collective\n",
+                (long long)stats.messages, (long long)stats.total_wire_bytes,
+                stats.seconds);
+  }
+  if (!args.weights_out.empty()) {
+    const std::vector<uint8_t> blob = client.weights();
+    if (!write_blob(args.weights_out, blob)) return 1;
+    std::printf("weights (%zu bytes) written to %s\n", blob.size(),
+                args.weights_out.c_str());
+  }
+  if (!args.checkpoint_path.empty()) {
+    const std::vector<uint8_t> blob = client.checkpoint();
+    if (!write_blob(args.checkpoint_path, blob)) return 1;
+    std::printf("checkpoint (%zu bytes) written to %s\n", blob.size(),
+                args.checkpoint_path.c_str());
+  }
+  if (args.shutdown) {
+    client.shutdown();
+    std::printf("fleetd shut down\n");
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -263,6 +350,7 @@ int main(int argc, char** argv) {
   if (!parse(argc, argv, args)) return 1;
 
   try {
+    if (!args.connect.empty()) return run_client(args);
     const Method method = parse_method(args.method);
     const PartitionKind partition = args.partition == "iid"
                                         ? PartitionKind::kIID
@@ -287,14 +375,26 @@ int main(int argc, char** argv) {
                 (long long)args.agents, args.topology,
                 (unsigned long long)args.seed);
 
+    if (args.uniform && (!args.real || method != Method::kComDML)) {
+      std::fprintf(stderr, "error: --uniform needs --real --method comdml\n");
+      return 1;
+    }
     data::Dataset eval_set;
     auto sizes = core::shard_sizes_for(parse_dataset(args.dataset),
                                        args.agents, partition, rng);
-    core::FleetRuntime fleet =
-        args.real
-            ? build_real(args, method, std::move(topology), &eval_set)
-            : build_simulated(args, method, std::move(topology),
-                              std::move(sizes));
+    core::FleetRuntime fleet = [&] {
+      if (args.uniform) {
+        // The exact fleet a fleetd spec with these agents/seed builds.
+        daemon::FleetSpec spec;
+        spec.agents = args.agents;
+        spec.seed = args.seed;
+        return daemon::build_spec_fleet(spec, &eval_set);
+      }
+      return args.real
+                 ? build_real(args, method, std::move(topology), &eval_set)
+                 : build_simulated(args, method, std::move(topology),
+                                   std::move(sizes));
+    }();
 
     const bool durable = args.real && method == Method::kComDML;
     if ((!args.checkpoint_path.empty() || !args.restore_path.empty()) &&
@@ -350,16 +450,23 @@ int main(int argc, char** argv) {
 
     if (!args.checkpoint_path.empty()) {
       const auto bytes = fleet.checkpoint();
-      std::ofstream out(args.checkpoint_path, std::ios::binary);
-      if (!out) {
-        std::fprintf(stderr, "error: cannot write %s\n",
-                     args.checkpoint_path.c_str());
-        return 1;
-      }
-      out.write(reinterpret_cast<const char*>(bytes.data()),
-                static_cast<std::streamsize>(bytes.size()));
+      if (!write_blob(args.checkpoint_path, bytes)) return 1;
       std::printf("checkpoint (%zu bytes) written to %s\n", bytes.size(),
                   args.checkpoint_path.c_str());
+    }
+
+    if (!args.weights_out.empty()) {
+      if (!fleet.real()) {
+        std::fprintf(stderr, "error: --weights-out needs --real (the "
+                             "simulators train no tensors)\n");
+        return 1;
+      }
+      const int64_t agent =
+          method == Method::kComDML ? fleet.live_agents().front() : 0;
+      const auto blob = tensor::pack_tensors(nn::state_of(fleet.model(agent)));
+      if (!write_blob(args.weights_out, blob)) return 1;
+      std::printf("weights (%zu bytes) written to %s\n", blob.size(),
+                  args.weights_out.c_str());
     }
 
     if (fleet.real()) {

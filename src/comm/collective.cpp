@@ -615,6 +615,52 @@ SteppedSchedule allreduce_schedule_over(
   return sched;
 }
 
+void execute_schedule_owned(const SteppedSchedule& sched, Transport& t,
+                            const CollectiveRequest& req,
+                            const std::vector<char>& owned) {
+  validate_buffers(req, t.endpoints());
+  COMDML_REQUIRE(static_cast<int64_t>(owned.size()) == t.endpoints(),
+                 "owned mask covers " << owned.size() << " endpoints, "
+                                      << "transport has " << t.endpoints());
+  const auto is_owned = [&](int64_t e) {
+    return owned[static_cast<size_t>(e)] != 0;
+  };
+  for (const ScheduleStep& step : sched.steps) {
+    for (const ScheduleStep::Send& s : step.sends) {
+      if (!is_owned(s.src)) continue;
+      const double* data = buffer_of(req, s.src);
+      const double* payload =
+          data != nullptr ? data + s.span.begin : nullptr;
+      t.send(s.src, s.dst, s.span.size(), payload);
+    }
+    // Close the step even when this process posted nothing: the positional
+    // step history must line up across processes for the merged stats to
+    // reproduce the single-transport clock.
+    t.end_step();
+    for (const ScheduleStep::Recv& r : step.recvs) {
+      if (!is_owned(r.dst)) continue;
+      const Message msg = t.recv(r.dst, r.src);
+      merge_segment(msg, buffer_of(req, r.dst), r.span, r.accumulate);
+    }
+  }
+  if (!sched.scale_to_mean || req.buffers.empty()) return;
+  const int64_t k = sched.participants.empty()
+                        ? t.endpoints()
+                        : static_cast<int64_t>(sched.participants.size());
+  const double inv_k = 1.0 / static_cast<double>(k);
+  const auto scale = [&](int64_t a) {
+    if (!is_owned(a)) return;
+    double* mine = buffer_of(req, a);
+    if (mine == nullptr) return;
+    for (int64_t i = 0; i < req.elems; ++i) mine[i] *= inv_k;
+  };
+  if (sched.participants.empty()) {
+    for (int64_t a = 0; a < t.endpoints(); ++a) scale(a);
+  } else {
+    for (const int64_t a : sched.participants) scale(a);
+  }
+}
+
 AsyncCollective::AsyncCollective(Protocol protocol, Transport& transport,
                                  CollectiveRequest request)
     : transport_(&transport),

@@ -133,6 +133,19 @@ struct SteppedSchedule {
     Protocol protocol, const std::vector<int64_t>& participants,
     int64_t elems);
 
+/// Execute a stepped schedule from one process of a multi-process run.
+/// `owned[e] != 0` marks the endpoints this process hosts: only sends
+/// whose src is owned are posted and only recvs whose dst is owned are
+/// folded (the transport blocks until the remote frame arrives), but every
+/// schedule step still closes one transport step so the per-process step
+/// histories stay positionally aligned for merge_transport_stats(). The
+/// final sum -> mean scaling runs over owned participants only. With every
+/// endpoint owned this is exactly the blocking single-process execution:
+/// same sends, same merge order, bit-identical buffers.
+void execute_schedule_owned(const SteppedSchedule& sched, Transport& t,
+                            const CollectiveRequest& req,
+                            const std::vector<char>& owned);
+
 /// Non-blocking stepped collective: construction starts the operation (no
 /// traffic yet), each poll() executes exactly one schedule step over the
 /// transport, wait() drives it to completion. This is what lets a bucket

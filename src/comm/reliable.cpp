@@ -74,6 +74,14 @@ Message ReliableChannel::recv(int64_t dst, int64_t src) {
     const int shift = static_cast<int>(std::min<int64_t>(attempt, 30));
     transport_->charge_backoff(policy_.backoff_base_sec *
                                static_cast<double>(1ll << shift));
+    // A sender living in another process holds the unacked copy, not this
+    // channel: the transport ships a NACK to the owning process, which
+    // retransmits from its own parked payload.
+    if (transport_->nack(src, dst, last_delivered_[e])) {
+      ++retransmits_;
+      transport_->end_step();
+      continue;
+    }
     auto& window = sent_[e];
     COMDML_REQUIRE(!window.empty(),
                    "reliable recv " << src << " -> " << dst

@@ -1,0 +1,280 @@
+#include "comm/socket_io.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstddef>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+#include "tensor/check.hpp"
+
+namespace comdml::comm {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// sockaddr storage + length for either family.
+struct ResolvedAddr {
+  sockaddr_storage storage{};
+  socklen_t len = 0;
+  int family = AF_UNIX;
+};
+
+ResolvedAddr resolve(const SocketAddress& addr) {
+  ResolvedAddr out;
+  if (addr.kind == SocketAddress::Kind::kUnix) {
+    auto* sun = reinterpret_cast<sockaddr_un*>(&out.storage);
+    sun->sun_family = AF_UNIX;
+    COMDML_REQUIRE(addr.path.size() < sizeof(sun->sun_path),
+                   "unix socket path too long (" << addr.path.size()
+                                                 << " bytes): " << addr.path);
+    std::memcpy(sun->sun_path, addr.path.c_str(), addr.path.size() + 1);
+    out.len = static_cast<socklen_t>(offsetof(sockaddr_un, sun_path) +
+                                     addr.path.size() + 1);
+    out.family = AF_UNIX;
+    return out;
+  }
+  auto* sin = reinterpret_cast<sockaddr_in*>(&out.storage);
+  sin->sin_family = AF_INET;
+  sin->sin_port = htons(static_cast<uint16_t>(addr.port));
+  const std::string host = addr.host.empty() ? "127.0.0.1" : addr.host;
+  if (inet_pton(AF_INET, host.c_str(), &sin->sin_addr) != 1) {
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* res = nullptr;
+    COMDML_REQUIRE(getaddrinfo(host.c_str(), nullptr, &hints, &res) == 0 &&
+                       res != nullptr,
+                   "cannot resolve tcp host: " << host);
+    sin->sin_addr = reinterpret_cast<sockaddr_in*>(res->ai_addr)->sin_addr;
+    freeaddrinfo(res);
+  }
+  out.len = sizeof(sockaddr_in);
+  out.family = AF_INET;
+  return out;
+}
+
+/// One non-blocking connect attempt with a bounded wait; -1 on failure.
+int try_connect_once(const ResolvedAddr& target, int wait_ms) {
+  const int fd = ::socket(target.family, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  // Non-blocking connect: a black-holed TCP peer fails the poll below in
+  // wait_ms instead of hanging the whole dial budget on one attempt.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  (void)::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  const int rc = ::connect(
+      fd, reinterpret_cast<const sockaddr*>(&target.storage), target.len);
+  if (rc != 0 && errno != EINPROGRESS) {
+    close_fd(fd);
+    return -1;
+  }
+  if (rc != 0) {
+    pollfd pfd{fd, POLLOUT, 0};
+    if (::poll(&pfd, 1, wait_ms) <= 0) {
+      close_fd(fd);
+      return -1;
+    }
+    int err = 0;
+    socklen_t errlen = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &errlen) != 0 ||
+        err != 0) {
+      close_fd(fd);
+      return -1;
+    }
+  }
+  (void)::fcntl(fd, F_SETFL, flags);  // back to blocking for frame I/O
+  if (target.family == AF_INET) {
+    const int one = 1;
+    (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  return fd;
+}
+
+}  // namespace
+
+std::string SocketAddress::str() const {
+  if (kind == Kind::kUnix) return "unix:" + path;
+  return "tcp:" + (host.empty() ? std::string("127.0.0.1") : host) + ":" +
+         std::to_string(port);
+}
+
+SocketAddress parse_address(const std::string& spec) {
+  SocketAddress addr;
+  if (spec.rfind("unix:", 0) == 0) {
+    addr.kind = SocketAddress::Kind::kUnix;
+    addr.path = spec.substr(5);
+    COMDML_REQUIRE(!addr.path.empty(), "empty unix socket path: " << spec);
+    return addr;
+  }
+  if (spec.rfind("tcp:", 0) == 0) {
+    addr.kind = SocketAddress::Kind::kTcp;
+    const std::string rest = spec.substr(4);
+    const size_t colon = rest.rfind(':');
+    COMDML_REQUIRE(colon != std::string::npos && colon + 1 < rest.size(),
+                   "tcp address needs host:port, got: " << spec);
+    addr.host = rest.substr(0, colon);
+    addr.port = std::stoi(rest.substr(colon + 1));
+    COMDML_REQUIRE(addr.port >= 0 && addr.port <= 65535,
+                   "tcp port out of range: " << spec);
+    return addr;
+  }
+  COMDML_REQUIRE(false, "address must be unix:<path> or tcp:<host>:<port>, "
+                        "got: "
+                            << spec);
+  return addr;
+}
+
+int listen_on(const SocketAddress& addr, SocketAddress* bound) {
+  if (addr.kind == SocketAddress::Kind::kUnix)
+    (void)::unlink(addr.path.c_str());  // stale socket from a dead process
+  const ResolvedAddr target = resolve(addr);
+  const int fd = ::socket(target.family, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  COMDML_REQUIRE(fd >= 0, "socket() failed: " << std::strerror(errno));
+  if (target.family == AF_INET) {
+    const int one = 1;
+    (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&target.storage),
+             target.len) != 0) {
+    const int err = errno;
+    close_fd(fd);
+    COMDML_REQUIRE(false, "bind(" << addr.str()
+                                  << ") failed: " << std::strerror(err));
+  }
+  if (::listen(fd, 64) != 0) {
+    const int err = errno;
+    close_fd(fd);
+    COMDML_REQUIRE(false, "listen(" << addr.str()
+                                    << ") failed: " << std::strerror(err));
+  }
+  if (bound != nullptr) {
+    *bound = addr;
+    if (addr.kind == SocketAddress::Kind::kTcp && addr.port == 0) {
+      sockaddr_in sin{};
+      socklen_t len = sizeof(sin);
+      COMDML_CHECK(::getsockname(fd, reinterpret_cast<sockaddr*>(&sin),
+                                 &len) == 0);
+      bound->port = ntohs(sin.sin_port);
+    }
+  }
+  return fd;
+}
+
+int dial(const SocketAddress& addr, double timeout_sec) {
+  const ResolvedAddr target = resolve(addr);
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(timeout_sec));
+  for (;;) {
+    const int fd = try_connect_once(target, /*wait_ms=*/200);
+    if (fd >= 0) return fd;
+    if (Clock::now() >= deadline) return -1;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+int accept_on(int listen_fd, const std::atomic<bool>* running) {
+  for (;;) {
+    if (running != nullptr && !running->load()) return -1;
+    pollfd pfd{listen_fd, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (rc == 0) continue;  // poll interval: re-check running
+    const int fd = ::accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd >= 0) return fd;
+    if (errno == EINTR || errno == ECONNABORTED) continue;
+    return -1;
+  }
+}
+
+bool write_all(int fd, const void* data, size_t len) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  while (len > 0) {
+    const ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    len -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool read_exact(int fd, void* data, size_t len) {
+  auto* p = static_cast<uint8_t*>(data);
+  while (len > 0) {
+    const ssize_t n = ::read(fd, p, len);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;  // EOF or error: the peer is gone
+    }
+    p += n;
+    len -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+void close_fd(int fd) noexcept {
+  if (fd >= 0) (void)::close(fd);
+}
+
+bool send_frame(int fd, uint16_t type, const std::vector<uint8_t>& body,
+                std::mutex* write_mutex) {
+  COMDML_CHECK(body.size() <= kMaxFrameBody);
+  uint8_t header[12];
+  const uint32_t magic = kFrameMagic;
+  const uint16_t version = kWireVersion;
+  const auto len = static_cast<uint32_t>(body.size());
+  std::memcpy(header, &magic, 4);
+  std::memcpy(header + 4, &version, 2);
+  std::memcpy(header + 6, &type, 2);
+  std::memcpy(header + 8, &len, 4);
+  std::unique_lock<std::mutex> guard;
+  if (write_mutex != nullptr)
+    guard = std::unique_lock<std::mutex>(*write_mutex);
+  if (!write_all(fd, header, sizeof(header))) return false;
+  return body.empty() || write_all(fd, body.data(), body.size());
+}
+
+std::optional<WireFrame> recv_frame(int fd) {
+  uint8_t header[12];
+  if (!read_exact(fd, header, sizeof(header))) return std::nullopt;
+  uint32_t magic = 0;
+  uint16_t version = 0;
+  WireFrame frame;
+  uint32_t len = 0;
+  std::memcpy(&magic, header, 4);
+  std::memcpy(&version, header + 4, 2);
+  std::memcpy(&frame.type, header + 6, 2);
+  std::memcpy(&len, header + 8, 4);
+  if (magic != kFrameMagic)
+    throw std::runtime_error("socket frame magic mismatch (mis-wired peer)");
+  if (version != kWireVersion)
+    throw std::runtime_error("socket frame version mismatch: peer v" +
+                             std::to_string(version) + ", ours v" +
+                             std::to_string(kWireVersion));
+  if (len > kMaxFrameBody)
+    throw std::runtime_error("socket frame body too large: " +
+                             std::to_string(len));
+  frame.body.resize(len);
+  if (len > 0 && !read_exact(fd, frame.body.data(), len)) return std::nullopt;
+  return frame;
+}
+
+}  // namespace comdml::comm

@@ -188,6 +188,60 @@ int64_t TransportStats::dropped_on(int64_t src, int64_t dst) const {
   return dropped_per_edge[static_cast<size_t>(src * n + dst)];
 }
 
+TransportStats merge_transport_stats(const std::vector<TransportStats>& parts) {
+  COMDML_CHECK(!parts.empty());
+  const size_t n = parts.front().bytes_sent.size();
+  TransportStats merged;
+  merged.bytes_sent.assign(n, 0);
+  merged.bytes_received.assign(n, 0);
+  merged.send_seconds.assign(n, 0.0);
+  merged.recv_seconds.assign(n, 0.0);
+  merged.dropped_per_edge.assign(n * n, 0);
+  size_t rows = 0;
+  for (const auto& p : parts) {
+    COMDML_REQUIRE(p.bytes_sent.size() == n,
+                   "merge_transport_stats over mismatched endpoint counts: "
+                       << p.bytes_sent.size() << " vs " << n);
+    merged.messages += p.messages;
+    merged.dropped_messages += p.dropped_messages;
+    merged.total_wire_bytes += p.total_wire_bytes;
+    merged.retransmit_messages += p.retransmit_messages;
+    merged.retransmit_wire_bytes += p.retransmit_wire_bytes;
+    merged.duplicated_messages += p.duplicated_messages;
+    merged.duplicated_wire_bytes += p.duplicated_wire_bytes;
+    merged.corrupt_messages += p.corrupt_messages;
+    merged.delayed_messages += p.delayed_messages;
+    merged.reordered_messages += p.reordered_messages;
+    merged.backoff_seconds += p.backoff_seconds;
+    for (size_t i = 0; i < n; ++i) {
+      merged.bytes_sent[i] += p.bytes_sent[i];
+      merged.bytes_received[i] += p.bytes_received[i];
+      merged.send_seconds[i] += p.send_seconds[i];
+      merged.recv_seconds[i] += p.recv_seconds[i];
+    }
+    for (size_t i = 0; i < n * n; ++i)
+      merged.dropped_per_edge[i] += p.dropped_per_edge[i];
+    rows = std::max(rows, p.step_spans.size());
+  }
+  // Positional step merge: each process drove the same lockstep schedule,
+  // so row i of every history is global step i. Within a step, messages
+  // run concurrently — the merged span is the max — while the counts add.
+  merged.step_spans.assign(rows, 0.0);
+  merged.step_message_counts.assign(rows, 0);
+  for (const auto& p : parts)
+    for (size_t i = 0; i < p.step_spans.size(); ++i) {
+      merged.step_spans[i] = std::max(merged.step_spans[i], p.step_spans[i]);
+      merged.step_message_counts[i] += p.step_message_counts[i];
+    }
+  merged.seconds = merged.backoff_seconds;
+  for (size_t i = 0; i < rows; ++i) {
+    if (merged.step_message_counts[i] == 0) continue;
+    ++merged.steps;
+    merged.seconds += merged.step_spans[i];
+  }
+  return merged;
+}
+
 // ---- Message ----------------------------------------------------------------
 
 bool Message::intact() const {
@@ -354,115 +408,185 @@ int64_t Transport::send(int64_t src, int64_t dst, int64_t elems,
     wire = codec_->wire_bytes(elems, data);
   }
   const double span = transfer_seconds(wire, link.mbps, link.latency_sec);
+  const bool local = local_endpoint(dst);
 
-  std::lock_guard<std::mutex> guard(mutex_);
-  // Dead endpoints fail fast *before* accounting: a dead sender cannot
-  // occupy its link, and a send to a dead receiver is detected by the
-  // (modeled) connection teardown. Both transport flavors see the same
-  // step counter, so they raise at the same schedule point.
-  if (dead_locked(src))
-    throw EndpointDownError(src, "send from dead endpoint " +
-                                     std::to_string(src));
-  if (dead_locked(dst))
-    throw EndpointDownError(dst, "send to dead endpoint " +
-                                     std::to_string(dst));
-  const size_t edge = static_cast<size_t>(src * endpoints() + dst);
-  const int64_t seq = opts.seq >= 0 ? opts.seq : next_seq_[edge]++;
-  ++stats_.messages;
-  ++step_messages_;
-  stats_.total_wire_bytes += wire;
-  stats_.bytes_sent[static_cast<size_t>(src)] += wire;
-  stats_.send_seconds[static_cast<size_t>(src)] += span;
-  step_span_ = std::max(step_span_, span);
-  if (opts.retransmit) {
-    ++stats_.retransmit_messages;
-    stats_.retransmit_wire_bytes += wire;
-  }
-
-  // Fault decisions. The global drop stream is drawn first (keeps the
-  // legacy per-transport RNG sequence stable); everything else is a pure
-  // hash of (seed, step, edge, seq), identical across transport flavors.
-  const bool rng_dropped =
-      faults_.drop_prob > 0.0 &&
-      static_cast<double>(fault_rng_.uniform()) < faults_.drop_prob;
-  const FaultPlan::MessageFault* mf = message_fault_locked(src, dst);
-  const bool dropped =
-      rng_dropped ||
-      (mf != nullptr &&
-       fault_fires_locked(mf->drop_prob, src, dst, seq, kSaltDrop));
-  if (dropped) {
-    ++stats_.dropped_messages;
-    ++stats_.dropped_per_edge[edge];
-    return seq;  // the sender's link was busy, but nothing arrives
-  }
-  stats_.bytes_received[static_cast<size_t>(dst)] += wire;
-  stats_.recv_seconds[static_cast<size_t>(dst)] += span;
-
-  Message msg;
-  msg.src = src;
-  msg.dst = dst;
-  msg.elems = elems;
-  msg.wire_bytes = wire;
-  msg.seq = seq;
-  msg.retransmit = opts.retransmit;
-  if (!payload.empty())
-    msg.checksum =
-        tensor::fnv1a(payload.data(), payload.size() * sizeof(double));
-  msg.payload = std::move(payload);
-
-  bool duplicate = false;
-  bool reorder = false;
-  if (mf != nullptr) {
-    if (elems > 0 &&
-        fault_fires_locked(mf->corrupt_prob, src, dst, seq, kSaltCorrupt)) {
-      // Flip one payload bit so the checksum catches it; timing-only
-      // messages carry the flag alone, keeping Sim/InProc decisions equal.
-      msg.corrupted = true;
-      if (msg.has_payload()) {
-        uint64_t bits;
-        std::memcpy(&bits, msg.payload.data(), sizeof(bits));
-        bits ^= 1ull;
-        std::memcpy(msg.payload.data(), &bits, sizeof(bits));
-      }
-      ++stats_.corrupt_messages;
-    }
-    if (fault_fires_locked(mf->delay_prob, src, dst, seq, kSaltDelay)) {
-      // Normal delivery is visible once this step closes (steps + 1); a
-      // delay adds 1..delay_steps_max more closed steps on top.
-      const uint64_t draw = message_hash(faults_.seed, stats_.steps, src, dst,
-                                        seq, kSaltDelayDraw);
-      const int64_t extra =
-          1 + static_cast<int64_t>(
-                  draw % static_cast<uint64_t>(mf->delay_steps_max));
-      msg.deliver_after_step = stats_.steps + 1 + extra;
-      ++stats_.delayed_messages;
-    }
-    duplicate =
-        fault_fires_locked(mf->duplicate_prob, src, dst, seq, kSaltDuplicate);
-    reorder =
-        fault_fires_locked(mf->reorder_prob, src, dst, seq, kSaltReorder);
-  }
-
-  auto& box = mailboxes_[static_cast<size_t>(dst)];
-  Message copy;
-  if (duplicate) {
-    // The copy really crossed the wire: charge its bytes everywhere, but
-    // tagged as duplicated so goodput accounting can subtract them.
-    ++stats_.duplicated_messages;
-    stats_.duplicated_wire_bytes += wire;
+  // Remote frames are shipped after the lock is released: wire writes must
+  // not serialize local accounting, and forward_remote may block.
+  std::vector<RemoteFrame> outbound;
+  int64_t seq = -1;
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    // Dead endpoints fail fast *before* accounting: a dead sender cannot
+    // occupy its link, and a send to a dead receiver is detected by the
+    // (modeled) connection teardown. Both transport flavors see the same
+    // step counter, so they raise at the same schedule point.
+    if (dead_locked(src))
+      throw EndpointDownError(src, "send from dead endpoint " +
+                                       std::to_string(src));
+    if (dead_locked(dst))
+      throw EndpointDownError(dst, "send to dead endpoint " +
+                                       std::to_string(dst));
+    const size_t edge = static_cast<size_t>(src * endpoints() + dst);
+    seq = opts.seq >= 0 ? opts.seq : next_seq_[edge]++;
+    ++stats_.messages;
+    ++step_messages_;
     stats_.total_wire_bytes += wire;
     stats_.bytes_sent[static_cast<size_t>(src)] += wire;
-    stats_.bytes_received[static_cast<size_t>(dst)] += wire;
-    copy = msg;
+    stats_.send_seconds[static_cast<size_t>(src)] += span;
+    step_span_ = std::max(step_span_, span);
+    if (opts.retransmit) {
+      ++stats_.retransmit_messages;
+      stats_.retransmit_wire_bytes += wire;
+    }
+
+    // Fault decisions. The global drop stream is drawn first (keeps the
+    // legacy per-transport RNG sequence stable); everything else is a pure
+    // hash of (seed, step, edge, seq), identical across transport flavors.
+    const bool rng_dropped =
+        faults_.drop_prob > 0.0 &&
+        static_cast<double>(fault_rng_.uniform()) < faults_.drop_prob;
+    const FaultPlan::MessageFault* mf = message_fault_locked(src, dst);
+    const bool dropped =
+        rng_dropped ||
+        (mf != nullptr &&
+         fault_fires_locked(mf->drop_prob, src, dst, seq, kSaltDrop));
+    // Does a later NACK need the pre-codec payload? (unlocked read of the
+    // fault config — it's immutable after construction for message faults)
+    const bool parkable =
+        !local && data != nullptr && elems > 0 &&
+        (faults_.drop_prob > 0.0 || !faults_.message_faults.empty());
+    if (dropped) {
+      ++stats_.dropped_messages;
+      ++stats_.dropped_per_edge[edge];
+      if (local || !parkable)
+        return seq;  // the sender's link was busy, but nothing arrives
+      // Remote drop: forward a parked-only frame so the backend can serve
+      // a retransmission NACK from the original payload.
+    } else if (local) {
+      stats_.bytes_received[static_cast<size_t>(dst)] += wire;
+      stats_.recv_seconds[static_cast<size_t>(dst)] += span;
+    }
+
+    Message msg;
+    msg.src = src;
+    msg.dst = dst;
+    msg.elems = elems;
+    msg.wire_bytes = wire;
+    msg.seq = seq;
+    msg.retransmit = opts.retransmit;
+    if (!payload.empty())
+      msg.checksum =
+          tensor::fnv1a(payload.data(), payload.size() * sizeof(double));
+    msg.payload = std::move(payload);
+
+    bool duplicate = false;
+    bool reorder = false;
+    if (!dropped && mf != nullptr) {
+      if (elems > 0 &&
+          fault_fires_locked(mf->corrupt_prob, src, dst, seq, kSaltCorrupt)) {
+        // Flip one payload bit so the checksum catches it; timing-only
+        // messages carry the flag alone, keeping Sim/InProc decisions equal.
+        msg.corrupted = true;
+        if (msg.has_payload()) {
+          uint64_t bits;
+          std::memcpy(&bits, msg.payload.data(), sizeof(bits));
+          bits ^= 1ull;
+          std::memcpy(msg.payload.data(), &bits, sizeof(bits));
+        }
+        ++stats_.corrupt_messages;
+      }
+      if (fault_fires_locked(mf->delay_prob, src, dst, seq, kSaltDelay)) {
+        // Normal delivery is visible once this step closes (steps + 1); a
+        // delay adds 1..delay_steps_max more closed steps on top.
+        const uint64_t draw = message_hash(faults_.seed, stats_.steps, src,
+                                           dst, seq, kSaltDelayDraw);
+        const int64_t extra =
+            1 + static_cast<int64_t>(
+                    draw % static_cast<uint64_t>(mf->delay_steps_max));
+        msg.deliver_after_step = stats_.steps + 1 + extra;
+        ++stats_.delayed_messages;
+      }
+      duplicate = fault_fires_locked(mf->duplicate_prob, src, dst, seq,
+                                     kSaltDuplicate);
+      reorder =
+          fault_fires_locked(mf->reorder_prob, src, dst, seq, kSaltReorder);
+    }
+
+    if (!dropped && duplicate) {
+      // The copy really crossed the wire: charge its bytes everywhere, but
+      // tagged as duplicated so goodput accounting can subtract them.
+      // Remote destinations charge bytes_received on arrival instead.
+      ++stats_.duplicated_messages;
+      stats_.duplicated_wire_bytes += wire;
+      stats_.total_wire_bytes += wire;
+      stats_.bytes_sent[static_cast<size_t>(src)] += wire;
+      if (local) stats_.bytes_received[static_cast<size_t>(dst)] += wire;
+    }
+    if (local) {
+      auto& box = mailboxes_[static_cast<size_t>(dst)];
+      Message copy;
+      if (duplicate) copy = msg;
+      if (reorder) {
+        ++stats_.reordered_messages;
+        box.push_front(std::move(msg));
+      } else {
+        box.push_back(std::move(msg));
+      }
+      if (duplicate) box.push_back(std::move(copy));
+      return seq;
+    }
+    if (reorder) ++stats_.reordered_messages;
+
+    RemoteFrame frame;
+    frame.span = span;
+    frame.reorder = reorder;
+    frame.dropped = dropped;
+    if (parkable) frame.original.assign(data, data + elems);
+    if (duplicate) {
+      RemoteFrame copy;
+      copy.msg = msg;
+      copy.span = span;
+      copy.dup_copy = true;
+      frame.msg = std::move(msg);
+      outbound.push_back(std::move(frame));
+      outbound.push_back(std::move(copy));
+    } else {
+      frame.msg = std::move(msg);
+      outbound.push_back(std::move(frame));
+    }
   }
-  if (reorder) {
-    ++stats_.reordered_messages;
-    box.push_front(std::move(msg));
-  } else {
-    box.push_back(std::move(msg));
-  }
-  if (duplicate) box.push_back(std::move(copy));
+  for (auto& frame : outbound) forward_remote(std::move(frame));
   return seq;
+}
+
+void Transport::forward_remote(RemoteFrame&& frame) {
+  COMDML_REQUIRE(false, "in-process transport asked to forward "
+                            << frame.msg.src << " -> " << frame.msg.dst
+                            << " to a remote process (local_endpoint "
+                               "override without forward_remote)");
+}
+
+void Transport::inject_remote(RemoteFrame&& frame) {
+  const int64_t dst = frame.msg.dst;
+  COMDML_CHECK(dst >= 0 && dst < endpoints());
+  std::lock_guard<std::mutex> guard(mutex_);
+  // The receiving half of the accounting send() skipped for a remote
+  // destination. A duplicate copy's bytes crossed the wire but its span
+  // does not advance the clock (same split as the in-process path).
+  stats_.bytes_received[static_cast<size_t>(dst)] += frame.msg.wire_bytes;
+  if (!frame.dup_copy)
+    stats_.recv_seconds[static_cast<size_t>(dst)] += frame.span;
+  auto& box = mailboxes_[static_cast<size_t>(dst)];
+  if (frame.reorder) {
+    box.push_front(std::move(frame.msg));
+  } else {
+    box.push_back(std::move(frame.msg));
+  }
+}
+
+bool Transport::nack(int64_t /*src*/, int64_t /*dst*/,
+                     int64_t /*last_delivered_seq*/) {
+  return false;  // no remote senders in-process; the caller retransmits
 }
 
 Message Transport::recv(int64_t dst, int64_t src) {
@@ -533,7 +657,16 @@ void Transport::charge_backoff(double seconds) {
 
 void Transport::end_step() {
   std::lock_guard<std::mutex> guard(mutex_);
-  if (step_messages_ == 0) return;
+  // The positional history records every closed step — a process whose
+  // endpoints only receive during a step still appends a 0/0 row, which is
+  // what keeps index i meaning "global step i" across the processes of a
+  // multi-process run (merge_transport_stats folds rows positionally).
+  stats_.step_spans.push_back(step_span_);
+  stats_.step_message_counts.push_back(step_messages_);
+  if (step_messages_ == 0) {
+    step_span_ = 0.0;
+    return;
+  }
   ++stats_.steps;
   stats_.seconds += step_span_;
   step_span_ = 0.0;

@@ -262,6 +262,13 @@ struct TransportStats {
   int64_t reordered_messages = 0;
   /// Modeled seconds spent in retry backoff (charged into `seconds` too).
   double backoff_seconds = 0.0;
+  /// Per-closed-step history: the modeled span and message count of every
+  /// end_step() call, *including* empty steps (which record 0/0 without
+  /// touching `steps`/`seconds`). Multi-process runs drive the same
+  /// schedule in lockstep, so index i of every process's history is the
+  /// same global step — merge_transport_stats() folds them positionally.
+  std::vector<double> step_spans;
+  std::vector<int64_t> step_message_counts;
 
   [[nodiscard]] int64_t max_bytes_sent() const;
   [[nodiscard]] double mean_bytes_sent() const;
@@ -274,6 +281,17 @@ struct TransportStats {
     return total_wire_bytes - retransmit_wire_bytes - duplicated_wire_bytes;
   }
 };
+
+/// Fold the per-process stats of one multi-process run into the stats the
+/// equivalent single-transport run would have produced. Counters and
+/// per-endpoint vectors sum (each process only accounts traffic touching
+/// its own endpoints); the step history merges positionally — per global
+/// step, the span is the max over processes (messages within a step run
+/// concurrently) and the message count is the sum — and `steps`/`seconds`
+/// are rebuilt from the merged history plus the summed backoff. Exact for
+/// fault-free lockstep schedules: max over doubles is order-independent.
+[[nodiscard]] TransportStats merge_transport_stats(
+    const std::vector<TransportStats>& parts);
 
 /// Message-level transport. Thread-safe: send/recv/try_recv/end_step may be
 /// called concurrently (collectives run single-threaded today, but the
@@ -319,15 +337,29 @@ class Transport {
   /// Matched receive: the oldest deliverable in-flight message src -> dst
   /// (delay faults hide a message until it matures). Throws if none is
   /// pending (a protocol schedule bug, or a dropped/delayed message under
-  /// fault injection).
-  [[nodiscard]] Message recv(int64_t dst, int64_t src);
+  /// fault injection). Virtual so a wire-backed transport can block until
+  /// the frame actually arrives instead of treating "not here yet" as a
+  /// schedule bug.
+  [[nodiscard]] virtual Message recv(int64_t dst, int64_t src);
 
   /// Non-throwing matched receive: nullopt instead of the schedule-bug
   /// failure when nothing deliverable from src is pending. Still raises
   /// EndpointDownError for a dead receiver, or a dead sender with nothing
   /// in flight (the message will never arrive — recover, don't retry).
-  /// Reliable delivery polls through this.
-  [[nodiscard]] std::optional<Message> try_recv_from(int64_t dst, int64_t src);
+  /// Reliable delivery polls through this. Virtual so a wire-backed
+  /// transport can grant in-flight frames a real-time grace window before
+  /// reporting a loss.
+  [[nodiscard]] virtual std::optional<Message> try_recv_from(int64_t dst,
+                                                             int64_t src);
+
+  /// Ask the process owning `src` to retransmit its oldest unacked message
+  /// on the src -> dst edge (everything past `last_delivered_seq`). An
+  /// in-process transport has no remote senders, so the base returns false
+  /// and the caller (ReliableChannel) retransmits from its own window; a
+  /// wire-backed transport ships a NACK control frame to the owning
+  /// process and returns true.
+  [[nodiscard]] virtual bool nack(int64_t src, int64_t dst,
+                                  int64_t last_delivered_seq);
 
   /// Any-source receive in arrival order; nullopt when dst's mailbox holds
   /// nothing deliverable. Used by protocols with data-dependent fan-in
@@ -343,9 +375,19 @@ class Transport {
   /// slowest message. A step with no traffic is not counted.
   void end_step();
 
-  /// Accounting snapshot. Not synchronized against concurrent sends; read
-  /// it from the coordinating thread between phases.
+  /// Accounting view. Not synchronized against concurrent sends; read it
+  /// from the coordinating thread between phases only. Cross-thread
+  /// readers (the daemon's stats RPC answers while socket reader threads
+  /// are still injecting inbound traffic) must use stats_snapshot().
   [[nodiscard]] const TransportStats& stats() const noexcept {
+    return stats_;
+  }
+  /// Locked copy of the accounting — safe to call from any thread while
+  /// sends, receives, and remote injections are in flight. Every stats_
+  /// mutation happens under mutex_, so the copy is a consistent point-in-
+  /// time snapshot (this is the contract the fleetd stats RPC relies on).
+  [[nodiscard]] TransportStats stats_snapshot() const {
+    std::lock_guard<std::mutex> guard(mutex_);
     return stats_;
   }
   /// Clears stats and undelivered mail; fault schedules and manual
@@ -387,6 +429,46 @@ class Transport {
  protected:
   /// Payload-moving transports return true; timing-only ones false.
   [[nodiscard]] virtual bool delivers_payload() const noexcept = 0;
+
+  // ---- multi-process seam ---------------------------------------------------
+  //
+  // send() splits accounting at the process boundary: the sender charges
+  // messages/bytes_sent/send_seconds (and the drop, if any), while
+  // bytes_received/recv_seconds are charged by the process owning the
+  // destination when the frame arrives. In-process transports own every
+  // endpoint, so the split is invisible and the legacy accounting order is
+  // unchanged.
+
+  /// One message bound for an endpoint owned by another process, plus the
+  /// sidecar state a wire backend needs to deliver and re-deliver it.
+  struct RemoteFrame {
+    Message msg;
+    double span = 0.0;   ///< modeled transfer seconds (receiver charges it)
+    bool reorder = false;   ///< receiver pushes to the mailbox front
+    bool dup_copy = false;  ///< duplicate: bytes count, the clock does not
+    /// Sender-side drop: the frame never crosses the wire; the backend may
+    /// still park a copy so a later NACK can trigger a retransmission.
+    bool dropped = false;
+    /// Pre-codec payload for NACK retransmits (retransmitting the encoded
+    /// payload through send() would re-encode it). Populated only when the
+    /// transport has message faults configured.
+    std::vector<double> original;
+  };
+
+  /// Does this process own `endpoint` (deliver locally) or must a send be
+  /// forwarded to another process? Base transports own everything.
+  [[nodiscard]] virtual bool local_endpoint(int64_t /*endpoint*/) const {
+    return true;
+  }
+  /// Ship a frame to the process owning msg.dst. Called by send() outside
+  /// the transport lock (wire writes must not serialize local accounting).
+  /// Base transports never produce remote frames, so the default throws.
+  virtual void forward_remote(RemoteFrame&& frame);
+  /// Receiver-side delivery of a forwarded frame: charges
+  /// bytes_received/recv_seconds (the halves send() skipped for a remote
+  /// destination) and deposits into the destination mailbox. Thread-safe —
+  /// wire reader threads call this concurrently with local traffic.
+  void inject_remote(RemoteFrame&& frame);
 
  private:
   /// Endpoint dead right now? Caller holds mutex_ (deadness depends on the

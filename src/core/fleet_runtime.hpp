@@ -121,6 +121,13 @@ class FleetRuntime {
   [[nodiscard]] std::vector<uint8_t> checkpoint();
   void restore(const std::vector<uint8_t>& bytes);
 
+  /// The underlying real ComDML fleet, or nullptr for every other engine.
+  /// Multi-process workers (fleetd) reach through this to install a
+  /// DistContext and to export/import per-agent state.
+  [[nodiscard]] RealFleet* real_comdml() noexcept {
+    return real_comdml_.get();
+  }
+
  private:
   friend class FleetBuilder;
   FleetRuntime() = default;

@@ -186,22 +186,31 @@ RealFleet::RoundStats RealFleet::step() {
   // independent between the pairing and aggregation barriers. Each task
   // gets an Rng forked in fixed task order before the fan-out, and results
   // land in a pre-sized slot vector reduced serially afterwards, so the
-  // round is bit-identical for every COMDML_NUM_THREADS value.
-  struct TaskResult {
-    float slow_loss_sum = 0.0f;
-    float loss_sum = 0.0f;
-    int64_t loss_count = 0;
-    double dcor = 0.0;
-    double wire_compression = 0.0;
-    int64_t dcor_count = 0;
-    int64_t split_early_buckets = 0;
-  };
+  // round is bit-identical for every COMDML_NUM_THREADS value. (TaskResult
+  // is the public nested type so multi-process fleets can exchange slots.)
   const size_t n_pairs = plan.pairs.size();
   const size_t n_tasks = n_pairs + plan.solo.size();
   std::vector<tensor::Rng> task_rngs;
   task_rngs.reserve(n_tasks);
   for (size_t t = 0; t < n_tasks; ++t) task_rngs.push_back(rng_.fork());
   std::vector<TaskResult> results(n_tasks);
+
+  // Multi-process rounds are solo-only: a pair task trains one replica
+  // with two agents' resources, which has no per-agent owner. Uniform
+  // resource profiles guarantee an empty pair plan (pairing needs a
+  // strict speed gap), so this only fires on misconfiguration.
+  if (dist_)
+    COMDML_REQUIRE(plan.pairs.empty(),
+                   "multi-process fleets must pair nobody; use uniform "
+                   "resource profiles");
+  // Task -> solo agent id (-1 for pair tasks): the cross-process exchange
+  // keys owned results by this map.
+  std::vector<int64_t> task_agent;
+  if (dist_) {
+    task_agent.assign(n_tasks, -1);
+    for (size_t t = n_pairs; t < n_tasks; ++t)
+      task_agent[t] = plan.solo[t - n_pairs];
+  }
 
   // Bucketed aggregation modes. DP noise draws from the fleet Rng in agent
   // order after training (historical semantics), so with DP the buckets are
@@ -349,8 +358,13 @@ RealFleet::RoundStats RealFleet::step() {
       if (slow_die >= 0) kill_agent(pair.slow_agent);
       train_full(pair.fast_agent, rng, out);
     } else {
-      // Solo agents train the full model.
+      // Solo agents train the full model. In multi-process mode only the
+      // owning shard trains the agent (the task's rng was already forked
+      // in fixed order, so skipping preserves every other draw); its
+      // result reaches the other workers through the exchange below.
       const int64_t id = plan.solo[static_cast<size_t>(t) - n_pairs];
+      if (dist_ && dist_->owner[static_cast<size_t>(id)] != dist_->shard)
+        return;
       train_full(id, rng, out);
     }
   };
@@ -366,6 +380,12 @@ RealFleet::RoundStats RealFleet::step() {
                    for (int64_t t = lo; t < hi; ++t) run_task(t);
                  });
   }
+
+  // Multi-process: gather every worker's owned TaskResults into the full
+  // vector so the serial fold below stays one code path — every worker
+  // folds identical slots and lands on the same mean_loss, dcor, and
+  // plateau trajectory.
+  if (dist_ && dist_->exchange) dist_->exchange(task_agent, results);
 
   float slow_loss_sum = 0.0f, loss_sum = 0.0f;
   int64_t loss_count = 0;
@@ -422,26 +442,80 @@ RealFleet::RoundStats RealFleet::step() {
     live_states.reserve(live.size());
     for (const int64_t a : live)
       live_states.push_back(std::move(states[static_cast<size_t>(a)]));
-    const auto min_bw = topology_.min_link_bandwidth();
-    COMDML_REQUIRE(min_bw.has_value() || live.size() == 1,
-                   "topology has no usable link");
-    const auto agg = comm::allreduce_average_over(
-        live_states,
-        comm::LinkGrid::uniform(static_cast<int64_t>(live.size()),
-                                min_bw.value_or(100.0),
-                                options_.comms.latency_sec),
-        options_.comms.aggregation);
-    for (size_t i = 0; i < live.size(); ++i) {
-      const auto a = static_cast<size_t>(live[i]);
-      nn::load_state(*agents_[a].model, live_states[i]);
-      states[a] = std::move(live_states[i]);  // hand the buffers back
-    }
+    if (dist_) {
+      // Multi-process: the same survivor schedule runs rank-partitioned
+      // over the shared (socket) transport — identical message pattern,
+      // identical merge order and arithmetic, so every worker's owned
+      // buffers land on the same bit-identical consensus mean. Non-owned
+      // rows hold stale replicas; their buffers are never read (only
+      // owned sends post, only owned recvs fold).
+      comm::Transport& transport = *dist_->transport;
+      const int64_t n = comm::state_elems(live_states[0]);
+      std::vector<double> slab(
+          static_cast<size_t>(agents_.size()) * static_cast<size_t>(n));
+      comm::CollectiveRequest req;
+      req.elems = n;
+      req.buffers.assign(agents_.size(), nullptr);
+      std::vector<char> owned(agents_.size(), 0);
+      int64_t first_owned = -1;
+      for (size_t i = 0; i < live.size(); ++i) {
+        const auto a = static_cast<size_t>(live[i]);
+        req.buffers[a] = slab.data() + a * static_cast<size_t>(n);
+        if (dist_->owner[a] == dist_->shard) {
+          owned[a] = 1;
+          comm::flatten_state(live_states[i], req.buffers[a]);
+          if (first_owned < 0) first_owned = live[i];
+        }
+      }
+      COMDML_REQUIRE(first_owned >= 0,
+                     "shard " << dist_->shard
+                              << " owns no live agent; it cannot take part "
+                                 "in the aggregation round");
+      if (live.size() > 1) {
+        const auto sched = comm::allreduce_schedule_over(
+            comm::allreduce_protocol(options_.comms.aggregation), live, n);
+        comm::execute_schedule_owned(sched, transport, req, owned);
+      }
+      // Every owned live buffer now holds the same mean; adopt it as the
+      // consensus on every live replica — owned or not — so evaluate(),
+      // rejoin() and the next round's training see one fleet model.
+      const double* mean = req.buffers[static_cast<size_t>(first_owned)];
+      for (size_t i = 0; i < live.size(); ++i) {
+        const auto a = static_cast<size_t>(live[i]);
+        comm::unflatten_state(mean, live_states[i]);
+        nn::load_state(*agents_[a].model, live_states[i]);
+        states[a] = std::move(live_states[i]);  // hand the buffers back
+      }
 
-    // Simulated wall-clock: balanced round span + the collective.
-    stats.aggregation_seconds = agg.cost.seconds;
-    stats.aggregation_bytes = agg.cost.bytes_per_agent;
-    stats.exposed_comm_seconds = agg.cost.seconds;
-    stats.sim_time = t_comp + agg.cost.seconds;
+      // This worker's share of the executed traffic; the daemon merges
+      // the per-worker step histories into the fleet-level clock.
+      const comm::TransportStats ts = transport.stats_snapshot();
+      stats.aggregation_seconds = ts.seconds;
+      stats.aggregation_bytes = ts.max_bytes_sent();
+      stats.exposed_comm_seconds = ts.seconds;
+      stats.sim_time = t_comp + ts.seconds;
+    } else {
+      const auto min_bw = topology_.min_link_bandwidth();
+      COMDML_REQUIRE(min_bw.has_value() || live.size() == 1,
+                     "topology has no usable link");
+      const auto agg = comm::allreduce_average_over(
+          live_states,
+          comm::LinkGrid::uniform(static_cast<int64_t>(live.size()),
+                                  min_bw.value_or(100.0),
+                                  options_.comms.latency_sec),
+          options_.comms.aggregation);
+      for (size_t i = 0; i < live.size(); ++i) {
+        const auto a = static_cast<size_t>(live[i]);
+        nn::load_state(*agents_[a].model, live_states[i]);
+        states[a] = std::move(live_states[i]);  // hand the buffers back
+      }
+
+      // Simulated wall-clock: balanced round span + the collective.
+      stats.aggregation_seconds = agg.cost.seconds;
+      stats.aggregation_bytes = agg.cost.bytes_per_agent;
+      stats.exposed_comm_seconds = agg.cost.seconds;
+      stats.sim_time = t_comp + agg.cost.seconds;
+    }
   } else {
     if (dp) {
       // Snapshot + noise in agent order with the fleet Rng (same draw
@@ -786,6 +860,79 @@ void RealFleet::restore(const std::vector<uint8_t>& bytes) {
                           e.what());
   }
   rounds_since_checkpoint_ = 0;
+}
+
+void RealFleet::set_dist_context(DistContext ctx) {
+  COMDML_REQUIRE(round_ == 0,
+                 "set_dist_context must run before the first step()");
+  COMDML_REQUIRE(ctx.shards >= 1 && ctx.shard >= 0 && ctx.shard < ctx.shards,
+                 "bad shard index " << ctx.shard << " of " << ctx.shards);
+  COMDML_REQUIRE(pipeline_ == nullptr,
+                 "multi-process mode needs a flat (non-bucketed, "
+                 "non-pipelined) fleet");
+  COMDML_REQUIRE(ctx.transport != nullptr, "multi-process mode needs a "
+                                           "transport");
+  COMDML_REQUIRE(ctx.transport->endpoints() == agents(),
+                 "transport hosts " << ctx.transport->endpoints()
+                                    << " endpoints, fleet has " << agents()
+                                    << " agents");
+  COMDML_REQUIRE(static_cast<int64_t>(ctx.owner.size()) == agents(),
+                 "owner map covers " << ctx.owner.size() << " agents of "
+                                     << agents());
+  bool owns_one = false;
+  for (const int64_t o : ctx.owner) {
+    COMDML_REQUIRE(o >= 0 && o < ctx.shards, "owner " << o << " out of range");
+    if (o == ctx.shard) owns_one = true;
+  }
+  COMDML_REQUIRE(owns_one, "shard " << ctx.shard << " owns no agent");
+  COMDML_REQUIRE(ctx.shards == 1 || static_cast<bool>(ctx.exchange),
+                 "multi-worker fleets need a TaskResult exchange");
+  // Constraints the partitioned round cannot honor yet: mid-round deaths
+  // (every worker must see the same live set at every point), straggler
+  // deferral (needs the pipeline's residual machinery), and message loss
+  // on the aggregation wire (the NACK path retransmits, but the per-step
+  // histories then desynchronize across workers).
+  for (const FleetOptions::FaultOptions::AgentFailure& f :
+       options_.faults.failures)
+    COMDML_REQUIRE(f.after_batches < 0 && f.after_buckets < 0 &&
+                       f.at_collective_step < 0,
+                   "multi-process fleets support leave-mode failures only");
+  COMDML_REQUIRE(options_.faults.deadline_sec == 0.0,
+                 "multi-process fleets do not support straggler deadlines");
+  COMDML_REQUIRE(options_.faults.message_drop_prob == 0.0,
+                 "multi-process fleets need a loss-free aggregation wire");
+  dist_ = std::move(ctx);
+}
+
+std::vector<uint8_t> RealFleet::export_agent(int64_t agent) {
+  COMDML_CHECK(agent >= 0 && agent < agents());
+  AgentState& st = agents_[static_cast<size_t>(agent)];
+  tensor::ByteWriter w;
+  w.u8(st.alive ? 1 : 0);
+  w.tensors(nn::state_of(*st.model));
+  w.tensors(st.velocity);
+  const data::Batcher::State bs = st.batcher->save();
+  w.i64s(bs.order);
+  w.i64(bs.cursor);
+  w.i64(bs.epoch);
+  w.str(bs.rng);
+  return w.bytes();
+}
+
+void RealFleet::import_agent(int64_t agent, const std::vector<uint8_t>& bytes) {
+  COMDML_CHECK(agent >= 0 && agent < agents());
+  AgentState& st = agents_[static_cast<size_t>(agent)];
+  tensor::ByteReader r(bytes);
+  st.alive = r.u8() != 0;
+  nn::load_state(*st.model, r.tensors());
+  st.velocity = r.tensors();
+  data::Batcher::State bs;
+  bs.order = r.i64s();
+  bs.cursor = r.i64();
+  bs.epoch = r.i64();
+  bs.rng = r.str();
+  st.batcher->load(bs);
+  r.expect_done();
 }
 
 void RealFleet::auto_checkpoint() {

@@ -80,6 +80,54 @@ class RealFleet {
     int64_t retransmit_bytes = 0;
   };
 
+  /// Per-task training result, folded into the round's mean losses in
+  /// fixed task order. Public because a multi-process fleet gathers owned
+  /// tasks' results and broadcasts the merged vector to every worker (the
+  /// fold itself stays one code path).
+  struct TaskResult {
+    float slow_loss_sum = 0.0f;
+    float loss_sum = 0.0f;
+    int64_t loss_count = 0;
+    double dcor = 0.0;
+    double wire_compression = 0.0;
+    int64_t dcor_count = 0;
+    int64_t split_early_buckets = 0;
+  };
+
+  /// Multi-process execution: this process is shard `shard` of `shards`,
+  /// hosting the agents whose owner[] entry names it. Every worker runs
+  /// the same deterministic fleet (same seeds -> identical replicas) but
+  /// trains only its owned agents' tasks; `exchange` gathers the owned
+  /// TaskResults and returns the merged full vector (indexed by task, as
+  /// produced by every worker in the same order), and the flat aggregation
+  /// executes rank-partitioned over `transport` (endpoints == agents) —
+  /// same schedule, same arithmetic, so the consensus mean is bit-identical
+  /// to the single-process collective.
+  struct DistContext {
+    int64_t shard = 0;
+    int64_t shards = 1;
+    std::vector<int64_t> owner;  ///< agent -> shard
+    comm::Transport* transport = nullptr;
+    /// In: task -> agent id (solo tasks; -1 for pair tasks) and this
+    /// worker's results for owned tasks. Out: results merged across all
+    /// workers, every slot filled.
+    std::function<void(const std::vector<int64_t>&, std::vector<TaskResult>&)>
+        exchange;
+  };
+
+  /// Enable multi-process mode. Requires a flat (non-bucketed,
+  /// non-pipelined) fleet, leave-mode-only fault plans, no straggler
+  /// deadline, and no message loss; throws otherwise. Call before the
+  /// first step().
+  void set_dist_context(DistContext ctx);
+
+  /// Serialize one agent's mutable round state (liveness, weights,
+  /// momentum, batcher position) so ownership can move between processes
+  /// — the checkpoint path gathers remote agents through this.
+  [[nodiscard]] std::vector<uint8_t> export_agent(int64_t agent);
+  /// Inverse of export_agent (geometry must match).
+  void import_agent(int64_t agent, const std::vector<uint8_t>& bytes);
+
   /// One complete ComDML round (pair -> train -> aggregate) over the live
   /// agents. Injected faults (options.faults) kill their agent at the
   /// configured point; the round still completes over the survivors.
@@ -171,6 +219,8 @@ class RealFleet {
   int64_t rounds_since_checkpoint_ = 0;
   float current_lr_ = 0.0f;
   std::optional<nn::PlateauScheduler> plateau_;
+  /// Multi-process execution context; nullopt = ordinary single-process.
+  std::optional<DistContext> dist_;
 
   [[nodiscard]] std::vector<AgentInfo> build_infos() const;
   /// Draws from the agent's own batcher; `rng` drives any privacy

@@ -1,0 +1,542 @@
+#include "daemon/fleetd.hpp"
+
+#include <cstdio>
+#include <utility>
+
+#include "comm/socket_io.hpp"
+#include "comm/socket_transport.hpp"
+#include "nn/module.hpp"
+#include "tensor/check.hpp"
+
+namespace comdml::daemon {
+
+namespace {
+
+std::string blob_to_str(const std::vector<uint8_t>& blob) {
+  return std::string(blob.begin(), blob.end());
+}
+
+std::vector<uint8_t> str_to_blob(const std::string& s) {
+  return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+/// One worker's control connection, from the coordinator's side.
+struct WorkerLink {
+  int fd = -1;
+};
+
+/// The coordinator: owns the worker links and drives the round protocol.
+class Coordinator {
+ public:
+  explicit Coordinator(const CoordinatorOptions& options)
+      : options_(options) {}
+
+  ~Coordinator() {
+    for (WorkerLink& w : workers_)
+      if (w.fd >= 0) comm::close_fd(w.fd);
+    if (listen_fd_ >= 0) comm::close_fd(listen_fd_);
+  }
+
+  int run() {
+    const comm::SocketAddress addr = comm::parse_address(options_.listen);
+    listen_fd_ = comm::listen_on(addr);
+
+    // Phase 1: every worker joins (kJoin names its index), then all get
+    // the same kStart — spec, fleet partition, and the data-mesh
+    // addresses their SocketTransports will form a full mesh over. A
+    // client that connects during this phase gets its hello answered and
+    // is parked until the fleet is up.
+    workers_.resize(static_cast<size_t>(options_.workers));
+    std::vector<int> early_clients;
+    for (int64_t joined = 0; joined < options_.workers;) {
+      const int fd = comm::accept_on(listen_fd_);
+      COMDML_REQUIRE(fd >= 0, "fleetd accept failed while waiting for "
+                              "workers to join");
+      try {
+        const comm::WireFrame frame = recv_msg(fd, "joining peer");
+        if (frame.type == static_cast<uint16_t>(Msg::kClientHello)) {
+          tensor::ByteWriter w;
+          w.i64(options_.spec.agents);
+          w.i64(options_.workers);
+          reply(fd, Msg::kClientHello, w.bytes());
+          early_clients.push_back(fd);
+          continue;
+        }
+        COMDML_REQUIRE(frame.type == static_cast<uint16_t>(Msg::kJoin),
+                       "joining peer sent frame type " << frame.type
+                                                       << ", not kJoin");
+        tensor::ByteReader r(frame.body);
+        const int64_t index = r.i64();
+        r.expect_done();
+        COMDML_REQUIRE(index >= 0 && index < options_.workers,
+                       "worker joined with out-of-range index " << index);
+        COMDML_REQUIRE(workers_[static_cast<size_t>(index)].fd < 0,
+                       "two workers joined with index " << index);
+        workers_[static_cast<size_t>(index)].fd = fd;
+        ++joined;
+      } catch (const std::exception& e) {
+        comm::close_fd(fd);
+        std::fprintf(stderr, "fleetd: rejected a joining peer: %s\n",
+                     e.what());
+      }
+    }
+    owner_ = owner_map(options_.spec.agents, options_.workers);
+    const std::vector<std::string> mesh =
+        mesh_addresses(options_.listen, options_.workers);
+    {
+      tensor::ByteWriter w;
+      write_spec(w, options_.spec);
+      w.i64(options_.workers);
+      w.i64s(owner_);
+      w.u32(static_cast<uint32_t>(mesh.size()));
+      for (const std::string& a : mesh) w.str(a);
+      broadcast(Msg::kStart, w.bytes());
+    }
+    for (const WorkerLink& w : workers_)
+      (void)expect_msg(w.fd, Msg::kReady, "worker");
+    std::printf("fleetd: %lld workers ready, %lld agents, serving on %s\n",
+                (long long)options_.workers,
+                (long long)options_.spec.agents, options_.listen.c_str());
+    std::fflush(stdout);
+
+    // Phase 2: serve clients, one connection at a time (a fleet has one
+    // driver; a second client simply queues on the accept backlog).
+    // Clients parked during the join phase go first.
+    for (const int client : early_clients) {
+      const bool shutdown = serve_client(client);
+      comm::close_fd(client);
+      if (shutdown) return 0;
+    }
+    for (;;) {
+      const int client = comm::accept_on(listen_fd_);
+      COMDML_REQUIRE(client >= 0, "fleetd client accept failed");
+      const bool shutdown = serve_client(client);
+      comm::close_fd(client);
+      if (shutdown) return 0;
+    }
+  }
+
+ private:
+  /// Serve one client until it disconnects; true when it asked the whole
+  /// fleet to shut down.
+  bool serve_client(int client) {
+    for (;;) {
+      auto frame = comm::recv_frame(client);
+      if (!frame.has_value()) return false;  // client went away
+      try {
+        if (handle_client(client, *frame)) return true;
+      } catch (const std::exception& e) {
+        // Surface the failure to the client instead of dying; a dead
+        // worker will keep erroring every request, which is the honest
+        // signal.
+        const std::string what = e.what();
+        (void)send_msg(client, Msg::kError, str_to_blob(what));
+      }
+    }
+  }
+
+  bool handle_client(int client, const comm::WireFrame& frame) {
+    switch (static_cast<Msg>(frame.type)) {
+      case Msg::kClientHello: {
+        tensor::ByteWriter w;
+        w.i64(options_.spec.agents);
+        w.i64(options_.workers);
+        reply(client, Msg::kClientHello, w.bytes());
+        return false;
+      }
+      case Msg::kClientRound: {
+        const core::RoundReport rep = run_round();
+        tensor::ByteWriter w;
+        write_report(w, rep);
+        reply(client, Msg::kRoundReport, w.bytes());
+        return false;
+      }
+      case Msg::kClientStats: {
+        broadcast(Msg::kStatsReq, {});
+        std::vector<comm::TransportStats> parts;
+        for (const WorkerLink& w : workers_) {
+          const comm::WireFrame resp =
+              expect_msg(w.fd, Msg::kStatsResp, "worker");
+          tensor::ByteReader r(resp.body);
+          parts.push_back(read_stats(r));
+          r.expect_done();
+        }
+        tensor::ByteWriter w;
+        write_stats(w, comm::merge_transport_stats(parts));
+        reply(client, Msg::kClientStatsResp, w.bytes());
+        return false;
+      }
+      case Msg::kClientWeights: {
+        const int w0 = workers_[0].fd;
+        COMDML_REQUIRE(send_msg(w0, Msg::kWeightsReq), "worker 0 is gone");
+        const comm::WireFrame blob =
+            expect_msg(w0, Msg::kWeights, "worker 0");
+        reply(client, Msg::kWeights, blob.body);
+        return false;
+      }
+      case Msg::kClientCheckpoint: {
+        reply(client, Msg::kCheckpointBlob, gather_checkpoint());
+        return false;
+      }
+      case Msg::kClientLeave: {
+        tensor::ByteReader r(frame.body);
+        const int64_t agent = r.i64();
+        r.expect_done();
+        tensor::ByteWriter w;
+        w.i64(agent);
+        broadcast(Msg::kLeave, w.bytes());
+        for (const WorkerLink& link : workers_)
+          (void)expect_msg(link.fd, Msg::kAck, "worker");
+        reply(client, Msg::kAck, {});
+        return false;
+      }
+      case Msg::kClientShutdown: {
+        broadcast(Msg::kShutdown, {});
+        reply(client, Msg::kAck, {});
+        return true;
+      }
+      default:
+        reply(client, Msg::kError,
+              str_to_blob("unknown client request type " +
+                          std::to_string(frame.type)));
+        return false;
+    }
+  }
+
+  core::RoundReport run_round() {
+    {
+      tensor::ByteWriter w;
+      w.i64(round_);
+      broadcast(Msg::kRound, w.bytes());
+    }
+
+    // Gather owned task results, merge, broadcast the full vector. This
+    // doubles as the round barrier: every worker sits inside its
+    // exchange() until the merged vector lands.
+    int64_t n_tasks = -1;
+    std::vector<core::RealFleet::TaskResult> merged;
+    for (const WorkerLink& w : workers_) {
+      const comm::WireFrame frame =
+          expect_msg(w.fd, Msg::kTaskResults, "worker");
+      tensor::ByteReader r(frame.body);
+      const int64_t n = r.i64();
+      if (n_tasks < 0) {
+        n_tasks = n;
+        merged.resize(static_cast<size_t>(n));
+      }
+      COMDML_REQUIRE(n == n_tasks,
+                     "workers disagree on the round's task count ("
+                         << n << " vs " << n_tasks << ")");
+      const uint32_t count = r.u32();
+      for (uint32_t i = 0; i < count; ++i) {
+        const int64_t task = r.i64();
+        COMDML_REQUIRE(task >= 0 && task < n_tasks,
+                       "task index " << task << " out of range");
+        merged[static_cast<size_t>(task)] = read_task_result(r);
+      }
+      r.expect_done();
+    }
+    {
+      tensor::ByteWriter w;
+      w.u32(static_cast<uint32_t>(merged.size()));
+      for (const core::RealFleet::TaskResult& t : merged)
+        write_task_result(w, t);
+      broadcast(Msg::kMergedResults, w.bytes());
+    }
+
+    // Every worker finishes the round (aggregation over the data mesh)
+    // and reports its RoundReport + transport snapshot.
+    core::RoundReport report;
+    std::vector<comm::TransportStats> parts;
+    for (size_t i = 0; i < workers_.size(); ++i) {
+      const comm::WireFrame frame =
+          expect_msg(workers_[i].fd, Msg::kRoundDone, "worker");
+      tensor::ByteReader r(frame.body);
+      const core::RoundReport rep = read_report(r);
+      parts.push_back(read_stats(r));
+      r.expect_done();
+      if (i == 0) report = rep;
+    }
+
+    // The losses are identical on every worker (that is the point); the
+    // clock is not — each worker's transport only saw its own sends, so
+    // the fleet-level collective time comes from the positional merge of
+    // the per-worker step histories.
+    const comm::TransportStats stats = comm::merge_transport_stats(parts);
+    const double compute = report.round_seconds - report.aggregation_seconds;
+    report.aggregation_seconds = stats.seconds;
+    report.aggregation_bytes = stats.max_bytes_sent();
+    report.exposed_comm_seconds = stats.seconds;
+    report.round_seconds = compute + stats.seconds;
+    report.round = round_;
+    ++round_;
+    return report;
+  }
+
+  /// Pull every remote-owned agent's state onto worker 0, then take an
+  /// ordinary single-fleet checkpoint there — the blob restores into any
+  /// structurally identical fleet, multi-process or not.
+  std::vector<uint8_t> gather_checkpoint() {
+    const int w0 = workers_[0].fd;
+    for (int64_t a = 0; a < options_.spec.agents; ++a) {
+      const int64_t owner = owner_[static_cast<size_t>(a)];
+      if (owner == 0) continue;
+      tensor::ByteWriter req;
+      req.i64(a);
+      const int ofd = workers_[static_cast<size_t>(owner)].fd;
+      COMDML_REQUIRE(send_msg(ofd, Msg::kAgentStateReq, req.bytes()),
+                     "worker " << owner << " is gone");
+      const comm::WireFrame state =
+          expect_msg(ofd, Msg::kAgentState, "worker");
+      COMDML_REQUIRE(send_msg(w0, Msg::kLoadAgentState, state.body),
+                     "worker 0 is gone");
+      (void)expect_msg(w0, Msg::kAck, "worker 0");
+    }
+    COMDML_REQUIRE(send_msg(w0, Msg::kCheckpointReq), "worker 0 is gone");
+    return expect_msg(w0, Msg::kCheckpointBlob, "worker 0").body;
+  }
+
+  void broadcast(Msg type, const std::vector<uint8_t>& body) {
+    for (size_t i = 0; i < workers_.size(); ++i)
+      COMDML_REQUIRE(send_msg(workers_[i].fd, type, body),
+                     "worker " << i << " is gone");
+  }
+
+  void reply(int client, Msg type, const std::vector<uint8_t>& body) {
+    // A vanished client is not an error worth killing the fleet over.
+    (void)send_msg(client, type, body);
+  }
+
+  CoordinatorOptions options_;
+  int listen_fd_ = -1;
+  std::vector<WorkerLink> workers_;
+  std::vector<int64_t> owner_;
+  int64_t round_ = 0;
+};
+
+}  // namespace
+
+int run_coordinator(const CoordinatorOptions& options) {
+  try {
+    Coordinator coordinator(options);
+    return coordinator.run();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fleetd coordinator: %s\n", e.what());
+    return 1;
+  }
+}
+
+int run_worker(const WorkerOptions& options) {
+  try {
+    const comm::SocketAddress addr = comm::parse_address(options.connect);
+    const int fd = comm::dial(addr, 30.0);
+    COMDML_REQUIRE(fd >= 0, "cannot reach coordinator at "
+                                << options.connect);
+    {
+      tensor::ByteWriter w;
+      w.i64(options.index);
+      COMDML_REQUIRE(send_msg(fd, Msg::kJoin, w.bytes()),
+                     "coordinator closed the connection");
+    }
+    const comm::WireFrame start = expect_msg(fd, Msg::kStart, "coordinator");
+    tensor::ByteReader r(start.body);
+    const FleetSpec spec = read_spec(r);
+    const int64_t workers = r.i64();
+    const std::vector<int64_t> owner = r.i64s();
+    const uint32_t naddr = r.u32();
+    std::vector<std::string> mesh_addrs;
+    for (uint32_t i = 0; i < naddr; ++i) mesh_addrs.push_back(r.str());
+    r.expect_done();
+
+    // The full deterministic fleet — identical replicas on every worker;
+    // the DistContext below is what narrows training to owned agents.
+    core::FleetRuntime fleet = build_spec_fleet(spec);
+    core::RealFleet* rf = fleet.real_comdml();
+    COMDML_REQUIRE(rf != nullptr, "spec fleet is not a real ComDML fleet");
+
+    comm::SocketPeerConfig peer_cfg;
+    peer_cfg.owner = owner;
+    peer_cfg.self = options.index;
+    peer_cfg.addrs = mesh_addrs;
+    comm::SocketTransport mesh(
+        comm::LinkGrid::uniform(spec.agents, spec.mbps, spec.latency_sec),
+        peer_cfg);
+    mesh.wait_ready();
+
+    core::RealFleet::DistContext ctx;
+    ctx.shard = options.index;
+    ctx.shards = workers;
+    ctx.owner = owner;
+    ctx.transport = &mesh;
+    ctx.exchange = [fd, index = options.index, &owner](
+                       const std::vector<int64_t>& task_agent,
+                       std::vector<core::RealFleet::TaskResult>& results) {
+      tensor::ByteWriter w;
+      w.i64(static_cast<int64_t>(results.size()));
+      uint32_t count = 0;
+      for (const int64_t agent : task_agent)
+        if (agent >= 0 && owner[static_cast<size_t>(agent)] == index)
+          ++count;
+      w.u32(count);
+      for (size_t t = 0; t < task_agent.size(); ++t) {
+        const int64_t agent = task_agent[t];
+        if (agent < 0 || owner[static_cast<size_t>(agent)] != index)
+          continue;
+        w.i64(static_cast<int64_t>(t));
+        write_task_result(w, results[t]);
+      }
+      COMDML_REQUIRE(send_msg(fd, Msg::kTaskResults, w.bytes()),
+                     "coordinator is gone");
+      const comm::WireFrame merged =
+          expect_msg(fd, Msg::kMergedResults, "coordinator");
+      tensor::ByteReader r(merged.body);
+      const uint32_t n = r.u32();
+      COMDML_REQUIRE(n == results.size(),
+                     "merged results cover " << n << " tasks, expected "
+                                             << results.size());
+      for (uint32_t t = 0; t < n; ++t) results[t] = read_task_result(r);
+      r.expect_done();
+    };
+    rf->set_dist_context(std::move(ctx));
+    COMDML_REQUIRE(send_msg(fd, Msg::kReady), "coordinator is gone");
+
+    for (;;) {
+      auto frame = comm::recv_frame(fd);
+      if (!frame.has_value()) {
+        std::fprintf(stderr, "fleetd worker %lld: coordinator vanished\n",
+                     (long long)options.index);
+        return 1;
+      }
+      try {
+        switch (static_cast<Msg>(frame->type)) {
+          case Msg::kRound: {
+            // New round, clean transport slate — stats and mail reset
+            // before any training (the exchange barrier guarantees no
+            // peer reaches the aggregation while anyone is still here).
+            mesh.reset();
+            const core::RoundReport rep = fleet.step();
+            tensor::ByteWriter w;
+            write_report(w, rep);
+            write_stats(w, mesh.stats_snapshot());
+            COMDML_REQUIRE(send_msg(fd, Msg::kRoundDone, w.bytes()),
+                           "coordinator is gone");
+            break;
+          }
+          case Msg::kStatsReq: {
+            tensor::ByteWriter w;
+            write_stats(w, mesh.stats_snapshot());
+            (void)send_msg(fd, Msg::kStatsResp, w.bytes());
+            break;
+          }
+          case Msg::kAgentStateReq: {
+            tensor::ByteReader req(frame->body);
+            const int64_t agent = req.i64();
+            req.expect_done();
+            tensor::ByteWriter w;
+            w.i64(agent);
+            w.str(blob_to_str(rf->export_agent(agent)));
+            (void)send_msg(fd, Msg::kAgentState, w.bytes());
+            break;
+          }
+          case Msg::kLoadAgentState: {
+            tensor::ByteReader req(frame->body);
+            const int64_t agent = req.i64();
+            rf->import_agent(agent, str_to_blob(req.str()));
+            req.expect_done();
+            (void)send_msg(fd, Msg::kAck);
+            break;
+          }
+          case Msg::kCheckpointReq: {
+            (void)send_msg(fd, Msg::kCheckpointBlob, fleet.checkpoint());
+            break;
+          }
+          case Msg::kWeightsReq: {
+            const std::vector<int64_t> live = fleet.live_agents();
+            COMDML_REQUIRE(!live.empty(), "no live agents");
+            (void)send_msg(
+                fd, Msg::kWeights,
+                tensor::pack_tensors(nn::state_of(fleet.model(live[0]))));
+            break;
+          }
+          case Msg::kLeave: {
+            tensor::ByteReader req(frame->body);
+            fleet.leave(req.i64());
+            req.expect_done();
+            (void)send_msg(fd, Msg::kAck);
+            break;
+          }
+          case Msg::kShutdown:
+            return 0;
+          default:
+            (void)send_msg(fd, Msg::kError,
+                           str_to_blob("unknown worker request type " +
+                                       std::to_string(frame->type)));
+        }
+      } catch (const std::exception& e) {
+        (void)send_msg(fd, Msg::kError, str_to_blob(e.what()));
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fleetd worker %lld: %s\n",
+                 (long long)options.index, e.what());
+    return 1;
+  }
+}
+
+FleetClient::FleetClient(const std::string& address, double timeout_sec) {
+  fd_ = comm::dial(comm::parse_address(address), timeout_sec);
+  COMDML_REQUIRE(fd_ >= 0, "cannot reach fleetd at " << address);
+  const comm::WireFrame hello =
+      rpc(Msg::kClientHello, {}, Msg::kClientHello);
+  tensor::ByteReader r(hello.body);
+  agents_ = r.i64();
+  workers_ = r.i64();
+  r.expect_done();
+}
+
+FleetClient::~FleetClient() {
+  if (fd_ >= 0) comm::close_fd(fd_);
+}
+
+comm::WireFrame FleetClient::rpc(Msg type, const std::vector<uint8_t>& body,
+                                 Msg want) {
+  COMDML_REQUIRE(send_msg(fd_, type, body), "fleetd is gone");
+  return expect_msg(fd_, want, "fleetd");
+}
+
+core::RoundReport FleetClient::round() {
+  const comm::WireFrame frame = rpc(Msg::kClientRound, {}, Msg::kRoundReport);
+  tensor::ByteReader r(frame.body);
+  core::RoundReport rep = read_report(r);
+  r.expect_done();
+  return rep;
+}
+
+comm::TransportStats FleetClient::stats() {
+  const comm::WireFrame frame =
+      rpc(Msg::kClientStats, {}, Msg::kClientStatsResp);
+  tensor::ByteReader r(frame.body);
+  comm::TransportStats s = read_stats(r);
+  r.expect_done();
+  return s;
+}
+
+std::vector<uint8_t> FleetClient::weights() {
+  return rpc(Msg::kClientWeights, {}, Msg::kWeights).body;
+}
+
+std::vector<uint8_t> FleetClient::checkpoint() {
+  return rpc(Msg::kClientCheckpoint, {}, Msg::kCheckpointBlob).body;
+}
+
+void FleetClient::leave(int64_t agent) {
+  tensor::ByteWriter w;
+  w.i64(agent);
+  (void)rpc(Msg::kClientLeave, w.bytes(), Msg::kAck);
+}
+
+void FleetClient::shutdown() {
+  (void)rpc(Msg::kClientShutdown, {}, Msg::kAck);
+}
+
+}  // namespace comdml::daemon

@@ -1,0 +1,89 @@
+// fleetd — host one ComDML fleet across OS processes.
+//
+// One coordinator process owns the control plane: it listens on a
+// unix/tcp address, waits for `workers` worker processes to join, ships
+// each the FleetSpec + owner map + data-mesh addresses, and then drives
+// rounds on behalf of connected clients. Each worker builds the full
+// deterministic fleet from the spec (identical replicas everywhere),
+// connects a comm::SocketTransport data mesh to its sibling workers, and
+// trains only the agents it owns; task results flow through the
+// coordinator (gather -> merge -> broadcast) and the aggregation
+// collective runs rank-partitioned over the socket mesh. The result is
+// bit-identical to the same fleet stepped in a single process — the
+// socket_test asserts final weights byte-for-byte.
+//
+//   fleetd --listen unix:/tmp/fleet.sock --workers 2 --agents 4   # coord
+//   fleetd --worker --index 0 --connect unix:/tmp/fleet.sock      # worker
+//   fleetd --worker --index 1 --connect unix:/tmp/fleet.sock
+//   fleet_cli --connect unix:/tmp/fleet.sock --rounds 3           # client
+//
+// FleetClient is the embeddable client the CLI and tests use: one blocking
+// RPC per call, over the same framed wire.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "daemon/protocol.hpp"
+
+namespace comdml::daemon {
+
+struct CoordinatorOptions {
+  std::string listen;  ///< control address ("unix:..." | "tcp:host:port")
+  int64_t workers = 2;
+  FleetSpec spec;
+};
+
+/// Run the coordinator until a client sends kClientShutdown (forwarded to
+/// every worker). Returns a process exit code.
+int run_coordinator(const CoordinatorOptions& options);
+
+struct WorkerOptions {
+  std::string connect;  ///< the coordinator's control address
+  int64_t index = 0;
+};
+
+/// Run one worker until the coordinator sends kShutdown (or dies).
+/// Returns a process exit code.
+int run_worker(const WorkerOptions& options);
+
+/// Blocking client for a running fleetd coordinator. Every method is one
+/// RPC; errors from the daemon surface as std::runtime_error.
+class FleetClient {
+ public:
+  /// Connects and completes the hello handshake (throws on timeout).
+  explicit FleetClient(const std::string& address,
+                       double timeout_sec = 30.0);
+  ~FleetClient();
+  FleetClient(const FleetClient&) = delete;
+  FleetClient& operator=(const FleetClient&) = delete;
+
+  [[nodiscard]] int64_t agents() const noexcept { return agents_; }
+  [[nodiscard]] int64_t workers() const noexcept { return workers_; }
+
+  /// Drive one fleet round; the report carries worker 0's losses (every
+  /// worker computes identical ones) and the merged transport clock.
+  core::RoundReport round();
+  /// Merged per-worker transport stats of the last round.
+  [[nodiscard]] comm::TransportStats stats();
+  /// pack_tensors() of the consensus model (first live agent's replica).
+  [[nodiscard]] std::vector<uint8_t> weights();
+  /// Full fleet checkpoint: remote agents are gathered onto worker 0
+  /// first, so the blob restores into a single-process fleet.
+  [[nodiscard]] std::vector<uint8_t> checkpoint();
+  /// Remove an agent from the fleet on every worker.
+  void leave(int64_t agent);
+  /// Stop the coordinator and all workers.
+  void shutdown();
+
+ private:
+  comm::WireFrame rpc(Msg type, const std::vector<uint8_t>& body,
+                      Msg want);
+
+  int fd_ = -1;
+  int64_t agents_ = 0;
+  int64_t workers_ = 0;
+};
+
+}  // namespace comdml::daemon

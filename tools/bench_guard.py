@@ -23,6 +23,15 @@ Usage:
     python3 tools/bench_guard.py --baseline BENCH_kernels.json \
         --candidate build/BENCH_kernels.json [--threshold 0.25]
 
+``--baseline`` is repeatable: the files merge record by record in the
+order given, later files overriding earlier ones on key collisions. A
+repo can therefore layer a machine- or suite-specific baseline over the
+committed default:
+
+    python3 tools/bench_guard.py --baseline BENCH_kernels.json \
+        --baseline BENCH_kernels.ci-runner.json \
+        --candidate build/BENCH_kernels.json
+
 Exit status 0 when every deterministic metric is within the threshold,
 1 otherwise.
 """
@@ -68,15 +77,18 @@ def relative_regression(metric, baseline, candidate):
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--baseline", required=True,
-                    help="committed BENCH_kernels.json")
+    ap.add_argument("--baseline", action="append", required=True,
+                    help="committed BENCH_kernels.json; repeatable — later "
+                         "files override earlier ones record by record")
     ap.add_argument("--candidate", required=True,
                     help="freshly produced BENCH_kernels.json")
     ap.add_argument("--threshold", type=float, default=0.25,
                     help="allowed relative regression (default 0.25)")
     args = ap.parse_args()
 
-    baseline = load_records(args.baseline)
+    baseline = {}
+    for path in args.baseline:
+        baseline.update(load_records(path))
     candidate = load_records(args.candidate)
 
     failures, warnings, missing = [], [], []

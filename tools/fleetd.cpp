@@ -1,0 +1,97 @@
+// fleetd — host one ComDML fleet across OS processes.
+//
+//   fleetd --listen unix:/tmp/fleet.sock --workers 2 --agents 4  # coordinator
+//   fleetd --worker --index 0 --connect unix:/tmp/fleet.sock     # worker 0
+//   fleetd --worker --index 1 --connect unix:/tmp/fleet.sock     # worker 1
+//
+// Drive rounds with `fleet_cli --connect unix:/tmp/fleet.sock`.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "daemon/fleetd.hpp"
+
+namespace {
+
+using comdml::daemon::CoordinatorOptions;
+using comdml::daemon::WorkerOptions;
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "fleetd — multi-process ComDML fleet daemon\n"
+      "\n"
+      "coordinator:\n"
+      "  fleetd --listen <addr> [--workers N] [--agents N] [--seed N]\n"
+      "         [--protocol hd|ring] [--batches N] [--batch-size N]\n"
+      "         [--lr F] [--momentum F] [--mbps F] [--latency F]\n"
+      "worker:\n"
+      "  fleetd --worker --index I --connect <addr>\n"
+      "\n"
+      "addresses: unix:/path/to.sock | tcp:host:port\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool worker = false;
+  CoordinatorOptions coord;
+  WorkerOptions wopt;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto value = [&]() -> std::string {
+        if (i + 1 >= argc)
+          throw std::invalid_argument(arg + " needs a value");
+        return argv[++i];
+      };
+      if (arg == "--worker") {
+        worker = true;
+      } else if (arg == "--listen") {
+        coord.listen = value();
+      } else if (arg == "--connect") {
+        wopt.connect = value();
+      } else if (arg == "--index") {
+        wopt.index = std::stoll(value());
+      } else if (arg == "--workers") {
+        coord.workers = std::stoll(value());
+      } else if (arg == "--agents") {
+        coord.spec.agents = std::stoll(value());
+      } else if (arg == "--seed") {
+        coord.spec.seed = std::stoull(value());
+      } else if (arg == "--protocol") {
+        coord.spec.protocol = value();
+      } else if (arg == "--batches") {
+        coord.spec.batches_per_round = std::stoll(value());
+      } else if (arg == "--batch-size") {
+        coord.spec.batch_size = std::stoll(value());
+      } else if (arg == "--lr") {
+        coord.spec.lr = std::stof(value());
+      } else if (arg == "--momentum") {
+        coord.spec.momentum = std::stof(value());
+      } else if (arg == "--mbps") {
+        coord.spec.mbps = std::stod(value());
+      } else if (arg == "--latency") {
+        coord.spec.latency_sec = std::stod(value());
+      } else if (arg == "--help" || arg == "-h") {
+        usage();
+        return 0;
+      } else {
+        throw std::invalid_argument("unknown flag " + arg);
+      }
+    }
+    if (worker) {
+      if (wopt.connect.empty())
+        throw std::invalid_argument("--worker needs --connect <addr>");
+      return comdml::daemon::run_worker(wopt);
+    }
+    if (coord.listen.empty())
+      throw std::invalid_argument("coordinator needs --listen <addr>");
+    return comdml::daemon::run_coordinator(coord);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fleetd: %s\n", e.what());
+    usage();
+    return 2;
+  }
+}
