@@ -66,11 +66,20 @@ struct Args {
   /// Durable state: write a checkpoint after the run / load one before it.
   std::string checkpoint_path;
   std::string restore_path;
+  /// Quorum shards: per-worker shard files to assemble a fleet from
+  /// (local mode), or the directory workers write their shards into
+  /// (client mode).
+  std::vector<std::string> restore_shards;
+  std::string shard_dir;
   /// Client mode: drive a running fleetd daemon instead of a local fleet.
   std::string connect;
+  double connect_timeout_sec = 30.0;
   /// Local mode: build the fleetd FleetSpec fleet (uniform profiles) so a
   /// single-process run is bit-comparable with a multi-process one.
   bool uniform = false;
+  /// Per-agent compute multipliers for the spec fleet (with --uniform),
+  /// matching a fleetd coordinator started with the same --scale.
+  std::string scale_csv;
   /// Write the final consensus weights (tensor::pack_tensors blob) here.
   std::string weights_out;
   bool print_stats = false;  ///< client mode: print merged transport stats
@@ -127,8 +136,12 @@ bool parse(int argc, char** argv, Args& args) {
     else if (flag == "--checkpoint-dir" && (v = need_value("--checkpoint-dir"))) args.checkpoint_dir = v;
     else if (flag == "--checkpoint" && (v = need_value("--checkpoint"))) args.checkpoint_path = v;
     else if (flag == "--restore" && (v = need_value("--restore"))) args.restore_path = v;
+    else if (flag == "--restore-shard" && (v = need_value("--restore-shard"))) args.restore_shards.push_back(v);
+    else if (flag == "--shard-checkpoint" && (v = need_value("--shard-checkpoint"))) args.shard_dir = v;
     else if (flag == "--connect" && (v = need_value("--connect"))) args.connect = v;
+    else if (flag == "--connect-timeout-sec" && (v = need_value("--connect-timeout-sec"))) args.connect_timeout_sec = std::stod(v);
     else if (flag == "--uniform") { args.uniform = true; continue; }
+    else if (flag == "--scale" && (v = need_value("--scale"))) args.scale_csv = v;
     else if (flag == "--weights-out" && (v = need_value("--weights-out"))) args.weights_out = v;
     else if (flag == "--stats") { args.print_stats = true; continue; }
     else if (flag == "--shutdown") { args.shutdown = true; continue; }
@@ -160,12 +173,21 @@ bool parse(int argc, char** argv, Args& args) {
           "   the newest two)\n"
           "  [--checkpoint PATH] [--restore PATH]   (real comdml: save the\n"
           "   fleet state after the run / resume from a saved state)\n"
+          "  [--restore-shard PATH]   (real comdml, repeatable: assemble the\n"
+          "   fleet from per-worker quorum shards before the run; agents\n"
+          "   missing from the shards come up as left)\n"
           "  [--connect ADDR]   (client mode: drive a running fleetd at\n"
           "   unix:/path.sock or tcp:host:port instead of a local fleet;\n"
           "   combine with --rounds, --weights-out, --stats, --shutdown)\n"
+          "  [--connect-timeout-sec S]   (client mode: give up dialing the\n"
+          "   coordinator after S seconds; a stale unix socket fails fast)\n"
+          "  [--shard-checkpoint DIR]   (client mode: every live worker\n"
+          "   writes its owned-agent shard into DIR after the rounds)\n"
           "  [--uniform]   (real comdml: build the fleetd FleetSpec fleet —\n"
           "   uniform resource profiles — so this single-process run is\n"
           "   bit-comparable with a fleetd multi-process run)\n"
+          "  [--scale F,F,...]   (with --uniform: per-agent compute\n"
+          "   multipliers, matching a fleetd started with the same --scale)\n"
           "  [--weights-out PATH]   (write the final consensus weights as a\n"
           "   raw tensor blob; works locally and in client mode)\n");
       return false;
@@ -296,9 +318,25 @@ bool write_blob(const std::string& path, const std::vector<uint8_t>& bytes) {
   return true;
 }
 
+/// Parse "1.0,0.35,1.0" into per-agent compute multipliers.
+std::vector<double> parse_scales(const std::string& csv) {
+  std::vector<double> scales;
+  size_t pos = 0;
+  while (pos <= csv.size()) {
+    const size_t comma = csv.find(',', pos);
+    const std::string item =
+        csv.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (item.empty()) throw std::invalid_argument("empty --scale entry");
+    scales.push_back(std::stod(item));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return scales;
+}
+
 /// Client mode: drive a running fleetd daemon round by round.
 int run_client(const Args& args) {
-  daemon::FleetClient client(args.connect);
+  daemon::FleetClient client(args.connect, args.connect_timeout_sec);
   std::printf("connected to fleetd at %s: %lld agents across %lld workers\n",
               args.connect.c_str(), (long long)client.agents(),
               (long long)client.workers());
@@ -335,6 +373,13 @@ int run_client(const Args& args) {
     if (!write_blob(args.checkpoint_path, blob)) return 1;
     std::printf("checkpoint (%zu bytes) written to %s\n", blob.size(),
                 args.checkpoint_path.c_str());
+  }
+  if (!args.shard_dir.empty()) {
+    const std::vector<std::string> paths =
+        client.shard_checkpoint(args.shard_dir);
+    std::printf("quorum checkpoint: %zu shard(s) in %s\n", paths.size(),
+                args.shard_dir.c_str());
+    for (const std::string& p : paths) std::printf("  %s\n", p.c_str());
   }
   if (args.shutdown) {
     client.shutdown();
@@ -388,6 +433,8 @@ int main(int argc, char** argv) {
         daemon::FleetSpec spec;
         spec.agents = args.agents;
         spec.seed = args.seed;
+        if (!args.scale_csv.empty())
+          spec.compute_scales = parse_scales(args.scale_csv);
         return daemon::build_spec_fleet(spec, &eval_set);
       }
       return args.real
@@ -396,12 +443,42 @@ int main(int argc, char** argv) {
                                    std::move(sizes));
     }();
 
-    const bool durable = args.real && method == Method::kComDML;
-    if ((!args.checkpoint_path.empty() || !args.restore_path.empty()) &&
+    const bool durable =
+        (args.real || args.uniform) && method == Method::kComDML;
+    if ((!args.checkpoint_path.empty() || !args.restore_path.empty() ||
+         !args.restore_shards.empty()) &&
         !durable) {
-      std::fprintf(stderr, "error: --checkpoint/--restore need --real "
-                           "--method comdml\n");
+      std::fprintf(stderr, "error: --checkpoint/--restore/--restore-shard "
+                           "need --real --method comdml\n");
       return 1;
+    }
+    if (!args.restore_shards.empty()) {
+      std::vector<std::vector<uint8_t>> blobs;
+      for (const std::string& path : args.restore_shards) {
+        std::ifstream in(path, std::ios::binary);
+        if (!in) {
+          std::fprintf(stderr, "error: cannot read shard %s\n",
+                       path.c_str());
+          return 1;
+        }
+        blobs.emplace_back((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+      }
+      try {
+        fleet.restore_shards(blobs);
+      } catch (const core::CheckpointError& e) {
+        std::fprintf(stderr,
+                     "error: shard set is unusable: %s\n"
+                     "(a shard is truncated, corrupted, or the shards come "
+                     "from different checkpoints; gather a consistent "
+                     "quorum and retry)\n",
+                     e.what());
+        return 1;
+      }
+      std::printf("restored %zu shard(s); %zu live agent(s), resuming at "
+                  "round %lld\n",
+                  blobs.size(), fleet.live_agents().size(),
+                  (long long)fleet.rounds_executed());
     }
     if (!args.restore_path.empty()) {
       std::ifstream in(args.restore_path, std::ios::binary);
@@ -446,7 +523,9 @@ int main(int argc, char** argv) {
       }
       report.rounds.push_back(rep);
     }
-    std::printf("\nmean round time: %.2fs\n", report.mean_round_seconds());
+    if (args.rounds > 0)
+      std::printf("\nmean round time: %.2fs\n",
+                  report.mean_round_seconds());
 
     if (!args.checkpoint_path.empty()) {
       const auto bytes = fleet.checkpoint();
@@ -487,6 +566,9 @@ int main(int argc, char** argv) {
       std::printf("target %.0f%% exceeds the calibrated ceiling\n",
                   100 * args.target);
     }
+  } catch (const daemon::CoordinatorUnreachable& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

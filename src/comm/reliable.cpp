@@ -8,6 +8,15 @@
 
 namespace comdml::comm {
 
+int64_t RetryPolicy::extra_retries(int64_t observed_drops) const {
+  if (observed_drops <= 0) return 0;
+  int64_t bonus = 0;
+  // floor(log2(drops + 1)) without touching floating point: monotone,
+  // saturating, and cheap enough to recompute per retry attempt.
+  for (int64_t v = observed_drops + 1; v > 1; v >>= 1) ++bonus;
+  return std::min(bonus, adaptive_extra_max);
+}
+
 RetryPolicy RetryPolicy::from_env() {
   RetryPolicy policy;
   if (const char* retries = std::getenv("COMDML_RETRY_MAX")) {
@@ -17,6 +26,12 @@ RetryPolicy RetryPolicy::from_env() {
   if (const char* base_ms = std::getenv("COMDML_BACKOFF_BASE_MS")) {
     const double v = std::atof(base_ms);
     if (v > 0.0) policy.backoff_base_sec = v * 1e-3;
+  }
+  if (const char* adaptive = std::getenv("COMDML_RETRY_ADAPTIVE"))
+    policy.adaptive = std::atoll(adaptive) != 0;
+  if (const char* extra = std::getenv("COMDML_RETRY_ADAPTIVE_MAX")) {
+    const long long v = std::atoll(extra);
+    if (v >= 0) policy.adaptive_extra_max = static_cast<int64_t>(v);
   }
   return policy;
 }
@@ -62,7 +77,15 @@ Message ReliableChannel::recv(int64_t dst, int64_t src) {
         window.pop_front();  // cumulative ack
       return *m;
     }
-    if (attempt >= policy_.max_retries)
+    // Recomputed per attempt: drops charged by this very receive's
+    // retransmits keep counting, so a lossy edge earns patience even
+    // within one delivery. Deterministic — drop decisions are hashes of
+    // the shared step counter, identical across transport flavors.
+    const int64_t budget =
+        policy_.adaptive
+            ? policy_.budget(transport_->dropped_on_edge(src, dst))
+            : policy_.max_retries;
+    if (attempt >= budget)
       throw DeliveryTimeoutError(
           src, dst, attempt,
           "delivery timeout " + std::to_string(src) + " -> " +

@@ -63,11 +63,31 @@ class DeliveryTimeoutError : public std::runtime_error {
 /// Retry/backoff envelope for reliable receives. The backoff doubles per
 /// attempt (base, 2*base, 4*base, ...) and is charged as *modeled* seconds
 /// — it is the protocol's patience, not a real sleep.
+///
+/// With `adaptive` set, the per-edge budget grows with the drops the
+/// transport has already *observed* on that edge: an edge that lost k
+/// messages earns floor(log2(k+1)) extra retries, capped at
+/// `adaptive_extra_max`. The inputs are the deterministic per-edge drop
+/// counters in TransportStats — identical across Sim/InProc/Socket for a
+/// given schedule and fault plan — so adaptivity never breaks parity.
 struct RetryPolicy {
   int64_t max_retries = 6;
   double backoff_base_sec = 0.010;
+  bool adaptive = false;
+  int64_t adaptive_extra_max = 8;
 
-  /// Reads COMDML_RETRY_MAX and COMDML_BACKOFF_BASE_MS when set.
+  /// Extra retries a directed edge has earned from `observed_drops`
+  /// (the transport's dropped_on(src, dst) counter): floor(log2(k+1)),
+  /// capped. Deterministic, monotone, zero for a clean edge.
+  [[nodiscard]] int64_t extra_retries(int64_t observed_drops) const;
+  /// The full budget for an edge: max_retries plus the adaptive bonus
+  /// (when enabled).
+  [[nodiscard]] int64_t budget(int64_t observed_drops) const {
+    return max_retries + (adaptive ? extra_retries(observed_drops) : 0);
+  }
+
+  /// Reads COMDML_RETRY_MAX, COMDML_BACKOFF_BASE_MS,
+  /// COMDML_RETRY_ADAPTIVE (0/1), COMDML_RETRY_ADAPTIVE_MAX when set.
   [[nodiscard]] static RetryPolicy from_env();
 };
 

@@ -66,10 +66,16 @@ ResolvedAddr resolve(const SocketAddress& addr) {
   return out;
 }
 
-/// One non-blocking connect attempt with a bounded wait; -1 on failure.
-int try_connect_once(const ResolvedAddr& target, int wait_ms) {
+/// One non-blocking connect attempt with a bounded wait; -1 on failure
+/// with `*err_out` (when non-null) carrying the connect errno.
+int try_connect_once(const ResolvedAddr& target, int wait_ms,
+                     int* err_out = nullptr) {
+  if (err_out != nullptr) *err_out = 0;
   const int fd = ::socket(target.family, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (fd < 0) return -1;
+  if (fd < 0) {
+    if (err_out != nullptr) *err_out = errno;
+    return -1;
+  }
   // Non-blocking connect: a black-holed TCP peer fails the poll below in
   // wait_ms instead of hanging the whole dial budget on one attempt.
   const int flags = ::fcntl(fd, F_GETFL, 0);
@@ -77,12 +83,14 @@ int try_connect_once(const ResolvedAddr& target, int wait_ms) {
   const int rc = ::connect(
       fd, reinterpret_cast<const sockaddr*>(&target.storage), target.len);
   if (rc != 0 && errno != EINPROGRESS) {
+    if (err_out != nullptr) *err_out = errno;
     close_fd(fd);
     return -1;
   }
   if (rc != 0) {
     pollfd pfd{fd, POLLOUT, 0};
     if (::poll(&pfd, 1, wait_ms) <= 0) {
+      if (err_out != nullptr) *err_out = ETIMEDOUT;
       close_fd(fd);
       return -1;
     }
@@ -90,6 +98,7 @@ int try_connect_once(const ResolvedAddr& target, int wait_ms) {
     socklen_t errlen = sizeof(err);
     if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &errlen) != 0 ||
         err != 0) {
+      if (err_out != nullptr) *err_out = err != 0 ? err : errno;
       close_fd(fd);
       return -1;
     }
@@ -183,6 +192,11 @@ int dial(const SocketAddress& addr, double timeout_sec) {
     if (Clock::now() >= deadline) return -1;
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
   }
+}
+
+int dial_once(const SocketAddress& addr, int* err_out) {
+  const ResolvedAddr target = resolve(addr);
+  return try_connect_once(target, /*wait_ms=*/200, err_out);
 }
 
 int accept_on(int listen_fd, const std::atomic<bool>* running) {

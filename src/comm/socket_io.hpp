@@ -48,6 +48,12 @@ struct SocketAddress {
 /// connected fd, or -1 on timeout.
 [[nodiscard]] int dial(const SocketAddress& addr, double timeout_sec);
 
+/// One connect attempt, no retry loop. Returns the connected fd, or -1
+/// with `*err_out` (when non-null) set to the connect errno — callers that
+/// want to fail fast can distinguish ECONNREFUSED (a stale unix socket
+/// file nobody listens on) from ENOENT (no socket file at all).
+[[nodiscard]] int dial_once(const SocketAddress& addr, int* err_out = nullptr);
+
 /// Accept one connection; -1 on error/shutdown. The listening fd is polled
 /// so closing it (or flipping `*running` to false) unblocks the accept
 /// loop within one poll interval.
@@ -66,7 +72,7 @@ void close_fd(int fd) noexcept;
 // ---- frames -----------------------------------------------------------------
 
 inline constexpr uint32_t kFrameMagic = 0x434D4446;  // "CMDF"
-inline constexpr uint16_t kWireVersion = 1;
+inline constexpr uint16_t kWireVersion = 2;
 /// Upper bound on a frame body — rejects desynchronized/garbage peers
 /// before a bad length turns into a huge allocation.
 inline constexpr uint32_t kMaxFrameBody = 1u << 30;

@@ -50,12 +50,31 @@ SocketTransport::SocketTransport(LinkGrid grid, SocketPeerConfig peers,
                        cfg_.owner[static_cast<size_t>(e)] < procs,
                    "endpoint " << e << " owned by out-of-range process "
                                << cfg_.owner[static_cast<size_t>(e)]);
+  if (!cfg_.process_alive.empty()) {
+    COMDML_REQUIRE(static_cast<int64_t>(cfg_.process_alive.size()) == procs,
+                   "process_alive mask covers " << cfg_.process_alive.size()
+                                                << " of " << procs
+                                                << " processes");
+    COMDML_REQUIRE(cfg_.process_alive[static_cast<size_t>(cfg_.self)] != 0,
+                   "this process (" << cfg_.self
+                                    << ") is marked dead in its own mesh");
+  }
   park_enabled_ = has_message_faults();
   peers_.resize(static_cast<size_t>(procs));
   for (auto& p : peers_) p = std::make_unique<Peer>();
-  if (procs == 1) {
-    // Degenerate single-process mesh: every endpoint is local, no wire.
-    bound_ = parse_address(cfg_.addrs[0]);
+  // Endpoints owned by processes excluded from the mesh are dead on
+  // arrival — sends and matched receives surface EndpointDownError
+  // immediately instead of dialing a peer that will never answer.
+  for (int64_t p = 0; p < procs; ++p) {
+    if (process_in_mesh(p)) continue;
+    peers_[static_cast<size_t>(p)]->down.store(true);
+    for (int64_t e = 0; e < n; ++e)
+      if (cfg_.owner[static_cast<size_t>(e)] == p) fail_endpoint(e);
+  }
+  if (live_processes() == 1) {
+    // Degenerate single-process mesh (one process configured, or the sole
+    // survivor of a crash): every live endpoint is local, no wire.
+    bound_ = parse_address(cfg_.addrs[static_cast<size_t>(cfg_.self)]);
     std::lock_guard<std::mutex> guard(ready_mutex_);
     ready_ = true;
     return;
@@ -109,6 +128,7 @@ void SocketTransport::setup_mesh() {
     // Dial every lower-indexed peer (their listeners may still be booting;
     // retry until the connect budget runs out), then accept the rest.
     for (int64_t j = 0; j < cfg_.self; ++j) {
+      if (!process_in_mesh(j)) continue;
       const SocketAddress addr =
           parse_address(cfg_.addrs[static_cast<size_t>(j)]);
       int fd = -1;
@@ -127,7 +147,9 @@ void SocketTransport::setup_mesh() {
                      "peer process " << j << " hung up during hello");
       peers_[static_cast<size_t>(j)]->fd = fd;
     }
-    int64_t pending = processes() - 1 - cfg_.self;
+    int64_t pending = 0;
+    for (int64_t j = cfg_.self + 1; j < processes(); ++j)
+      if (process_in_mesh(j)) ++pending;
     while (pending > 0 && running_.load()) {
       const int fd = accept_on(listen_fd_, &running_);
       if (fd < 0) {
@@ -196,6 +218,7 @@ void SocketTransport::peer_lost(int64_t process) {
   // the ordinary liveness machinery instead of hanging.
   for (int64_t e = 0; e < endpoints(); ++e)
     if (cfg_.owner[static_cast<size_t>(e)] == process) fail_endpoint(e);
+  peer_died_.store(true);
   mail_cv_.notify_all();
 }
 
@@ -323,6 +346,15 @@ Message SocketTransport::recv(int64_t dst, int64_t src) {
   for (;;) {
     if (auto msg = Transport::try_recv_from(dst, src))
       return std::move(*msg);
+    // A peer died after the mesh formed: this schedule is doomed (the
+    // recovery barrier will re-form it), and the awaited sender may have
+    // aborted before sending — waiting out the full timeout would hang
+    // every survivor whose next frame came from an aborted schedule leg.
+    if (peer_died_.load())
+      throw EndpointDownError(
+          src, "peer process died mid-schedule; frame " +
+                   std::to_string(src) + " -> " + std::to_string(dst) +
+                   " may never arrive");
     COMDML_REQUIRE(Clock::now() < deadline,
                    "socket recv timeout waiting for "
                        << src << " -> " << dst

@@ -45,6 +45,12 @@ struct SocketPeerConfig {
   std::vector<int64_t> owner;       ///< endpoint -> owning process
   int64_t self = 0;                 ///< this process's index
   std::vector<std::string> addrs;   ///< per process: "unix:..." | "tcp:..."
+  /// Per-process liveness mask; empty means every process participates.
+  /// A mesh rebuilt after a worker crash lists the dead process as 0: no
+  /// dial/accept is attempted for it and every endpoint it owns starts
+  /// failed, so the survivor schedule sees the same EndpointDownError
+  /// surface a live-then-crashed peer would have produced.
+  std::vector<char> process_alive;
   double connect_timeout_sec = 30.0;
   /// Real-time window try_recv_from waits for an in-flight frame before
   /// reporting "nothing pending" — absorbs wire latency so a
@@ -69,6 +75,19 @@ class SocketTransport final : public Transport {
   [[nodiscard]] int64_t owner_of(int64_t endpoint) const;
   [[nodiscard]] int64_t processes() const noexcept {
     return static_cast<int64_t>(cfg_.addrs.size());
+  }
+  /// True when `process` participates in this mesh (alive per the config
+  /// mask at construction; crashes afterwards are tracked by peer_lost).
+  [[nodiscard]] bool process_in_mesh(int64_t process) const noexcept {
+    return cfg_.process_alive.empty() ||
+           cfg_.process_alive[static_cast<size_t>(process)] != 0;
+  }
+  /// Processes participating in this mesh.
+  [[nodiscard]] int64_t live_processes() const noexcept {
+    if (cfg_.process_alive.empty()) return processes();
+    int64_t n = 0;
+    for (const char alive : cfg_.process_alive) n += alive != 0 ? 1 : 0;
+    return n;
   }
 
   /// Blocking matched receive: waits for the frame to arrive off the wire
@@ -96,6 +115,16 @@ class SocketTransport final : public Transport {
     std::atomic<bool> down{false};
   };
 
+  /// True once any peer process vanished after the mesh formed. A doomed
+  /// collective aborts promptly everywhere: a blocked recv whose frame has
+  /// not arrived throws EndpointDownError as soon as the flag is up, even
+  /// when the awaited endpoint itself is owned by a live peer — the sender
+  /// may have aborted its schedule before sending, and only the recovery
+  /// barrier can tell. Frames already delivered still drain first.
+  [[nodiscard]] bool mesh_degraded() const noexcept {
+    return peer_died_.load();
+  }
+
   void setup_mesh();
   void reader_loop(int64_t process);
   void peer_lost(int64_t process);
@@ -110,6 +139,9 @@ class SocketTransport final : public Transport {
   std::vector<std::unique_ptr<Peer>> peers_;  // index == process, self empty
   std::thread setup_thread_;
   std::atomic<bool> running_{true};
+  /// Set by peer_lost: a peer vanished after construction (a mask-dead
+  /// process configured at construction does not count).
+  std::atomic<bool> peer_died_{false};
 
   mutable std::mutex ready_mutex_;
   mutable std::condition_variable ready_cv_;

@@ -390,6 +390,13 @@ class Transport {
     std::lock_guard<std::mutex> guard(mutex_);
     return stats_;
   }
+  /// Locked read of one per-edge drop counter — what an adaptive
+  /// RetryPolicy sizes its budget from, without copying the whole
+  /// snapshot on every retry attempt.
+  [[nodiscard]] int64_t dropped_on_edge(int64_t src, int64_t dst) const {
+    std::lock_guard<std::mutex> guard(mutex_);
+    return stats_.dropped_on(src, dst);
+  }
   /// Clears stats and undelivered mail; fault schedules and manual
   /// endpoint deaths survive (reset() is "new round", not "new fleet" —
   /// note a step-scheduled failure re-arms because the step counter

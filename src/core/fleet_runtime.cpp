@@ -129,6 +129,21 @@ void FleetRuntime::restore(const std::vector<uint8_t>& bytes) {
   round_ = real_comdml_->round();
 }
 
+std::vector<uint8_t> FleetRuntime::checkpoint_shard(
+    int64_t shard, int64_t shards, const std::vector<int64_t>& owned) {
+  COMDML_REQUIRE(real_comdml_ != nullptr,
+                 "checkpoint/restore needs the real ComDML fleet");
+  return real_comdml_->checkpoint_shard(shard, shards, owned);
+}
+
+void FleetRuntime::restore_shards(
+    const std::vector<std::vector<uint8_t>>& shards) {
+  COMDML_REQUIRE(real_comdml_ != nullptr,
+                 "checkpoint/restore needs the real ComDML fleet");
+  real_comdml_->restore_shards(shards);
+  round_ = real_comdml_->round();
+}
+
 // ---- FleetBuilder -----------------------------------------------------------
 
 FleetBuilder& FleetBuilder::method(learncurve::Method m) {

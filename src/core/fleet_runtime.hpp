@@ -121,6 +121,14 @@ class FleetRuntime {
   [[nodiscard]] std::vector<uint8_t> checkpoint();
   void restore(const std::vector<uint8_t>& bytes);
 
+  /// Quorum checkpointing (real ComDML fleet only): checkpoint_shard
+  /// serializes one worker's owned agents + fleet-level state;
+  /// restore_shards reassembles a fleet from any subset of shards and
+  /// resynchronizes the runtime's round counter. See RealFleet.
+  [[nodiscard]] std::vector<uint8_t> checkpoint_shard(
+      int64_t shard, int64_t shards, const std::vector<int64_t>& owned);
+  void restore_shards(const std::vector<std::vector<uint8_t>>& shards);
+
   /// The underlying real ComDML fleet, or nullptr for every other engine.
   /// Multi-process workers (fleetd) reach through this to install a
   /// DistContext and to export/import per-agent state.

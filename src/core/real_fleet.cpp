@@ -195,19 +195,15 @@ RealFleet::RoundStats RealFleet::step() {
   for (size_t t = 0; t < n_tasks; ++t) task_rngs.push_back(rng_.fork());
   std::vector<TaskResult> results(n_tasks);
 
-  // Multi-process rounds are solo-only: a pair task trains one replica
-  // with two agents' resources, which has no per-agent owner. Uniform
-  // resource profiles guarantee an empty pair plan (pairing needs a
-  // strict speed gap), so this only fires on misconfiguration.
-  if (dist_)
-    COMDML_REQUIRE(plan.pairs.empty(),
-                   "multi-process fleets must pair nobody; use uniform "
-                   "resource profiles");
-  // Task -> solo agent id (-1 for pair tasks): the cross-process exchange
-  // keys owned results by this map.
+  // Task -> primary agent id: the solo agent, or a pair's slow agent. A
+  // multi-process round runs each task on the primary's owning shard (a
+  // pair task trains both replicas there — the borrowed fast replica ships
+  // home through the exchange) and keys owned results by this map.
   std::vector<int64_t> task_agent;
   if (dist_) {
     task_agent.assign(n_tasks, -1);
+    for (size_t t = 0; t < n_pairs; ++t)
+      task_agent[t] = plan.pairs[t].slow_agent;
     for (size_t t = n_pairs; t < n_tasks; ++t)
       task_agent[t] = plan.solo[t - n_pairs];
   }
@@ -304,6 +300,12 @@ RealFleet::RoundStats RealFleet::step() {
       // it is the slow replica's suffix), while the fast agent also
       // trains its own replica.
       const auto& pair = plan.pairs[static_cast<size_t>(t)];
+      // Multi-process: the slow agent's owner runs the whole pair task,
+      // fast replica included (the task's rng was forked in fixed order,
+      // so skipping elsewhere preserves every other draw).
+      if (dist_ &&
+          dist_->owner[static_cast<size_t>(pair.slow_agent)] != dist_->shard)
+        return;
       auto& slow = agents_[static_cast<size_t>(pair.slow_agent)];
       const int64_t batches = options_.train.batches_per_round;
       const int64_t slow_die =
@@ -384,8 +386,29 @@ RealFleet::RoundStats RealFleet::step() {
   // Multi-process: gather every worker's owned TaskResults into the full
   // vector so the serial fold below stays one code path — every worker
   // folds identical slots and lands on the same mean_loss, dcor, and
-  // plateau trajectory.
-  if (dist_ && dist_->exchange) dist_->exchange(task_agent, results);
+  // plateau trajectory. Pair tasks trained a borrowed fast replica on the
+  // slow agent's owner; those replicas ship home here, and every worker
+  // imports every borrowed blob so owners post current state into the
+  // collective. Agents whose worker crashed mid-training come back in
+  // `died`: they leave the fleet before the collective forms, so the
+  // survivors aggregate exactly like a from-scratch survivor-only fleet
+  // (the dead workers' zero TaskResult slots fold harmlessly).
+  if (dist_ && dist_->exchange) {
+    ExchangeIO io;
+    io.task_agent = &task_agent;
+    io.results = &results;
+    for (const OffloadDecision& p : plan.pairs) {
+      if (dist_->owner[static_cast<size_t>(p.slow_agent)] != dist_->shard)
+        continue;
+      if (dist_->owner[static_cast<size_t>(p.fast_agent)] != dist_->shard)
+        io.state_out.emplace_back(p.fast_agent, export_agent(p.fast_agent));
+    }
+    dist_->exchange(io);
+    for (const AgentBlob& blob : io.state_in)
+      import_agent(blob.first, blob.second);
+    for (const int64_t a : io.died)
+      if (agents_[static_cast<size_t>(a)].alive) kill_agent(a);
+  }
 
   float slow_loss_sum = 0.0f, loss_sum = 0.0f;
   int64_t loss_count = 0;
@@ -449,47 +472,122 @@ RealFleet::RoundStats RealFleet::step() {
       // buffers land on the same bit-identical consensus mean. Non-owned
       // rows hold stale replicas; their buffers are never read (only
       // owned sends post, only owned recvs fold).
-      comm::Transport& transport = *dist_->transport;
+      //
+      // A worker crash mid-collective surfaces as EndpointDownError on
+      // some (not necessarily all — schedules don't touch every pair every
+      // step) survivors. Recovery: after every attempt the collective_sync
+      // barrier reconciles the survivors' views, the dead worker's agents
+      // leave the fleet, the data mesh is rebuilt (a fresh transport
+      // cannot carry stale frames from the aborted schedule), and the
+      // survivor set re-runs from the pristine post-training snapshots —
+      // exactly the schedule a from-scratch survivor-only fleet would run.
       const int64_t n = comm::state_elems(live_states[0]);
       std::vector<double> slab(
           static_cast<size_t>(agents_.size()) * static_cast<size_t>(n));
       comm::CollectiveRequest req;
       req.elems = n;
-      req.buffers.assign(agents_.size(), nullptr);
       std::vector<char> owned(agents_.size(), 0);
-      int64_t first_owned = -1;
-      for (size_t i = 0; i < live.size(); ++i) {
-        const auto a = static_cast<size_t>(live[i]);
-        req.buffers[a] = slab.data() + a * static_cast<size_t>(n);
-        if (dist_->owner[a] == dist_->shard) {
-          owned[a] = 1;
-          comm::flatten_state(live_states[i], req.buffers[a]);
-          if (first_owned < 0) first_owned = live[i];
+      std::vector<int64_t> row(agents_.size(), -1);
+      for (size_t i = 0; i < live.size(); ++i)
+        row[static_cast<size_t>(live[i])] = static_cast<int64_t>(i);
+      // Re-point the request at `parts` and re-fill every owned row from
+      // its pristine post-training state (an aborted attempt leaves owned
+      // buffers partially folded). Returns the first owned participant.
+      const auto flatten_owned =
+          [&](const std::vector<int64_t>& parts) -> int64_t {
+        std::fill(owned.begin(), owned.end(), 0);
+        req.buffers.assign(agents_.size(), nullptr);
+        int64_t first_owned = -1;
+        for (const int64_t p : parts) {
+          const auto a = static_cast<size_t>(p);
+          req.buffers[a] = slab.data() + a * static_cast<size_t>(n);
+          if (dist_->owner[a] == dist_->shard) {
+            owned[a] = 1;
+            comm::flatten_state(live_states[static_cast<size_t>(row[a])],
+                                req.buffers[a]);
+            if (first_owned < 0) first_owned = p;
+          }
         }
-      }
+        return first_owned;
+      };
+      std::vector<int64_t> parts = live;
+      int64_t first_owned = flatten_owned(parts);
       COMDML_REQUIRE(first_owned >= 0,
                      "shard " << dist_->shard
                               << " owns no live agent; it cannot take part "
                                  "in the aggregation round");
-      if (live.size() > 1) {
-        const auto sched = comm::allreduce_schedule_over(
-            comm::allreduce_protocol(options_.comms.aggregation), live, n);
-        comm::execute_schedule_owned(sched, transport, req, owned);
+      for (;;) {
+        bool ok = true;
+        if (parts.size() > 1) {
+          try {
+            const auto sched = comm::allreduce_schedule_over(
+                comm::allreduce_protocol(options_.comms.aggregation), parts,
+                n);
+            comm::execute_schedule_owned(sched, *dist_->transport, req,
+                                         owned);
+          } catch (const comm::EndpointDownError&) {
+            ok = false;
+          }
+        }
+        // This worker's view of the survivors: the attempted participants
+        // minus the endpoints the transport has declared dead.
+        std::vector<int64_t> view;
+        for (const int64_t p : parts)
+          if (dist_->transport->endpoint_alive(p)) view.push_back(p);
+        if (dist_->collective_sync) {
+          auto agreement = dist_->collective_sync(view, ok);
+          std::sort(agreement.first.begin(), agreement.first.end());
+          for (const int64_t p : parts)
+            if (!std::binary_search(agreement.first.begin(),
+                                    agreement.first.end(), p) &&
+                agents_[static_cast<size_t>(p)].alive)
+              kill_agent(p);
+          parts = std::move(agreement.first);
+          COMDML_REQUIRE(!parts.empty(),
+                         "collective recovery lost every live agent");
+          if (agreement.second == nullptr) break;  // settled everywhere
+          dist_->transport = agreement.second;
+          first_owned = flatten_owned(parts);
+          COMDML_REQUIRE(first_owned >= 0,
+                         "shard " << dist_->shard
+                                  << " owns no agent surviving the "
+                                     "collective recovery");
+        } else {
+          if (ok) break;
+          // No coordinator to arbitrate (single-worker context in tests):
+          // trust the local view, drop in-flight frames, and retry.
+          for (const int64_t p : parts)
+            if (!dist_->transport->endpoint_alive(p) &&
+                agents_[static_cast<size_t>(p)].alive)
+              kill_agent(p);
+          COMDML_REQUIRE(!view.empty(),
+                         "collective recovery lost every live agent");
+          dist_->transport->clear_pending();
+          parts = std::move(view);
+          first_owned = flatten_owned(parts);
+          COMDML_REQUIRE(first_owned >= 0,
+                         "shard " << dist_->shard
+                                  << " owns no agent surviving the "
+                                     "collective recovery");
+        }
       }
-      // Every owned live buffer now holds the same mean; adopt it as the
-      // consensus on every live replica — owned or not — so evaluate(),
-      // rejoin() and the next round's training see one fleet model.
+      // Every owned surviving buffer now holds the same mean; adopt it as
+      // the consensus on every surviving replica — owned or not — so
+      // evaluate(), rejoin() and the next round's training see one fleet
+      // model. Agents killed mid-collective only hand their buffers back.
       const double* mean = req.buffers[static_cast<size_t>(first_owned)];
       for (size_t i = 0; i < live.size(); ++i) {
         const auto a = static_cast<size_t>(live[i]);
-        comm::unflatten_state(mean, live_states[i]);
-        nn::load_state(*agents_[a].model, live_states[i]);
+        if (agents_[a].alive) {
+          comm::unflatten_state(mean, live_states[i]);
+          nn::load_state(*agents_[a].model, live_states[i]);
+        }
         states[a] = std::move(live_states[i]);  // hand the buffers back
       }
 
       // This worker's share of the executed traffic; the daemon merges
       // the per-worker step histories into the fleet-level clock.
-      const comm::TransportStats ts = transport.stats_snapshot();
+      const comm::TransportStats ts = dist_->transport->stats_snapshot();
       stats.aggregation_seconds = ts.seconds;
       stats.aggregation_bytes = ts.max_bytes_sent();
       stats.exposed_comm_seconds = ts.seconds;
@@ -904,6 +1002,17 @@ void RealFleet::set_dist_context(DistContext ctx) {
   dist_ = std::move(ctx);
 }
 
+void RealFleet::set_dist_transport(comm::Transport* transport) {
+  COMDML_REQUIRE(dist_.has_value(),
+                 "set_dist_transport needs an engaged dist context");
+  COMDML_REQUIRE(transport != nullptr, "null transport");
+  COMDML_REQUIRE(transport->endpoints() == agents(),
+                 "transport hosts " << transport->endpoints()
+                                    << " endpoints, fleet has " << agents()
+                                    << " agents");
+  dist_->transport = transport;
+}
+
 std::vector<uint8_t> RealFleet::export_agent(int64_t agent) {
   COMDML_CHECK(agent >= 0 && agent < agents());
   AgentState& st = agents_[static_cast<size_t>(agent)];
@@ -933,6 +1042,191 @@ void RealFleet::import_agent(int64_t agent, const std::vector<uint8_t>& bytes) {
   bs.rng = r.str();
   st.batcher->load(bs);
   r.expect_done();
+}
+
+namespace {
+constexpr uint32_t kShardMagic = 0x434D4453;  // "CMDS"
+constexpr uint32_t kShardVersion = 1;
+}  // namespace
+
+std::vector<uint8_t> RealFleet::checkpoint_shard(
+    int64_t shard, int64_t shards, const std::vector<int64_t>& owned_agents) {
+  COMDML_REQUIRE(shards >= 1 && shard >= 0 && shard < shards,
+                 "bad shard index " << shard << " of " << shards);
+  tensor::ByteWriter body;
+  body.u32(static_cast<uint32_t>(agents()));
+  body.i64(round_);
+  body.i64(shard);
+  body.i64(shards);
+  body.f32(current_lr_);
+  // Fleet-level rng travels in EVERY shard: all workers fork task rngs for
+  // all tasks every round, so their fleet rng states are identical and any
+  // shard can seed the restored fleet.
+  body.str(rng_.state());
+  body.u8(plateau_.has_value() ? 1 : 0);
+  if (plateau_) {
+    const nn::PlateauScheduler::State s = plateau_->save();
+    body.f32(s.best);
+    body.i64(s.stale);
+  }
+  body.u32(static_cast<uint32_t>(owned_agents.size()));
+  for (const int64_t a : owned_agents) {
+    COMDML_CHECK(a >= 0 && a < agents());
+    body.i64(a);
+    const std::vector<uint8_t> blob = export_agent(a);
+    body.str(std::string(blob.begin(), blob.end()));
+  }
+
+  const std::vector<uint8_t> payload = body.bytes();
+  tensor::ByteWriter w;
+  w.u32(kShardMagic);
+  w.u32(kShardVersion);
+  w.u64(tensor::fnv1a(payload.data(), payload.size()));
+  w.raw(payload);
+  return w.bytes();
+}
+
+void RealFleet::restore_shards(
+    const std::vector<std::vector<uint8_t>>& shards) {
+  COMDML_REQUIRE(pipeline_ == nullptr,
+                 "shard restore needs a flat (non-bucketed) fleet");
+  if (shards.empty())
+    throw CheckpointError("shard restore got zero shards");
+
+  struct ParsedShard {
+    int64_t agents_total = 0;
+    int64_t round = 0;
+    int64_t shard = 0;
+    int64_t shards = 0;
+    float lr = 0.0f;
+    std::string rng;
+    bool has_plateau = false;
+    float plateau_best = 0.0f;
+    int64_t plateau_stale = 0;
+    std::vector<std::pair<int64_t, std::string>> blobs;
+  };
+  std::vector<ParsedShard> parsed;
+  parsed.reserve(shards.size());
+  for (const std::vector<uint8_t>& bytes : shards) {
+    constexpr size_t kHeader = 2 * sizeof(uint32_t) + sizeof(uint64_t);
+    if (bytes.size() < kHeader)
+      throw CheckpointError("checkpoint shard truncated: " +
+                            std::to_string(bytes.size()) +
+                            " bytes is smaller than the header");
+    tensor::ByteReader r(bytes);
+    if (r.u32() != kShardMagic)
+      throw CheckpointError("not a fleet checkpoint shard (bad magic)");
+    const uint32_t version = r.u32();
+    if (version != kShardVersion)
+      throw CheckpointError("unsupported checkpoint shard version " +
+                            std::to_string(version) + " (expected " +
+                            std::to_string(kShardVersion) + ")");
+    const uint64_t want_sum = r.u64();
+    const uint64_t got_sum =
+        tensor::fnv1a(bytes.data() + kHeader, bytes.size() - kHeader);
+    if (got_sum != want_sum)
+      throw CheckpointError(
+          "checkpoint shard checksum mismatch (truncated or corrupted)");
+    try {
+      ParsedShard p;
+      p.agents_total = static_cast<int64_t>(r.u32());
+      p.round = r.i64();
+      p.shard = r.i64();
+      p.shards = r.i64();
+      p.lr = r.f32();
+      p.rng = r.str();
+      p.has_plateau = r.u8() != 0;
+      if (p.has_plateau) {
+        p.plateau_best = r.f32();
+        p.plateau_stale = r.i64();
+      }
+      const uint32_t count = r.u32();
+      p.blobs.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        const int64_t a = r.i64();
+        p.blobs.emplace_back(a, r.str());
+      }
+      r.expect_done();
+      parsed.push_back(std::move(p));
+    } catch (const std::invalid_argument& e) {
+      throw CheckpointError(std::string("malformed checkpoint shard: ") +
+                            e.what());
+    }
+  }
+
+  // Cross-shard consistency: every shard must describe the same fleet at
+  // the same round, and no two shards may carry the same worker slot or
+  // the same agent.
+  const ParsedShard& head = parsed.front();
+  if (head.agents_total > agents())
+    throw CheckpointError(
+        "checkpoint shards hold " + std::to_string(head.agents_total) +
+        " agents but this fleet only has " + std::to_string(agents()));
+  if (head.has_plateau != plateau_.has_value())
+    throw CheckpointError("checkpoint shard plateau-schedule config mismatch");
+  std::vector<char> slot_seen(static_cast<size_t>(head.shards), 0);
+  for (const ParsedShard& p : parsed) {
+    if (p.agents_total != head.agents_total || p.round != head.round ||
+        p.shards != head.shards)
+      throw CheckpointError(
+          "inconsistent checkpoint shards: mixed fleets or rounds");
+    if (p.shard < 0 || p.shard >= p.shards)
+      throw CheckpointError("checkpoint shard index out of range");
+    if (slot_seen[static_cast<size_t>(p.shard)] != 0)
+      throw CheckpointError("duplicate checkpoint shard " +
+                            std::to_string(p.shard));
+    slot_seen[static_cast<size_t>(p.shard)] = 1;
+  }
+
+  // Fleet-level state from the lowest shard index present (all shards
+  // carry identical copies; the choice only pins determinism).
+  const ParsedShard* lead = &head;
+  for (const ParsedShard& p : parsed)
+    if (p.shard < lead->shard) lead = &p;
+  round_ = lead->round;
+  current_lr_ = lead->lr;
+  rng_.set_state(lead->rng);
+  if (plateau_) {
+    nn::PlateauScheduler::State s;
+    s.best = lead->plateau_best;
+    s.stale = static_cast<int>(lead->plateau_stale);
+    plateau_->load(s);
+  }
+
+  // Start everyone as left, then bring covered agents up with their exact
+  // state. Agents of absent shards stay left — rejoinable from consensus.
+  for (AgentState& st : agents_) {
+    st.alive = false;
+    st.velocity.clear();
+  }
+  std::vector<char> agent_seen(static_cast<size_t>(agents()), 0);
+  int64_t live = 0;
+  for (const ParsedShard& p : parsed) {
+    for (const auto& entry : p.blobs) {
+      const int64_t a = entry.first;
+      if (a < 0 || a >= agents())
+        throw CheckpointError("checkpoint shard covers agent " +
+                              std::to_string(a) + " outside this fleet");
+      if (agent_seen[static_cast<size_t>(a)] != 0)
+        throw CheckpointError("agent " + std::to_string(a) +
+                              " covered by two checkpoint shards");
+      agent_seen[static_cast<size_t>(a)] = 1;
+      try {
+        import_agent(a, std::vector<uint8_t>(entry.second.begin(),
+                                             entry.second.end()));
+      } catch (const std::invalid_argument& e) {
+        throw CheckpointError(std::string("malformed agent blob in "
+                                          "checkpoint shard: ") +
+                              e.what());
+      }
+      if (agents_[static_cast<size_t>(a)].alive) ++live;
+    }
+  }
+  if (live == 0)
+    throw CheckpointError(
+        "checkpoint shards restore zero live agents; need a quorum "
+        "covering at least one");
+  rounds_since_checkpoint_ = 0;
 }
 
 void RealFleet::auto_checkpoint() {

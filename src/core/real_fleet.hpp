@@ -94,32 +94,63 @@ class RealFleet {
     int64_t split_early_buckets = 0;
   };
 
+  /// One agent's exported round state in transit between workers.
+  using AgentBlob = std::pair<int64_t, std::vector<uint8_t>>;
+
+  /// The cross-worker round barrier's payload. A worker fills `state_out`
+  /// with the agents it trained but does not own (an offload pair borrows
+  /// the fast agent's replica onto the slow agent's owner); the exchange
+  /// returns every worker's borrowed state in `state_in` plus `died` — the
+  /// agents of workers that crashed mid-training, which the step kills
+  /// before forming the aggregation collective.
+  struct ExchangeIO {
+    /// Task -> primary agent id: the solo agent, or a pair's slow agent.
+    /// The owner of the primary runs the task.
+    const std::vector<int64_t>* task_agent = nullptr;
+    /// In: this worker's results for owned tasks. Out: results merged
+    /// across all workers, every surviving worker's slot filled.
+    std::vector<TaskResult>* results = nullptr;
+    std::vector<AgentBlob> state_out;  ///< borrowed agents, trained here
+    std::vector<AgentBlob> state_in;   ///< all workers' borrowed agents
+    std::vector<int64_t> died;         ///< agents of crashed workers
+  };
+
   /// Multi-process execution: this process is shard `shard` of `shards`,
   /// hosting the agents whose owner[] entry names it. Every worker runs
   /// the same deterministic fleet (same seeds -> identical replicas) but
-  /// trains only its owned agents' tasks; `exchange` gathers the owned
-  /// TaskResults and returns the merged full vector (indexed by task, as
-  /// produced by every worker in the same order), and the flat aggregation
-  /// executes rank-partitioned over `transport` (endpoints == agents) —
-  /// same schedule, same arithmetic, so the consensus mean is bit-identical
-  /// to the single-process collective.
+  /// trains only the tasks whose primary agent it owns; `exchange` merges
+  /// TaskResults and borrowed agent state across workers, and the flat
+  /// aggregation executes rank-partitioned over `transport` (endpoints ==
+  /// agents) — same schedule, same arithmetic, so the consensus mean is
+  /// bit-identical to the single-process collective.
   struct DistContext {
     int64_t shard = 0;
     int64_t shards = 1;
     std::vector<int64_t> owner;  ///< agent -> shard
     comm::Transport* transport = nullptr;
-    /// In: task -> agent id (solo tasks; -1 for pair tasks) and this
-    /// worker's results for owned tasks. Out: results merged across all
-    /// workers, every slot filled.
-    std::function<void(const std::vector<int64_t>&, std::vector<TaskResult>&)>
-        exchange;
+    std::function<void(ExchangeIO&)> exchange;
+    /// Crash barrier after every collective attempt. In: this worker's
+    /// view of the live set (the attempted participants minus endpoints
+    /// the transport declared dead) and whether the attempted schedule ran
+    /// to completion. Out: the agreed live set, plus a fresh transport
+    /// (never null when the set must be retried — rebuilding the data mesh
+    /// guarantees no stale frame from the aborted schedule leaks into the
+    /// survivor schedule) or nullptr when every worker agrees and the
+    /// collective is settled. Workers without a coordinator (single
+    /// process) leave this unset and recover from the local view.
+    std::function<std::pair<std::vector<int64_t>, comm::Transport*>(
+        const std::vector<int64_t>&, bool)>
+        collective_sync;
   };
 
   /// Enable multi-process mode. Requires a flat (non-bucketed,
   /// non-pipelined) fleet, leave-mode-only fault plans, no straggler
   /// deadline, and no message loss; throws otherwise. Call before the
-  /// first step().
+  /// first step() (a rejoining worker calls it before restore()).
   void set_dist_context(DistContext ctx);
+  /// Swap the data-mesh transport between rounds (a remesh after worker
+  /// churn). The previous transport is the caller's to destroy.
+  void set_dist_transport(comm::Transport* transport);
 
   /// Serialize one agent's mutable round state (liveness, weights,
   /// momentum, batcher position) so ownership can move between processes
@@ -178,6 +209,21 @@ class RealFleet {
   /// as left (rejoinable from consensus), so a crashed fleet can resume
   /// into different live-set geometry.
   void restore(const std::vector<uint8_t>& bytes);
+
+  /// Quorum checkpointing: one worker's shard of the fleet state — the
+  /// fleet-level fields (round, rng, LR, plateau) plus only the listed
+  /// agents' exported state. Every worker writes its own shard locally, so
+  /// a checkpoint survives any coordinator or worker crash that leaves a
+  /// quorum of shards readable. Framed like checkpoint() (magic "CMDS").
+  [[nodiscard]] std::vector<uint8_t> checkpoint_shard(
+      int64_t shard, int64_t shards,
+      const std::vector<int64_t>& owned_agents);
+  /// Assemble a fleet from per-worker shards, in any order and from any
+  /// subset of the original workers: agents covered by a present shard
+  /// come up live with their exact state, the rest come up as left
+  /// (rejoinable from consensus). Throws CheckpointError for unusable or
+  /// mutually inconsistent shards. Flat fleets only.
+  void restore_shards(const std::vector<std::vector<uint8_t>>& shards);
 
   /// Rounds completed since the last auto-checkpoint write (0 right after
   /// one; tests and dashboards). Auto-checkpointing itself is configured

@@ -1,6 +1,18 @@
 #include "daemon/fleetd.hpp"
 
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <thread>
 #include <utility>
 
 #include "comm/socket_io.hpp"
@@ -20,12 +32,43 @@ std::vector<uint8_t> str_to_blob(const std::string& s) {
   return std::vector<uint8_t>(s.begin(), s.end());
 }
 
-/// One worker's control connection, from the coordinator's side.
+/// One worker's control connection, from the coordinator's side. A dead
+/// worker keeps its slot (indices are wire format) with alive == false;
+/// a rejoin revives the slot with a fresh fd.
 struct WorkerLink {
   int fd = -1;
+  bool alive = false;
 };
 
+/// Deterministic crash injection for the fault-tolerance tests: the
+/// worker _exit(137)s — indistinguishable from SIGKILL to every peer — at
+/// a protocol point chosen via environment variables.
+///   COMDML_TEST_CRASH_AT_ROUND  round index the hook arms at
+///   COMDML_TEST_CRASH_POINT     "train" | "collective" | "gather"
+struct CrashHook {
+  int64_t round = -1;
+  std::string point;
+  CrashHook() {
+    if (const char* r = std::getenv("COMDML_TEST_CRASH_AT_ROUND"))
+      round = std::atoll(r);
+    if (const char* p = std::getenv("COMDML_TEST_CRASH_POINT")) point = p;
+  }
+  [[nodiscard]] bool fires(int64_t r, const char* p) const {
+    return round >= 0 && r == round && point == p;
+  }
+};
+
+[[noreturn]] void crash_now(int64_t index, const char* where) {
+  std::fprintf(stderr, "fleetd worker %lld: test crash hook firing at %s\n",
+               (long long)index, where);
+  std::fflush(stderr);
+  ::_exit(137);
+}
+
 /// The coordinator: owns the worker links and drives the round protocol.
+/// Worker death is survivable everywhere after the join phase: a gather
+/// that loses a worker marks its agents dead, tells the survivors, and
+/// completes over what is left.
 class Coordinator {
  public:
   explicit Coordinator(const CoordinatorOptions& options)
@@ -34,6 +77,7 @@ class Coordinator {
   ~Coordinator() {
     for (WorkerLink& w : workers_)
       if (w.fd >= 0) comm::close_fd(w.fd);
+    for (const int fd : pending_clients_) comm::close_fd(fd);
     if (listen_fd_ >= 0) comm::close_fd(listen_fd_);
   }
 
@@ -47,7 +91,6 @@ class Coordinator {
     // client that connects during this phase gets its hello answered and
     // is parked until the fleet is up.
     workers_.resize(static_cast<size_t>(options_.workers));
-    std::vector<int> early_clients;
     for (int64_t joined = 0; joined < options_.workers;) {
       const int fd = comm::accept_on(listen_fd_);
       COMDML_REQUIRE(fd >= 0, "fleetd accept failed while waiting for "
@@ -59,7 +102,7 @@ class Coordinator {
           w.i64(options_.spec.agents);
           w.i64(options_.workers);
           reply(fd, Msg::kClientHello, w.bytes());
-          early_clients.push_back(fd);
+          pending_clients_.push_back(fd);
           continue;
         }
         COMDML_REQUIRE(frame.type == static_cast<uint16_t>(Msg::kJoin),
@@ -73,6 +116,7 @@ class Coordinator {
         COMDML_REQUIRE(workers_[static_cast<size_t>(index)].fd < 0,
                        "two workers joined with index " << index);
         workers_[static_cast<size_t>(index)].fd = fd;
+        workers_[static_cast<size_t>(index)].alive = true;
         ++joined;
       } catch (const std::exception& e) {
         comm::close_fd(fd);
@@ -81,6 +125,8 @@ class Coordinator {
       }
     }
     owner_ = owner_map(options_.spec.agents, options_.workers);
+    agent_live_.assign(static_cast<size_t>(options_.spec.agents), 1);
+    agent_left_.assign(static_cast<size_t>(options_.spec.agents), 0);
     const std::vector<std::string> mesh =
         mesh_addresses(options_.listen, options_.workers);
     {
@@ -100,37 +146,88 @@ class Coordinator {
     std::fflush(stdout);
 
     // Phase 2: serve clients, one connection at a time (a fleet has one
-    // driver; a second client simply queues on the accept backlog).
-    // Clients parked during the join phase go first.
-    for (const int client : early_clients) {
-      const bool shutdown = serve_client(client);
-      comm::close_fd(client);
-      if (shutdown) return 0;
-    }
+    // driver). While a client is connected the listen fd stays polled, so
+    // a re-spawned worker can rejoin mid-session; other clients queue.
     for (;;) {
-      const int client = comm::accept_on(listen_fd_);
-      COMDML_REQUIRE(client >= 0, "fleetd client accept failed");
-      const bool shutdown = serve_client(client);
-      comm::close_fd(client);
-      if (shutdown) return 0;
+      while (!pending_clients_.empty()) {
+        const int client = pending_clients_.front();
+        pending_clients_.pop_front();
+        const bool shutdown = serve_client(client);
+        comm::close_fd(client);
+        if (shutdown) return 0;
+      }
+      accept_peer();
     }
   }
 
  private:
   /// Serve one client until it disconnects; true when it asked the whole
-  /// fleet to shut down.
+  /// fleet to shut down. The listen fd is polled alongside the client so
+  /// rejoining workers (and queueing clients) are admitted between RPCs.
   bool serve_client(int client) {
     for (;;) {
+      struct pollfd fds[2];
+      fds[0] = {client, POLLIN, 0};
+      fds[1] = {listen_fd_, POLLIN, 0};
+      const int rc = ::poll(fds, 2, -1);
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      if ((fds[1].revents & POLLIN) != 0) accept_peer();
+      if ((fds[0].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
       auto frame = comm::recv_frame(client);
       if (!frame.has_value()) return false;  // client went away
       try {
         if (handle_client(client, *frame)) return true;
       } catch (const std::exception& e) {
-        // Surface the failure to the client instead of dying; a dead
-        // worker will keep erroring every request, which is the honest
-        // signal.
+        // Surface the failure to the client instead of dying; a request
+        // the degraded fleet cannot serve keeps erroring, which is the
+        // honest signal.
         const std::string what = e.what();
         (void)send_msg(client, Msg::kError, str_to_blob(what));
+      }
+    }
+  }
+
+  /// Admit one connection from the listen backlog: a client's hello is
+  /// answered and the fd parked until its turn; a kRejoin runs the rejoin
+  /// protocol inline (the fleet is idle between client RPCs).
+  void accept_peer() {
+    const int fd = comm::accept_on(listen_fd_);
+    if (fd < 0) return;
+    int64_t rejoin_index = -1;
+    try {
+      const comm::WireFrame frame = recv_msg(fd, "connecting peer");
+      if (frame.type == static_cast<uint16_t>(Msg::kClientHello)) {
+        tensor::ByteWriter w;
+        w.i64(options_.spec.agents);
+        w.i64(options_.workers);
+        reply(fd, Msg::kClientHello, w.bytes());
+        pending_clients_.push_back(fd);
+        return;
+      }
+      if (frame.type == static_cast<uint16_t>(Msg::kRejoin)) {
+        tensor::ByteReader r(frame.body);
+        rejoin_index = r.i64();
+        r.expect_done();
+        handle_rejoin(fd, rejoin_index);
+        return;
+      }
+      (void)send_msg(fd, Msg::kError,
+                     str_to_blob("unexpected first frame type " +
+                                 std::to_string(frame.type)));
+      comm::close_fd(fd);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "fleetd: rejected a connecting peer: %s\n",
+                   e.what());
+      const bool adopted =
+          rejoin_index >= 0 &&
+          workers_[static_cast<size_t>(rejoin_index)].alive &&
+          workers_[static_cast<size_t>(rejoin_index)].fd == fd;
+      if (!adopted) {
+        (void)send_msg(fd, Msg::kError, str_to_blob(e.what()));
+        comm::close_fd(fd);
       }
     }
   }
@@ -152,46 +249,117 @@ class Coordinator {
         return false;
       }
       case Msg::kClientStats: {
-        broadcast(Msg::kStatsReq, {});
+        std::vector<int64_t> sent;
+        for (const int64_t i : live_worker_ids()) {
+          if (send_msg(workers_[static_cast<size_t>(i)].fd, Msg::kStatsReq))
+            sent.push_back(i);
+          else
+            notify_agents_died(mark_worker_dead(i));
+        }
         std::vector<comm::TransportStats> parts;
-        for (const WorkerLink& w : workers_) {
-          const comm::WireFrame resp =
-              expect_msg(w.fd, Msg::kStatsResp, "worker");
-          tensor::ByteReader r(resp.body);
+        for (const int64_t i : sent) {
+          if (!workers_[static_cast<size_t>(i)].alive) continue;
+          auto resp = recv_from_worker(i, Msg::kStatsResp);
+          if (!resp.has_value()) {
+            notify_agents_died(mark_worker_dead(i));
+            continue;
+          }
+          tensor::ByteReader r(resp->body);
           parts.push_back(read_stats(r));
           r.expect_done();
         }
+        COMDML_REQUIRE(!parts.empty(), "every fleetd worker has crashed");
         tensor::ByteWriter w;
         write_stats(w, comm::merge_transport_stats(parts));
         reply(client, Msg::kClientStatsResp, w.bytes());
         return false;
       }
       case Msg::kClientWeights: {
-        const int w0 = workers_[0].fd;
-        COMDML_REQUIRE(send_msg(w0, Msg::kWeightsReq), "worker 0 is gone");
-        const comm::WireFrame blob =
-            expect_msg(w0, Msg::kWeights, "worker 0");
-        reply(client, Msg::kWeights, blob.body);
-        return false;
+        // Any live worker holds the consensus model; walk past crashes.
+        for (;;) {
+          const int64_t t = first_alive_worker();
+          const int tfd = workers_[static_cast<size_t>(t)].fd;
+          if (!send_msg(tfd, Msg::kWeightsReq)) {
+            notify_agents_died(mark_worker_dead(t));
+            continue;
+          }
+          auto resp = recv_from_worker(t, Msg::kWeights);
+          if (!resp.has_value()) {
+            notify_agents_died(mark_worker_dead(t));
+            continue;
+          }
+          reply(client, Msg::kWeights, resp->body);
+          return false;
+        }
       }
       case Msg::kClientCheckpoint: {
         reply(client, Msg::kCheckpointBlob, gather_checkpoint());
+        return false;
+      }
+      case Msg::kClientShardCheckpoint: {
+        tensor::ByteReader r(frame.body);
+        const std::string dir = r.str();
+        r.expect_done();
+        sweep_and_notify();
+        tensor::ByteWriter req;
+        req.str(dir);
+        std::vector<int64_t> sent;
+        for (const int64_t i : live_worker_ids()) {
+          if (send_msg(workers_[static_cast<size_t>(i)].fd,
+                       Msg::kShardCheckpoint, req.bytes()))
+            sent.push_back(i);
+          else
+            notify_agents_died(mark_worker_dead(i));
+        }
+        std::vector<std::string> paths;
+        for (const int64_t i : sent) {
+          if (!workers_[static_cast<size_t>(i)].alive) continue;
+          auto resp = recv_from_worker(i, Msg::kShardDone);
+          if (!resp.has_value()) {
+            notify_agents_died(mark_worker_dead(i));
+            continue;
+          }
+          tensor::ByteReader rr(resp->body);
+          paths.push_back(rr.str());
+          rr.expect_done();
+        }
+        COMDML_REQUIRE(!paths.empty(), "every fleetd worker has crashed");
+        tensor::ByteWriter w;
+        w.u32(static_cast<uint32_t>(paths.size()));
+        for (const std::string& p : paths) w.str(p);
+        reply(client, Msg::kShardPaths, w.bytes());
         return false;
       }
       case Msg::kClientLeave: {
         tensor::ByteReader r(frame.body);
         const int64_t agent = r.i64();
         r.expect_done();
+        COMDML_REQUIRE(agent >= 0 && agent < options_.spec.agents,
+                       "leave agent " << agent << " out of range");
         tensor::ByteWriter w;
         w.i64(agent);
-        broadcast(Msg::kLeave, w.bytes());
-        for (const WorkerLink& link : workers_)
-          (void)expect_msg(link.fd, Msg::kAck, "worker");
+        std::vector<int64_t> sent;
+        for (const int64_t i : live_worker_ids()) {
+          if (send_msg(workers_[static_cast<size_t>(i)].fd, Msg::kLeave,
+                       w.bytes()))
+            sent.push_back(i);
+          else
+            notify_agents_died(mark_worker_dead(i));
+        }
+        for (const int64_t i : sent) {
+          if (!workers_[static_cast<size_t>(i)].alive) continue;
+          if (!recv_from_worker(i, Msg::kAck).has_value())
+            notify_agents_died(mark_worker_dead(i));
+        }
+        agent_live_[static_cast<size_t>(agent)] = 0;
+        agent_left_[static_cast<size_t>(agent)] = 1;
         reply(client, Msg::kAck, {});
         return false;
       }
       case Msg::kClientShutdown: {
-        broadcast(Msg::kShutdown, {});
+        for (const int64_t i : live_worker_ids())
+          (void)send_msg(workers_[static_cast<size_t>(i)].fd,
+                         Msg::kShutdown);
         reply(client, Msg::kAck, {});
         return true;
       }
@@ -204,59 +372,193 @@ class Coordinator {
   }
 
   core::RoundReport run_round() {
+    // Catch workers that died while the fleet sat idle, so the round
+    // starts from an agreed live set instead of discovering the corpse
+    // mid-protocol.
+    sweep_and_notify();
+    (void)first_alive_worker();
+
+    std::vector<int64_t> died_mid;
     {
       tensor::ByteWriter w;
       w.i64(round_);
-      broadcast(Msg::kRound, w.bytes());
+      for (const int64_t i : live_worker_ids())
+        if (!send_msg(workers_[static_cast<size_t>(i)].fd, Msg::kRound,
+                      w.bytes()))
+          append(died_mid, mark_worker_dead(i));
     }
 
-    // Gather owned task results, merge, broadcast the full vector. This
-    // doubles as the round barrier: every worker sits inside its
-    // exchange() until the merged vector lands.
+    // Gather owned task results, merge, broadcast the full vector plus
+    // every worker's borrowed agent state. This doubles as the round
+    // barrier: every worker sits inside its exchange() until the merged
+    // vector lands. A worker that dies here (crash mid-training) loses
+    // its task slots — its agents ride the died list so the survivors
+    // kill them before forming the aggregation collective.
     int64_t n_tasks = -1;
     std::vector<core::RealFleet::TaskResult> merged;
-    for (const WorkerLink& w : workers_) {
-      const comm::WireFrame frame =
-          expect_msg(w.fd, Msg::kTaskResults, "worker");
-      tensor::ByteReader r(frame.body);
-      const int64_t n = r.i64();
-      if (n_tasks < 0) {
-        n_tasks = n;
-        merged.resize(static_cast<size_t>(n));
+    std::vector<std::pair<int64_t, std::string>> blobs;
+    for (const int64_t i : live_worker_ids()) {
+      try {
+        const comm::WireFrame frame = expect_msg(
+            workers_[static_cast<size_t>(i)].fd, Msg::kTaskResults,
+            "worker");
+        tensor::ByteReader r(frame.body);
+        const int64_t n = r.i64();
+        if (n_tasks < 0) {
+          n_tasks = n;
+          merged.resize(static_cast<size_t>(n));
+        }
+        COMDML_REQUIRE(n == n_tasks,
+                       "workers disagree on the round's task count ("
+                           << n << " vs " << n_tasks << ")");
+        const uint32_t count = r.u32();
+        for (uint32_t t = 0; t < count; ++t) {
+          const int64_t task = r.i64();
+          COMDML_REQUIRE(task >= 0 && task < n_tasks,
+                         "task index " << task << " out of range");
+          merged[static_cast<size_t>(task)] = read_task_result(r);
+        }
+        const uint32_t nblobs = r.u32();
+        for (uint32_t b = 0; b < nblobs; ++b) {
+          const int64_t agent = r.i64();
+          blobs.emplace_back(agent, r.str());
+        }
+        r.expect_done();
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "fleetd: worker %lld lost mid-training: %s\n",
+                     (long long)i, e.what());
+        append(died_mid, mark_worker_dead(i));
       }
-      COMDML_REQUIRE(n == n_tasks,
-                     "workers disagree on the round's task count ("
-                         << n << " vs " << n_tasks << ")");
-      const uint32_t count = r.u32();
-      for (uint32_t i = 0; i < count; ++i) {
-        const int64_t task = r.i64();
-        COMDML_REQUIRE(task >= 0 && task < n_tasks,
-                       "task index " << task << " out of range");
-        merged[static_cast<size_t>(task)] = read_task_result(r);
-      }
-      r.expect_done();
     }
+    COMDML_REQUIRE(n_tasks >= 0,
+                   "every worker died before reporting task results");
     {
+      std::sort(died_mid.begin(), died_mid.end());
       tensor::ByteWriter w;
       w.u32(static_cast<uint32_t>(merged.size()));
       for (const core::RealFleet::TaskResult& t : merged)
         write_task_result(w, t);
-      broadcast(Msg::kMergedResults, w.bytes());
+      w.u32(static_cast<uint32_t>(blobs.size()));
+      for (const auto& [agent, blob] : blobs) {
+        w.i64(agent);
+        w.str(blob);
+      }
+      w.i64s(died_mid);
+      for (const int64_t i : live_worker_ids())
+        if (!send_msg(workers_[static_cast<size_t>(i)].fd,
+                      Msg::kMergedResults, w.bytes()))
+          (void)mark_worker_dead(i);  // the sync barrier drops its agents
     }
 
-    // Every worker finishes the round (aggregation over the data mesh)
-    // and reports its RoundReport + transport snapshot.
-    core::RoundReport report;
-    std::vector<comm::TransportStats> parts;
-    for (size_t i = 0; i < workers_.size(); ++i) {
-      const comm::WireFrame frame =
-          expect_msg(workers_[i].fd, Msg::kRoundDone, "worker");
-      tensor::ByteReader r(frame.body);
-      const core::RoundReport rep = read_report(r);
-      parts.push_back(read_stats(r));
-      r.expect_done();
-      if (i == 0) report = rep;
+    // Crash barrier: after every collective attempt the workers report
+    // (ok, live view); the coordinator arbitrates. Agreement = every
+    // surviving worker completed the schedule over exactly the agreed
+    // set. Anything else gets a fresh data mesh (a new generation, so no
+    // stale frame from the aborted schedule can pollute the retry) and
+    // another attempt over the shrunk set.
+    for (;;) {
+      struct SyncResp {
+        int64_t worker = 0;
+        bool ok = false;
+        std::vector<int64_t> view;
+      };
+      std::vector<SyncResp> resps;
+      for (const int64_t i : live_worker_ids()) {
+        try {
+          const comm::WireFrame f = expect_msg(
+              workers_[static_cast<size_t>(i)].fd, Msg::kCollectiveSync,
+              "worker");
+          tensor::ByteReader r(f.body);
+          SyncResp resp;
+          resp.worker = i;
+          resp.ok = r.u8() != 0;
+          resp.view = r.i64s();
+          r.expect_done();
+          std::sort(resp.view.begin(), resp.view.end());
+          resps.push_back(std::move(resp));
+        } catch (const std::exception& e) {
+          std::fprintf(stderr,
+                       "fleetd: worker %lld lost in the collective: %s\n",
+                       (long long)i, e.what());
+          (void)mark_worker_dead(i);
+        }
+      }
+      COMDML_REQUIRE(!resps.empty(),
+                     "every worker died inside the aggregation collective");
+      std::vector<int64_t> agreed;
+      {
+        std::vector<int64_t> cnt(static_cast<size_t>(options_.spec.agents),
+                                 0);
+        for (const SyncResp& resp : resps)
+          for (const int64_t a : resp.view)
+            if (a >= 0 && a < options_.spec.agents)
+              ++cnt[static_cast<size_t>(a)];
+        for (int64_t a = 0; a < options_.spec.agents; ++a)
+          if (agent_live_[static_cast<size_t>(a)] != 0 &&
+              cnt[static_cast<size_t>(a)] ==
+                  static_cast<int64_t>(resps.size()))
+            agreed.push_back(a);
+      }
+      bool all_ok = true;
+      for (const SyncResp& resp : resps)
+        if (!resp.ok || resp.view != agreed) {
+          all_ok = false;
+          break;
+        }
+      if (all_ok) {
+        tensor::ByteWriter w;
+        w.u8(1);
+        w.i64s(agreed);
+        for (const SyncResp& resp : resps)
+          if (workers_[static_cast<size_t>(resp.worker)].alive &&
+              !send_msg(workers_[static_cast<size_t>(resp.worker)].fd,
+                        Msg::kCollectiveAgree, w.bytes()))
+            (void)mark_worker_dead(resp.worker);
+        break;
+      }
+      ++mesh_gen_;
+      const std::vector<std::string> mesh =
+          mesh_addresses(options_.listen, options_.workers, mesh_gen_);
+      tensor::ByteWriter w;
+      w.u8(0);
+      w.i64s(agreed);
+      w.i64(mesh_gen_);
+      w.i64s(live_worker_ids());
+      w.u32(static_cast<uint32_t>(mesh.size()));
+      for (const std::string& a : mesh) w.str(a);
+      for (const SyncResp& resp : resps)
+        if (workers_[static_cast<size_t>(resp.worker)].alive &&
+            !send_msg(workers_[static_cast<size_t>(resp.worker)].fd,
+                      Msg::kCollectiveAgree, w.bytes()))
+          (void)mark_worker_dead(resp.worker);
     }
+
+    // Every surviving worker finishes the round and reports its
+    // RoundReport + transport snapshot.
+    core::RoundReport report;
+    bool have_report = false;
+    std::vector<comm::TransportStats> parts;
+    for (const int64_t i : live_worker_ids()) {
+      try {
+        const comm::WireFrame frame = expect_msg(
+            workers_[static_cast<size_t>(i)].fd, Msg::kRoundDone, "worker");
+        tensor::ByteReader r(frame.body);
+        const core::RoundReport rep = read_report(r);
+        parts.push_back(read_stats(r));
+        r.expect_done();
+        if (!have_report) {
+          report = rep;
+          have_report = true;
+        }
+      } catch (const std::exception& e) {
+        std::fprintf(stderr,
+                     "fleetd: worker %lld lost finishing the round: %s\n",
+                     (long long)i, e.what());
+        (void)mark_worker_dead(i);
+      }
+    }
+    COMDML_REQUIRE(have_report,
+                   "every worker died before finishing the round");
 
     // The losses are identical on every worker (that is the point); the
     // clock is not — each worker's transport only saw its own sends, so
@@ -273,29 +575,249 @@ class Coordinator {
     return report;
   }
 
-  /// Pull every remote-owned agent's state onto worker 0, then take an
-  /// ordinary single-fleet checkpoint there — the blob restores into any
-  /// structurally identical fleet, multi-process or not.
+  /// Pull every live remote-owned agent's state onto the first live
+  /// worker, then take an ordinary single-fleet checkpoint there — the
+  /// blob restores into any structurally identical fleet, multi-process
+  /// or not. An owner crashing mid-gather loses its agents (marked dead
+  /// and propagated) but not the checkpoint.
   std::vector<uint8_t> gather_checkpoint() {
-    const int w0 = workers_[0].fd;
+    sweep_and_notify();
+    const int64_t target = first_alive_worker();
+    const int tfd = workers_[static_cast<size_t>(target)].fd;
     for (int64_t a = 0; a < options_.spec.agents; ++a) {
+      if (agent_live_[static_cast<size_t>(a)] == 0) continue;
       const int64_t owner = owner_[static_cast<size_t>(a)];
-      if (owner == 0) continue;
-      tensor::ByteWriter req;
-      req.i64(a);
-      const int ofd = workers_[static_cast<size_t>(owner)].fd;
-      COMDML_REQUIRE(send_msg(ofd, Msg::kAgentStateReq, req.bytes()),
-                     "worker " << owner << " is gone");
-      const comm::WireFrame state =
-          expect_msg(ofd, Msg::kAgentState, "worker");
-      COMDML_REQUIRE(send_msg(w0, Msg::kLoadAgentState, state.body),
-                     "worker 0 is gone");
-      (void)expect_msg(w0, Msg::kAck, "worker 0");
+      if (owner == target ||
+          !workers_[static_cast<size_t>(owner)].alive)
+        continue;
+      comm::WireFrame state;
+      try {
+        tensor::ByteWriter req;
+        req.i64(a);
+        const int ofd = workers_[static_cast<size_t>(owner)].fd;
+        COMDML_REQUIRE(send_msg(ofd, Msg::kAgentStateReq, req.bytes()),
+                       "worker " << owner << " is gone");
+        state = expect_msg(ofd, Msg::kAgentState, "worker");
+      } catch (const std::exception& e) {
+        std::fprintf(stderr,
+                     "fleetd: worker %lld lost during checkpoint: %s\n",
+                     (long long)owner, e.what());
+        notify_agents_died(mark_worker_dead(owner));
+        continue;
+      }
+      COMDML_REQUIRE(send_msg(tfd, Msg::kLoadAgentState, state.body),
+                     "worker " << target << " is gone");
+      (void)expect_msg(tfd, Msg::kAck, "worker");
     }
-    COMDML_REQUIRE(send_msg(w0, Msg::kCheckpointReq), "worker 0 is gone");
-    return expect_msg(w0, Msg::kCheckpointBlob, "worker 0").body;
+    COMDML_REQUIRE(send_msg(tfd, Msg::kCheckpointReq),
+                   "worker " << target << " is gone");
+    return expect_msg(tfd, Msg::kCheckpointBlob, "worker").body;
   }
 
+  /// Re-admit a re-spawned worker into slot `k`: ship it the spec + the
+  /// current mesh layout + a full consensus checkpoint, remesh the
+  /// survivors alongside it (the mesh rendezvous is the barrier), then
+  /// revive its crashed agents from consensus on every worker.
+  void handle_rejoin(int fd, int64_t k) {
+    COMDML_REQUIRE(k >= 0 && k < options_.workers,
+                   "rejoin index " << k << " out of range");
+    COMDML_REQUIRE(!workers_[static_cast<size_t>(k)].alive,
+                   "worker " << k << " is alive; nothing to rejoin");
+    sweep_and_notify();
+    const std::vector<uint8_t> ckpt = gather_checkpoint();
+    ++mesh_gen_;
+    const std::vector<std::string> mesh =
+        mesh_addresses(options_.listen, options_.workers, mesh_gen_);
+    std::vector<int64_t> live = live_worker_ids();
+    live.push_back(k);
+    std::sort(live.begin(), live.end());
+    {
+      tensor::ByteWriter w;
+      write_spec(w, options_.spec);
+      w.i64(options_.workers);
+      w.i64s(owner_);
+      w.i64(mesh_gen_);
+      w.i64s(live);
+      w.u32(static_cast<uint32_t>(mesh.size()));
+      for (const std::string& a : mesh) w.str(a);
+      w.str(blob_to_str(ckpt));
+      COMDML_REQUIRE(send_msg(fd, Msg::kRejoinState, w.bytes()),
+                     "rejoining worker " << k << " vanished");
+    }
+    {
+      tensor::ByteWriter w;
+      w.i64(mesh_gen_);
+      w.i64s(live);
+      w.u32(static_cast<uint32_t>(mesh.size()));
+      for (const std::string& a : mesh) w.str(a);
+      for (const int64_t i : live_worker_ids())
+        if (!send_msg(workers_[static_cast<size_t>(i)].fd, Msg::kRemesh,
+                      w.bytes()))
+          notify_agents_died(mark_worker_dead(i));
+    }
+    // Everyone confirms the new mesh; the rejoiner's kReady also means
+    // its restore from the consensus checkpoint finished.
+    (void)expect_msg(fd, Msg::kReady, "rejoining worker");
+    for (const int64_t i : live_worker_ids()) {
+      try {
+        (void)expect_msg(workers_[static_cast<size_t>(i)].fd, Msg::kReady,
+                         "worker");
+      } catch (const std::exception&) {
+        notify_agents_died(mark_worker_dead(i));
+      }
+    }
+    workers_[static_cast<size_t>(k)].fd = fd;
+    workers_[static_cast<size_t>(k)].alive = true;
+
+    // Revive the agents the crash killed — but not agents a client
+    // deliberately removed.
+    std::vector<int64_t> back;
+    for (int64_t a = 0; a < options_.spec.agents; ++a)
+      if (owner_[static_cast<size_t>(a)] == k &&
+          agent_live_[static_cast<size_t>(a)] == 0 &&
+          agent_left_[static_cast<size_t>(a)] == 0)
+        back.push_back(a);
+    if (!back.empty()) {
+      tensor::ByteWriter w;
+      w.i64s(back);
+      std::vector<int64_t> sent;
+      for (const int64_t i : live_worker_ids()) {
+        if (send_msg(workers_[static_cast<size_t>(i)].fd,
+                     Msg::kRejoinAgents, w.bytes()))
+          sent.push_back(i);
+        else
+          notify_agents_died(mark_worker_dead(i));
+      }
+      for (const int64_t i : sent) {
+        if (!workers_[static_cast<size_t>(i)].alive) continue;
+        if (!recv_from_worker(i, Msg::kAck).has_value())
+          notify_agents_died(mark_worker_dead(i));
+      }
+      for (const int64_t a : back) agent_live_[static_cast<size_t>(a)] = 1;
+    }
+    std::fprintf(stderr,
+                 "fleetd: worker %lld rejoined (%lld agents revived)\n",
+                 (long long)k, (long long)back.size());
+  }
+
+  // ---- crash bookkeeping ----------------------------------------------------
+
+  [[nodiscard]] std::vector<int64_t> live_worker_ids() const {
+    std::vector<int64_t> ids;
+    for (size_t i = 0; i < workers_.size(); ++i)
+      if (workers_[i].alive) ids.push_back(static_cast<int64_t>(i));
+    return ids;
+  }
+
+  [[nodiscard]] int64_t first_alive_worker() const {
+    for (size_t i = 0; i < workers_.size(); ++i)
+      if (workers_[i].alive) return static_cast<int64_t>(i);
+    COMDML_REQUIRE(false, "every fleetd worker has crashed");
+    return -1;
+  }
+
+  /// Declare worker `i` dead: close its control fd (which also kills a
+  /// live-but-wedged worker — it sees EOF and exits, taking its mesh
+  /// sockets with it) and mark its live agents dead. Returns the agents
+  /// that just died; the caller decides when to notify the survivors.
+  std::vector<int64_t> mark_worker_dead(int64_t i) {
+    WorkerLink& w = workers_[static_cast<size_t>(i)];
+    if (!w.alive) return {};
+    w.alive = false;
+    if (w.fd >= 0) {
+      comm::close_fd(w.fd);
+      w.fd = -1;
+    }
+    std::vector<int64_t> died;
+    for (int64_t a = 0; a < options_.spec.agents; ++a)
+      if (owner_[static_cast<size_t>(a)] == i &&
+          agent_live_[static_cast<size_t>(a)] != 0) {
+        agent_live_[static_cast<size_t>(a)] = 0;
+        died.push_back(a);
+      }
+    std::fprintf(stderr,
+                 "fleetd: worker %lld is down; %lld agent(s) died\n",
+                 (long long)i, (long long)died.size());
+    return died;
+  }
+
+  /// Tell every surviving worker (between rounds — they are all in their
+  /// serve loops) that `died` agents are gone. A worker that fails the
+  /// notification is itself dead, and its agents join the next wave.
+  void notify_agents_died(std::vector<int64_t> died) {
+    while (!died.empty()) {
+      std::sort(died.begin(), died.end());
+      tensor::ByteWriter w;
+      w.i64s(died);
+      std::vector<int64_t> next;
+      std::vector<int64_t> sent;
+      for (const int64_t i : live_worker_ids()) {
+        if (send_msg(workers_[static_cast<size_t>(i)].fd, Msg::kAgentsDied,
+                     w.bytes()))
+          sent.push_back(i);
+        else
+          append(next, mark_worker_dead(i));
+      }
+      for (const int64_t i : sent) {
+        if (!workers_[static_cast<size_t>(i)].alive) continue;
+        try {
+          (void)expect_msg(workers_[static_cast<size_t>(i)].fd, Msg::kAck,
+                           "worker");
+        } catch (const std::exception&) {
+          append(next, mark_worker_dead(i));
+        }
+      }
+      died = std::move(next);
+    }
+  }
+
+  /// Heartbeat sweep between rounds: ping every worker thought alive,
+  /// mark the silent ones dead, and propagate their agents' deaths.
+  void sweep_and_notify() {
+    std::vector<int64_t> died;
+    std::vector<int64_t> pinged;
+    for (const int64_t i : live_worker_ids()) {
+      if (send_msg(workers_[static_cast<size_t>(i)].fd, Msg::kPing))
+        pinged.push_back(i);
+      else
+        append(died, mark_worker_dead(i));
+    }
+    for (const int64_t i : pinged) {
+      try {
+        (void)expect_msg(workers_[static_cast<size_t>(i)].fd, Msg::kPong,
+                         "worker");
+      } catch (const std::exception&) {
+        append(died, mark_worker_dead(i));
+      }
+    }
+    notify_agents_died(std::move(died));
+  }
+
+  /// Receive one frame from worker `i` where only `want` or death make
+  /// sense: nullopt means the worker vanished (the caller marks it dead);
+  /// a kError frame throws — the worker is alive, its failure belongs to
+  /// the client driving this RPC.
+  [[nodiscard]] std::optional<comm::WireFrame> recv_from_worker(int64_t i,
+                                                                Msg want) {
+    auto frame = comm::recv_frame(workers_[static_cast<size_t>(i)].fd);
+    if (!frame.has_value()) return std::nullopt;
+    if (frame->type == static_cast<uint16_t>(Msg::kError))
+      throw std::runtime_error(
+          "worker " + std::to_string(i) + ": " +
+          std::string(frame->body.begin(), frame->body.end()));
+    COMDML_REQUIRE(frame->type == static_cast<uint16_t>(want),
+                   "worker " << i << " sent frame type " << frame->type
+                             << ", expected "
+                             << static_cast<uint16_t>(want));
+    return frame;
+  }
+
+  static void append(std::vector<int64_t>& into,
+                     const std::vector<int64_t>& more) {
+    into.insert(into.end(), more.begin(), more.end());
+  }
+
+  /// Join-phase broadcast: every worker must still be there.
   void broadcast(Msg type, const std::vector<uint8_t>& body) {
     for (size_t i = 0; i < workers_.size(); ++i)
       COMDML_REQUIRE(send_msg(workers_[i].fd, type, body),
@@ -311,6 +833,17 @@ class Coordinator {
   int listen_fd_ = -1;
   std::vector<WorkerLink> workers_;
   std::vector<int64_t> owner_;
+  /// The coordinator's consensus agent liveness: crashes and client
+  /// leaves clear bits; rejoins set them back.
+  std::vector<char> agent_live_;
+  /// Agents removed by an explicit client leave — a rejoining worker does
+  /// not resurrect these.
+  std::vector<char> agent_left_;
+  std::deque<int> pending_clients_;
+  /// Data-mesh generation; bumped on every remesh (crash recovery and
+  /// worker rejoin) so a rebuilt mesh never collides with the sockets of
+  /// the one it replaces.
+  int64_t mesh_gen_ = 0;
   int64_t round_ = 0;
 };
 
@@ -332,21 +865,45 @@ int run_worker(const WorkerOptions& options) {
     const int fd = comm::dial(addr, 30.0);
     COMDML_REQUIRE(fd >= 0, "cannot reach coordinator at "
                                 << options.connect);
-    {
+    FleetSpec spec;
+    int64_t workers = 0;
+    std::vector<int64_t> owner;
+    std::vector<int64_t> live_workers;
+    std::vector<std::string> mesh_addrs;
+    std::vector<uint8_t> restore_blob;
+    if (!options.rejoin) {
       tensor::ByteWriter w;
       w.i64(options.index);
       COMDML_REQUIRE(send_msg(fd, Msg::kJoin, w.bytes()),
                      "coordinator closed the connection");
+      const comm::WireFrame start =
+          expect_msg(fd, Msg::kStart, "coordinator");
+      tensor::ByteReader r(start.body);
+      spec = read_spec(r);
+      workers = r.i64();
+      owner = r.i64s();
+      const uint32_t naddr = r.u32();
+      for (uint32_t i = 0; i < naddr; ++i) mesh_addrs.push_back(r.str());
+      r.expect_done();
+      for (int64_t i = 0; i < workers; ++i) live_workers.push_back(i);
+    } else {
+      tensor::ByteWriter w;
+      w.i64(options.index);
+      COMDML_REQUIRE(send_msg(fd, Msg::kRejoin, w.bytes()),
+                     "coordinator closed the connection");
+      const comm::WireFrame state =
+          expect_msg(fd, Msg::kRejoinState, "coordinator");
+      tensor::ByteReader r(state.body);
+      spec = read_spec(r);
+      workers = r.i64();
+      owner = r.i64s();
+      (void)r.i64();  // mesh generation, implied by the address list
+      live_workers = r.i64s();
+      const uint32_t naddr = r.u32();
+      for (uint32_t i = 0; i < naddr; ++i) mesh_addrs.push_back(r.str());
+      restore_blob = str_to_blob(r.str());
+      r.expect_done();
     }
-    const comm::WireFrame start = expect_msg(fd, Msg::kStart, "coordinator");
-    tensor::ByteReader r(start.body);
-    const FleetSpec spec = read_spec(r);
-    const int64_t workers = r.i64();
-    const std::vector<int64_t> owner = r.i64s();
-    const uint32_t naddr = r.u32();
-    std::vector<std::string> mesh_addrs;
-    for (uint32_t i = 0; i < naddr; ++i) mesh_addrs.push_back(r.str());
-    r.expect_done();
 
     // The full deterministic fleet — identical replicas on every worker;
     // the DistContext below is what narrows training to owned agents.
@@ -354,36 +911,59 @@ int run_worker(const WorkerOptions& options) {
     core::RealFleet* rf = fleet.real_comdml();
     COMDML_REQUIRE(rf != nullptr, "spec fleet is not a real ComDML fleet");
 
-    comm::SocketPeerConfig peer_cfg;
-    peer_cfg.owner = owner;
-    peer_cfg.self = options.index;
-    peer_cfg.addrs = mesh_addrs;
-    comm::SocketTransport mesh(
-        comm::LinkGrid::uniform(spec.agents, spec.mbps, spec.latency_sec),
-        peer_cfg);
-    mesh.wait_ready();
+    // The data mesh is rebuilt on every generation change (crash
+    // recovery, rejoin); the unique_ptr swap tears the old one down
+    // first so its reader threads and sockets are gone before the new
+    // rendezvous starts.
+    std::unique_ptr<comm::SocketTransport> mesh;
+    const auto build_mesh = [&](const std::vector<int64_t>& live,
+                                const std::vector<std::string>& addrs) {
+      comm::SocketPeerConfig cfg;
+      cfg.owner = owner;
+      cfg.self = options.index;
+      cfg.addrs = addrs;
+      if (static_cast<int64_t>(live.size()) < workers) {
+        cfg.process_alive.assign(static_cast<size_t>(workers), 0);
+        for (const int64_t p : live)
+          cfg.process_alive[static_cast<size_t>(p)] = 1;
+      }
+      mesh.reset();
+      mesh = std::make_unique<comm::SocketTransport>(
+          comm::LinkGrid::uniform(spec.agents, spec.mbps, spec.latency_sec),
+          cfg);
+      mesh->wait_ready();
+    };
+    build_mesh(live_workers, mesh_addrs);
+
+    const CrashHook crash;
 
     core::RealFleet::DistContext ctx;
     ctx.shard = options.index;
     ctx.shards = workers;
     ctx.owner = owner;
-    ctx.transport = &mesh;
-    ctx.exchange = [fd, index = options.index, &owner](
-                       const std::vector<int64_t>& task_agent,
-                       std::vector<core::RealFleet::TaskResult>& results) {
+    ctx.transport = mesh.get();
+    ctx.exchange = [&](core::RealFleet::ExchangeIO& io) {
+      const std::vector<int64_t>& task_agent = *io.task_agent;
+      std::vector<core::RealFleet::TaskResult>& results = *io.results;
       tensor::ByteWriter w;
       w.i64(static_cast<int64_t>(results.size()));
       uint32_t count = 0;
       for (const int64_t agent : task_agent)
-        if (agent >= 0 && owner[static_cast<size_t>(agent)] == index)
+        if (agent >= 0 &&
+            owner[static_cast<size_t>(agent)] == options.index)
           ++count;
       w.u32(count);
       for (size_t t = 0; t < task_agent.size(); ++t) {
         const int64_t agent = task_agent[t];
-        if (agent < 0 || owner[static_cast<size_t>(agent)] != index)
+        if (agent < 0 || owner[static_cast<size_t>(agent)] != options.index)
           continue;
         w.i64(static_cast<int64_t>(t));
         write_task_result(w, results[t]);
+      }
+      w.u32(static_cast<uint32_t>(io.state_out.size()));
+      for (const auto& [agent, blob] : io.state_out) {
+        w.i64(agent);
+        w.str(blob_to_str(blob));
       }
       COMDML_REQUIRE(send_msg(fd, Msg::kTaskResults, w.bytes()),
                      "coordinator is gone");
@@ -395,9 +975,50 @@ int run_worker(const WorkerOptions& options) {
                      "merged results cover " << n << " tasks, expected "
                                              << results.size());
       for (uint32_t t = 0; t < n; ++t) results[t] = read_task_result(r);
+      const uint32_t nblobs = r.u32();
+      io.state_in.clear();
+      for (uint32_t b = 0; b < nblobs; ++b) {
+        const int64_t agent = r.i64();
+        io.state_in.emplace_back(agent, str_to_blob(r.str()));
+      }
+      io.died = r.i64s();
       r.expect_done();
+      if (crash.fires(rf->round(), "collective"))
+        crash_now(options.index, "the aggregation collective");
+    };
+    ctx.collective_sync =
+        [&](const std::vector<int64_t>& view,
+            bool ok) -> std::pair<std::vector<int64_t>, comm::Transport*> {
+      {
+        tensor::ByteWriter w;
+        w.u8(ok ? 1 : 0);
+        w.i64s(view);
+        COMDML_REQUIRE(send_msg(fd, Msg::kCollectiveSync, w.bytes()),
+                       "coordinator is gone");
+      }
+      const comm::WireFrame agree =
+          expect_msg(fd, Msg::kCollectiveAgree, "coordinator");
+      tensor::ByteReader r(agree.body);
+      const bool done = r.u8() != 0;
+      std::vector<int64_t> agreed = r.i64s();
+      if (done) {
+        r.expect_done();
+        return {std::move(agreed), nullptr};
+      }
+      (void)r.i64();  // mesh generation, implied by the address list
+      const std::vector<int64_t> live = r.i64s();
+      const uint32_t naddr = r.u32();
+      std::vector<std::string> addrs;
+      for (uint32_t i = 0; i < naddr; ++i) addrs.push_back(r.str());
+      r.expect_done();
+      build_mesh(live, addrs);
+      return {std::move(agreed), mesh.get()};
     };
     rf->set_dist_context(std::move(ctx));
+    // A rejoiner restores after the context is installed (the context
+    // requires a fresh fleet; the restore then fast-forwards it to the
+    // consensus round).
+    if (options.rejoin) fleet.restore(restore_blob);
     COMDML_REQUIRE(send_msg(fd, Msg::kReady), "coordinator is gone");
 
     for (;;) {
@@ -410,25 +1031,63 @@ int run_worker(const WorkerOptions& options) {
       try {
         switch (static_cast<Msg>(frame->type)) {
           case Msg::kRound: {
+            if (crash.fires(fleet.rounds_executed(), "train"))
+              crash_now(options.index, "training");
             // New round, clean transport slate — stats and mail reset
             // before any training (the exchange barrier guarantees no
             // peer reaches the aggregation while anyone is still here).
-            mesh.reset();
+            mesh->reset();
             const core::RoundReport rep = fleet.step();
             tensor::ByteWriter w;
             write_report(w, rep);
-            write_stats(w, mesh.stats_snapshot());
+            write_stats(w, mesh->stats_snapshot());
             COMDML_REQUIRE(send_msg(fd, Msg::kRoundDone, w.bytes()),
                            "coordinator is gone");
             break;
           }
+          case Msg::kPing: {
+            (void)send_msg(fd, Msg::kPong);
+            break;
+          }
+          case Msg::kAgentsDied: {
+            tensor::ByteReader req(frame->body);
+            const std::vector<int64_t> died = req.i64s();
+            req.expect_done();
+            for (const int64_t a : died) fleet.leave(a);
+            (void)send_msg(fd, Msg::kAck);
+            break;
+          }
+          case Msg::kRemesh: {
+            tensor::ByteReader req(frame->body);
+            (void)req.i64();  // mesh generation
+            const std::vector<int64_t> live = req.i64s();
+            const uint32_t naddr = req.u32();
+            std::vector<std::string> addrs;
+            for (uint32_t i = 0; i < naddr; ++i) addrs.push_back(req.str());
+            req.expect_done();
+            build_mesh(live, addrs);
+            rf->set_dist_transport(mesh.get());
+            (void)send_msg(fd, Msg::kReady);
+            break;
+          }
+          case Msg::kRejoinAgents: {
+            tensor::ByteReader req(frame->body);
+            const std::vector<int64_t> back = req.i64s();
+            req.expect_done();
+            for (const int64_t a : back) fleet.rejoin(a);
+            (void)send_msg(fd, Msg::kAck);
+            break;
+          }
           case Msg::kStatsReq: {
             tensor::ByteWriter w;
-            write_stats(w, mesh.stats_snapshot());
+            write_stats(w, mesh->stats_snapshot());
             (void)send_msg(fd, Msg::kStatsResp, w.bytes());
             break;
           }
           case Msg::kAgentStateReq: {
+            if (crash.point == "gather" && crash.round >= 0 &&
+                fleet.rounds_executed() >= crash.round)
+              crash_now(options.index, "the checkpoint gather");
             tensor::ByteReader req(frame->body);
             const int64_t agent = req.i64();
             req.expect_done();
@@ -448,6 +1107,34 @@ int run_worker(const WorkerOptions& options) {
           }
           case Msg::kCheckpointReq: {
             (void)send_msg(fd, Msg::kCheckpointBlob, fleet.checkpoint());
+            break;
+          }
+          case Msg::kShardCheckpoint: {
+            tensor::ByteReader req(frame->body);
+            const std::string dir = req.str();
+            req.expect_done();
+            std::vector<int64_t> owned_live;
+            for (const int64_t a : fleet.live_agents())
+              if (owner[static_cast<size_t>(a)] == options.index)
+                owned_live.push_back(a);
+            const std::vector<uint8_t> blob = fleet.checkpoint_shard(
+                options.index, workers, owned_live);
+            std::filesystem::create_directories(dir);
+            char name[64];
+            std::snprintf(name, sizeof(name), "fleet_r%06lld.w%02lld.cmdl",
+                          (long long)fleet.rounds_executed(),
+                          (long long)options.index);
+            const std::string path = dir + "/" + name;
+            std::ofstream out(path, std::ios::binary | std::ios::trunc);
+            COMDML_REQUIRE(out.good(), "cannot open shard file " << path);
+            out.write(reinterpret_cast<const char*>(blob.data()),
+                      static_cast<std::streamsize>(blob.size()));
+            out.flush();
+            COMDML_REQUIRE(out.good(),
+                           "short write to shard file " << path);
+            tensor::ByteWriter w;
+            w.str(path);
+            (void)send_msg(fd, Msg::kShardDone, w.bytes());
             break;
           }
           case Msg::kWeightsReq: {
@@ -484,8 +1171,36 @@ int run_worker(const WorkerOptions& options) {
 }
 
 FleetClient::FleetClient(const std::string& address, double timeout_sec) {
-  fd_ = comm::dial(comm::parse_address(address), timeout_sec);
-  COMDML_REQUIRE(fd_ >= 0, "cannot reach fleetd at " << address);
+  const comm::SocketAddress addr = comm::parse_address(address);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<
+                            std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(timeout_sec));
+  int refused_in_a_row = 0;
+  int err = 0;
+  for (;;) {
+    fd_ = comm::dial_once(addr, &err);
+    if (fd_ >= 0) break;
+    // A unix socket file that exists but persistently refuses connections
+    // is a corpse: a dead coordinator's leftover. Fail fast instead of
+    // burning the whole timeout (ENOENT, by contrast, may just be a
+    // coordinator that has not bound yet).
+    if (addr.kind == comm::SocketAddress::Kind::kUnix &&
+        err == ECONNREFUSED) {
+      if (++refused_in_a_row >= 3)
+        throw CoordinatorUnreachable(
+            "stale fleetd control socket at " + address +
+            ": the socket file exists but nothing is listening (dead "
+            "coordinator?); remove the file or restart fleetd");
+    } else {
+      refused_in_a_row = 0;
+    }
+    if (std::chrono::steady_clock::now() >= deadline)
+      throw CoordinatorUnreachable(
+          "cannot reach fleetd at " + address + " within " +
+          std::to_string(timeout_sec) + "s (" + std::strerror(err) + ")");
+    std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  }
   const comm::WireFrame hello =
       rpc(Msg::kClientHello, {}, Msg::kClientHello);
   tensor::ByteReader r(hello.body);
@@ -527,6 +1242,20 @@ std::vector<uint8_t> FleetClient::weights() {
 
 std::vector<uint8_t> FleetClient::checkpoint() {
   return rpc(Msg::kClientCheckpoint, {}, Msg::kCheckpointBlob).body;
+}
+
+std::vector<std::string> FleetClient::shard_checkpoint(
+    const std::string& dir) {
+  tensor::ByteWriter w;
+  w.str(dir);
+  const comm::WireFrame frame =
+      rpc(Msg::kClientShardCheckpoint, w.bytes(), Msg::kShardPaths);
+  tensor::ByteReader r(frame.body);
+  const uint32_t n = r.u32();
+  std::vector<std::string> paths;
+  for (uint32_t i = 0; i < n; ++i) paths.push_back(r.str());
+  r.expect_done();
+  return paths;
 }
 
 void FleetClient::leave(int64_t agent) {

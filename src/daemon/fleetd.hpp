@@ -42,17 +42,37 @@ int run_coordinator(const CoordinatorOptions& options);
 struct WorkerOptions {
   std::string connect;  ///< the coordinator's control address
   int64_t index = 0;
+  /// Re-spawned replacement for a crashed worker: instead of the kJoin
+  /// handshake it sends kRejoin, receives the spec + current mesh layout +
+  /// a full consensus checkpoint, restores mid-history, and re-enters the
+  /// serve loop. Its previously-dead agents then rejoin from consensus on
+  /// every worker.
+  bool rejoin = false;
 };
 
 /// Run one worker until the coordinator sends kShutdown (or dies).
 /// Returns a process exit code.
 int run_worker(const WorkerOptions& options);
 
+/// The coordinator cannot be reached: nothing ever answered within the
+/// connect timeout, or — caught early, without burning the timeout — a
+/// unix control socket exists but persistently refuses connections, the
+/// signature of a stale socket file left behind by a dead coordinator.
+/// Typed so fleet_cli can print an actionable message (and exit code)
+/// instead of a generic connect failure.
+class CoordinatorUnreachable : public std::runtime_error {
+ public:
+  explicit CoordinatorUnreachable(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
 /// Blocking client for a running fleetd coordinator. Every method is one
 /// RPC; errors from the daemon surface as std::runtime_error.
 class FleetClient {
  public:
-  /// Connects and completes the hello handshake (throws on timeout).
+  /// Connects and completes the hello handshake. Throws
+  /// CoordinatorUnreachable on timeout or on a stale unix control socket
+  /// (detected in ~quarter of a second, not the full timeout).
   explicit FleetClient(const std::string& address,
                        double timeout_sec = 30.0);
   ~FleetClient();
@@ -72,6 +92,12 @@ class FleetClient {
   /// Full fleet checkpoint: remote agents are gathered onto worker 0
   /// first, so the blob restores into a single-process fleet.
   [[nodiscard]] std::vector<uint8_t> checkpoint();
+  /// Quorum checkpoint: every live worker writes its owned-agent shard
+  /// into `dir` (a path valid on the workers' filesystem) and the call
+  /// returns the shard paths. No coordinator-side assembly — any quorum of
+  /// the files restores via RealFleet::restore_shards.
+  [[nodiscard]] std::vector<std::string> shard_checkpoint(
+      const std::string& dir);
   /// Remove an agent from the fleet on every worker.
   void leave(int64_t agent);
   /// Stop the coordinator and all workers.

@@ -20,6 +20,7 @@ void write_spec(tensor::ByteWriter& w, const FleetSpec& spec) {
   w.str(spec.protocol);
   w.f64(spec.mbps);
   w.f64(spec.latency_sec);
+  w.f64s(spec.compute_scales);
 }
 
 FleetSpec read_spec(tensor::ByteReader& r) {
@@ -33,6 +34,7 @@ FleetSpec read_spec(tensor::ByteReader& r) {
   spec.protocol = r.str();
   spec.mbps = r.f64();
   spec.latency_sec = r.f64();
+  spec.compute_scales = r.f64s();
   return spec;
 }
 
@@ -164,16 +166,21 @@ std::vector<int64_t> owner_map(int64_t agents, int64_t workers) {
 }
 
 std::vector<std::string> mesh_addresses(const std::string& control_addr,
-                                        int64_t workers) {
+                                        int64_t workers,
+                                        int64_t generation) {
   const comm::SocketAddress control = comm::parse_address(control_addr);
+  const std::string suffix =
+      generation > 0 ? ".g" + std::to_string(generation) : std::string();
   std::vector<std::string> addrs;
   addrs.reserve(static_cast<size_t>(workers));
   for (int64_t i = 0; i < workers; ++i) {
     if (control.kind == comm::SocketAddress::Kind::kUnix) {
-      addrs.push_back("unix:" + control.path + ".peer" + std::to_string(i));
+      addrs.push_back("unix:" + control.path + ".peer" + std::to_string(i) +
+                      suffix);
     } else {
       addrs.push_back("tcp:" + control.host + ":" +
-                      std::to_string(control.port + 1 + i));
+                      std::to_string(control.port + 1 +
+                                     workers * generation + i));
     }
   }
   return addrs;
@@ -189,9 +196,16 @@ comm::AllReduceAlgo spec_algo(const std::string& name) {
 core::FleetRuntime build_spec_fleet(const FleetSpec& spec,
                                     data::Dataset* eval_out) {
   // fleet_cli's real-mode geometry (synthetic blobs, iid shards, small
-  // MLP) — with *uniform* resource profiles, so the pairing pass never
-  // produces an offload pair (pairing needs a strict speed gap) and every
-  // round is solo-only, which is what the owner partition requires.
+  // MLP). With no compute scales the resource profiles are uniform, so
+  // the pairing pass never produces an offload pair (pairing needs a
+  // strict speed gap) and every round is solo-only; per-agent scales turn
+  // on the fast/slow offload path across workers too.
+  COMDML_REQUIRE(spec.compute_scales.empty() ||
+                     static_cast<int64_t>(spec.compute_scales.size()) ==
+                         spec.agents,
+                 "spec carries " << spec.compute_scales.size()
+                                 << " compute scales for " << spec.agents
+                                 << " agents");
   constexpr int64_t kClasses = 3, kFeatures = 6, kPerAgent = 60;
   tensor::Rng rng(spec.seed + 1);
   const auto ds = data::make_blobs(spec.agents * kPerAgent, kClasses,
@@ -210,9 +224,14 @@ core::FleetRuntime build_spec_fleet(const FleetSpec& spec,
   opt.comms.aggregation = spec_algo(spec.protocol);
   opt.comms.latency_sec = spec.latency_sec;
 
-  const std::vector<sim::ResourceProfile> profiles(
+  std::vector<sim::ResourceProfile> profiles(
       static_cast<size_t>(spec.agents),
       sim::ResourceProfile{1.0, spec.mbps});
+  for (size_t a = 0; a < spec.compute_scales.size(); ++a) {
+    COMDML_REQUIRE(spec.compute_scales[a] > 0.0,
+                   "compute scale for agent " << a << " must be positive");
+    profiles[a].cpu = spec.compute_scales[a];
+  }
   core::ModelFactory factory = [](tensor::Rng& r) {
     return nn::mlp({kFeatures, 24, 24, kClasses}, r);
   };

@@ -11,13 +11,24 @@
 // Round protocol (coordinator-driven, one kClientRound at a time):
 //   client  -> coord   kClientRound
 //   coord   -> workers kRound            (all workers, round index)
-//   workers -> coord   kTaskResults      (owned task slots only)
-//   coord   -> workers kMergedResults    (every slot filled, same for all)
+//   workers -> coord   kTaskResults      (owned task slots + borrowed state)
+//   coord   -> workers kMergedResults    (every slot filled, borrowed state
+//                                         from all workers, agents of
+//                                         workers that crashed mid-training)
+//   workers -> coord   kCollectiveSync   (post-collective live view; loops
+//                                         with kCollectiveAgree until every
+//                                         survivor ran the agreed schedule)
+//   coord   -> workers kCollectiveAgree  (agreed live set [+ remesh info])
 //   workers -> coord   kRoundDone        (RoundReport + transport snapshot)
 //   coord   -> client  kRoundReport      (merged stats folded in)
 // The kTaskResults/kMergedResults exchange doubles as the round barrier:
 // no worker reaches the aggregation collective until every worker has
 // finished training, so data-mesh resets can never race inbound frames.
+// The kCollectiveSync/kCollectiveAgree exchange is the crash barrier: a
+// worker SIGKILLed mid-round surfaces as its agents dying, the survivors
+// re-run the collective over the agreed survivor set (on a fresh data
+// mesh, so no stale frame from the aborted schedule can pollute it), and
+// the round completes with RoundStats::dropped_agents populated.
 #pragma once
 
 #include <cstdint>
@@ -56,6 +67,20 @@ enum class Msg : uint16_t {
   kLeave,            ///< coord -> worker: i64 agent
   kShutdown,         ///< coord -> worker: (empty)
   kError,            ///< raw error text
+  kPing,             ///< coord -> worker: (empty); reply kPong
+  kPong,             ///< worker -> coord: (empty)
+  kAgentsDied,       ///< coord -> worker: i64s agents; reply kAck
+  kCollectiveSync,   ///< worker -> coord: u8 attempt-ok + i64s live view
+  kCollectiveAgree,  ///< coord -> worker: u8 done + i64s agreed live set
+                     ///< [+ i64 mesh gen, i64s live workers, u32+addrs]
+  kRejoin,           ///< respawned worker -> coord: i64 worker index
+  kRejoinState,      ///< coord -> rejoiner: spec, workers, owner, mesh gen,
+                     ///< live workers, addrs, full checkpoint blob
+  kRemesh,           ///< coord -> worker: mesh gen, live workers, addrs;
+                     ///< reply kReady once the new mesh formed
+  kRejoinAgents,     ///< coord -> worker: i64s agents to rejoin; reply kAck
+  kShardCheckpoint,  ///< coord -> worker: str dir; reply kShardDone
+  kShardDone,        ///< worker -> coord: str shard path
   // client <-> coordinator
   kClientHello = 64, ///< client -> coord: (empty); reply: i64 agents, workers
   kClientRound,      ///< client -> coord: (empty)
@@ -66,6 +91,8 @@ enum class Msg : uint16_t {
   kClientCheckpoint, ///< client -> coord: (empty); reply kCheckpointBlob
   kClientLeave,      ///< client -> coord: i64 agent; reply kAck
   kClientShutdown,   ///< client -> coord: (empty); reply kAck
+  kClientShardCheckpoint, ///< client -> coord: str dir; reply kShardPaths
+  kShardPaths,       ///< coord -> client: u32 count + str shard paths
 };
 
 /// Everything a worker needs to rebuild the coordinator's fleet
@@ -82,6 +109,11 @@ struct FleetSpec {
   std::string protocol = "hd";  ///< "hd" | "ring"
   double mbps = 100.0;
   double latency_sec = comm::kDefaultLatencySec;
+  /// Per-agent compute speed multipliers (<1 is slower). Empty means
+  /// uniform 1.0, which keeps every round solo-only; a heterogeneous
+  /// profile gives the pairing pass a real speed gap, so multi-process
+  /// rounds exercise the offload path too.
+  std::vector<double> compute_scales;
 };
 
 void write_spec(tensor::ByteWriter& w, const FleetSpec& spec);
@@ -105,15 +137,21 @@ void write_task_result(tensor::ByteWriter& w,
 
 /// Per-worker data-mesh addresses derived from the control address: unix
 /// control sockets get sibling "<path>.peer<i>" paths, tcp gets
-/// consecutive ports above the control port.
+/// consecutive ports above the control port. `generation` > 0 (crash
+/// recovery / rejoin remesh) suffixes unix paths with ".g<gen>" and moves
+/// tcp ports up by `workers * generation`, so a rebuilt mesh can never
+/// collide with sockets left behind by the one it replaces.
 [[nodiscard]] std::vector<std::string> mesh_addresses(
-    const std::string& control_addr, int64_t workers);
+    const std::string& control_addr, int64_t workers,
+    int64_t generation = 0);
 
 [[nodiscard]] comm::AllReduceAlgo spec_algo(const std::string& name);
 
 /// The deterministic fleet a spec describes: synthetic blobs partitioned
-/// iid, uniform resource profiles over a full mesh (uniform profiles keep
-/// multi-process rounds solo-only), and the fleet_cli MLP geometry. Every
+/// iid, resource profiles over a full mesh (uniform when the spec carries
+/// no compute scales, keeping those rounds solo-only; per-agent scales
+/// make the pairing pass produce offload pairs), and the fleet_cli MLP
+/// geometry. Every
 /// process — coordinator-side verification, each worker, and a
 /// single-process reference run — builds bit-identical fleets from the
 /// same spec. `eval_out`, when non-null, receives shard 0 (fleet_cli's

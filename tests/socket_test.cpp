@@ -12,10 +12,14 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
+#include <fstream>
 #include <memory>
 #include <thread>
+#include <utility>
 
 #include "comm/collective.hpp"
 #include "comm/reliable.hpp"
@@ -411,9 +415,16 @@ TEST(DaemonProtocol, SpecAndReportRoundTrip) {
   EXPECT_FLOAT_EQ(rep2.mean_loss, 0.25f);
 }
 
-pid_t spawn(const std::string& bin, const std::vector<std::string>& args) {
+/// Extra environment for a spawned fleetd process — how the crash tests
+/// arm the in-binary COMDML_TEST_CRASH_* hooks on exactly one worker.
+using SpawnEnv = std::vector<std::pair<std::string, std::string>>;
+
+pid_t spawn(const std::string& bin, const std::vector<std::string>& args,
+            const SpawnEnv& env = {}) {
   const pid_t pid = ::fork();
   if (pid != 0) return pid;
+  for (const auto& kv : env)
+    ::setenv(kv.first.c_str(), kv.second.c_str(), 1);
   std::vector<char*> argv;
   argv.push_back(const_cast<char*>(bin.c_str()));
   for (const auto& a : args) argv.push_back(const_cast<char*>(a.c_str()));
@@ -421,6 +432,27 @@ pid_t spawn(const std::string& bin, const std::vector<std::string>& args) {
   ::execv(bin.c_str(), argv.data());
   std::perror("execv fleetd");
   ::_exit(127);
+}
+
+/// Kills every still-running fleet process on scope exit so a failing
+/// assertion cannot leak daemons into later tests. Reaped pids are no-ops.
+struct ProcReaper {
+  std::vector<pid_t> pids;
+  ~ProcReaper() {
+    for (const pid_t p : pids) ::kill(p, SIGKILL);
+    for (const pid_t p : pids) (void)::waitpid(p, nullptr, WNOHANG);
+  }
+};
+
+std::string unique_control_addr() {
+  static std::atomic<int> counter{0};
+  return "unix:/tmp/comdml_fleetd_" + std::to_string(::getpid()) + "_" +
+         std::to_string(counter.fetch_add(1)) + ".sock";
+}
+
+std::vector<uint8_t> fleet_weights(core::FleetRuntime& fleet) {
+  return tensor::pack_tensors(
+      nn::state_of(fleet.model(fleet.live_agents().front())));
 }
 
 /// waitpid with a deadline; SIGKILLs and reports -1 on timeout.
@@ -526,6 +558,335 @@ TEST(Fleetd, MultiProcessFleetMatchesSingleProcessBitForBit) {
   EXPECT_EQ(tensor::pack_tensors(nn::state_of(
                 restored.model(restored.live_agents().front()))),
             local_weights);
+}
+
+TEST(DaemonProtocol, SpecRoundTripsComputeScales) {
+  FleetSpec spec;
+  spec.agents = 4;
+  spec.compute_scales = {1.0, 0.25, 1.0, 0.25};
+  tensor::ByteWriter w;
+  write_spec(w, spec);
+  tensor::ByteReader r(w.bytes());
+  const FleetSpec spec2 = read_spec(r);
+  r.expect_done();
+  EXPECT_EQ(spec2.compute_scales, spec.compute_scales);
+}
+
+TEST(FleetClient, FailsFastOnStaleControlSocket) {
+  // Bind then close: the unix socket file survives with nobody listening —
+  // exactly what a SIGKILLed coordinator leaves behind.
+  const std::string addr = unique_control_addr();
+  const comm::SocketAddress parsed = comm::parse_address(addr);
+  const int fd = comm::listen_on(parsed);
+  ::close(fd);
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    FleetClient client(addr, /*timeout_sec=*/20.0);
+    FAIL() << "a stale control socket must be detected, not spun on";
+  } catch (const CoordinatorUnreachable& e) {
+    EXPECT_NE(std::string(e.what()).find("stale"), std::string::npos)
+        << e.what();
+  }
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(waited, 5.0) << "detection must not burn the connect timeout";
+  ::unlink(parsed.path.c_str());
+}
+
+/// 3-worker/6-agent crash fixture: worker 2 (owner of agents 2 and 5, by
+/// the round-robin owner map) is armed to _exit(137) at `point` of round 1.
+struct CrashFleet {
+  std::string bin;
+  std::string addr;
+  pid_t coord = -1;
+  std::array<pid_t, 3> workers{-1, -1, -1};
+  ProcReaper reaper;
+
+  [[nodiscard]] bool start(const std::string& crash_point) {
+    bin = std::string(COMDML_BIN_DIR) + "/fleetd";
+    if (::access(bin.c_str(), X_OK) != 0) return false;
+    addr = unique_control_addr();
+    coord = spawn(bin, {"--listen", addr, "--workers", "3", "--agents",
+                        "6", "--seed", "42"});
+    reaper.pids.push_back(coord);
+    for (int i = 0; i < 3; ++i) {
+      SpawnEnv env;
+      if (i == 2)
+        env = {{"COMDML_TEST_CRASH_AT_ROUND", "1"},
+               {"COMDML_TEST_CRASH_POINT", crash_point}};
+      workers[static_cast<size_t>(i)] =
+          spawn(bin, {"--worker", "--index", std::to_string(i),
+                      "--connect", addr},
+                env);
+      reaper.pids.push_back(workers[static_cast<size_t>(i)]);
+    }
+    return true;
+  }
+};
+
+/// The survivor-side reference for a crash in round 1: the same fleet
+/// stepped single-process where agents 2 and 5 leave at the boundary.
+core::FleetRuntime leave_reference(const FleetSpec& spec,
+                                   std::vector<core::RoundReport>* reports,
+                                   int64_t rounds_after) {
+  core::FleetRuntime ref = build_spec_fleet(spec);
+  reports->push_back(ref.step());
+  ref.leave(2);
+  ref.leave(5);
+  for (int64_t r = 0; r < rounds_after; ++r) reports->push_back(ref.step());
+  return ref;
+}
+
+TEST(Fleetd, WorkerCrashMidTrainingSurvivorsFinishTheRound) {
+  CrashFleet fleet;
+  if (!fleet.start("train")) GTEST_SKIP() << "fleetd binary not built";
+
+  std::vector<core::RoundReport> dist;
+  std::vector<uint8_t> dist_weights;
+  FleetClient client(fleet.addr, /*timeout_sec=*/60.0);
+  for (int64_t r = 0; r < 3; ++r) dist.push_back(client.round());
+  dist_weights = client.weights();
+  client.shutdown();
+
+  EXPECT_EQ(wait_with_timeout(fleet.workers[2], 30.0), 137)
+      << "the armed worker must die by the crash hook";
+  EXPECT_EQ(wait_with_timeout(fleet.coord, 30.0), 0);
+  EXPECT_EQ(wait_with_timeout(fleet.workers[0], 30.0), 0);
+  EXPECT_EQ(wait_with_timeout(fleet.workers[1], 30.0), 0);
+
+  EXPECT_EQ(dist[0].dropped_agents, 0);
+  EXPECT_EQ(dist[1].dropped_agents, 2) << "worker 2 owned agents 2 and 5";
+  EXPECT_EQ(dist[2].dropped_agents, 0);
+
+  // A worker that dies before training contributes nothing to the round:
+  // losses and post-round weights match the fleet where its agents left
+  // at the same boundary.
+  FleetSpec spec;
+  spec.agents = 6;
+  std::vector<core::RoundReport> want;
+  core::FleetRuntime ref = leave_reference(spec, &want, 2);
+  ASSERT_EQ(dist.size(), want.size());
+  for (size_t r = 0; r < want.size(); ++r) {
+    EXPECT_EQ(dist[r].round, want[r].round);
+    EXPECT_EQ(dist[r].mean_loss, want[r].mean_loss) << "round " << r;
+  }
+  EXPECT_EQ(dist_weights, fleet_weights(ref));
+}
+
+TEST(Fleetd, WorkerCrashMidCollectiveSurvivorsReFormAndFinish) {
+  CrashFleet fleet;
+  if (!fleet.start("collective")) GTEST_SKIP() << "fleetd binary not built";
+
+  std::vector<core::RoundReport> dist;
+  std::vector<uint8_t> dist_weights;
+  FleetClient client(fleet.addr, /*timeout_sec=*/60.0);
+  for (int64_t r = 0; r < 3; ++r) dist.push_back(client.round());
+  dist_weights = client.weights();
+  client.shutdown();
+
+  EXPECT_EQ(wait_with_timeout(fleet.workers[2], 30.0), 137);
+  EXPECT_EQ(wait_with_timeout(fleet.coord, 30.0), 0);
+  EXPECT_EQ(wait_with_timeout(fleet.workers[0], 30.0), 0);
+  EXPECT_EQ(wait_with_timeout(fleet.workers[1], 30.0), 0);
+
+  EXPECT_EQ(dist[1].dropped_agents, 2) << "worker 2 owned agents 2 and 5";
+
+  // The crash lands after training results merged but before the
+  // aggregation collective: survivors re-form over the surviving owners
+  // and the post-round weights match the leave-at-the-boundary fleet.
+  // (Round 1's mean_loss is exempt — the dead worker's losses were merged
+  // before it died, so the distributed fold legitimately includes them.)
+  FleetSpec spec;
+  spec.agents = 6;
+  std::vector<core::RoundReport> want;
+  core::FleetRuntime ref = leave_reference(spec, &want, 2);
+  EXPECT_EQ(dist[0].mean_loss, want[0].mean_loss);
+  EXPECT_EQ(dist[2].mean_loss, want[2].mean_loss)
+      << "post-crash rounds must re-converge exactly";
+  EXPECT_EQ(dist_weights, fleet_weights(ref));
+}
+
+TEST(Fleetd, WorkerCrashDuringCheckpointGatherStillYieldsACheckpoint) {
+  CrashFleet fleet;
+  if (!fleet.start("gather")) GTEST_SKIP() << "fleetd binary not built";
+
+  FleetClient client(fleet.addr, /*timeout_sec=*/60.0);
+  (void)client.round();
+  (void)client.round();
+  // The hook fires on the first kAgentStateReq once two rounds ran: the
+  // gather loses worker 2 mid-checkpoint, drops its agents, and still
+  // assembles a restorable blob from the survivors.
+  const std::vector<uint8_t> blob = client.checkpoint();
+  const std::vector<uint8_t> live_weights = client.weights();
+
+  FleetSpec spec;
+  spec.agents = 6;
+  core::FleetRuntime restored = build_spec_fleet(spec);
+  restored.restore(blob);
+  EXPECT_EQ(restored.rounds_executed(), 2);
+  EXPECT_EQ(restored.live_agents(), (std::vector<int64_t>{0, 1, 3, 4}));
+  EXPECT_EQ(fleet_weights(restored), live_weights);
+
+  // Survivors keep driving rounds after the mid-gather loss.
+  const core::RoundReport after = client.round();
+  EXPECT_EQ(after.round, 2);
+  EXPECT_EQ(after.dropped_agents, 0)
+      << "the agents died between rounds, not during one";
+  client.shutdown();
+
+  EXPECT_EQ(wait_with_timeout(fleet.workers[2], 30.0), 137);
+  EXPECT_EQ(wait_with_timeout(fleet.coord, 30.0), 0);
+  EXPECT_EQ(wait_with_timeout(fleet.workers[0], 30.0), 0);
+  EXPECT_EQ(wait_with_timeout(fleet.workers[1], 30.0), 0);
+}
+
+TEST(Fleetd, CrashedWorkerRejoinsFromConsensusBetweenRounds) {
+  CrashFleet fleet;
+  if (!fleet.start("train")) GTEST_SKIP() << "fleetd binary not built";
+  FleetSpec spec;
+  spec.agents = 6;
+
+  FleetClient client(fleet.addr, /*timeout_sec=*/60.0);
+  (void)client.round();
+  const core::RoundReport crashed = client.round();
+  EXPECT_EQ(crashed.dropped_agents, 2);
+  EXPECT_EQ(wait_with_timeout(fleet.workers[2], 30.0), 137);
+
+  // Re-spawn worker 2 as a --rejoin replacement and wait for its agents
+  // to revive from consensus (visible through the gathered checkpoint).
+  const pid_t replacement =
+      spawn(fleet.bin, {"--worker", "--index", "2", "--connect", fleet.addr,
+                        "--rejoin"});
+  fleet.reaper.pids.push_back(replacement);
+  core::FleetRuntime ref = build_spec_fleet(spec);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  for (;;) {
+    ref.restore(client.checkpoint());
+    if (ref.live_agents().size() == 6u) break;
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "rejoin never completed";
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  const core::RoundReport healed = client.round();
+  EXPECT_EQ(healed.round, 2);
+  EXPECT_EQ(healed.dropped_agents, 0);
+  const std::vector<uint8_t> dist_weights = client.weights();
+  client.shutdown();
+
+  EXPECT_EQ(wait_with_timeout(fleet.coord, 30.0), 0);
+  EXPECT_EQ(wait_with_timeout(fleet.workers[0], 30.0), 0);
+  EXPECT_EQ(wait_with_timeout(fleet.workers[1], 30.0), 0);
+  EXPECT_EQ(wait_with_timeout(replacement, 30.0), 0);
+
+  // The healed fleet is bit-identical to a single-process fleet resumed
+  // from the very consensus checkpoint the rejoin settled on: revived
+  // agents carry consensus weights and a reset data stream (their
+  // in-flight positions died with the crashed worker).
+  EXPECT_EQ(ref.rounds_executed(), 2);
+  const core::RoundReport want = ref.step();
+  EXPECT_EQ(healed.mean_loss, want.mean_loss);
+  EXPECT_EQ(dist_weights, fleet_weights(ref));
+}
+
+TEST(Fleetd, QuorumShardCheckpointRestoresBitIdentically) {
+  const std::string bin = std::string(COMDML_BIN_DIR) + "/fleetd";
+  if (::access(bin.c_str(), X_OK) != 0)
+    GTEST_SKIP() << "fleetd binary not built at " << bin;
+  const std::string addr = unique_control_addr();
+  const std::string dir =
+      "/tmp/comdml_shards_" + std::to_string(::getpid());
+
+  ProcReaper reaper;
+  reaper.pids.push_back(spawn(
+      bin, {"--listen", addr, "--workers", "2", "--agents", "4"}));
+  reaper.pids.push_back(
+      spawn(bin, {"--worker", "--index", "0", "--connect", addr}));
+  reaper.pids.push_back(
+      spawn(bin, {"--worker", "--index", "1", "--connect", addr}));
+
+  FleetClient client(addr, /*timeout_sec=*/60.0);
+  (void)client.round();
+  (void)client.round();
+  std::vector<std::string> paths = client.shard_checkpoint(dir);
+  ASSERT_EQ(paths.size(), 2u);
+  std::sort(paths.begin(), paths.end());  // worker order: ...w00, ...w01
+  const std::vector<uint8_t> dist_weights = client.weights();
+  client.shutdown();
+  for (const pid_t p : reaper.pids)
+    EXPECT_EQ(wait_with_timeout(p, 30.0), 0);
+
+  std::vector<std::vector<uint8_t>> shards;
+  for (const auto& path : paths) {
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good()) << path;
+    shards.emplace_back(std::istreambuf_iterator<char>(in),
+                        std::istreambuf_iterator<char>{});
+    ASSERT_FALSE(shards.back().empty()) << path;
+  }
+
+  // The full quorum reassembles the fleet bit for bit, coordinator-free.
+  FleetSpec spec;  // defaults: 4 agents, seed 42
+  core::FleetRuntime full = build_spec_fleet(spec);
+  full.restore_shards(shards);
+  EXPECT_EQ(full.rounds_executed(), 2);
+  EXPECT_EQ(full.live_agents().size(), 4u);
+  EXPECT_EQ(fleet_weights(full), dist_weights);
+
+  // Any quorum: worker 0's shard alone revives exactly its owned agents;
+  // the rest stay rejoinable.
+  core::FleetRuntime partial = build_spec_fleet(spec);
+  partial.restore_shards({shards[0]});
+  EXPECT_EQ(partial.rounds_executed(), 2);
+  EXPECT_EQ(partial.live_agents(), (std::vector<int64_t>{0, 2}));
+
+  for (const auto& path : paths) ::unlink(path.c_str());
+  ::rmdir(dir.c_str());
+}
+
+TEST(Fleetd, HeterogeneousScalesPairAcrossProcessesBitForBit) {
+  const std::string bin = std::string(COMDML_BIN_DIR) + "/fleetd";
+  if (::access(bin.c_str(), X_OK) != 0)
+    GTEST_SKIP() << "fleetd binary not built at " << bin;
+  const std::string addr = unique_control_addr();
+  FleetSpec spec;
+  spec.agents = 4;
+  spec.compute_scales = {1.0, 0.25, 1.0, 0.25};
+
+  ProcReaper reaper;
+  reaper.pids.push_back(
+      spawn(bin, {"--listen", addr, "--workers", "2", "--agents", "4",
+                  "--scale", "1.0,0.25,1.0,0.25"}));
+  reaper.pids.push_back(
+      spawn(bin, {"--worker", "--index", "0", "--connect", addr}));
+  reaper.pids.push_back(
+      spawn(bin, {"--worker", "--index", "1", "--connect", addr}));
+
+  std::vector<core::RoundReport> dist;
+  std::vector<uint8_t> dist_weights;
+  FleetClient client(addr, /*timeout_sec=*/60.0);
+  for (int64_t r = 0; r < 3; ++r) dist.push_back(client.round());
+  dist_weights = client.weights();
+  client.shutdown();
+  for (const pid_t p : reaper.pids)
+    EXPECT_EQ(wait_with_timeout(p, 30.0), 0);
+
+  // A 4x speed gap must pair every slow agent with a fast helper, and the
+  // distributed pairing path (borrowed replicas shipped over the control
+  // plane) must reproduce the single-process run exactly.
+  core::FleetRuntime local = build_spec_fleet(spec);
+  ASSERT_EQ(dist.size(), 3u);
+  for (size_t r = 0; r < dist.size(); ++r) {
+    const core::RoundReport want = local.step();
+    EXPECT_GE(want.num_pairs, 1) << "round " << r;
+    EXPECT_EQ(dist[r].num_pairs, want.num_pairs) << "round " << r;
+    EXPECT_EQ(dist[r].mean_loss, want.mean_loss) << "round " << r;
+    EXPECT_EQ(dist[r].mean_slow_loss, want.mean_slow_loss)
+        << "round " << r;
+  }
+  EXPECT_EQ(dist_weights, fleet_weights(local));
 }
 
 }  // namespace

@@ -379,13 +379,80 @@ TEST(Reliable, ExhaustedRetriesThrowTypedTimeoutNamingTheEdge) {
 TEST(Reliable, RetryPolicyReadsEnvOverrides) {
   ::setenv("COMDML_RETRY_MAX", "2", 1);
   ::setenv("COMDML_BACKOFF_BASE_MS", "5", 1);
+  ::setenv("COMDML_RETRY_ADAPTIVE", "1", 1);
+  ::setenv("COMDML_RETRY_ADAPTIVE_MAX", "3", 1);
   const RetryPolicy policy = RetryPolicy::from_env();
   ::unsetenv("COMDML_RETRY_MAX");
   ::unsetenv("COMDML_BACKOFF_BASE_MS");
+  ::unsetenv("COMDML_RETRY_ADAPTIVE");
+  ::unsetenv("COMDML_RETRY_ADAPTIVE_MAX");
   EXPECT_EQ(policy.max_retries, 2);
   EXPECT_NEAR(policy.backoff_base_sec, 0.005, 1e-12);
+  EXPECT_TRUE(policy.adaptive);
+  EXPECT_EQ(policy.adaptive_extra_max, 3);
   const RetryPolicy defaults = RetryPolicy::from_env();
   EXPECT_EQ(defaults.max_retries, RetryPolicy{}.max_retries);
+  EXPECT_FALSE(defaults.adaptive);
+}
+
+TEST(Reliable, AdaptiveBudgetGrowsLogarithmicallyWithObservedDrops) {
+  RetryPolicy policy;
+  policy.max_retries = 4;
+  EXPECT_EQ(policy.budget(1000), 4) << "adaptive off: drops are ignored";
+  policy.adaptive = true;
+  EXPECT_EQ(policy.extra_retries(0), 0);
+  EXPECT_EQ(policy.extra_retries(1), 1);
+  EXPECT_EQ(policy.extra_retries(2), 1);
+  EXPECT_EQ(policy.extra_retries(3), 2);
+  EXPECT_EQ(policy.extra_retries(7), 3);
+  EXPECT_EQ(policy.extra_retries(1 << 20), policy.adaptive_extra_max);
+  EXPECT_EQ(policy.budget(7), 7);
+  policy.adaptive_extra_max = 2;
+  EXPECT_EQ(policy.budget(7), 6) << "the bonus saturates at the cap";
+}
+
+TEST(Reliable, AdaptiveBudgetTurnsATimeoutIntoADelivery) {
+  // The edge black-holes steps 0-2: the original and the first two
+  // retransmits all die, and only a fourth copy (step 3, past the fault
+  // window) can land. A static budget of 2 gives up one step short; the
+  // adaptive policy with the very same max_retries has watched three
+  // drops accrue on the edge by then, extends the budget, and delivers.
+  const auto windowed = [] {
+    FaultPlan faults;
+    faults.seed = 21;
+    auto mf = any_edge();
+    mf.first_step = 0;
+    mf.last_step = 2;
+    mf.drop_prob = 1.0;
+    faults.message_faults.push_back(mf);
+    return faults;
+  };
+  const double v = 4.5;
+  {
+    InProcTransport t(LinkGrid::uniform(2, 100.0), nullptr, windowed());
+    RetryPolicy policy;
+    policy.max_retries = 2;
+    policy.backoff_base_sec = 0.001;
+    ReliableChannel ch(t, policy);
+    ch.send(0, 1, 1, &v);
+    t.end_step();
+    EXPECT_THROW((void)ch.recv(1, 0), DeliveryTimeoutError);
+  }
+  {
+    InProcTransport t(LinkGrid::uniform(2, 100.0), nullptr, windowed());
+    RetryPolicy policy;
+    policy.max_retries = 2;
+    policy.backoff_base_sec = 0.001;
+    policy.adaptive = true;
+    ReliableChannel ch(t, policy);
+    ch.send(0, 1, 1, &v);
+    t.end_step();
+    const Message m = ch.recv(1, 0);
+    EXPECT_TRUE(m.intact());
+    EXPECT_DOUBLE_EQ(m.payload[0], 4.5);
+    EXPECT_EQ(ch.retransmits(), 3);
+    EXPECT_EQ(t.stats().dropped_messages, 3);
+  }
 }
 
 // ---- collectives under message faults ---------------------------------------

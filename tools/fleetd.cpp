@@ -26,10 +26,29 @@ void usage() {
       "  fleetd --listen <addr> [--workers N] [--agents N] [--seed N]\n"
       "         [--protocol hd|ring] [--batches N] [--batch-size N]\n"
       "         [--lr F] [--momentum F] [--mbps F] [--latency F]\n"
+      "         [--scale F,F,...]   per-agent compute multipliers\n"
       "worker:\n"
-      "  fleetd --worker --index I --connect <addr>\n"
+      "  fleetd --worker --index I --connect <addr> [--rejoin]\n"
       "\n"
+      "--rejoin re-admits a re-spawned replacement for a crashed worker:\n"
+      "it restores from a consensus checkpoint and its agents revive.\n"
       "addresses: unix:/path/to.sock | tcp:host:port\n");
+}
+
+/// Parse "1.0,0.35,1.0" into per-agent compute multipliers.
+std::vector<double> parse_scales(const std::string& csv) {
+  std::vector<double> scales;
+  size_t pos = 0;
+  while (pos <= csv.size()) {
+    const size_t comma = csv.find(',', pos);
+    const std::string item =
+        csv.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (item.empty()) throw std::invalid_argument("empty --scale entry");
+    scales.push_back(std::stod(item));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return scales;
 }
 
 }  // namespace
@@ -48,6 +67,10 @@ int main(int argc, char** argv) {
       };
       if (arg == "--worker") {
         worker = true;
+      } else if (arg == "--rejoin") {
+        wopt.rejoin = true;
+      } else if (arg == "--scale") {
+        coord.spec.compute_scales = parse_scales(value());
       } else if (arg == "--listen") {
         coord.listen = value();
       } else if (arg == "--connect") {
